@@ -1,0 +1,70 @@
+"""Shared helpers for the figure-reproduction benches.
+
+Every bench regenerates one paper figure: it runs the registered driver
+once under ``pytest-benchmark`` (so the suite reports how long each figure
+takes to reproduce), prints the same rows/series the paper plots, and
+asserts the *shape* facts the paper claims (who wins, roughly by how much).
+
+Scale: set ``REPRO_BENCH_SCALE`` (default 0.01 — 1/100 of the paper's trace
+sizes and memory axis).  Shape assertions are written to hold from the
+default scale up; absolute values differ from the paper by design (see
+DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.experiments.report import FigureResult
+
+
+def run_figure(
+    benchmark,
+    runner: Callable[[Optional[float]], List[FigureResult]],
+    scale: Optional[float] = None,
+) -> List[FigureResult]:
+    """Run a figure driver once under the benchmark timer and print it."""
+    results = benchmark.pedantic(
+        runner, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    for figure in results:
+        print(figure.to_table())
+        print()
+    return results
+
+
+def series_no_worse(
+    figure: FigureResult,
+    better: str,
+    worse: str,
+    lower_is_better: bool = True,
+    slack: float = 1.0,
+    abs_slack: float = 0.0,
+    from_index: int = 0,
+) -> bool:
+    """True if ``better``'s curve dominates ``worse``'s (with slack).
+
+    ``slack`` > 1 tolerates multiplicative noise; ``abs_slack`` tolerates
+    absolute noise, which matters in the near-zero-error regime where a
+    0.3-vs-0.1 AAE difference is irrelevant on the paper's log axes.
+    """
+    b = figure.series[better][from_index:]
+    w = figure.series[worse][from_index:]
+    if lower_is_better:
+        return all(bv <= wv * slack + abs_slack for bv, wv in zip(b, w))
+    return all(bv * slack + abs_slack >= wv for bv, wv in zip(b, w))
+
+
+def geometric_gap(figure: FigureResult, better: str, worse: str) -> float:
+    """Average multiplicative gap worse/better across the sweep (>=1 good)."""
+    ratios = []
+    for bv, wv in zip(figure.series[better], figure.series[worse]):
+        if bv > 0 and wv > 0:
+            ratios.append(wv / bv)
+    if not ratios:
+        return float("inf")
+    product = 1.0
+    for r in ratios:
+        product *= r
+    return product ** (1.0 / len(ratios))

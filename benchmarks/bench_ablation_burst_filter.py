@@ -1,0 +1,27 @@
+"""Ablation — Burst Filter size (Theorems IV.1 and IV.8).
+
+Sweeps the Burst Filter budget and measures the capture rate (fraction of
+occurrences absorbed at stage 1), the theoretical capture prediction, and
+the resulting hash cost per insert.  The paper's claims: capture tends to 1
+and the filter roughly halves hash work on repeat-heavy streams.
+"""
+
+from _common import run_figure
+
+from repro.experiments.figures import ablations
+
+
+def test_ablation_burst_filter(benchmark):
+    (figure,) = run_figure(benchmark, ablations.run_burst_ablation)
+    capture = figure.series["capture_rate"]
+    hash_ops = figure.series["hash_ops_per_insert"]
+    # capture rate grows with filter size; the largest filter absorbs most
+    assert capture[-1] > 0.9
+    assert capture[-1] >= capture[1]
+    # adding the filter lowers the per-insert hash cost vs no filter
+    assert hash_ops[-1] < hash_ops[0]
+    # Thm IV.1's prediction models distinct-arrival capture, a lower
+    # bound on the occurrence capture rate measured here
+    predicted = figure.series["predicted_capture"]
+    assert predicted[-1] <= capture[-1] + 0.05
+    assert predicted == sorted(predicted)  # capture grows with size

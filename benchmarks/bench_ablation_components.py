@@ -1,0 +1,21 @@
+"""Ablation — per-stage contribution at equal memory.
+
+Decomposes the HS design: wrapping plain On-Off v1 in the Cold-Filter
+meta-framework should recover most of HS's accuracy advantage, while the
+Burst Filter should recover the hash-cost advantage.
+"""
+
+from _common import run_figure
+
+from repro.experiments.figures import ablations
+
+
+def test_ablation_components(benchmark):
+    (figure,) = run_figure(benchmark, ablations.run_component_ablation)
+    aae = dict(zip(figure.x_values, figure.series["aae"]))
+    hashes = dict(zip(figure.x_values, figure.series["hash_ops_per_insert"]))
+    # accuracy: the Cold Filter closes most of the gap
+    assert aae["CF+OO"] < aae["OO"]
+    assert aae["HS"] <= aae["OO"]
+    # speed: the Burst Filter cuts the hash cost of the filtered design
+    assert hashes["HS"] < hashes["HS-noBurst"]

@@ -1,0 +1,21 @@
+"""Ablation — cold/hot memory split (Section III-C's FPR claim).
+
+Sweeps the Hot Part's share of memory and measures (a) the rate at which
+truly-cold items are escalated past the Cold Filter and (b) estimation AAE.
+The paper argues a balanced split (around 2:3 hot:cold) keeps cold-item
+misclassification low without starving the Hot Part.
+"""
+
+from _common import run_figure
+
+from repro.experiments.figures import ablations
+
+
+def test_ablation_memory_split(benchmark):
+    (figure,) = run_figure(benchmark, ablations.run_memory_split)
+    fpr = figure.series["cold_item_fpr"]
+    assert all(0.0 <= v <= 1.0 for v in fpr)
+    # shrinking the cold filter (more hot) must not reduce misclassification
+    assert fpr[-1] >= fpr[0] - 1e-9
+    aae = figure.series["aae"]
+    assert all(v >= 0 for v in aae)

@@ -1,0 +1,18 @@
+"""Figure 11 — AAE on persistence estimation vs. window count.
+
+Paper shape: AAE largely insensitive to the window count; HS lowest
+everywhere, CM highest.
+"""
+
+from _common import run_figure, series_no_worse
+
+from repro.experiments.figures import fig11_14
+
+
+def test_fig11_aae_vs_windows(benchmark):
+    results = run_figure(benchmark, fig11_14.run_fig11)
+    for figure in results:
+        assert series_no_worse(figure, "HS", "CM", slack=1.05,
+                               abs_slack=0.5), figure.title
+        assert series_no_worse(figure, "HS", "OO", slack=1.2,
+                               abs_slack=0.5), figure.title

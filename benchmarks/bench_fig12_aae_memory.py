@@ -1,0 +1,25 @@
+"""Figure 12 — AAE on persistence estimation vs. memory.
+
+Paper shape: AAE decreases with memory for every algorithm; HS lowest,
+roughly an order of magnitude under On-Off at the top of the sweep.
+"""
+
+from _common import geometric_gap, run_figure, series_no_worse
+
+from repro.experiments.figures import fig11_14
+
+
+def test_fig12_aae_vs_memory(benchmark):
+    results = run_figure(benchmark, fig11_14.run_fig12)
+    for figure in results:
+        for name, series in figure.series.items():
+            assert series[-1] <= series[0] * 1.1, (
+                f"{figure.title}/{name}: AAE should fall with memory"
+            )
+        assert series_no_worse(figure, "HS", "CM", slack=1.05,
+                               abs_slack=0.5), figure.title
+        assert series_no_worse(figure, "HS", "OO", slack=1.2,
+                               abs_slack=0.5), figure.title
+    # substantial average gap over On-Off across workloads
+    gaps = [geometric_gap(f, "HS", "OO") for f in results]
+    assert max(gaps) > 2.0

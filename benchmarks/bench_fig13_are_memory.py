@@ -1,0 +1,20 @@
+"""Figure 13 — ARE on persistence estimation vs. memory.
+
+Paper shape: HS achieves the lowest ARE at every memory point, with the
+gap to OO/CM growing toward order-of-magnitude at larger memories.
+"""
+
+from _common import geometric_gap, run_figure, series_no_worse
+
+from repro.experiments.figures import fig11_14
+
+
+def test_fig13_are_vs_memory(benchmark):
+    results = run_figure(benchmark, fig11_14.run_fig13)
+    for figure in results:
+        assert series_no_worse(figure, "HS", "CM", slack=1.05,
+                               abs_slack=0.5), figure.title
+        assert series_no_worse(figure, "HS", "OO", slack=1.2,
+                               abs_slack=0.5), figure.title
+    gaps = [geometric_gap(f, "HS", "OO") for f in results]
+    assert max(gaps) > 3.0

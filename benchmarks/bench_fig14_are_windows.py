@@ -1,0 +1,17 @@
+"""Figure 14 — ARE on persistence estimation vs. window count.
+
+Paper shape: ARE stable in the window count; HS lowest across workloads.
+"""
+
+from _common import run_figure, series_no_worse
+
+from repro.experiments.figures import fig11_14
+
+
+def test_fig14_are_vs_windows(benchmark):
+    results = run_figure(benchmark, fig11_14.run_fig14)
+    for figure in results:
+        assert series_no_worse(figure, "HS", "CM", slack=1.05,
+                               abs_slack=0.5), figure.title
+        assert series_no_worse(figure, "HS", "OO", slack=1.2,
+                               abs_slack=0.5), figure.title

@@ -1,0 +1,27 @@
+"""Figure 15 — F1-Score on finding persistent items vs. memory.
+
+Paper shape: HS's F1 approaches 1.0 as memory grows and beats the
+ID-agnostic baselines (WS, SS) throughout.  Our TS/PS reconstructions are
+competitive at the smallest memory (see EXPERIMENTS.md notes).
+"""
+
+from _common import run_figure, series_no_worse
+
+from repro.experiments.figures import fig15_18
+
+
+def test_fig15_f1(benchmark):
+    figures = run_figure(benchmark, fig15_18.run_fig15)
+    for figure in figures:
+        # skip the first point: below the Hot Part's capacity floor every
+        # ID store is starved and rankings are noise (the paper's smallest
+        # memory sits above that floor)
+        assert series_no_worse(
+            figure, "HS", "SS", lower_is_better=False, slack=1.08,
+            from_index=1,
+        ), figure.title
+        assert figure.series["HS"][-1] > 0.85, (
+            f"{figure.title}: HS F1 should approach 1.0 with memory"
+        )
+        # F1 improves along the sweep
+        assert figure.series["HS"][-1] >= figure.series["HS"][0] - 0.02

@@ -1,0 +1,19 @@
+"""Figure 16 — ARE of reported persistent items vs. memory.
+
+Paper shape: ARE falls with memory; HS reaches near-zero error at the top
+of the sweep and beats WS/SS throughout.
+"""
+
+from _common import run_figure, series_no_worse
+
+from repro.experiments.figures import fig15_18
+
+
+def test_fig16_are_finding(benchmark):
+    figures = run_figure(benchmark, fig15_18.run_fig16)
+    for figure in figures:
+        assert series_no_worse(figure, "HS", "SS", slack=1.2), figure.title
+        assert figure.series["HS"][-1] < 0.2, (
+            f"{figure.title}: HS ARE should be small at the largest memory"
+        )
+        assert figure.series["HS"][-1] <= figure.series["HS"][0] + 0.02

@@ -1,0 +1,19 @@
+"""Figure 17 — FNR on finding persistent items vs. memory.
+
+Paper shape: HS's FNR collapses toward zero once the Hot Part has capacity
+for the persistent population; SS (sampling) keeps the highest FNR.
+"""
+
+from _common import run_figure, series_no_worse
+
+from repro.experiments.figures import fig15_18
+
+
+def test_fig17_fnr(benchmark):
+    figures = run_figure(benchmark, fig15_18.run_fig17)
+    for figure in figures:
+        assert figure.series["HS"][-1] < 0.1, (
+            f"{figure.title}: HS FNR should be near zero at large memory"
+        )
+        assert series_no_worse(figure, "HS", "SS", slack=1.2,
+                               from_index=1), figure.title

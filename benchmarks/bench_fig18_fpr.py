@@ -1,0 +1,21 @@
+"""Figure 18 — FPR on finding persistent items vs. memory.
+
+Paper shape: HS keeps the FPR orders of magnitude below On-Off v2, whose
+global-cell swaps hand inherited counters to cold items.
+"""
+
+from _common import run_figure
+
+from repro.experiments.figures import fig15_18
+
+
+def test_fig18_fpr(benchmark):
+    figures = run_figure(benchmark, fig15_18.run_fig18)
+    hs_totals = 0.0
+    oo_totals = 0.0
+    for figure in figures:
+        for value in figure.series["HS"]:
+            assert value < 0.01, f"{figure.title}: HS FPR must stay tiny"
+        hs_totals += sum(figure.series["HS"])
+        oo_totals += sum(figure.series["OO"])
+    assert hs_totals <= oo_totals, "HS FPR should not exceed On-Off's"

@@ -1,0 +1,34 @@
+"""Figure 20 — query throughput and the HS stage-hit distribution.
+
+Paper claims reproduced:
+
+* figures 20(e)/(f): on skewed traffic the vast majority of inserts resolve
+  in the Cold Filter's L1, a small share in L2, and only the hot tail
+  reaches the Hot Part;
+* query cost is staged, so the average query touches few structures
+  (hash-ops per query far below the worst-case walk).
+"""
+
+from _common import run_figure
+
+from repro.experiments.figures import fig19_20
+
+
+def test_fig20_query_throughput(benchmark):
+    figures = run_figure(benchmark, fig19_20.run_fig20)
+    stage_figures = [f for f in figures if f.figure_id == "fig20-stages"]
+    assert stage_figures, "stage-distribution series missing"
+    for figure in stage_figures:
+        for i in range(len(figure.x_values)):
+            l1 = figure.series["l1"][i]
+            l2 = figure.series["l2"][i]
+            hot = figure.series["hot"][i]
+            assert abs(l1 + l2 + hot - 1.0) < 1e-9
+        # at the largest memory the Cold Filter resolves the majority
+        assert figure.series["l1"][-1] + figure.series["l2"][-1] > 0.5, (
+            figure.title
+        )
+    mqps_figures = [f for f in figures if f.figure_id == "fig20-mqps"]
+    for figure in mqps_figures:
+        for series in figure.series.values():
+            assert all(v > 0 for v in series)

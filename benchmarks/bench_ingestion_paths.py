@@ -1,0 +1,91 @@
+"""Ingestion-path microbenchmark (library-level, beyond the paper).
+
+Times the three ways to feed a window stream into a Hypersistent Sketch:
+
+* record-at-a-time through the scalar Burst Filter (the paper's path);
+* record-at-a-time through the numpy SIMD-emulating Burst Filter;
+* whole-window batches through :class:`BatchWindowProcessor`.
+
+Uses pytest-benchmark's statistical timing (multiple rounds) since these
+are honest wall-clock comparisons of same-language implementations.
+"""
+
+import pytest
+
+from repro.core import (
+    BatchWindowProcessor,
+    HSConfig,
+    HypersistentSketch,
+    make_hypersistent_simd,
+)
+from repro.experiments.figures.common import bench_scale
+from repro.streams.traces import caida_like
+
+
+@pytest.fixture(scope="module")
+def workload():
+    trace = caida_like(scale=bench_scale(), n_windows=200, overlay=False)
+    windows = [items for _, items in trace.windows()]
+    config = HSConfig.for_estimation(
+        32 * 1024, 200, window_distinct_hint=trace.mean_window_distinct()
+    )
+    return windows, config
+
+
+def _run_scalar(windows, config):
+    sketch = HypersistentSketch(config)
+    for items in windows:
+        for item in items:
+            sketch.insert(item)
+        sketch.end_window()
+    return sketch
+
+
+def _run_simd(windows, config):
+    sketch = make_hypersistent_simd(config)
+    for items in windows:
+        for item in items:
+            sketch.insert(item)
+        sketch.end_window()
+    return sketch
+
+
+def _run_batch(windows, config):
+    sketch = HypersistentSketch(config)
+    proc = BatchWindowProcessor(sketch)
+    for items in windows:
+        proc.process_window(items)
+    return sketch
+
+
+def test_ingest_scalar(benchmark, workload):
+    windows, config = workload
+    sketch = benchmark.pedantic(
+        _run_scalar, args=(windows, config), rounds=3, iterations=1
+    )
+    assert sketch.window == len(windows)
+
+
+def test_ingest_simd_filter(benchmark, workload):
+    windows, config = workload
+    sketch = benchmark.pedantic(
+        _run_simd, args=(windows, config), rounds=3, iterations=1
+    )
+    assert sketch.window == len(windows)
+
+
+def test_ingest_batch_windows(benchmark, workload):
+    windows, config = workload
+    sketch = benchmark.pedantic(
+        _run_batch, args=(windows, config), rounds=3, iterations=1
+    )
+    assert sketch.window == len(windows)
+
+
+def test_paths_agree_on_estimates(workload):
+    windows, config = workload
+    scalar = _run_scalar(windows, config)
+    batch = _run_batch(windows, config)
+    keys = {item for items in windows for item in items}
+    diffs = sum(1 for k in keys if scalar.query(k) != batch.query(k))
+    assert diffs / max(1, len(keys)) < 0.02  # only burst-overflow corners

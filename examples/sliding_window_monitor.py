@@ -1,0 +1,53 @@
+"""Live monitoring with a sliding persistence horizon.
+
+Whole-stream persistence never forgets: a flow that beaconed for a week and
+then stopped stays "persistent" forever.  Operations teams care about
+*currently* persistent flows, so this example tracks persistence over a
+sliding horizon with :class:`SlidingHypersistentSketch` and shows an old
+threat aging out while a new one ramps up.
+
+Run:  python examples/sliding_window_monitor.py
+"""
+
+from repro import SlidingHypersistentSketch, zipf_trace
+
+HORIZON = 60        # recent windows the monitor cares about
+N_WINDOWS = 300
+MEMORY = 48 * 1024
+
+EARLY_THREAT = "beacon-old"   # active in windows [0, 150)
+LATE_THREAT = "beacon-new"    # active from window 150 on
+
+
+def main() -> None:
+    background = zipf_trace(
+        n_records=60_000, n_windows=N_WINDOWS, skew=1.2,
+        n_items=5_000, seed=29,
+    )
+    monitor = SlidingHypersistentSketch(memory_bytes=MEMORY,
+                                        horizon=HORIZON)
+    print(f"horizon {HORIZON} windows, memory {MEMORY // 1024} KB\n")
+    print(f"{'window':>6}  {'coverage':>8}  {EARLY_THREAT:>12}  "
+          f"{LATE_THREAT:>12}")
+    for wid, items in background.windows():
+        for item in items:
+            monitor.insert(item)
+        if wid < 150:
+            monitor.insert(EARLY_THREAT)
+        else:
+            monitor.insert(LATE_THREAT)
+        monitor.end_window()
+        if (wid + 1) % 30 == 0:
+            print(f"{wid + 1:>6}  {monitor.coverage:>8}  "
+                  f"{monitor.query(EARLY_THREAT):>12}  "
+                  f"{monitor.query(LATE_THREAT):>12}")
+
+    print("\nafter the stream: the old beacon has aged out of the "
+          "horizon, the new one saturates it.")
+    print(f"  {EARLY_THREAT}: {monitor.query(EARLY_THREAT)} "
+          f"(of {monitor.coverage} covered windows)")
+    print(f"  {LATE_THREAT}: {monitor.query(LATE_THREAT)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` needs PEP 517 + wheel; on offline boxes that lack the
+wheel module, `python setup.py develop` installs the same editable egg-link.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""Metrics, CDFs, and Section IV's theory as executable formulas."""
+
+from .ascii_plot import ascii_plot, plot_figure
+from .cdf import cdf_table, fraction_at_or_below, persistence_cdf
+from .comparison import Verdict, aggregate_factor, compare, summarize_figures
+from .skew import fit_zipf_mle, fit_zipf_regression, skew_report
+from .svg_plot import figure_to_svg, svg_line_chart
+from .metrics import (
+    ClassificationReport,
+    ThroughputRecord,
+    aae,
+    are,
+    classify,
+    estimate_all,
+    reported_are,
+)
+from .theory import (
+    ThresholdDesign,
+    burst_capture_probability,
+    error_envelope,
+    expected_speedup,
+    harmonic_number,
+    hash_savings,
+    overestimate_probability_bound,
+    pareto_optimal_k,
+    skewness_error_bound,
+    zipf_persistence,
+)
+
+__all__ = [
+    "ClassificationReport",
+    "Verdict",
+    "ThresholdDesign",
+    "ThroughputRecord",
+    "aae",
+    "ascii_plot",
+    "are",
+    "burst_capture_probability",
+    "aggregate_factor",
+    "cdf_table",
+    "compare",
+    "classify",
+    "error_envelope",
+    "estimate_all",
+    "expected_speedup",
+    "figure_to_svg",
+    "fit_zipf_mle",
+    "fit_zipf_regression",
+    "fraction_at_or_below",
+    "harmonic_number",
+    "hash_savings",
+    "overestimate_probability_bound",
+    "pareto_optimal_k",
+    "persistence_cdf",
+    "plot_figure",
+    "reported_are",
+    "skew_report",
+    "skewness_error_bound",
+    "summarize_figures",
+    "svg_line_chart",
+    "zipf_persistence",
+]

@@ -1,0 +1,95 @@
+"""Terminal line plots for figure results (no plotting dependencies).
+
+The benches print numeric tables; these helpers render the same series as
+log/linear ASCII charts so the figure *shape* (orderings, crossovers,
+slopes) is visible at a glance in CI logs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, height: int,
+           log: bool) -> int:
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(height - 1, max(0, round(frac * (height - 1))))
+
+
+def ascii_plot(
+    x_values: Sequence,
+    series: Dict[str, List[float]],
+    height: int = 12,
+    log_y: bool = True,
+    title: str = "",
+) -> str:
+    """Render named series as an ASCII chart, one column per x value.
+
+    ``log_y`` (default) suits error metrics spanning orders of magnitude;
+    non-positive values are clamped to the smallest positive value seen.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    n_points = len(x_values)
+    for name, values in series.items():
+        if len(values) != n_points:
+            raise ValueError(f"series {name!r} length != len(x_values)")
+
+    positives = [v for vs in series.values() for v in vs if v > 0]
+    if log_y and not positives:
+        log_y = False
+    if log_y:
+        floor = min(positives)
+        cleaned = {
+            name: [v if v > 0 else floor for v in vs]
+            for name, vs in series.items()
+        }
+    else:
+        cleaned = {name: list(vs) for name, vs in series.items()}
+
+    lo = min(v for vs in cleaned.values() for v in vs)
+    hi = max(v for vs in cleaned.values() for v in vs)
+    col_width = 6
+    grid = [[" "] * (n_points * col_width) for _ in range(height)]
+    legend = []
+    for idx, (name, values) in enumerate(cleaned.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        legend.append(f"{glyph}={name}")
+        for i, value in enumerate(values):
+            row = height - 1 - _scale(value, lo, hi, height, log_y)
+            col = i * col_width + col_width // 2
+            if grid[row][col] == " ":
+                grid[row][col] = glyph
+            else:
+                grid[row][col] = "*"  # overlapping series
+
+    lines = []
+    if title:
+        lines.append(title)
+    axis = "log" if log_y else "lin"
+    lines.append(f"y[{axis}]: {lo:.3g} .. {hi:.3g}   {'  '.join(legend)}")
+    lines.extend("|" + "".join(row) for row in grid)
+    x_labels = "".join(
+        f"{str(x):^{col_width}}"[:col_width] for x in x_values
+    )
+    lines.append("+" + "-" * (n_points * col_width))
+    lines.append(" " + x_labels)
+    return "\n".join(lines)
+
+
+def plot_figure(figure, height: int = 12, log_y: bool = True) -> str:
+    """ASCII chart of a :class:`~repro.experiments.report.FigureResult`."""
+    return ascii_plot(
+        figure.x_values,
+        figure.series,
+        height=height,
+        log_y=log_y,
+        title=f"[{figure.figure_id}] {figure.title}",
+    )

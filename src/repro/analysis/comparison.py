@@ -1,0 +1,145 @@
+"""Cross-algorithm comparison summaries.
+
+Reduces a reproduced figure to the verdicts the paper states in prose —
+who wins, by what average factor, at which sweep points — so EXPERIMENTS.md
+and the benches can report paper-vs-measured consistently.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..experiments.report import FigureResult
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Outcome of comparing one algorithm against the field on a figure."""
+
+    figure_id: str
+    subject: str
+    lower_is_better: bool
+    wins: int                 # sweep points where subject is strictly best
+    points: int
+    mean_factor_vs: Dict[str, float]  # geometric mean of rival/subject
+
+    @property
+    def win_rate(self) -> float:
+        return self.wins / self.points if self.points else 0.0
+
+    def dominates(self, rival: str, factor: float = 1.0) -> bool:
+        """True if the subject beats ``rival`` by >= ``factor`` on average."""
+        return self.mean_factor_vs.get(rival, 0.0) >= factor
+
+    def summary(self) -> str:
+        def fmt(factor: float) -> str:
+            # epsilon-floored ratios (exact zeros) explode; cap the display
+            return f"x{factor:.2f}" if factor < 1000 else ">x1000"
+
+        rivals = ", ".join(
+            f"{name} {fmt(factor)}"
+            for name, factor in sorted(
+                self.mean_factor_vs.items(), key=lambda kv: -kv[1]
+            )
+        )
+        return (
+            f"[{self.figure_id}] {self.subject} best at "
+            f"{self.wins}/{self.points} points; mean advantage: {rivals}"
+        )
+
+
+def _geometric_mean(ratios: List[float]) -> float:
+    positives = [r for r in ratios if r > 0]
+    if not positives:
+        return float("nan")
+    return math.exp(sum(math.log(r) for r in positives) / len(positives))
+
+
+def compare(
+    figure: FigureResult,
+    subject: str = "HS",
+    lower_is_better: bool = True,
+    epsilon: float = 1e-12,
+) -> Verdict:
+    """Score ``subject`` against every other series in the figure.
+
+    Factors are geometric means of rival/subject (lower-is-better metrics)
+    or subject/rival (higher-is-better), so > 1 always means the subject
+    is ahead.  Zero values are floored at ``epsilon`` to keep ratios
+    finite (relevant for FNR/FPR figures that reach exactly 0).
+    """
+    if subject not in figure.series:
+        raise KeyError(f"{subject!r} not in figure series")
+    subject_values = figure.series[subject]
+    points = len(subject_values)
+    wins = 0
+    for i in range(points):
+        rivals_at_i = [
+            values[i]
+            for name, values in figure.series.items()
+            if name != subject
+        ]
+        if not rivals_at_i:
+            continue
+        best_rival = min(rivals_at_i) if lower_is_better else max(rivals_at_i)
+        if lower_is_better:
+            wins += subject_values[i] < best_rival
+        else:
+            wins += subject_values[i] > best_rival
+    factors = {}
+    for name, values in figure.series.items():
+        if name == subject:
+            continue
+        ratios = []
+        for mine, theirs in zip(subject_values, values):
+            mine = max(mine, epsilon)
+            theirs = max(theirs, epsilon)
+            ratios.append(
+                theirs / mine if lower_is_better else mine / theirs
+            )
+        factors[name] = _geometric_mean(ratios)
+    return Verdict(
+        figure_id=figure.figure_id,
+        subject=subject,
+        lower_is_better=lower_is_better,
+        wins=wins,
+        points=points,
+        mean_factor_vs=factors,
+    )
+
+
+def orders_of_magnitude(factor: float) -> float:
+    """Express an advantage factor in the paper's 'orders of magnitude'."""
+    if factor <= 0:
+        return float("-inf")
+    return math.log10(factor)
+
+
+def summarize_figures(
+    figures: List[FigureResult],
+    subject: str = "HS",
+    lower_is_better: bool = True,
+) -> List[Verdict]:
+    """Verdicts for a batch of figures (one per dataset, typically)."""
+    return [
+        compare(figure, subject=subject, lower_is_better=lower_is_better)
+        for figure in figures
+    ]
+
+
+def aggregate_factor(
+    verdicts: List[Verdict], rival: str
+) -> Optional[float]:
+    """Geometric mean of a subject's advantage over one rival, across
+    datasets (None when the rival never appears)."""
+    factors = [
+        v.mean_factor_vs[rival]
+        for v in verdicts
+        if rival in v.mean_factor_vs and v.mean_factor_vs[rival] > 0
+        and not math.isnan(v.mean_factor_vs[rival])
+    ]
+    if not factors:
+        return None
+    return _geometric_mean(factors)

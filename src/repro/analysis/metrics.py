@@ -1,0 +1,141 @@
+"""Evaluation metrics (paper Section V-A.2).
+
+* AAE / ARE — persistence-estimation error over a query set ``Phi``;
+* precision / recall / F1 / FNR / FPR — persistent-item finding quality;
+* throughput records — Mops/Mqps plus platform-independent hash-op counts
+  (wall-clock numbers in interpreted Python are noted as indicative only;
+  see DESIGN.md §5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Mapping, Set
+
+
+def aae(truth: Mapping[int, int], estimates: Mapping[int, int]) -> float:
+    """Average Absolute Error over the query set (keys of ``truth``)."""
+    if not truth:
+        raise ValueError("empty query set")
+    total = sum(abs(truth[k] - estimates.get(k, 0)) for k in truth)
+    return total / len(truth)
+
+
+def are(truth: Mapping[int, int], estimates: Mapping[int, int]) -> float:
+    """Average Relative Error over the query set.
+
+    Items with true persistence 0 are excluded (relative error undefined),
+    matching the convention of the paper's query sets (all appeared items).
+    """
+    terms = [
+        abs(p - estimates.get(k, 0)) / p
+        for k, p in truth.items()
+        if p > 0
+    ]
+    if not terms:
+        raise ValueError("query set has no items with positive persistence")
+    return sum(terms) / len(terms)
+
+
+def estimate_all(
+    query: Callable[[int], int], keys: Iterable[int]
+) -> Dict[int, int]:
+    """Evaluate a sketch's query function over a key set."""
+    return {key: query(key) for key in keys}
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Confusion-matrix metrics for persistent-item finding."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when nothing was reported."""
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when nothing was missable."""
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        denom = 2 * self.tp + self.fp + self.fn
+        return 2 * self.tp / denom if denom else 1.0
+
+    @property
+    def fnr(self) -> float:
+        """False-negative rate: FN / (FN + TP)."""
+        denom = self.fn + self.tp
+        return self.fn / denom if denom else 0.0
+
+    @property
+    def fpr(self) -> float:
+        """False-positive rate: FP / (FP + TN)."""
+        denom = self.fp + self.tn
+        return self.fp / denom if denom else 0.0
+
+
+def classify(
+    reported: Set[int],
+    actual: Set[int],
+    universe_size: int,
+) -> ClassificationReport:
+    """Score a reported persistent-item set against the exact one.
+
+    ``universe_size`` is the number of distinct items in the stream; true
+    negatives are all non-persistent items not reported.
+    """
+    tp = len(reported & actual)
+    fp = len(reported - actual)
+    fn = len(actual - reported)
+    tn = universe_size - tp - fp - fn
+    if tn < 0:
+        raise ValueError("universe_size smaller than observed item classes")
+    return ClassificationReport(tp=tp, fp=fp, fn=fn, tn=tn)
+
+
+def reported_are(
+    truth: Mapping[int, int],
+    reported: Mapping[int, int],
+    actual: Set[int],
+) -> float:
+    """ARE restricted to truly persistent items (figure 16's metric).
+
+    Missed persistent items contribute relative error 1 (their estimate is
+    effectively 0), so algorithms cannot cheat by reporting nothing.
+    """
+    if not actual:
+        raise ValueError("no persistent items in ground truth")
+    total = 0.0
+    for key in actual:
+        p = truth[key]
+        total += abs(p - reported.get(key, 0)) / p
+    return total / len(actual)
+
+
+@dataclass(frozen=True)
+class ThroughputRecord:
+    """One throughput measurement (insert or query side)."""
+
+    operations: int
+    seconds: float
+    hash_ops: int
+
+    @property
+    def mops(self) -> float:
+        """Million operations per second of wall-clock (indicative only)."""
+        return self.operations / self.seconds / 1e6 if self.seconds else 0.0
+
+    @property
+    def hash_ops_per_operation(self) -> float:
+        """Platform-independent cost: hash computations per operation."""
+        return self.hash_ops / self.operations if self.operations else 0.0

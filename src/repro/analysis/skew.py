@@ -1,0 +1,99 @@
+"""Skewness estimation from observed traces.
+
+Theorem IV.6's error bound is parameterized by the Zipf exponent ``s``;
+applying it to a real workload requires estimating ``s`` from data.  Two
+standard estimators over the item frequency (or persistence) distribution:
+
+* :func:`fit_zipf_regression` — least-squares slope of the log-log
+  rank-frequency curve (the classic back-of-envelope estimator);
+* :func:`fit_zipf_mle` — maximum-likelihood for the finite discrete Zipf,
+  found by golden-section search on the one-dimensional likelihood.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+
+def rank_frequency(counts: Dict[int, int]) -> List[int]:
+    """Descending frequency list (rank 1 first)."""
+    if not counts:
+        raise ValueError("empty count table")
+    return sorted(counts.values(), reverse=True)
+
+
+def fit_zipf_regression(
+    counts: Dict[int, int], max_ranks: int = 1000
+) -> float:
+    """Zipf exponent via log-log regression on the rank-frequency head.
+
+    Only the top ``max_ranks`` items enter the fit: the tail of an
+    empirical rank-frequency curve is quantized (counts of 1) and biases
+    the slope.
+    """
+    freqs = rank_frequency(counts)[:max_ranks]
+    if len(freqs) < 2:
+        raise ValueError("need at least two distinct items to fit")
+    xs = [math.log(rank) for rank in range(1, len(freqs) + 1)]
+    ys = [math.log(f) for f in freqs]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var = sum((x - mean_x) ** 2 for x in xs)
+    slope = cov / var
+    return max(0.0, -slope)
+
+
+def _zipf_log_likelihood(freqs: Sequence[int], s: float) -> float:
+    """Log-likelihood of frequencies under finite Zipf(s) over the ranks."""
+    n = len(freqs)
+    log_norm = math.log(sum(rank ** (-s) for rank in range(1, n + 1)))
+    total = sum(freqs)
+    ll = 0.0
+    for rank, freq in enumerate(freqs, start=1):
+        ll += freq * (-s * math.log(rank) - log_norm)
+    return ll / total  # normalized, for numeric comfort
+
+
+def fit_zipf_mle(
+    counts: Dict[int, int],
+    lo: float = 0.01,
+    hi: float = 4.0,
+    tolerance: float = 1e-3,
+    max_ranks: int = 2000,
+) -> float:
+    """Maximum-likelihood Zipf exponent via golden-section search."""
+    freqs = rank_frequency(counts)[:max_ranks]
+    if len(freqs) < 2:
+        raise ValueError("need at least two distinct items to fit")
+    inv_phi = (math.sqrt(5) - 1) / 2
+    a, b = lo, hi
+    c = b - inv_phi * (b - a)
+    d = a + inv_phi * (b - a)
+    fc = _zipf_log_likelihood(freqs, c)
+    fd = _zipf_log_likelihood(freqs, d)
+    while b - a > tolerance:
+        if fc > fd:
+            b, d, fd = d, c, fc
+            c = b - inv_phi * (b - a)
+            fc = _zipf_log_likelihood(freqs, c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + inv_phi * (b - a)
+            fd = _zipf_log_likelihood(freqs, d)
+    return (a + b) / 2
+
+
+def skew_report(counts: Dict[int, int]) -> Dict[str, float]:
+    """Both estimators plus simple concentration statistics."""
+    freqs = rank_frequency(counts)
+    total = sum(freqs)
+    top10 = sum(freqs[:10]) / total if total else 0.0
+    return {
+        "regression": fit_zipf_regression(counts),
+        "mle": fit_zipf_mle(counts),
+        "top10_share": top10,
+        "distinct": float(len(freqs)),
+    }

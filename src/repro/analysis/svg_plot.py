@@ -1,0 +1,251 @@
+"""Standalone SVG line charts for reproduced figures (no plotting deps).
+
+Renders a :class:`~repro.experiments.report.FigureResult` as a paper-style
+log/linear line chart — axes, ticks, grid, legend, one polyline with point
+markers per series — as a self-contained SVG string/file.  Offline
+environments get real figure images without matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+PathLike = Union[str, Path]
+
+#: Colorblind-safe categorical palette (Okabe-Ito).
+PALETTE = (
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7",
+    "#E69F00", "#56B4E9", "#000000", "#F0E442",
+)
+
+_MARKERS = ("circle", "square", "diamond", "triangle")
+
+WIDTH, HEIGHT = 640, 420
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 70, 20, 46, 58
+
+
+def _nice_ticks(lo: float, hi: float, target: int = 5) -> List[float]:
+    """Human-friendly linear tick positions covering [lo, hi]."""
+    if hi <= lo:
+        return [lo]
+    raw_step = (hi - lo) / target
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiple in (1, 2, 5, 10):
+        step = multiple * magnitude
+        if raw_step <= step:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-12:
+        ticks.append(round(t, 12))
+        t += step
+    return ticks or [lo]
+
+
+def _log_ticks(lo: float, hi: float) -> List[float]:
+    """Decade ticks covering [lo, hi] on a log axis."""
+    start = math.floor(math.log10(lo))
+    stop = math.ceil(math.log10(hi))
+    return [10.0 ** e for e in range(start, stop + 1)]
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000 or abs(value) < 0.01:
+        return f"{value:.0e}"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:g}"
+
+
+def _marker(shape: str, x: float, y: float, color: str) -> str:
+    if shape == "circle":
+        return f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3.5" fill="{color}"/>'
+    if shape == "square":
+        return (f'<rect x="{x - 3:.1f}" y="{y - 3:.1f}" width="6" '
+                f'height="6" fill="{color}"/>')
+    if shape == "diamond":
+        return (f'<path d="M {x:.1f} {y - 4.2:.1f} L {x + 4.2:.1f} {y:.1f} '
+                f'L {x:.1f} {y + 4.2:.1f} L {x - 4.2:.1f} {y:.1f} Z" '
+                f'fill="{color}"/>')
+    return (f'<path d="M {x:.1f} {y - 4.2:.1f} L {x + 4.2:.1f} '
+            f'{y + 3.5:.1f} L {x - 4.2:.1f} {y + 3.5:.1f} Z" '
+            f'fill="{color}"/>')
+
+
+class _YScale:
+    """Maps data values to pixel rows, linear or log."""
+
+    def __init__(self, values: Sequence[float], log: bool):
+        positives = [v for v in values if v > 0]
+        self.log = log and bool(positives)
+        if self.log:
+            self.floor = min(positives)
+            vals = [max(v, self.floor) for v in values]
+            self.lo = math.log10(min(vals))
+            self.hi = math.log10(max(vals))
+        else:
+            self.floor = None
+            self.lo = min(values)
+            self.hi = max(values)
+        if self.hi <= self.lo:
+            self.hi = self.lo + 1.0
+
+    def to_px(self, value: float) -> float:
+        if self.log:
+            value = math.log10(max(value, self.floor))
+        frac = (value - self.lo) / (self.hi - self.lo)
+        plot_h = HEIGHT - MARGIN_T - MARGIN_B
+        return MARGIN_T + (1 - frac) * plot_h
+
+    def ticks(self) -> List[float]:
+        if self.log:
+            return _log_ticks(10 ** self.lo, 10 ** self.hi)
+        return _nice_ticks(self.lo, self.hi)
+
+
+def svg_line_chart(
+    x_values: Sequence,
+    series: Dict[str, List[float]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    log_y: bool = True,
+) -> str:
+    """Render named series over shared x positions as an SVG string.
+
+    ``x_values`` may be numbers or labels; positions are equidistant (the
+    paper's sweeps have few, evenly chosen points, so categorical spacing
+    reads identically).
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    n_points = len(x_values)
+    for name, values in series.items():
+        if len(values) != n_points:
+            raise ValueError(f"series {name!r} length != len(x_values)")
+    all_values = [v for vs in series.values() for v in vs]
+    scale = _YScale(all_values, log_y)
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+
+    def x_px(i: int) -> float:
+        if n_points == 1:
+            return MARGIN_L + plot_w / 2
+        return MARGIN_L + i * plot_w / (n_points - 1)
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" '
+        f'font-family="Helvetica, Arial, sans-serif">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{WIDTH / 2}" y="24" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{_escape(title)}</text>'
+        )
+    # grid + y ticks
+    for tick in scale.ticks():
+        y = scale.to_px(tick)
+        if y < MARGIN_T - 1 or y > HEIGHT - MARGIN_B + 1:
+            continue
+        parts.append(
+            f'<line x1="{MARGIN_L}" y1="{y:.1f}" '
+            f'x2="{WIDTH - MARGIN_R}" y2="{y:.1f}" '
+            f'stroke="#DDDDDD" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{MARGIN_L - 8}" y="{y + 4:.1f}" '
+            f'text-anchor="end" font-size="11">{_fmt(tick)}</text>'
+        )
+    # x ticks
+    for i, x_val in enumerate(x_values):
+        x = x_px(i)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{HEIGHT - MARGIN_B}" '
+            f'x2="{x:.1f}" y2="{HEIGHT - MARGIN_B + 5}" '
+            f'stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{HEIGHT - MARGIN_B + 20}" '
+            f'text-anchor="middle" font-size="11">'
+            f'{_escape(str(x_val))}</text>'
+        )
+    # axes
+    parts.append(
+        f'<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" '
+        f'y2="{HEIGHT - MARGIN_B}" stroke="black" stroke-width="1.5"/>'
+    )
+    parts.append(
+        f'<line x1="{MARGIN_L}" y1="{HEIGHT - MARGIN_B}" '
+        f'x2="{WIDTH - MARGIN_R}" y2="{HEIGHT - MARGIN_B}" '
+        f'stroke="black" stroke-width="1.5"/>'
+    )
+    if x_label:
+        parts.append(
+            f'<text x="{(MARGIN_L + WIDTH - MARGIN_R) / 2}" '
+            f'y="{HEIGHT - 12}" text-anchor="middle" font-size="12">'
+            f'{_escape(x_label)}</text>'
+        )
+    if y_label:
+        parts.append(
+            f'<text x="16" y="{(MARGIN_T + HEIGHT - MARGIN_B) / 2}" '
+            f'text-anchor="middle" font-size="12" '
+            f'transform="rotate(-90 16 '
+            f'{(MARGIN_T + HEIGHT - MARGIN_B) / 2})">'
+            f'{_escape(y_label)}</text>'
+        )
+    # series
+    for idx, (name, values) in enumerate(series.items()):
+        color = PALETTE[idx % len(PALETTE)]
+        marker = _MARKERS[idx % len(_MARKERS)]
+        points = [
+            (x_px(i), scale.to_px(v)) for i, v in enumerate(values)
+        ]
+        path = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        parts.append(
+            f'<polyline points="{path}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        for x, y in points:
+            parts.append(_marker(marker, x, y, color))
+    # legend
+    legend_x = MARGIN_L + 10
+    legend_y = MARGIN_T + 6
+    for idx, name in enumerate(series):
+        color = PALETTE[idx % len(PALETTE)]
+        y = legend_y + idx * 16
+        parts.append(
+            f'<line x1="{legend_x}" y1="{y}" x2="{legend_x + 18}" '
+            f'y2="{y}" stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 24}" y="{y + 4}" font-size="11">'
+            f'{_escape(name)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def figure_to_svg(figure, path: PathLike = None, log_y: bool = True) -> str:
+    """Render a :class:`FigureResult` to SVG; optionally write it to disk."""
+    svg = svg_line_chart(
+        figure.x_values,
+        figure.series,
+        title=figure.title,
+        x_label=figure.x_label,
+        log_y=log_y,
+    )
+    if path is not None:
+        Path(path).write_text(svg)
+    return svg

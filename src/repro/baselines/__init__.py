@@ -1,0 +1,28 @@
+"""Every algorithm the paper compares against, implemented from scratch."""
+
+from .bloom import BloomFilter, optimal_hash_count
+from .cm_sketch import CMPersistenceSketch, CountMinSketch, CUSketch
+from .exact import ExactTracker
+from .on_off import OnOffSketchV1, OnOffSketchV2
+from .p_sketch import PSketch
+from .pie import PIESketch
+from .small_space import SmallSpace
+from .tight_sketch import TightSketch
+from .waving import WavingPersistenceSketch, WavingSketch
+
+__all__ = [
+    "BloomFilter",
+    "CMPersistenceSketch",
+    "CUSketch",
+    "CountMinSketch",
+    "ExactTracker",
+    "OnOffSketchV1",
+    "OnOffSketchV2",
+    "PIESketch",
+    "PSketch",
+    "SmallSpace",
+    "TightSketch",
+    "WavingPersistenceSketch",
+    "WavingSketch",
+    "optimal_hash_count",
+]

@@ -1,0 +1,91 @@
+"""Bloom filter (Bloom, 1970) — the dedup substrate for PIE/CM/WavingSketch.
+
+Used exactly as in the paper's evaluation: per-window membership so a
+frequency sketch is updated at most once per item per window.  The filter is
+cleared at every window boundary.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..common.bitmem import cells_for_budget
+from ..common.errors import ConfigError
+from ..common.hashing import HashFamily
+
+
+def optimal_hash_count(bits: int, expected_items: int) -> int:
+    """The classic ``(m/n) ln 2`` optimum, clamped to [1, 8]."""
+    if expected_items < 1:
+        return 1
+    k = int(round(bits / expected_items * math.log(2)))
+    return max(1, min(8, k))
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter over canonical integer keys.
+
+    The bit array is a Python ``bytearray`` for O(1) byte ops; clearing at
+    window boundaries reallocates lazily via a generation counter so a
+    window with no insertions costs nothing.
+    """
+
+    __slots__ = ("n_bits", "n_hashes", "_hash", "_bits", "hash_ops")
+
+    def __init__(self, memory_bytes: int, n_hashes: int = 3, seed: int = 42):
+        if memory_bytes < 1:
+            raise ConfigError("BloomFilter needs >= 1 byte")
+        if n_hashes < 1:
+            raise ConfigError("BloomFilter needs >= 1 hash function")
+        self.n_bits = cells_for_budget(memory_bytes, 1)
+        self.n_hashes = n_hashes
+        self._hash = HashFamily(n_hashes, seed)
+        self._bits = bytearray((self.n_bits + 7) // 8)
+        self.hash_ops = 0
+
+    def _positions(self, key: int):
+        return (self._hash.index(key, i, self.n_bits)
+                for i in range(self.n_hashes))
+
+    def add(self, key: int) -> bool:
+        """Insert ``key``; returns True if it was (probably) already present."""
+        self.hash_ops += self.n_hashes
+        present = True
+        for pos in self._positions(key):
+            byte, bit = pos >> 3, 1 << (pos & 7)
+            if not self._bits[byte] & bit:
+                present = False
+                self._bits[byte] |= bit
+        return present
+
+    def __contains__(self, key: int) -> bool:
+        self.hash_ops += self.n_hashes
+        return all(
+            self._bits[pos >> 3] & (1 << (pos & 7))
+            for pos in self._positions(key)
+        )
+
+    def clear(self) -> None:
+        """Unset every bit (window boundary)."""
+        # Reallocation is a single C-level memset; a per-byte Python loop
+        # would dominate runtime when clearing at every window boundary.
+        self._bits = bytearray(len(self._bits))
+
+    def fill_ratio(self) -> float:
+        """Fraction of set bits (drives the false-positive rate)."""
+        ones = sum(bin(b).count("1") for b in self._bits)
+        return ones / self.n_bits
+
+    def false_positive_rate(self) -> float:
+        """Current theoretical FPR given the observed fill ratio."""
+        return self.fill_ratio() ** self.n_hashes
+
+    @property
+    def modeled_bits(self) -> int:
+        """Modeled memory footprint in bits."""
+        return self.n_bits
+
+    @property
+    def memory_bytes(self) -> int:
+        """Modeled memory footprint in bytes."""
+        return (self.n_bits + 7) // 8

@@ -1,0 +1,123 @@
+"""Count-Min / CU sketches, and the CM persistence baseline of the paper.
+
+:class:`CountMinSketch` is the classic ``d x w`` counter matrix with
+min-query; :class:`CUSketch` adds conservative update (only minimal counters
+incremented — the strategy the Cold Filter borrows).
+
+:class:`CMPersistenceSketch` is the "CM" line of figures 11-14: half of the
+memory goes to a per-window Bloom filter for deduplication, the other half to
+a Count-Min sketch with 32-bit counters.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..common.bitmem import cells_for_budget, split_budget
+from ..common.errors import ConfigError
+from ..common.hashing import HashFamily, ItemKey, canonical_key
+from .bloom import BloomFilter
+
+#: Counter width the paper assumes for persistence-agnostic sketches.
+CM_COUNTER_BITS = 32
+
+
+class CountMinSketch:
+    """Plain Count-Min sketch over canonical integer keys."""
+
+    __slots__ = ("depth", "width", "_hash", "_rows", "hash_ops")
+
+    def __init__(self, memory_bytes: int, depth: int = 3, seed: int = 42):
+        if depth < 1:
+            raise ConfigError("CountMinSketch depth must be >= 1")
+        cells = cells_for_budget(memory_bytes, CM_COUNTER_BITS)
+        self.depth = depth
+        self.width = max(1, cells // depth)
+        self._hash = HashFamily(depth, seed)
+        self._rows: List[List[int]] = [
+            [0] * self.width for _ in range(depth)
+        ]
+        self.hash_ops = 0
+
+    def add(self, key: int, by: int = 1) -> None:
+        """Increment every mapped counter by ``by``."""
+        self.hash_ops += self.depth
+        for i in range(self.depth):
+            self._rows[i][self._hash.index(key, i, self.width)] += by
+
+    def estimate(self, key: int) -> int:
+        """Min-of-rows count estimate (never underestimates)."""
+        self.hash_ops += self.depth
+        return min(
+            self._rows[i][self._hash.index(key, i, self.width)]
+            for i in range(self.depth)
+        )
+
+    @property
+    def modeled_bits(self) -> int:
+        """Modeled memory footprint in bits."""
+        return self.depth * self.width * CM_COUNTER_BITS
+
+
+class CUSketch(CountMinSketch):
+    """Count-Min with conservative update (Estan & Varghese, 2002)."""
+
+    def add(self, key: int, by: int = 1) -> None:
+        """Conservative update: raise only the minimal counters."""
+        self.hash_ops += self.depth
+        idx = [self._hash.index(key, i, self.width) for i in range(self.depth)]
+        target = min(self._rows[i][j] for i, j in enumerate(idx)) + by
+        for i, j in enumerate(idx):
+            if self._rows[i][j] < target:
+                self._rows[i][j] = target
+
+    def estimate(self, key: int) -> int:
+        """Min-of-rows estimate (same query as Count-Min)."""
+        return super().estimate(key)
+
+
+class CMPersistenceSketch:
+    """The paper's "CM" persistence baseline: window Bloom + Count-Min.
+
+    Memory split 50/50 between the Bloom filter (dedup) and the CM counters,
+    per Section V-A.4.  The Bloom filter is cleared at every window
+    boundary; CM counters accumulate one increment per (item, window) pair
+    that the Bloom filter admits.
+    """
+
+    name = "CM"
+
+    def __init__(self, memory_bytes: int, depth: int = 3, seed: int = 42):
+        if memory_bytes < 2:
+            raise ConfigError("CMPersistenceSketch needs >= 2 bytes")
+        bloom_bytes, cm_bytes = split_budget(memory_bytes, 1, 1)
+        self.bloom = BloomFilter(bloom_bytes, n_hashes=3, seed=seed ^ 0xB100)
+        self.cm = CountMinSketch(cm_bytes, depth=depth, seed=seed ^ 0xC300)
+        self.window = 0
+        self.inserts = 0
+
+    def insert(self, item: ItemKey) -> None:
+        """Record one occurrence (Bloom-deduplicated per window)."""
+        self.inserts += 1
+        key = canonical_key(item)
+        if not self.bloom.add(key):
+            self.cm.add(key)
+
+    def end_window(self) -> None:
+        """Clear the dedup Bloom filter and open the next window."""
+        self.bloom.clear()
+        self.window += 1
+
+    def query(self, item: ItemKey) -> int:
+        """Estimated persistence of ``item`` (CM min-of-rows)."""
+        return self.cm.estimate(canonical_key(item))
+
+    @property
+    def hash_ops(self) -> int:
+        """Hash computations performed so far."""
+        return self.bloom.hash_ops + self.cm.hash_ops
+
+    @property
+    def memory_bytes(self) -> int:
+        """Modeled memory footprint in bytes."""
+        return (self.bloom.modeled_bits + self.cm.modeled_bits + 7) // 8

@@ -1,0 +1,73 @@
+"""Exact (dictionary-based) persistence tracker.
+
+The memory-unbounded reference implementation of both paper tasks.  Useful
+as a drop-in oracle in tests and pipelines (it satisfies the same protocols
+as every sketch), and as the "infinite memory" end point of accuracy-vs-
+memory studies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..common.hashing import ItemKey, canonical_key
+
+
+class ExactTracker:
+    """Per-item exact persistence via a hash map (unbounded memory).
+
+    >>> t = ExactTracker()
+    >>> for _ in range(3):
+    ...     t.insert("x")
+    ...     t.insert("x")
+    ...     t.end_window()
+    >>> t.query("x")
+    3
+    """
+
+    name = "EXACT"
+
+    def __init__(self) -> None:
+        self._persistence: Dict[int, int] = {}
+        self._last_window: Dict[int, int] = {}
+        self.window = 0
+        self.inserts = 0
+
+    def insert(self, item: ItemKey) -> None:
+        """Record one occurrence (deduplicated per window)."""
+        self.inserts += 1
+        key = canonical_key(item)
+        if self._last_window.get(key) != self.window:
+            self._last_window[key] = self.window
+            self._persistence[key] = self._persistence.get(key, 0) + 1
+
+    def end_window(self) -> None:
+        """Advance the window counter (per-item dedup keys off it)."""
+        self.window += 1
+
+    def query(self, item: ItemKey) -> int:
+        """Exact persistence of ``item``."""
+        return self._persistence.get(canonical_key(item), 0)
+
+    def report(self, threshold: int) -> Dict[int, int]:
+        """All items with persistence >= ``threshold`` (exact)."""
+        return {
+            key: p
+            for key, p in self._persistence.items()
+            if p >= threshold
+        }
+
+    def items(self) -> Dict[int, int]:
+        """The full persistence table (a copy)."""
+        return dict(self._persistence)
+
+    @property
+    def n_tracked(self) -> int:
+        """Number of distinct items seen so far."""
+        return len(self._persistence)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Actual (unbounded) footprint: ~2 dict entries per item."""
+        # modeled: key (8B) + two ints (8B each) per item, twice
+        return self.n_tracked * 48

@@ -1,0 +1,211 @@
+"""On-Off Sketch (Zhang et al., VLDB 2020) — the paper's main competitor.
+
+Two versions, per the original paper and Section II-B here:
+
+* :class:`OnOffSketchV1` (persistence estimation) — a CM-like matrix where
+  every counter carries a one-bit on/off flag.  A counter is incremented at
+  most once per window (flag turns off on update, all flags reset at the
+  boundary), which removes PIE's within-window overcounting.  Query = min.
+  Guarantees ``p <= p_hat`` (one-sided error).
+
+* :class:`OnOffSketchV2` (finding persistent items) — an array of buckets of
+  ``<ID, flag, counter>`` cells plus one global ``<flag, counter>`` cell per
+  bucket.  Items found in a cell update it under the flag discipline; new
+  items take an empty cell; otherwise the global cell is incremented and,
+  when it exceeds the bucket's minimum cell counter, the minimum cell's ID
+  is evicted and the two counters are swapped.
+
+The paper's evaluation gives On-Off a "three-layer structure", i.e. ``d=3``
+rows for v1; we default to that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..common.bitmem import ID_BITS, FlagArray, cells_for_budget
+from ..common.errors import ConfigError
+from ..common.hashing import HashFamily, ItemKey, canonical_key
+
+#: On-Off sizes every counter for a potential hot item (the paper's critique).
+OO_COUNTER_BITS = 32
+
+
+class OnOffSketchV1:
+    """On-Off Sketch version 1: persistence estimation."""
+
+    name = "OO"
+
+    def __init__(self, memory_bytes: int, depth: int = 3, seed: int = 42):
+        if depth < 1:
+            raise ConfigError("OnOffSketchV1 depth must be >= 1")
+        cells = cells_for_budget(memory_bytes, OO_COUNTER_BITS + 1)
+        self.depth = depth
+        self.width = max(1, cells // depth)
+        self._hash = HashFamily(depth, seed)
+        self._rows: List[List[int]] = [[0] * self.width for _ in range(depth)]
+        self._flags: List[FlagArray] = [
+            FlagArray(self.width) for _ in range(depth)
+        ]
+        self.window = 0
+        self.inserts = 0
+        self.hash_ops = 0
+
+    def insert(self, item: ItemKey) -> None:
+        """Increment every mapped counter that is still 'on' this window."""
+        self.inserts += 1
+        self.hash_ops += self.depth
+        key = canonical_key(item)
+        for i in range(self.depth):
+            j = self._hash.index(key, i, self.width)
+            if self._flags[i].is_on(j):
+                self._rows[i][j] += 1
+                self._flags[i].turn_off(j)
+
+    def end_window(self) -> None:
+        """Close the current window and open the next one."""
+        for flags in self._flags:
+            flags.reset()
+        self.window += 1
+
+    def query(self, item: ItemKey) -> int:
+        """Estimated persistence of ``item``."""
+        self.hash_ops += self.depth
+        key = canonical_key(item)
+        return min(
+            self._rows[i][self._hash.index(key, i, self.width)]
+            for i in range(self.depth)
+        )
+
+    @property
+    def memory_bytes(self) -> int:
+        """Modeled memory footprint in bytes."""
+        bits = self.depth * self.width * (OO_COUNTER_BITS + 1)
+        return (bits + 7) // 8
+
+
+class _Cell:
+    __slots__ = ("key", "counter", "off_epoch")
+
+    def __init__(self) -> None:
+        self.key: Optional[int] = None
+        self.counter = 0
+        self.off_epoch = 0
+
+
+class _GlobalCell:
+    __slots__ = ("counter", "off_epoch")
+
+    def __init__(self) -> None:
+        self.counter = 0
+        self.off_epoch = 0
+
+
+class OnOffSketchV2:
+    """On-Off Sketch version 2: finding persistent items.
+
+    Bucket layout per the original: ``cells_per_bucket`` ID cells plus one
+    global cell.  Memory model: cell = ID + counter + flag bits, global
+    cell = counter + flag bits.
+    """
+
+    name = "OO"
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        cells_per_bucket: int = 4,
+        seed: int = 42,
+    ):
+        if cells_per_bucket < 1:
+            raise ConfigError("OnOffSketchV2 buckets need >= 1 cell")
+        cell_bits = ID_BITS + OO_COUNTER_BITS + 1
+        global_bits = OO_COUNTER_BITS + 1
+        bucket_bits = cells_per_bucket * cell_bits + global_bits
+        self.n_buckets = max(1, (memory_bytes * 8) // bucket_bits)
+        self.cells_per_bucket = cells_per_bucket
+        self._hash = HashFamily(1, seed)
+        self._buckets: List[List[_Cell]] = [
+            [_Cell() for _ in range(cells_per_bucket)]
+            for _ in range(self.n_buckets)
+        ]
+        self._globals: List[_GlobalCell] = [
+            _GlobalCell() for _ in range(self.n_buckets)
+        ]
+        self._epoch = 1
+        self.window = 0
+        self.inserts = 0
+        self.hash_ops = 0
+        self.swaps = 0
+
+    def insert(self, item: ItemKey) -> None:
+        """Record one occurrence of ``item`` in the current window."""
+        self.inserts += 1
+        self.hash_ops += 1
+        key = canonical_key(item)
+        b = self._hash.index(key, 0, self.n_buckets)
+        bucket = self._buckets[b]
+        empty: Optional[_Cell] = None
+        minimum: Optional[_Cell] = None
+        for cell in bucket:
+            if cell.key == key:
+                if cell.off_epoch != self._epoch:  # flag on
+                    cell.counter += 1
+                    cell.off_epoch = self._epoch
+                return
+            if cell.key is None:
+                if empty is None:
+                    empty = cell
+            elif minimum is None or cell.counter < minimum.counter:
+                minimum = cell
+        if empty is not None:
+            empty.key = key
+            empty.counter = 1
+            empty.off_epoch = self._epoch
+            return
+        # Bucket full: update the global cell under the flag discipline,
+        # then swap in if it overtakes the minimum cell.
+        g = self._globals[b]
+        if g.off_epoch != self._epoch:
+            g.counter += 1
+            g.off_epoch = self._epoch
+        assert minimum is not None
+        if g.counter > minimum.counter:
+            self.swaps += 1
+            minimum.key = key
+            minimum.counter, g.counter = g.counter, minimum.counter
+            minimum.off_epoch = self._epoch
+
+    def end_window(self) -> None:
+        """Close the current window and open the next one."""
+        self._epoch += 1
+        self.window += 1
+
+    def query(self, item: ItemKey) -> int:
+        """Estimated persistence of ``item``."""
+        self.hash_ops += 1
+        key = canonical_key(item)
+        bucket = self._buckets[self._hash.index(key, 0, self.n_buckets)]
+        for cell in bucket:
+            if cell.key == key:
+                return cell.counter
+        return 0
+
+    def report(self, threshold: int) -> Dict[int, int]:
+        """All stored items with counter >= ``threshold``."""
+        out: Dict[int, int] = {}
+        for bucket in self._buckets:
+            for cell in bucket:
+                if cell.key is not None and cell.counter >= threshold:
+                    out[cell.key] = cell.counter
+        return out
+
+    @property
+    def memory_bytes(self) -> int:
+        """Modeled memory footprint in bytes."""
+        cell_bits = ID_BITS + OO_COUNTER_BITS + 1
+        global_bits = OO_COUNTER_BITS + 1
+        bits = self.n_buckets * (
+            self.cells_per_bucket * cell_bits + global_bits
+        )
+        return (bits + 7) // 8

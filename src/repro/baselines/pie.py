@@ -1,0 +1,72 @@
+"""PIE — the strawman persistence sketch (paper Section II-B, figure 1).
+
+Dai et al.'s structure as the paper describes it: a per-window Bloom filter
+in front of a Count-Min sketch.  An arriving item whose Bloom bits are not
+all set is new this window: the bits are set and the CM counters
+incremented.  Items already "seen" this window are skipped.
+
+Limitations reproduced faithfully (they are the paper's motivation):
+
+* Bloom false positives suppress legitimate first occurrences ->
+  *underestimation*;
+* CM hash collisions merge different items' windows -> *overestimation*.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import ConfigError
+from ..common.bitmem import split_budget
+from ..common.hashing import ItemKey, canonical_key
+from .bloom import BloomFilter
+from .cm_sketch import CountMinSketch
+
+
+class PIESketch:
+    """Bloom-gated Count-Min persistence estimator."""
+
+    name = "PIE"
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        d1: int = 3,
+        d2: int = 3,
+        bloom_fraction: float = 0.5,
+        seed: int = 42,
+    ):
+        if not 0 < bloom_fraction < 1:
+            raise ConfigError("bloom_fraction must be in (0, 1)")
+        bloom_bytes, cm_bytes = split_budget(
+            memory_bytes, bloom_fraction, 1 - bloom_fraction
+        )
+        self.bloom = BloomFilter(bloom_bytes, n_hashes=d1, seed=seed ^ 0x91E1)
+        self.cm = CountMinSketch(cm_bytes, depth=d2, seed=seed ^ 0x91E2)
+        self.window = 0
+        self.inserts = 0
+
+    def insert(self, item: ItemKey) -> None:
+        """Record one occurrence of ``item`` in the current window."""
+        key = canonical_key(item)
+        self.inserts += 1
+        already_seen = self.bloom.add(key)
+        if not already_seen:
+            self.cm.add(key)
+
+    def end_window(self) -> None:
+        """Close the current window and open the next one."""
+        self.bloom.clear()
+        self.window += 1
+
+    def query(self, item: ItemKey) -> int:
+        """Estimated persistence of ``item``."""
+        return self.cm.estimate(canonical_key(item))
+
+    @property
+    def hash_ops(self) -> int:
+        """Hash computations performed so far."""
+        return self.bloom.hash_ops + self.cm.hash_ops
+
+    @property
+    def memory_bytes(self) -> int:
+        """Modeled memory footprint in bytes."""
+        return (self.bloom.modeled_bits + self.cm.modeled_bits + 7) // 8

@@ -1,0 +1,177 @@
+"""WavingSketch (Li et al., KDD 2020), adapted to persistence.
+
+WavingSketch is an unbiased top-k frequency sketch: each bucket holds a
+signed *waving counter* and a small heavy part of ``<key, freq, error-free
+flag>`` cells.  Incoming items missing from the heavy part push their ±1
+sign into the waving counter; when the unbiased estimate ``B * s(e)``
+overtakes the smallest heavy cell, the item is swapped in (flagged
+error-prone) and the evicted error-free item's count is folded back into the
+waving counter.
+
+Per the paper's evaluation setup, the persistence adaptation
+(:class:`WavingPersistenceSketch`) spends half of the memory on a per-window
+Bloom filter so each (item, window) pair reaches the WavingSketch once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..common.bitmem import ID_BITS, cells_for_budget, split_budget
+from ..common.errors import ConfigError
+from ..common.hashing import HashFamily, ItemKey, canonical_key
+from .bloom import BloomFilter
+
+_COUNTER_BITS = 32
+
+
+class _HeavyCell:
+    __slots__ = ("key", "freq", "error_free")
+
+    def __init__(self) -> None:
+        self.key: Optional[int] = None
+        self.freq = 0
+        self.error_free = True
+
+
+class WavingSketch:
+    """Core WavingSketch over canonical integer keys (frequency semantics)."""
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        cells_per_bucket: int = 4,
+        seed: int = 42,
+    ):
+        if cells_per_bucket < 1:
+            raise ConfigError("WavingSketch buckets need >= 1 heavy cell")
+        # bucket = waving counter + cells of (ID + freq + 1 flag bit)
+        cell_bits = ID_BITS + _COUNTER_BITS + 1
+        bucket_bits = _COUNTER_BITS + cells_per_bucket * cell_bits
+        self.n_buckets = max(1, (memory_bytes * 8) // bucket_bits)
+        self.cells_per_bucket = cells_per_bucket
+        self._bucket_hash = HashFamily(1, seed ^ 0x3A7E)
+        self._sign_hash = HashFamily(1, seed ^ 0x51C4)
+        self._waving: List[int] = [0] * self.n_buckets
+        self._cells: List[List[_HeavyCell]] = [
+            [_HeavyCell() for _ in range(cells_per_bucket)]
+            for _ in range(self.n_buckets)
+        ]
+        self.hash_ops = 0
+        self.swaps = 0
+
+    def add(self, key: int) -> None:
+        """Insert one occurrence of ``key``."""
+        self.hash_ops += 2  # bucket hash + sign hash
+        b = self._bucket_hash.index(key, 0, self.n_buckets)
+        cells = self._cells[b]
+        empty: Optional[_HeavyCell] = None
+        minimum: Optional[_HeavyCell] = None
+        for cell in cells:
+            if cell.key == key:
+                cell.freq += 1
+                return
+            if cell.key is None:
+                if empty is None:
+                    empty = cell
+            elif minimum is None or cell.freq < minimum.freq:
+                minimum = cell
+        if empty is not None:
+            empty.key = key
+            empty.freq = 1
+            empty.error_free = True
+            return
+        sign = self._sign_hash.sign(key)
+        self._waving[b] += sign
+        estimate = self._waving[b] * sign
+        assert minimum is not None
+        if estimate > minimum.freq:
+            self.swaps += 1
+            evicted_key, evicted_freq = minimum.key, minimum.freq
+            evicted_error_free = minimum.error_free
+            minimum.key = key
+            minimum.freq = estimate
+            minimum.error_free = False
+            if evicted_error_free and evicted_key is not None:
+                self._waving[b] += evicted_freq * self._sign_hash.sign(
+                    evicted_key
+                )
+
+    def estimate(self, key: int) -> int:
+        """Estimated count of ``key``."""
+        self.hash_ops += 1
+        b = self._bucket_hash.index(key, 0, self.n_buckets)
+        for cell in self._cells[b]:
+            if cell.key == key:
+                return cell.freq
+        self.hash_ops += 1
+        return max(0, self._waving[b] * self._sign_hash.sign(key))
+
+    def heavy_items(self) -> Dict[int, int]:
+        """All resident heavy-part ``key -> frequency`` pairs."""
+        out: Dict[int, int] = {}
+        for cells in self._cells:
+            for cell in cells:
+                if cell.key is not None:
+                    out[cell.key] = cell.freq
+        return out
+
+    @property
+    def modeled_bits(self) -> int:
+        """Modeled memory footprint in bits."""
+        cell_bits = ID_BITS + _COUNTER_BITS + 1
+        return self.n_buckets * (
+            _COUNTER_BITS + self.cells_per_bucket * cell_bits
+        )
+
+
+class WavingPersistenceSketch:
+    """The paper's "WS" line: window-Bloom dedup in front of WavingSketch."""
+
+    name = "WS"
+
+    def __init__(
+        self,
+        memory_bytes: int,
+        cells_per_bucket: int = 4,
+        seed: int = 42,
+    ):
+        bloom_bytes, ws_bytes = split_budget(memory_bytes, 1, 1)
+        self.bloom = BloomFilter(bloom_bytes, n_hashes=3, seed=seed ^ 0x3AB1)
+        self.ws = WavingSketch(ws_bytes, cells_per_bucket, seed=seed)
+        self.window = 0
+        self.inserts = 0
+
+    def insert(self, item: ItemKey) -> None:
+        """Record one occurrence of ``item`` in the current window."""
+        self.inserts += 1
+        key = canonical_key(item)
+        if not self.bloom.add(key):
+            self.ws.add(key)
+
+    def end_window(self) -> None:
+        """Close the current window and open the next one."""
+        self.bloom.clear()
+        self.window += 1
+
+    def query(self, item: ItemKey) -> int:
+        """Estimated persistence of ``item``."""
+        return self.ws.estimate(canonical_key(item))
+
+    def report(self, threshold: int) -> Dict[int, int]:
+        """Stored items with estimate >= ``threshold``."""
+        return {
+            key: per
+            for key, per in self.ws.heavy_items().items()
+            if per >= threshold
+        }
+
+    @property
+    def hash_ops(self) -> int:
+        """Hash computations performed so far."""
+        return self.bloom.hash_ops + self.ws.hash_ops
+
+    @property
+    def memory_bytes(self) -> int:
+        """Modeled memory footprint in bytes."""
+        return (self.bloom.modeled_bits + self.ws.modeled_bits + 7) // 8

@@ -1,0 +1,254 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list-experiments`` — show every registered paper artifact.
+* ``run-experiment ID`` — regenerate one figure and print its tables
+  (optionally as ASCII charts with ``--plot``).
+* ``generate-trace`` — write a synthetic workload to CSV/NPZ.
+* ``estimate`` — stream a saved trace through an algorithm and report
+  accuracy against the exact oracle.
+* ``find`` — report persistent items from a saved trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.ascii_plot import plot_figure
+from .analysis.metrics import aae, are, classify, estimate_all
+from .experiments.harness import (
+    ESTIMATION_ALGORITHMS,
+    FINDING_ALGORITHMS,
+    run_algorithm,
+)
+from .experiments.registry import EXPERIMENTS, run_experiment
+from .streams.io import (
+    load_trace_csv,
+    load_trace_npz,
+    save_trace_csv,
+    save_trace_npz,
+)
+from .streams.oracle import exact_persistence, persistent_items
+from .streams.synthetic import zipf_trace
+from .streams.traces import (
+    big_caida_like,
+    caida_like,
+    campus_like,
+    mawi_like,
+    polygraph_like,
+)
+
+_TRACE_BUILDERS = {
+    "zipf": None,  # handled specially (takes skew/records)
+    "caida": caida_like,
+    "big-caida": big_caida_like,
+    "mawi": mawi_like,
+    "campus": campus_like,
+}
+
+
+def _load_trace(path: str):
+    if path.endswith(".npz"):
+        return load_trace_npz(path)
+    return load_trace_csv(path)
+
+
+def _save_trace(trace, path: str) -> None:
+    if path.endswith(".npz"):
+        save_trace_npz(trace, path)
+    else:
+        save_trace_csv(trace, path)
+
+
+def _cmd_list_experiments(_args) -> int:
+    width = max(len(e) for e in EXPERIMENTS)
+    for exp_id in sorted(EXPERIMENTS):
+        exp = EXPERIMENTS[exp_id]
+        print(f"{exp_id:<{width}}  {exp.paper_artifact:<24} "
+              f"{exp.description}")
+    return 0
+
+
+def _cmd_run_experiment(args) -> int:
+    try:
+        figures = run_experiment(args.experiment_id, scale=args.scale)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    for figure in figures:
+        print(figure.to_table())
+        if args.plot:
+            print(plot_figure(figure))
+        print()
+    return 0
+
+
+def _cmd_generate_trace(args) -> int:
+    if args.kind == "zipf":
+        trace = zipf_trace(
+            n_records=args.records,
+            n_windows=args.windows,
+            skew=args.skew,
+            seed=args.seed,
+            n_stealthy=args.stealthy,
+        )
+    elif args.kind in _TRACE_BUILDERS:
+        builder = _TRACE_BUILDERS[args.kind]
+        trace = builder(scale=args.scale, n_windows=args.windows,
+                        seed=args.seed)
+    else:  # one of the polygraph presets like "polygraph-1.5"
+        skew = float(args.kind.split("-", 1)[1])
+        trace = polygraph_like(skew, scale=args.scale,
+                               n_windows=args.windows, seed=args.seed)
+    _save_trace(trace, args.output)
+    print(f"wrote {trace.n_records} records "
+          f"({trace.n_distinct} distinct, {trace.n_windows} windows) "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    trace = _load_trace(args.trace)
+    result = run_algorithm(
+        args.algorithm, trace, int(args.memory_kb * 1024),
+        task="estimation", seed=args.seed,
+    )
+    truth = exact_persistence(trace)
+    estimates = estimate_all(result.sketch.query, truth)
+    print(f"algorithm {args.algorithm} @ {args.memory_kb}KB on "
+          f"{trace.name}:")
+    print(f"  AAE {aae(truth, estimates):.4f}   "
+          f"ARE {are(truth, estimates):.4f}")
+    print(f"  insert {result.insert.mops:.2f} Mops, "
+          f"{result.insert.hash_ops_per_operation:.2f} hash ops/insert")
+    return 0
+
+
+def _cmd_find(args) -> int:
+    trace = _load_trace(args.trace)
+    result = run_algorithm(
+        args.algorithm, trace, int(args.memory_kb * 1024),
+        task="finding", seed=args.seed,
+    )
+    threshold = max(1, int(args.alpha * trace.n_windows))
+    reported = result.sketch.report(threshold)
+    truth = exact_persistence(trace)
+    actual = persistent_items(truth, threshold)
+    score = classify(set(reported), actual, len(truth))
+    print(f"{args.algorithm} @ {args.memory_kb}KB, "
+          f"alpha={args.alpha} (threshold {threshold}):")
+    print(f"  reported {len(reported)} items; truly persistent "
+          f"{len(actual)}")
+    print(f"  F1 {score.f1:.3f}  FNR {score.fnr:.4f}  "
+          f"FPR {score.fpr:.5f}")
+    if args.show:
+        for key, per in sorted(reported.items(), key=lambda kv: -kv[1]):
+            marker = "*" if key in actual else " "
+            print(f"  {marker} {key:>20}  estimate {per}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    trace = _load_trace(args.trace)
+    truth = exact_persistence(trace)
+    keys = list(truth)
+    from .analysis.comparison import compare as compare_figures
+    from .experiments.report import FigureResult
+
+    series = {}
+    for name in args.algorithms:
+        result = run_algorithm(
+            name, trace, int(args.memory_kb * 1024),
+            task="estimation", seed=args.seed,
+        )
+        estimates = estimate_all(result.sketch.query, keys)
+        series[name] = [aae(truth, estimates), are(truth, estimates)]
+    figure = FigureResult(
+        figure_id="compare",
+        title=f"Estimation accuracy on {trace.name} "
+              f"@ {args.memory_kb:g}KB",
+        x_label="metric",
+        x_values=["AAE", "ARE"],
+        series=series,
+    )
+    print(figure.to_table())
+    if len(series) > 1 and args.algorithms[0] in series:
+        verdict = compare_figures(figure, subject=args.algorithms[0])
+        print()
+        print(verdict.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hypersistent Sketch reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser(
+        "list-experiments", help="list reproducible paper artifacts"
+    ).set_defaults(func=_cmd_list_experiments)
+
+    p = sub.add_parser("run-experiment", help="regenerate one paper figure")
+    p.add_argument("experiment_id")
+    p.add_argument("--scale", type=float, default=None,
+                   help="trace scale (default: REPRO_BENCH_SCALE or 0.01)")
+    p.add_argument("--plot", action="store_true",
+                   help="also render ASCII charts")
+    p.set_defaults(func=_cmd_run_experiment)
+
+    p = sub.add_parser("generate-trace", help="write a synthetic workload")
+    p.add_argument("kind", help="zipf | caida | big-caida | mawi | campus "
+                   "| polygraph-<skew>")
+    p.add_argument("output", help=".csv or .npz path")
+    p.add_argument("--records", type=int, default=100_000)
+    p.add_argument("--windows", type=int, default=1500)
+    p.add_argument("--skew", type=float, default=1.5)
+    p.add_argument("--scale", type=float, default=0.01)
+    p.add_argument("--stealthy", type=int, default=0)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_generate_trace)
+
+    p = sub.add_parser("estimate", help="persistence estimation accuracy")
+    p.add_argument("trace", help="trace file (.csv or .npz)")
+    p.add_argument("--algorithm", choices=ESTIMATION_ALGORITHMS,
+                   default="HS")
+    p.add_argument("--memory-kb", type=float, default=64)
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=_cmd_estimate)
+
+    p = sub.add_parser(
+        "compare", help="compare algorithms' estimation accuracy"
+    )
+    p.add_argument("trace", help="trace file (.csv or .npz)")
+    p.add_argument("--algorithms", nargs="+",
+                   choices=ESTIMATION_ALGORITHMS,
+                   default=["HS", "OO", "CM"])
+    p.add_argument("--memory-kb", type=float, default=16)
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("find", help="report persistent items")
+    p.add_argument("trace", help="trace file (.csv or .npz)")
+    p.add_argument("--algorithm", choices=FINDING_ALGORITHMS, default="HS")
+    p.add_argument("--memory-kb", type=float, default=16)
+    p.add_argument("--alpha", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--show", action="store_true",
+                   help="list reported items (* = truly persistent)")
+    p.set_defaults(func=_cmd_find)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Shared substrates: hashing, memory accounting, protocols, errors."""
+
+from .bitmem import (
+    KB,
+    FlagArray,
+    MemoryReport,
+    SaturatingCounterArray,
+    cells_for_budget,
+    counter_bits_for,
+    split_budget,
+)
+from .errors import BudgetError, ConfigError, ReproError, StreamError
+from .hashing import (
+    MASK64,
+    HashFamily,
+    ItemKey,
+    canonical_key,
+    derive_seed,
+    fingerprint,
+    mix,
+    splitmix64,
+)
+from .protocols import PersistenceEstimator, PersistentItemFinder
+
+__all__ = [
+    "KB",
+    "MASK64",
+    "BudgetError",
+    "ConfigError",
+    "FlagArray",
+    "HashFamily",
+    "ItemKey",
+    "MemoryReport",
+    "PersistenceEstimator",
+    "PersistentItemFinder",
+    "ReproError",
+    "SaturatingCounterArray",
+    "StreamError",
+    "canonical_key",
+    "cells_for_budget",
+    "counter_bits_for",
+    "derive_seed",
+    "fingerprint",
+    "mix",
+    "split_budget",
+    "splitmix64",
+]

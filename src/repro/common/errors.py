@@ -1,0 +1,19 @@
+"""Exception types raised by the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A sketch or experiment was configured with invalid parameters."""
+
+
+class BudgetError(ConfigError):
+    """A memory budget is too small to build the requested structure."""
+
+
+class StreamError(ReproError, ValueError):
+    """A trace or stream violates the data-stream model (e.g. bad window ids)."""

@@ -1,0 +1,120 @@
+"""Deterministic seeded hashing for sketches.
+
+The paper's C++ implementation uses BOBHash with a distinct random seed per
+hash function.  We reproduce the same *structure* — an indexed family of
+independent-looking hash functions over 64-bit keys — with a splitmix64-style
+finalizer, which passes standard avalanche tests and is fast in pure Python.
+
+All hashing in this package goes through :class:`HashFamily` so that results
+are reproducible across runs and platforms (Python's built-in ``hash`` is
+salted per process for str/bytes and is never used).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Union
+
+MASK64 = (1 << 64) - 1
+
+ItemKey = Union[int, str, bytes]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+# Golden-ratio increments used to derive per-function seeds from a base seed.
+_SEED_STEP = 0x9E3779B97F4A7C15
+
+
+def canonical_key(item: ItemKey) -> int:
+    """Map an item identifier to a canonical unsigned 64-bit integer.
+
+    Integers are masked to 64 bits; strings are UTF-8 encoded and byte
+    strings are hashed with FNV-1a.  The mapping is deterministic across
+    processes, unlike the built-in ``hash``.
+    """
+    if isinstance(item, int):
+        return item & MASK64
+    if isinstance(item, str):
+        item = item.encode("utf-8")
+    if isinstance(item, bytes):
+        value = _FNV_OFFSET
+        for byte in item:
+            value = ((value ^ byte) * _FNV_PRIME) & MASK64
+        return value
+    raise TypeError(f"unsupported item key type: {type(item).__name__}")
+
+
+def splitmix64(x: int) -> int:
+    """One round of the splitmix64 finalizer (full avalanche on 64 bits)."""
+    x = (x + _SEED_STEP) & MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & MASK64
+    return x ^ (x >> 31)
+
+
+def mix(key: int, seed: int) -> int:
+    """Hash a canonical 64-bit key under a 64-bit seed."""
+    return splitmix64((key ^ seed) & MASK64)
+
+
+class HashFamily:
+    """A family of ``count`` independent seeded hash functions.
+
+    Mirrors the paper's "BOBHash with distinct random seeds per function".
+
+    >>> fam = HashFamily(count=2, seed=7)
+    >>> idx = fam.indexes(12345, width=100)
+    >>> len(idx), all(0 <= i < 100 for i in idx)
+    (2, True)
+    """
+
+    __slots__ = ("count", "seeds")
+
+    def __init__(self, count: int, seed: int):
+        if count < 1:
+            raise ValueError("hash family needs at least one function")
+        self.count = count
+        self.seeds: List[int] = [
+            splitmix64((seed + i * _SEED_STEP) & MASK64) for i in range(count)
+        ]
+
+    def hash(self, key: int, i: int) -> int:
+        """Full 64-bit hash of ``key`` under the ``i``-th function."""
+        return mix(key, self.seeds[i])
+
+    def index(self, key: int, i: int, width: int) -> int:
+        """Bucket index of ``key`` under function ``i`` in ``[0, width)``."""
+        return mix(key, self.seeds[i]) % width
+
+    def indexes(self, key: int, width: int) -> List[int]:
+        """Bucket indexes of ``key`` under every function in the family."""
+        return [mix(key, s) % width for s in self.seeds]
+
+    def sign(self, key: int, i: int = 0) -> int:
+        """A +1/-1 hash (used by WavingSketch)."""
+        return 1 if mix(key, self.seeds[i]) & 1 else -1
+
+
+def derive_seed(base: int, *salts: int) -> int:
+    """Derive a child seed from a base seed and integer salts.
+
+    Used to give each sketch component (and each time window, where the
+    paper reseeds per window) an independent stream of randomness.
+    """
+    value = base & MASK64
+    for salt in salts:
+        value = splitmix64((value ^ (salt & MASK64)) & MASK64)
+    return value
+
+
+def fingerprint(item: ItemKey, bits: int = 32, seed: int = 0x5EED) -> int:
+    """A short fingerprint of an item, e.g. the 4-byte IDs used in the paper."""
+    if not 1 <= bits <= 64:
+        raise ValueError("fingerprint bits must be in [1, 64]")
+    return mix(canonical_key(item), seed) & ((1 << bits) - 1)
+
+
+def iter_canonical(items: Iterable[ItemKey]) -> Iterable[int]:
+    """Canonicalize a stream of item identifiers."""
+    for item in items:
+        yield canonical_key(item)

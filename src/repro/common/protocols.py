@@ -1,0 +1,50 @@
+"""Interfaces shared by every sketch in the package.
+
+Two capabilities appear in the paper's evaluation:
+
+* **persistence estimation** (figures 11-14) — :class:`PersistenceEstimator`;
+* **finding persistent items** (figures 15-18) — :class:`PersistentItemFinder`,
+  which additionally reports all items whose estimated persistence crosses a
+  threshold (this requires storing IDs).
+
+All sketches are *windowed*: the caller feeds items and announces window
+boundaries with :meth:`end_window`.  The experiment harness
+(:mod:`repro.experiments.harness`) is the single place that drives this loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol, runtime_checkable
+
+from .hashing import ItemKey
+
+
+@runtime_checkable
+class PersistenceEstimator(Protocol):
+    """One-pass windowed sketch that can estimate per-item persistence."""
+
+    def insert(self, item: ItemKey) -> None:
+        """Record one occurrence of ``item`` in the current window."""
+
+    def end_window(self) -> None:
+        """Close the current window and open the next one."""
+
+    def query(self, item: ItemKey) -> int:
+        """Estimated persistence of ``item`` (windows it appeared in)."""
+
+    @property
+    def memory_bytes(self) -> int:
+        """Modeled memory footprint of the data structure, in bytes."""
+
+
+@runtime_checkable
+class PersistentItemFinder(PersistenceEstimator, Protocol):
+    """A sketch that can enumerate items whose persistence crosses a bound."""
+
+    def report(self, threshold: int) -> Dict[int, int]:
+        """All stored items with estimated persistence >= ``threshold``.
+
+        Returns a mapping from canonical item key to estimated persistence.
+        Only items whose IDs the sketch retained can be reported, which is
+        exactly the paper's setting (On-Off v2, Hot Part, etc. store IDs).
+        """

@@ -1,0 +1,205 @@
+"""Stage 2 — the Cold Filter (paper Section III-C, Algorithm 2).
+
+Two layers of small saturating counters with per-cell on/off flags:
+
+* **L1** — ``d1`` rows, counters wide enough for ``delta1`` (4 bits for the
+  default 15).  Holds the vast majority of (cold) items.
+* **L2** — ``d2`` rows, counters wide enough for ``delta2`` (7 bits for the
+  default 100).  Holds the mid-persistence band.
+
+Updates are CU-style: among the hashed cells, only those equal to the row
+minimum *and* still flagged "on" this window are incremented (then flagged
+"off").  An item whose L1 minimum has reached ``delta1`` is escalated to L2;
+when the L2 minimum reaches ``delta2`` the insert reports *overflow* and the
+caller promotes the item to the Hot Part.
+
+The staged query (Algorithm 5) is exposed via :meth:`query`: it returns the
+partial estimate plus whether the Hot Part must be consulted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..common.bitmem import FlagArray, SaturatingCounterArray, counter_bits_for
+from ..common.errors import ConfigError
+from ..common.hashing import HashFamily
+
+
+class _ColdLayer:
+    """One CU-updated counter layer with on/off flags."""
+
+    __slots__ = ("rows", "width", "threshold", "_hash", "_counters", "_flags")
+
+    def __init__(self, rows: int, width: int, threshold: int, seed: int):
+        if rows < 1 or width < 1:
+            raise ConfigError("cold layer needs rows >= 1 and width >= 1")
+        if threshold < 1:
+            raise ConfigError("cold layer threshold must be >= 1")
+        self.rows = rows
+        self.width = width
+        self.threshold = threshold
+        self._hash = HashFamily(rows, seed)
+        bits = counter_bits_for(threshold)
+        self._counters: List[SaturatingCounterArray] = [
+            SaturatingCounterArray(width, bits) for _ in range(rows)
+        ]
+        self._flags: List[FlagArray] = [FlagArray(width) for _ in range(rows)]
+
+    def minimum(self, key: int) -> int:
+        """Row-minimum counter value for ``key`` (the layer's estimate)."""
+        return min(
+            self._counters[i][self._hash.index(key, i, self.width)]
+            for i in range(self.rows)
+        )
+
+    def try_insert(self, key: int) -> bool:
+        """Algorithm 2's per-layer step.
+
+        Returns ``True`` if the layer accepted the occurrence (its minimum
+        was below the threshold — including the no-op case where the minimal
+        cells were already updated this window) and ``False`` if the item
+        has outgrown this layer.
+        """
+        idx = [self._hash.index(key, i, self.width) for i in range(self.rows)]
+        vmin = min(self._counters[i][j] for i, j in enumerate(idx))
+        if vmin >= self.threshold:
+            return False
+        for i, j in enumerate(idx):
+            if self._counters[i][j] == vmin and self._flags[i].is_on(j):
+                self._counters[i].increment(j)
+                self._flags[i].turn_off(j)
+        return True
+
+    def end_window(self) -> None:
+        """Close the current window and open the next one."""
+        for flags in self._flags:
+            flags.reset()
+
+    def clear(self) -> None:
+        """Reset all state (keeps sizing)."""
+        for counters in self._counters:
+            counters.clear()
+        for flags in self._flags:
+            flags.reset()
+
+    @property
+    def modeled_bits(self) -> int:
+        """Modeled memory footprint in bits."""
+        counter_bits = sum(c.modeled_bits for c in self._counters)
+        flag_bits = sum(f.modeled_bits for f in self._flags)
+        return counter_bits + flag_bits
+
+    def saturated_fraction(self) -> float:
+        """Fraction of cells at the threshold (diagnostic for sizing)."""
+        total = self.rows * self.width
+        full = sum(
+            1
+            for counters in self._counters
+            for i in range(self.width)
+            if counters[i] >= self.threshold
+        )
+        return full / total
+
+
+class ColdFilter:
+    """The two-layer Cold Filter with staged insert/query.
+
+    ``hash_ops`` counts hash computations (``d1`` per L1 access plus ``d2``
+    per L2 access), matching the cost model of Section III-D.
+    """
+
+    __slots__ = ("l1", "l2", "hash_ops", "l1_hits", "l2_hits", "overflows")
+
+    def __init__(
+        self,
+        l1_width: int,
+        l2_width: int,
+        delta1: int = 15,
+        delta2: int = 100,
+        d1: int = 2,
+        d2: int = 2,
+        seed: int = 42,
+    ):
+        self.l1 = _ColdLayer(d1, l1_width, delta1, seed ^ 0xC01D_0001)
+        self.l2 = _ColdLayer(d2, l2_width, delta2, seed ^ 0xC01D_0002)
+        self.hash_ops = 0
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.overflows = 0
+
+    @property
+    def delta1(self) -> int:
+        """L1 escalation threshold."""
+        return self.l1.threshold
+
+    @property
+    def delta2(self) -> int:
+        """L2 overflow threshold."""
+        return self.l2.threshold
+
+    def insert(self, key: int) -> bool:
+        """Algorithm 2: returns ``False`` on overflow (item is hot)."""
+        self.hash_ops += self.l1.rows
+        if self.l1.try_insert(key):
+            self.l1_hits += 1
+            return True
+        self.hash_ops += self.l2.rows
+        if self.l2.try_insert(key):
+            self.l2_hits += 1
+            return True
+        self.overflows += 1
+        return False
+
+    def query(self, key: int) -> Tuple[int, bool]:
+        """Staged query: ``(partial_estimate, needs_hot_part)``.
+
+        * L1 minimum below ``delta1``          -> ``(v1, False)``
+        * else L2 minimum below ``delta2``     -> ``(delta1 + v2, False)``
+        * else (item escalated past both)      -> ``(delta1 + delta2, True)``
+        """
+        self.hash_ops += self.l1.rows
+        v1 = self.l1.minimum(key)
+        if v1 < self.delta1:
+            return v1, False
+        self.hash_ops += self.l2.rows
+        v2 = self.l2.minimum(key)
+        if v2 < self.delta2:
+            return self.delta1 + v2, False
+        return self.delta1 + self.delta2, True
+
+    def end_window(self) -> None:
+        """Close the current window and open the next one."""
+        self.l1.end_window()
+        self.l2.end_window()
+
+    def clear(self) -> None:
+        """Reset all state (keeps sizing)."""
+        self.l1.clear()
+        self.l2.clear()
+
+    @property
+    def modeled_bits(self) -> int:
+        """Modeled memory footprint in bits."""
+        return self.l1.modeled_bits + self.l2.modeled_bits
+
+    def reset_stats(self) -> None:
+        """Zero the instrumentation counters."""
+        self.hash_ops = 0
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.overflows = 0
+
+    def stage_distribution(self) -> Tuple[float, float, float]:
+        """Fractions of inserts resolved at (L1, L2, overflow->hot).
+
+        Reproduces the stage-hit statistics of figure 20(e)/(f).
+        """
+        total = self.l1_hits + self.l2_hits + self.overflows
+        if not total:
+            return 0.0, 0.0, 0.0
+        return (
+            self.l1_hits / total,
+            self.l2_hits / total,
+            self.overflows / total,
+        )

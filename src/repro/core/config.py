@@ -1,0 +1,228 @@
+"""Configuration and memory budgeting for the Hypersistent Sketch.
+
+Encodes the paper's published parameterization (Section V-A.4):
+
+* estimation task — 30% of memory to the Hot Part, Cold Filter split 17:3
+  between L1 and L2, Burst Filter sized from the window scale;
+* finding task — 40% to the Hot Part, Burst Filter fixed at 1 KB;
+* thresholds ``delta1 = 15`` (4-bit L1 counters) and ``delta2 = 100``
+  (7-bit L2 counters), two hash functions per Cold-Filter layer;
+* Hot Part / Burst Filter buckets of 4 entries, single hash function each.
+
+All counts are derived from a single ``memory_bytes`` budget through
+bit-exact sizing (see :mod:`repro.common.bitmem`), which is what makes the
+accuracy-versus-memory sweeps meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from ..common.bitmem import (
+    ID_BITS,
+    KB,
+    MemoryReport,
+    cells_for_budget,
+    counter_bits_for,
+    split_budget,
+)
+from ..common.errors import BudgetError, ConfigError
+
+#: Persistence counter width for Hot Part entries.  Persistence is bounded
+#: by the window count (= 65535 windows at 16 bits), so unlike On-Off's
+#: uniform 32-bit counters the Hot Part right-sizes its counters — the same
+#: memory-frugality argument the paper applies to the Cold Filter.
+HOT_COUNTER_BITS = 16
+
+#: Replacement policies for the Hot Part (Algorithm 1 line 14).
+REPLACE_HASH = "hash"      # deterministic H(e) % (per+1) == 0, as printed
+REPLACE_RANDOM = "random"  # seeded RNG with probability 1/(per+1)
+
+
+@dataclass(frozen=True)
+class HSConfig:
+    """Parameters of a :class:`~repro.core.hypersistent.HypersistentSketch`.
+
+    Only ``memory_bytes`` is required; the defaults reproduce the paper's
+    estimation-task setup.  Use :meth:`for_estimation` /
+    :meth:`for_finding` for the two published presets.
+    """
+
+    memory_bytes: int
+    hot_fraction: float = 0.30
+    cold_l1_weight: float = 17.0
+    cold_l2_weight: float = 3.0
+    burst_bytes: int = 1 * KB
+    delta1: int = 15
+    delta2: int = 100
+    d1: int = 2
+    d2: int = 2
+    burst_cells_per_bucket: int = 4
+    hot_entries_per_bucket: int = 4
+    replacement: str = REPLACE_HASH
+    seed: int = 42
+    meta: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes < 1:
+            raise ConfigError("memory_bytes must be >= 1")
+        if not 0 <= self.hot_fraction < 1:
+            raise ConfigError("hot_fraction must be in [0, 1)")
+        if self.cold_l1_weight <= 0 or self.cold_l2_weight <= 0:
+            raise ConfigError("cold layer weights must be positive")
+        if self.burst_bytes < 0:
+            raise ConfigError("burst_bytes must be >= 0")
+        if self.delta1 < 1 or self.delta2 < 1:
+            raise ConfigError("thresholds must be >= 1")
+        if self.d1 < 1 or self.d2 < 1:
+            raise ConfigError("each cold layer needs >= 1 hash function")
+        if self.burst_cells_per_bucket < 1:
+            raise ConfigError("burst buckets need >= 1 cell")
+        if self.hot_entries_per_bucket < 1:
+            raise ConfigError("hot buckets need >= 1 entry")
+        if self.replacement not in (REPLACE_HASH, REPLACE_RANDOM):
+            raise ConfigError(f"unknown replacement policy: {self.replacement}")
+        if self.burst_bytes >= self.memory_bytes:
+            raise BudgetError("burst filter cannot consume the whole budget")
+
+    # ------------------------------------------------------------------
+    # published presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_estimation(
+        cls,
+        memory_bytes: int,
+        n_windows: int = 3000,
+        seed: int = 42,
+        window_distinct_hint: float = None,
+    ) -> "HSConfig":
+        """Paper's persistence-estimation preset (Section V-A.4).
+
+        30% Hot Part, cold 17:3.  The Burst Filter must hold one window's
+        distinct arrivals to absorb within-window repeats; the paper sizes
+        it as ``window_count / 100`` KB for its traces, and when the caller
+        supplies the measured per-window distinct count
+        (``window_distinct_hint``, which the harness takes from the trace)
+        we size it as 1.5x that working set directly.  Either way it is
+        clamped to half the budget so the accuracy structures survive.
+        """
+        if window_distinct_hint is not None and window_distinct_hint > 0:
+            from .hot_part import HotPart  # noqa: F401 (doc cross-ref only)
+            burst = int(window_distinct_hint * 1.5 * 4)  # 4-byte IDs
+        else:
+            burst = int(max(1, n_windows / 100) * KB)
+        burst = max(16, min(burst, max(1, memory_bytes // 2)))
+        return cls(
+            memory_bytes=memory_bytes,
+            hot_fraction=0.30,
+            burst_bytes=burst,
+            seed=seed,
+            meta={"preset": "estimation", "n_windows": n_windows},
+        )
+
+    @classmethod
+    def for_finding(
+        cls, memory_bytes: int, n_windows: int = 1500, seed: int = 42
+    ) -> "HSConfig":
+        """Paper's persistent-item-finding preset: 40% hot, 1 KB burst.
+
+        Hot Part buckets use 16 entries (the bucket size of the paper's
+        SIMD section); wide buckets keep co-hashed persistent items from
+        evicting each other when the Hot Part is small.
+
+        The published thresholds (15, 100) assume the paper's 1500-window
+        streams; for shorter streams they scale down proportionally so the
+        Cold Filter's combined threshold stays well below any plausible
+        persistence threshold ``alpha * n_windows``.
+        """
+        burst = min(1 * KB, max(1, memory_bytes // 8))
+        ratio = min(1.0, n_windows / 1500)
+        return cls(
+            memory_bytes=memory_bytes,
+            hot_fraction=0.40,
+            burst_bytes=burst,
+            delta1=max(2, int(15 * ratio)),
+            delta2=max(4, int(100 * ratio)),
+            hot_entries_per_bucket=16,
+            seed=seed,
+            meta={"preset": "finding", "n_windows": n_windows},
+        )
+
+    def with_seed(self, seed: int) -> "HSConfig":
+        """A copy of this config under a different master seed."""
+        return replace(self, seed=seed)
+
+    # ------------------------------------------------------------------
+    # derived sizing
+    # ------------------------------------------------------------------
+    @property
+    def l1_counter_bits(self) -> int:
+        """Counter width needed for ``delta1`` (4 bits at the default 15)."""
+        return counter_bits_for(self.delta1)
+
+    @property
+    def l2_counter_bits(self) -> int:
+        """Counter width needed for ``delta2`` (7 bits at the default 100)."""
+        return counter_bits_for(self.delta2)
+
+    @property
+    def accuracy_budget_bytes(self) -> int:
+        """Bytes left for Cold Filter + Hot Part after the Burst Filter."""
+        return self.memory_bytes - self.burst_bytes
+
+    def budget_split(self) -> Tuple[int, int, int]:
+        """Bytes for (cold L1, cold L2, hot part)."""
+        cold_bytes, hot_bytes = split_budget(
+            self.accuracy_budget_bytes, 1 - self.hot_fraction, self.hot_fraction
+        )
+        l1_bytes, l2_bytes = split_budget(
+            cold_bytes, self.cold_l1_weight, self.cold_l2_weight
+        )
+        return l1_bytes, l2_bytes, hot_bytes
+
+    def l1_width(self) -> int:
+        """Counters per L1 row (each of the ``d1`` rows gets an equal share)."""
+        l1_bytes, _, _ = self.budget_split()
+        cells = cells_for_budget(l1_bytes, self.l1_counter_bits + 1)
+        return max(1, cells // self.d1)
+
+    def l2_width(self) -> int:
+        """Counters per L2 row."""
+        _, l2_bytes, _ = self.budget_split()
+        cells = cells_for_budget(l2_bytes, self.l2_counter_bits + 1)
+        return max(1, cells // self.d2)
+
+    def hot_buckets(self) -> int:
+        """Number of Hot Part buckets."""
+        _, _, hot_bytes = self.budget_split()
+        entry_bits = ID_BITS + HOT_COUNTER_BITS + 1
+        entries = cells_for_budget(hot_bytes, entry_bits)
+        return max(1, entries // self.hot_entries_per_bucket)
+
+    def burst_buckets(self) -> int:
+        """Number of Burst Filter buckets (0 disables the stage)."""
+        if self.burst_bytes == 0:
+            return 0
+        cells = cells_for_budget(self.burst_bytes, ID_BITS)
+        return max(1, cells // self.burst_cells_per_bucket)
+
+    def memory_report(self) -> MemoryReport:
+        """Bit-exact modeled memory by component."""
+        entry_bits = ID_BITS + HOT_COUNTER_BITS + 1
+        return MemoryReport(
+            {
+                "burst": self.burst_buckets()
+                * self.burst_cells_per_bucket
+                * ID_BITS,
+                "cold_l1": self.d1
+                * self.l1_width()
+                * (self.l1_counter_bits + 1),
+                "cold_l2": self.d2
+                * self.l2_width()
+                * (self.l2_counter_bits + 1),
+                "hot": self.hot_buckets()
+                * self.hot_entries_per_bucket
+                * entry_bits,
+            }
+        )

@@ -1,0 +1,166 @@
+"""Stage 3 — the Hot Part (paper Section III-B, Algorithm 1).
+
+``lambda`` buckets of ``beta`` entries ``<ID, persistence, flag>``.  Full IDs
+make queries for hot items collision-free and enable persistent-item
+reporting.  Insertion:
+
+1. item present, flag on   -> persistence += 1, flag off;
+   item present, flag off  -> no-op (prose of Section III-B; the printed
+   pseudocode would fall through to replacement — see DESIGN.md §5);
+2. empty entry             -> insert ``(e, 1, off)``;
+3. bucket full             -> probabilistically replace the minimum-
+   persistence entry with probability ``1 / (min_per + 1)``; on success the
+   new item inherits ``min_per + 1`` (Algorithm 1 lines 14-17).
+
+Replacement randomness: the paper's code uses ``H(e) % (per + 1) == 0`` and
+reseeds each window; we reproduce that with a per-window salt, and also offer
+a seeded-RNG policy (``replacement="random"``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..common.bitmem import ID_BITS
+from ..common.errors import ConfigError
+from ..common.hashing import HashFamily, derive_seed, mix
+from .config import HOT_COUNTER_BITS, REPLACE_HASH, REPLACE_RANDOM
+
+
+class _Entry:
+    __slots__ = ("key", "per", "off_epoch")
+
+    def __init__(self) -> None:
+        self.key: Optional[int] = None
+        self.per = 0
+        self.off_epoch = 0  # epoch at which the flag was last turned off
+
+
+class HotPart:
+    """ID-keyed store for high-persistence items."""
+
+    __slots__ = ("n_buckets", "entries_per_bucket", "replacement", "_hash",
+                 "_buckets", "_epoch", "_window_salt", "_rng", "_seed",
+                 "hash_ops", "replacements", "replacement_attempts")
+
+    def __init__(
+        self,
+        n_buckets: int,
+        entries_per_bucket: int = 4,
+        replacement: str = REPLACE_HASH,
+        seed: int = 42,
+    ):
+        if n_buckets < 1:
+            raise ConfigError("HotPart needs at least one bucket")
+        if entries_per_bucket < 1:
+            raise ConfigError("HotPart buckets need at least one entry")
+        if replacement not in (REPLACE_HASH, REPLACE_RANDOM):
+            raise ConfigError(f"unknown replacement policy: {replacement}")
+        self.n_buckets = n_buckets
+        self.entries_per_bucket = entries_per_bucket
+        self.replacement = replacement
+        self._seed = seed
+        self._hash = HashFamily(1, seed ^ 0x407_0001)
+        self._buckets: List[List[_Entry]] = [
+            [_Entry() for _ in range(entries_per_bucket)]
+            for _ in range(n_buckets)
+        ]
+        self._epoch = 1
+        self._window_salt = derive_seed(seed, 0xAB, 0)
+        self._rng = random.Random(derive_seed(seed, 0xF00D))
+        self.hash_ops = 0
+        self.replacements = 0
+        self.replacement_attempts = 0
+
+    # ------------------------------------------------------------------
+    def _replace_allowed(self, key: int, min_per: int) -> bool:
+        """Bernoulli(1 / (min_per + 1)) trial for Algorithm 1 line 14."""
+        self.replacement_attempts += 1
+        if self.replacement == REPLACE_RANDOM:
+            return self._rng.random() < 1.0 / (min_per + 1)
+        return mix(key, self._window_salt) % (min_per + 1) == 0
+
+    def insert(self, key: int) -> None:
+        """One promoted occurrence of ``key`` (Algorithm 1)."""
+        self.hash_ops += 1
+        bucket = self._buckets[self._hash.index(key, 0, self.n_buckets)]
+        replace: Optional[_Entry] = None
+        for entry in bucket:
+            if entry.key is None:
+                entry.key = key
+                entry.per = 1
+                entry.off_epoch = self._epoch
+                return
+            if entry.key == key:
+                if entry.off_epoch != self._epoch:  # flag is on
+                    entry.per += 1
+                    entry.off_epoch = self._epoch
+                return
+            if replace is None or entry.per < replace.per:
+                replace = entry
+        assert replace is not None
+        if self._replace_allowed(key, replace.per):
+            self.replacements += 1
+            replace.key = key
+            replace.per += 1
+            replace.off_epoch = self._epoch
+
+    def query(self, key: int) -> int:
+        """Stored persistence of ``key`` (0 when not present)."""
+        self.hash_ops += 1
+        bucket = self._buckets[self._hash.index(key, 0, self.n_buckets)]
+        for entry in bucket:
+            if entry.key == key:
+                return entry.per
+        return 0
+
+    def contains(self, key: int) -> bool:
+        """Whether ``key`` is currently stored."""
+        bucket = self._buckets[self._hash.index(key, 0, self.n_buckets)]
+        return any(entry.key == key for entry in bucket)
+
+    def end_window(self) -> None:
+        """Reset all flags and re-salt the replacement hash (per-window)."""
+        self._epoch += 1
+        self._window_salt = derive_seed(self._seed, 0xAB, self._epoch)
+
+    def items(self) -> Dict[int, int]:
+        """All stored ``key -> persistence`` pairs."""
+        out: Dict[int, int] = {}
+        for bucket in self._buckets:
+            for entry in bucket:
+                if entry.key is not None:
+                    out[entry.key] = entry.per
+        return out
+
+    def occupancy(self) -> float:
+        """Fraction of entries in use."""
+        used = sum(
+            1
+            for bucket in self._buckets
+            for entry in bucket
+            if entry.key is not None
+        )
+        return used / (self.n_buckets * self.entries_per_bucket)
+
+    def clear(self) -> None:
+        """Reset all state (keeps sizing)."""
+        for bucket in self._buckets:
+            for entry in bucket:
+                entry.key = None
+                entry.per = 0
+                entry.off_epoch = 0
+        self._epoch = 1
+
+    @property
+    def modeled_bits(self) -> int:
+        """Modeled memory footprint in bits."""
+        entry_bits = ID_BITS + HOT_COUNTER_BITS + 1
+        return self.n_buckets * self.entries_per_bucket * entry_bits
+
+    def reset_stats(self) -> None:
+        """Zero the instrumentation counters."""
+        self.hash_ops = 0
+        self.replacements = 0
+        self.replacement_attempts = 0

@@ -1,0 +1,234 @@
+"""The composed Hypersistent Sketch (paper Sections III-E/F, Algorithms 4/5).
+
+Insert path (Algorithm 4)::
+
+    item --> Burst Filter --(bucket full)--> Cold Filter --(overflow)--> Hot Part
+
+At every window boundary the Burst Filter is drained into the Cold Filter
+(promoting overflows to the Hot Part), then all on/off flags reset.
+
+Query path (Algorithm 5): an in-window Burst Filter probe contributes at most
+1, then the staged Cold Filter / Hot Part walk returns
+``v1``, ``delta1 + v2`` or ``delta1 + delta2 + v3`` depending on where the
+item's persistence lives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..common.hashing import ItemKey, canonical_key
+from .burst_filter import BurstFilter
+from .cold_filter import ColdFilter
+from .config import HSConfig
+from .hot_part import HotPart
+
+
+class HypersistentSketch:
+    """Three-stage persistence sketch.
+
+    Implements both paper tasks: :meth:`query` for persistence estimation
+    and :meth:`report` for finding persistent items (the Hot Part stores
+    full IDs, so every reportable item is collision-free).
+
+    >>> sketch = HypersistentSketch(HSConfig(memory_bytes=64 * 1024))
+    >>> for window in range(3):
+    ...     sketch.insert("10.0.0.1")
+    ...     sketch.insert("10.0.0.1")   # same window: counted once
+    ...     sketch.end_window()
+    >>> sketch.query("10.0.0.1")
+    3
+    """
+
+    def __init__(self, config: Optional[HSConfig] = None, **kwargs):
+        if config is None:
+            config = HSConfig(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either a config object or keyword fields")
+        self.config = config
+        seed = config.seed
+        n_burst = config.burst_buckets()
+        self.burst: Optional[BurstFilter] = (
+            BurstFilter(n_burst, config.burst_cells_per_bucket,
+                        seed=seed ^ 0xB0_0001)
+            if n_burst
+            else None
+        )
+        self.cold = ColdFilter(
+            l1_width=config.l1_width(),
+            l2_width=config.l2_width(),
+            delta1=config.delta1,
+            delta2=config.delta2,
+            d1=config.d1,
+            d2=config.d2,
+            seed=seed,
+        )
+        self.hot = HotPart(
+            n_buckets=config.hot_buckets(),
+            entries_per_bucket=config.hot_entries_per_bucket,
+            replacement=config.replacement,
+            seed=seed,
+        )
+        self.window = 0
+        self.inserts = 0
+
+    # ------------------------------------------------------------------
+    # insertion (Algorithm 4)
+    # ------------------------------------------------------------------
+    def insert(self, item: ItemKey) -> None:
+        """Record one occurrence of ``item`` in the current window."""
+        self.inserts += 1
+        key = canonical_key(item)
+        if self.burst is not None and self.burst.insert(key):
+            return
+        self._insert_downstream(key)
+
+    def _insert_downstream(self, key: int) -> None:
+        """Cold Filter, then Hot Part on overflow (stages 2-3)."""
+        if not self.cold.insert(key):
+            self.hot.insert(key)
+
+    def end_window(self) -> None:
+        """Flush the Burst Filter, then reset all window flags."""
+        if self.burst is not None:
+            for key in self.burst.drain():
+                self._insert_downstream(key)
+        self.cold.end_window()
+        self.hot.end_window()
+        self.window += 1
+
+    def insert_window(self, items) -> None:
+        """Process one whole window of occurrences and close it.
+
+        The batch equivalent of ``insert`` x N + ``end_window``: the
+        window's items are deduplicated up front (the Burst Filter's
+        semantics, without per-occurrence bucket scans) and each distinct
+        item walks the downstream stages once.  Estimates are identical to
+        the record-at-a-time path whenever the Burst Filter would have
+        captured the window (its common case); use it when the caller
+        already holds the window's records as a batch.
+        """
+        self.inserts += len(items)
+        seen = set()
+        downstream = self._insert_downstream
+        for item in items:
+            key = canonical_key(item)
+            if key not in seen:
+                seen.add(key)
+                downstream(key)
+        self.cold.end_window()
+        self.hot.end_window()
+        self.window += 1
+
+    # ------------------------------------------------------------------
+    # query (Algorithm 5)
+    # ------------------------------------------------------------------
+    def query(self, item: ItemKey) -> int:
+        """Estimated persistence of ``item``.
+
+        Mid-window queries include the Burst Filter's pending +1; right
+        after :meth:`end_window` the Burst Filter is empty and the probe is
+        a no-op, so one code path serves both of the paper's query modes.
+        """
+        key = canonical_key(item)
+        pending = 0
+        if self.burst is not None and len(self.burst) and \
+                self.burst.contains(key):
+            pending = 1
+        estimate, needs_hot = self.cold.query(key)
+        if needs_hot:
+            estimate += self.hot.query(key)
+        return pending + estimate
+
+    def resolving_stage(self, item: ItemKey) -> str:
+        """Which stage answers a query for ``item``: 'l1', 'l2' or 'hot'.
+
+        The staged-query property behind figure 20(e)/(f): cold items are
+        answered at L1, the mid band at L2, and only the hot tail walks to
+        the Hot Part.  Does not touch any statistics counters.
+        """
+        key = canonical_key(item)
+        if self.cold.l1.minimum(key) < self.cold.delta1:
+            return "l1"
+        if self.cold.l2.minimum(key) < self.cold.delta2:
+            return "l2"
+        return "hot"
+
+    def report(self, threshold: int) -> Dict[int, int]:
+        """Items with estimated persistence >= ``threshold``.
+
+        Reportable items are exactly those promoted to the Hot Part; their
+        estimate is ``delta1 + delta2 + stored`` per Algorithm 5.
+        """
+        base = self.cold.delta1 + self.cold.delta2
+        return {
+            key: base + per
+            for key, per in self.hot.items().items()
+            if base + per >= threshold
+        }
+
+    # ------------------------------------------------------------------
+    # accounting / diagnostics
+    # ------------------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        """Modeled memory of all three stages, in bytes."""
+        bits = self.cold.modeled_bits + self.hot.modeled_bits
+        if self.burst is not None:
+            bits += self.burst.modeled_bits
+        return (bits + 7) // 8
+
+    @property
+    def hash_ops(self) -> int:
+        """Total hash computations across stages (Section III-D cost model)."""
+        ops = self.cold.hash_ops + self.hot.hash_ops
+        if self.burst is not None:
+            ops += self.burst.hash_ops
+        return ops
+
+    def stats(self) -> Dict[str, float]:
+        """Operational counters for the harness and the ablation benches."""
+        out: Dict[str, float] = {
+            "window": self.window,
+            "inserts": self.inserts,
+            "hash_ops": self.hash_ops,
+            "cold_l1_hits": self.cold.l1_hits,
+            "cold_l2_hits": self.cold.l2_hits,
+            "cold_overflows": self.cold.overflows,
+            "hot_occupancy": self.hot.occupancy(),
+            "hot_replacements": self.hot.replacements,
+        }
+        if self.burst is not None:
+            out.update(
+                burst_absorbed=self.burst.absorbed,
+                burst_overflowed=self.burst.overflowed,
+                burst_compare_ops=self.burst.compare_ops,
+            )
+        return out
+
+    def reset_stats(self) -> None:
+        """Zero the instrumentation counters (state is untouched)."""
+        self.inserts = 0
+        self.cold.reset_stats()
+        self.hot.reset_stats()
+        if self.burst is not None:
+            self.burst.reset_stats()
+
+    def __repr__(self) -> str:
+        burst_kb = (self.burst.modeled_bits / 8192
+                    if self.burst is not None else 0.0)
+        return (
+            f"HypersistentSketch(memory={self.memory_bytes / 1024:.1f}KB, "
+            f"burst={burst_kb:.1f}KB, "
+            f"delta=({self.cold.delta1}, {self.cold.delta2}), "
+            f"window={self.window})"
+        )
+
+    def clear(self) -> None:
+        """Reset all state (counters, flags, stored IDs) but keep sizing."""
+        if self.burst is not None:
+            self.burst.clear()
+        self.cold.clear()
+        self.hot.clear()
+        self.window = 0
+        self.inserts = 0

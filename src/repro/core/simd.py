@@ -1,0 +1,200 @@
+"""SIMD-style vectorized Burst Filter (paper Section III-H, Algorithm 6).
+
+The paper accelerates Burst Filter bucket scans with 128-bit AVX2 compares
+(four 32-bit IDs per instruction).  Pure Python has no vector ISA, so we
+reproduce the *algorithmic* effect two ways:
+
+* :class:`VectorizedBurstFilter` stores buckets in a contiguous numpy array
+  and scans with one vectorized ``==`` per insert — the same data-parallel
+  comparison Algorithm 6 performs, with the loop pushed into C;
+* an explicit comparison-cost model: a scalar scan of a ``gamma``-cell
+  bucket costs up to ``gamma`` compares, the SIMD scan ``ceil(gamma / 4)``
+  vector compares (``SIMD_LANES == 4`` for 128-bit registers and 4-byte
+  IDs), which is the quantity behind figure 19's SIMD deltas.
+
+The class is drop-in compatible with :class:`~repro.core.burst_filter
+.BurstFilter` so :class:`~repro.core.hypersistent.HypersistentSketch` can be
+built over either (see :func:`make_hypersistent_simd`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from ..common.bitmem import ID_BITS
+from ..common.errors import ConfigError
+from ..common.hashing import HashFamily
+
+#: 128-bit register / 32-bit IDs -> four comparisons per instruction.
+SIMD_LANES = 4
+
+#: Sentinel for an empty cell (valid canonical keys are non-negative).
+_EMPTY = -1
+
+
+def scalar_scan_cost(cells_per_bucket: int) -> int:
+    """Worst-case compare count for a sequential bucket scan."""
+    return cells_per_bucket
+
+
+def simd_scan_cost(cells_per_bucket: int, lanes: int = SIMD_LANES) -> int:
+    """Worst-case vector-compare count for an Algorithm 6 scan."""
+    return math.ceil(cells_per_bucket / lanes)
+
+
+class VectorizedBurstFilter:
+    """Burst Filter with numpy-vectorized (SIMD-emulating) bucket scans.
+
+    API-compatible with :class:`~repro.core.burst_filter.BurstFilter`;
+    ``compare_ops`` counts *vector* compares (one per ``SIMD_LANES`` cells),
+    reproducing Algorithm 6's cost model.
+    """
+
+    __slots__ = ("n_buckets", "cells_per_bucket", "_hash", "_keys", "_fill",
+                 "hash_ops", "compare_ops", "absorbed", "overflowed",
+                 "_vector_compares_per_scan")
+
+    def __init__(self, n_buckets: int, cells_per_bucket: int = 4,
+                 seed: int = 42):
+        if n_buckets < 1:
+            raise ConfigError("VectorizedBurstFilter needs >= 1 bucket")
+        if cells_per_bucket < 1:
+            raise ConfigError("buckets need >= 1 cell")
+        self.n_buckets = n_buckets
+        self.cells_per_bucket = cells_per_bucket
+        self._hash = HashFamily(1, seed)
+        self._keys = np.full(
+            (n_buckets, cells_per_bucket), _EMPTY, dtype=np.int64
+        )
+        self._fill = np.zeros(n_buckets, dtype=np.int32)
+        self._vector_compares_per_scan = simd_scan_cost(cells_per_bucket)
+        self.hash_ops = 0
+        self.compare_ops = 0
+        self.absorbed = 0
+        self.overflowed = 0
+
+    def insert(self, key: int) -> bool:
+        """Absorb one occurrence; ``False`` when the bucket is full."""
+        self.hash_ops += 1
+        b = self._hash.index(key, 0, self.n_buckets)
+        fill = int(self._fill[b])
+        row = self._keys[b]
+        self.compare_ops += self._vector_compares_per_scan
+        if fill and bool((row[:fill] == key).any()):
+            self.absorbed += 1
+            return True
+        if fill < self.cells_per_bucket:
+            row[fill] = key
+            self._fill[b] = fill + 1
+            self.absorbed += 1
+            return True
+        self.overflowed += 1
+        return False
+
+    def contains(self, key: int) -> bool:
+        """Whether ``key`` is currently stored."""
+        self.hash_ops += 1
+        b = self._hash.index(key, 0, self.n_buckets)
+        fill = int(self._fill[b])
+        self.compare_ops += self._vector_compares_per_scan
+        return fill > 0 and bool((self._keys[b, :fill] == key).any())
+
+    def drain(self) -> Iterator[int]:
+        """Yield stored IDs once and clear (window boundary)."""
+        occupied = np.nonzero(self._fill)[0]
+        for b in occupied:
+            fill = int(self._fill[b])
+            for key in self._keys[b, :fill]:
+                yield int(key)
+        self._keys[occupied] = _EMPTY
+        self._fill[occupied] = 0
+
+    def clear(self) -> None:
+        """Reset all state (keeps sizing)."""
+        self._keys.fill(_EMPTY)
+        self._fill.fill(0)
+
+    def __len__(self) -> int:
+        return int(self._fill.sum())
+
+    @property
+    def capacity(self) -> int:
+        """Total cell count."""
+        return self.n_buckets * self.cells_per_bucket
+
+    @property
+    def load_factor(self) -> float:
+        """Fraction of cells in use."""
+        return len(self) / self.capacity
+
+    @property
+    def modeled_bits(self) -> int:
+        """Modeled memory footprint in bits."""
+        return self.capacity * ID_BITS
+
+    def reset_stats(self) -> None:
+        """Zero the instrumentation counters."""
+        self.hash_ops = 0
+        self.compare_ops = 0
+        self.absorbed = 0
+        self.overflowed = 0
+
+
+class BatchWindowProcessor:
+    """Whole-window vectorized ingestion for a Hypersistent Sketch.
+
+    Where :class:`VectorizedBurstFilter` vectorizes one bucket scan at a
+    time (Algorithm 6), this processor vectorizes the *entire window*: the
+    window's records are deduplicated with one ``numpy.unique`` call —
+    computationally the Burst Filter's job done in a single data-parallel
+    pass — and only distinct keys walk the downstream stages.  It is the
+    natural end point of the paper's SIMD direction for batch pipelines
+    (e.g. replaying capture files), and the fastest ingestion path in this
+    library.
+    """
+
+    def __init__(self, sketch):
+        self.sketch = sketch
+        self.batches = 0
+        self.records = 0
+        self.distinct = 0
+
+    def process_window(self, items) -> None:
+        """Ingest one window's records (any iterable of int keys) at once."""
+        keys = np.asarray(list(items), dtype=np.int64)
+        self.batches += 1
+        self.records += keys.size
+        sketch = self.sketch
+        sketch.inserts += int(keys.size)
+        if keys.size:
+            unique = np.unique(keys)
+            self.distinct += int(unique.size)
+            downstream = sketch._insert_downstream
+            for key in unique.tolist():
+                downstream(key & ((1 << 64) - 1))
+        sketch.cold.end_window()
+        sketch.hot.end_window()
+        sketch.window += 1
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Records per distinct (item, window) pair seen so far."""
+        return self.records / self.distinct if self.distinct else 0.0
+
+
+def make_hypersistent_simd(config) -> "HypersistentSketch":
+    """A :class:`HypersistentSketch` whose stage 1 uses the SIMD scan path."""
+    from .hypersistent import HypersistentSketch  # local: avoid import cycle
+
+    sketch = HypersistentSketch(config)
+    n_burst = config.burst_buckets()
+    if n_burst:
+        sketch.burst = VectorizedBurstFilter(
+            n_burst,
+            config.burst_cells_per_bucket,
+            seed=config.seed ^ 0xB0_0001,
+        )
+    return sketch

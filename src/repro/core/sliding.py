@@ -1,0 +1,106 @@
+"""Sliding-window persistence estimation (extension beyond the paper).
+
+The paper estimates persistence over the *whole* stream.  Operationally one
+usually asks a sliding question — "in how many of the last ``W`` windows did
+this flow appear?" — e.g. to expire old threats.  This module extends the
+Hypersistent Sketch with the standard two-panel technique:
+
+Two sketches cover alternating half-ranges of ``W`` windows.  At any moment
+the *old* panel holds a completed half-range and the *young* panel the
+in-progress one; their sum covers between ``W/2`` and ``W`` recent windows.
+Every ``W/2`` window boundaries the old panel is cleared and the roles swap.
+The estimate ``young + old`` therefore satisfies::
+
+    p_last_half  <=  estimate_window_coverage  <=  p_last_W
+
+plus the underlying sketch's own (one-sided) overestimation error.  This is
+the classic jumping-window approximation: coverage jumps in half-range
+steps instead of sliding by single windows, in exchange for only two
+constant-size panels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..common.errors import ConfigError
+from ..common.hashing import ItemKey
+from .config import HSConfig
+from .hypersistent import HypersistentSketch
+
+
+class SlidingHypersistentSketch:
+    """Persistence over (approximately) the last ``horizon`` windows.
+
+    The memory budget is split evenly between the two panels, so accuracy
+    per panel corresponds to ``memory_bytes / 2``.
+
+    >>> sw = SlidingHypersistentSketch(memory_bytes=32 * 1024, horizon=8)
+    >>> for _ in range(20):
+    ...     sw.insert("flow")
+    ...     sw.end_window()
+    >>> 4 <= sw.query("flow") <= 8
+    True
+    """
+
+    def __init__(self, memory_bytes: int, horizon: int, seed: int = 42):
+        if horizon < 2:
+            raise ConfigError("sliding horizon must be >= 2 windows")
+        if memory_bytes < 2:
+            raise ConfigError("memory_bytes must be >= 2")
+        self.horizon = horizon
+        self.half = max(1, horizon // 2)
+        panel_config = HSConfig.for_estimation(
+            memory_bytes // 2, n_windows=horizon, seed=seed
+        )
+        self._young = HypersistentSketch(panel_config)
+        self._old = HypersistentSketch(panel_config.with_seed(seed ^ 0x51))
+        self._windows_in_young = 0
+        self.window = 0
+
+    def insert(self, item: ItemKey) -> None:
+        """Record one occurrence in the current window."""
+        self._young.insert(item)
+
+    def end_window(self) -> None:
+        """Close the window; rotate panels every half-horizon."""
+        self._young.end_window()
+        self._old.end_window()  # keeps its flag epochs aligned
+        self._windows_in_young += 1
+        self.window += 1
+        if self._windows_in_young >= self.half:
+            self._old.clear()
+            self._young, self._old = self._old, self._young
+            self._windows_in_young = 0
+
+    def query(self, item: ItemKey) -> int:
+        """Estimated appearances within the covered recent range.
+
+        The covered range spans the last ``half + windows_in_young``
+        windows (between ``horizon/2`` and ``horizon``); see
+        :attr:`coverage` for its current exact length.
+        """
+        return self._young.query(item) + self._old.query(item)
+
+    @property
+    def coverage(self) -> int:
+        """How many recent windows the current estimate covers."""
+        return min(self.window, self.half + self._windows_in_young)
+
+    def report(self, threshold: int) -> Dict[int, int]:
+        """Items whose recent-range persistence estimate >= ``threshold``.
+
+        Sums the panels' reportable (Hot Part) populations; items hot in
+        only one panel are reported with that panel's contribution.
+        """
+        young = self._young.report(1)
+        old = self._old.report(1)
+        combined: Dict[int, int] = dict(old)
+        for key, per in young.items():
+            combined[key] = combined.get(key, 0) + per
+        return {k: v for k, v in combined.items() if v >= threshold}
+
+    @property
+    def memory_bytes(self) -> int:
+        """Modeled memory footprint in bytes."""
+        return self._young.memory_bytes + self._old.memory_bytes

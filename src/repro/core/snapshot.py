@@ -1,0 +1,68 @@
+"""Sketch checkpointing: save/restore a sketch mid-stream.
+
+Long-running monitors need to survive restarts without losing accumulated
+persistence state.  Sketches here are plain Python object graphs (slots,
+lists, numpy arrays, seeded RNGs), so a pickle snapshot restores them
+bit-for-bit: estimates after restore equal estimates without the restart.
+
+The format carries a header with the library version and the sketch class
+so mismatched restores fail loudly instead of silently mis-estimating.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Union
+
+from ..common.errors import ReproError
+
+PathLike = Union[str, Path]
+
+_MAGIC = "repro-sketch-snapshot"
+_FORMAT_VERSION = 1
+
+
+class SnapshotError(ReproError):
+    """A snapshot file is missing, corrupt, or from a different format."""
+
+
+def save_sketch(sketch, path: PathLike) -> None:
+    """Write a restorable snapshot of any sketch object."""
+    payload = {
+        "magic": _MAGIC,
+        "format": _FORMAT_VERSION,
+        "class": type(sketch).__qualname__,
+        "sketch": sketch,
+    }
+    path = Path(path)
+    with path.open("wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_sketch(path: PathLike, expected_class: type = None):
+    """Restore a sketch saved with :func:`save_sketch`.
+
+    ``expected_class`` (optional) guards against restoring the wrong kind
+    of sketch into a pipeline.
+    """
+    path = Path(path)
+    try:
+        with path.open("rb") as fh:
+            payload = pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+        raise SnapshotError(f"{path} is not a repro sketch snapshot")
+    if payload.get("format") != _FORMAT_VERSION:
+        raise SnapshotError(
+            f"{path}: snapshot format {payload.get('format')} "
+            f"!= supported {_FORMAT_VERSION}"
+        )
+    sketch = payload["sketch"]
+    if expected_class is not None and not isinstance(sketch, expected_class):
+        raise SnapshotError(
+            f"{path} holds a {payload['class']}, "
+            f"expected {expected_class.__qualname__}"
+        )
+    return sketch

@@ -1,0 +1,98 @@
+"""Export figure results to CSV / JSON for external plotting.
+
+The benches print ASCII tables; anyone who wants the paper-style plots can
+export the same series and feed them to matplotlib/gnuplot/vega without
+rerunning the sweeps.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from .report import FigureResult
+
+PathLike = Union[str, Path]
+
+
+def figure_to_csv(figure: FigureResult, path: PathLike) -> None:
+    """One CSV per figure: x column plus one column per series."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([figure.x_label] + list(figure.series))
+        for i, x in enumerate(figure.x_values):
+            writer.writerow(
+                [x] + [values[i] for values in figure.series.values()]
+            )
+
+
+def figure_to_dict(figure: FigureResult) -> dict:
+    """JSON-ready representation of one figure."""
+    return {
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "x_label": figure.x_label,
+        "x_values": list(figure.x_values),
+        "series": {name: list(vs) for name, vs in figure.series.items()},
+        "notes": list(figure.notes),
+    }
+
+
+def figures_to_json(figures: Iterable[FigureResult],
+                    path: PathLike) -> None:
+    """Write a list of figures as one JSON document."""
+    path = Path(path)
+    payload = [figure_to_dict(figure) for figure in figures]
+    path.write_text(json.dumps(payload, indent=2))
+
+
+def load_figures_json(path: PathLike) -> list:
+    """Read figures written by :func:`figures_to_json`."""
+    payload = json.loads(Path(path).read_text())
+    return [
+        FigureResult(
+            figure_id=entry["figure_id"],
+            title=entry["title"],
+            x_label=entry["x_label"],
+            x_values=entry["x_values"],
+            series=entry["series"],
+            notes=entry.get("notes", []),
+        )
+        for entry in payload
+    ]
+
+
+def export_experiment(
+    figures: Iterable[FigureResult],
+    directory: PathLike,
+    stem: str,
+    svg: bool = True,
+) -> list:
+    """Write one JSON plus per-figure CSVs (and SVG charts) under
+    ``directory``.  Returns the list of files written.
+    """
+    from ..analysis.svg_plot import figure_to_svg
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    figures = list(figures)
+    written = []
+    json_path = directory / f"{stem}.json"
+    figures_to_json(figures, json_path)
+    written.append(json_path)
+    for i, figure in enumerate(figures):
+        base = f"{stem}_{i:02d}_{figure.figure_id}"
+        csv_path = directory / f"{base}.csv"
+        figure_to_csv(figure, csv_path)
+        written.append(csv_path)
+        if svg:
+            svg_path = directory / f"{base}.svg"
+            try:
+                figure_to_svg(figure, svg_path)
+            except ValueError:
+                continue  # non-numeric series (none today) — skip chart
+            written.append(svg_path)
+    return written

@@ -1,0 +1,5 @@
+"""One driver module per reproduced paper figure (plus ablations)."""
+
+from . import ablations, common, fig04, fig11_14, fig15_18, fig19_20
+
+__all__ = ["ablations", "common", "fig04", "fig11_14", "fig15_18", "fig19_20"]

@@ -1,0 +1,215 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+* **memory split** — Section III-C claims the 3:2 cold:hot balance keeps the
+  Cold Filter's false-positive rate (cold items misclassified as hot) below
+  0.1%; we sweep the hot fraction and measure the actual misclassification
+  rate.
+* **burst filter** — Theorems IV.1/IV.8: capture probability of the Burst
+  Filter and the hash-op savings it buys, vs its size.
+* **thresholds** — Theorem IV.7: ARE as ``(delta1, delta2)`` move around the
+  published (15, 100) point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...analysis.metrics import aae, are, estimate_all
+from ...analysis.theory import burst_capture_probability
+from ...common.bitmem import KB
+from ...core import HSConfig, HypersistentSketch
+from ...streams.oracle import exact_persistence
+from ...streams.traces import polygraph_like
+from ..harness import run_stream
+from ..report import FigureResult
+from .common import bench_scale, scaled_memory_kb
+
+from dataclasses import replace
+
+
+def _trace(scale: float, n_windows: int = 400):
+    return polygraph_like(1.5, scale=scale, n_windows=n_windows)
+
+
+def run_memory_split(scale: Optional[float] = None) -> List[FigureResult]:
+    """Cold/hot split ablation: misclassification FPR and AAE vs hot share."""
+    scale = scale if scale is not None else bench_scale()
+    trace = _trace(scale)
+    truth = exact_persistence(trace)
+    keys = list(truth)
+    memory = int(scaled_memory_kb(200, scale) * KB)
+    hot_fractions = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6]
+    fpr_series: List[float] = []
+    aae_series: List[float] = []
+    for hot in hot_fractions:
+        config = replace(
+            HSConfig.for_estimation(memory, trace.n_windows), hot_fraction=hot
+        )
+        sketch = HypersistentSketch(config)
+        run_stream(sketch, trace)
+        threshold = config.delta1 + config.delta2
+        # Cold-item misclassification: truly-cold items the Cold Filter
+        # escalated to the Hot Part (Section III-C's FPR notion).
+        cold_keys = [k for k in keys if truth[k] <= threshold]
+        promoted = sum(
+            1 for k in cold_keys if sketch.cold.query(k)[1]
+        )
+        fpr_series.append(promoted / len(cold_keys) if cold_keys else 0.0)
+        aae_series.append(aae(truth, estimate_all(sketch.query, keys)))
+    return [
+        FigureResult(
+            figure_id="ablation-split",
+            title="Cold/hot memory split ablation (zipf1.5)",
+            x_label="hot_fraction",
+            x_values=hot_fractions,
+            series={"cold_item_fpr": fpr_series, "aae": aae_series},
+            notes=["paper claims FPR < 0.1% around the 3:2 (0.4) split"],
+        )
+    ]
+
+
+def run_burst_ablation(scale: Optional[float] = None) -> List[FigureResult]:
+    """Burst-Filter size ablation: capture rate, hash ops, predicted capture."""
+    scale = scale if scale is not None else bench_scale()
+    trace = _trace(scale)
+    memory = int(scaled_memory_kb(200, scale) * KB)
+    burst_bytes = [0, memory // 64, memory // 32, memory // 16, memory // 8]
+    capture: List[float] = []
+    predicted: List[float] = []
+    hash_per_insert: List[float] = []
+    avg_window_distinct = trace.mean_window_distinct()
+    for bb in burst_bytes:
+        config = replace(
+            HSConfig.for_estimation(memory, trace.n_windows), burst_bytes=bb
+        )
+        sketch = HypersistentSketch(config)
+        result = run_stream(sketch, trace)
+        stats = sketch.stats()
+        absorbed = stats.get("burst_absorbed", 0.0)
+        overflowed = stats.get("burst_overflowed", 0.0)
+        total = absorbed + overflowed
+        capture.append(absorbed / total if total else 0.0)
+        hash_per_insert.append(result.insert.hash_ops_per_operation)
+        if bb and sketch.burst is not None:
+            predicted.append(
+                burst_capture_probability(
+                    avg_window_distinct,
+                    sketch.burst.n_buckets,
+                    sketch.burst.cells_per_bucket,
+                )
+            )
+        else:
+            predicted.append(0.0)
+    return [
+        FigureResult(
+            figure_id="ablation-burst",
+            title="Burst Filter ablation (zipf1.5)",
+            x_label="burst_bytes",
+            x_values=burst_bytes,
+            series={
+                "capture_rate": capture,
+                "predicted_capture": predicted,
+                "hash_ops_per_insert": hash_per_insert,
+            },
+            notes=["Thm IV.1: capture -> 1; Thm IV.8: hash cost drops ~2x",
+                   "predicted models distinct-arrival capture (a lower "
+                   "bound on the occurrence capture rate measured)"],
+        )
+    ]
+
+
+def run_threshold_ablation(scale: Optional[float] = None) -> List[FigureResult]:
+    """Threshold sensitivity around the published (delta1, delta2)."""
+    scale = scale if scale is not None else bench_scale()
+    trace = _trace(scale)
+    truth = exact_persistence(trace)
+    keys = list(truth)
+    memory = int(scaled_memory_kb(200, scale) * KB)
+    designs = [(3, 20), (7, 50), (15, 100), (31, 200), (63, 400)]
+    are_series: List[float] = []
+    for delta1, delta2 in designs:
+        config = replace(
+            HSConfig.for_estimation(memory, trace.n_windows),
+            delta1=delta1,
+            delta2=delta2,
+        )
+        sketch = HypersistentSketch(config)
+        run_stream(sketch, trace)
+        are_series.append(are(truth, estimate_all(sketch.query, keys)))
+    return [
+        FigureResult(
+            figure_id="ablation-thresholds",
+            title="Cold Filter threshold sensitivity (zipf1.5)",
+            x_label="(delta1,delta2)",
+            x_values=[f"{d1}/{d2}" for d1, d2 in designs],
+            series={"are": are_series},
+            notes=["Thm IV.7: a broad optimum near the published (15, 100)"],
+        )
+    ]
+
+
+def run_component_ablation(
+    scale: Optional[float] = None,
+) -> List[FigureResult]:
+    """Which stage buys what: On-Off alone, +Cold Filter, full HS.
+
+    Decomposes HS's win at equal memory: the Cold Filter supplies the
+    accuracy (wrapping On-Off v1 in the meta-framework already closes most
+    of the AAE gap), while the Burst Filter supplies the speed (hash-op
+    reduction) without hurting accuracy.
+    """
+    from ...baselines import OnOffSketchV1
+    from ...core.meta_filter import ColdFilteredSketch
+
+    scale = scale if scale is not None else bench_scale()
+    trace = _trace(scale)
+    truth = exact_persistence(trace)
+    keys = list(truth)
+    memory = int(scaled_memory_kb(200, scale) * KB)
+    variants = {
+        "OO": lambda: OnOffSketchV1(memory, seed=11),
+        "CF+OO": lambda: ColdFilteredSketch(
+            memory_bytes=memory,
+            backing_factory=lambda b: OnOffSketchV1(b, seed=11),
+            seed=3,
+        ),
+        "HS-noBurst": lambda: HypersistentSketch(
+            replace(HSConfig.for_estimation(memory, trace.n_windows),
+                    burst_bytes=0)
+        ),
+        "HS": lambda: HypersistentSketch(
+            HSConfig.for_estimation(
+                memory, trace.n_windows,
+                window_distinct_hint=trace.mean_window_distinct(),
+            )
+        ),
+    }
+    aae_series: List[float] = []
+    hash_series: List[float] = []
+    for build in variants.values():
+        sketch = build()
+        result = run_stream(sketch, trace)
+        aae_series.append(aae(truth, estimate_all(sketch.query, keys)))
+        hash_series.append(result.insert.hash_ops_per_operation)
+    return [
+        FigureResult(
+            figure_id="ablation-components",
+            title="Stage contribution ablation (zipf1.5, equal memory)",
+            x_label="variant",
+            x_values=list(variants),
+            series={"aae": aae_series, "hash_ops_per_insert": hash_series},
+            notes=["Cold Filter buys accuracy; Burst Filter buys speed"],
+        )
+    ]
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    for runner in (run_memory_split, run_burst_ablation,
+                   run_threshold_ablation, run_component_ablation):
+        for result in runner():
+            print(result.to_table())
+            print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

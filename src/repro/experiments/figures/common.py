@@ -1,0 +1,135 @@
+"""Shared workload/scale configuration for the figure drivers.
+
+The paper's sweeps use 50-500 KB (estimation) and 10-50 KB (finding) against
+traces with 0.16-1.7M distinct items.  Running full-size traces in pure
+Python is impractical, so every figure driver shrinks the trace by
+``SCALE`` and shrinks the memory axis by the *same* factor — sketch
+accuracy is governed by the counters-per-distinct-item ratio, so this
+preserves each figure's shape (who wins, by how much, where curves bend).
+
+Set the environment variable ``REPRO_BENCH_SCALE`` to trade fidelity for
+runtime (default 0.01, i.e. 1/100 of the paper's trace sizes and memory
+axis; raise it toward 0.05 for tighter curves at the cost of minutes).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List
+
+from ...streams.model import Trace
+from ...streams.traces import (
+    big_caida_like,
+    caida_like,
+    campus_like,
+    mawi_like,
+    polygraph_like,
+)
+
+DEFAULT_SCALE = 0.01
+
+
+def bench_scale(default: float = DEFAULT_SCALE) -> float:
+    """Trace scale factor for benches, from ``REPRO_BENCH_SCALE``."""
+    raw = os.environ.get("REPRO_BENCH_SCALE", "")
+    try:
+        value = float(raw) if raw else default
+    except ValueError:
+        value = default
+    return min(1.0, max(1e-4, value))
+
+
+def scaled_memory_kb(paper_kb: float, scale: float) -> float:
+    """Shrink the paper's memory axis by the trace scale.
+
+    Distinct-item counts in the generators scale linearly with ``scale``,
+    so memory must too for the counters-per-item ratio (the quantity that
+    determines sketch error) to match the paper's.  A floor keeps the
+    smallest structures from degenerating below a few buckets.
+    """
+    return max(0.5, paper_kb * scale)
+
+
+def estimation_datasets(
+    scale: float, n_windows: int = 1500
+) -> Dict[str, Callable[[], Trace]]:
+    """The workloads of figures 11-14 (lazy builders)."""
+    return {
+        "caida": lambda: caida_like(scale=scale, n_windows=n_windows),
+        "big_caida": lambda: big_caida_like(
+            scale=scale / 4, n_windows=n_windows
+        ),
+        "zipf1.5": lambda: polygraph_like(
+            1.5, scale=scale, n_windows=n_windows
+        ),
+        "zipf2.0": lambda: polygraph_like(
+            2.0, scale=scale, n_windows=n_windows
+        ),
+    }
+
+
+#: Figures 15-18 need the paper's cold-churn regime (hundreds of distinct
+#: cold items per stored cell), so the finding workloads run at a larger
+#: scale than the estimation ones; the memory axis scales with it.
+FINDING_SCALE_BOOST = 7.5
+
+
+def finding_datasets(
+    scale: float, n_windows: int = 1500
+) -> Dict[str, Callable[[], Trace]]:
+    """The workloads of figures 15-18."""
+    scale = scale * FINDING_SCALE_BOOST
+    return {
+        "caida": lambda: caida_like(scale=scale, n_windows=n_windows),
+        "mawi": lambda: mawi_like(scale=scale, n_windows=n_windows),
+        "campus": lambda: campus_like(scale=scale / 4, n_windows=n_windows),
+        "zipf1.5": lambda: polygraph_like(
+            1.5, scale=scale / 2, n_windows=n_windows
+        ),
+    }
+
+
+def throughput_datasets(
+    scale: float, n_windows: int = 300
+) -> Dict[str, Callable[[], Trace]]:
+    """The workloads of figures 19-20.
+
+    Raw traffic (no planted persistence overlay): throughput depends on the
+    per-window repeat/working-set profile of the background, which the
+    overlay — a device for the finding-task figures — would distort.
+    Fewer windows keep per-window volume realistic at bench scales.
+    """
+    return {
+        "caida": lambda: caida_like(
+            scale=scale, n_windows=n_windows, overlay=False
+        ),
+        "mawi": lambda: mawi_like(
+            scale=scale, n_windows=n_windows, overlay=False
+        ),
+        "zipf2.0": lambda: polygraph_like(
+            2.0, scale=scale, n_windows=n_windows
+        ),
+    }
+
+
+def estimation_memories_kb(scale: float) -> List[float]:
+    """Scaled version of the paper's 50-500 KB sweep (figures 12/13)."""
+    return [scaled_memory_kb(kb, scale) for kb in (50, 125, 250, 375, 500)]
+
+
+def finding_memories_kb(scale: float) -> List[float]:
+    """Scaled version of the paper's 10-50 KB sweep (figures 15-18).
+
+    Scales with the boosted finding workload; the floor keeps the ID-heavy
+    finding structures (65-129 bits per entry) from degenerating below a
+    few buckets at tiny scales.
+    """
+    scale = scale * FINDING_SCALE_BOOST
+    return [
+        max(1.0, paper_kb * scale) for paper_kb in (10, 20, 30, 40, 50)
+    ]
+
+
+def window_counts() -> List[int]:
+    """The paper's 500-5000 window sweep (figures 11/14)."""
+    return [500, 1000, 2000, 3500, 5000]

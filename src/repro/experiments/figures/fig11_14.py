@@ -1,0 +1,98 @@
+"""Figures 11-14 — persistence-estimation accuracy sweeps.
+
+* fig 11: AAE vs window count (fixed 500 KB-equivalent memory)
+* fig 12: AAE vs memory     (3000-window stream)
+* fig 13: ARE vs memory
+* fig 14: ARE vs window count
+
+AAE and ARE come from the same runs, so the two sweeps are executed once
+per scale and cached; fig 11/14 and fig 12/13 pairs share them.
+
+Paper shape to reproduce: HS lowest error everywhere; ordering
+HS < WS < OO < CM with roughly order-of-magnitude gaps; error flat in the
+window count, decreasing in memory.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional
+
+from ..report import FigureResult
+from ..sweeps import estimation_memory_sweep, estimation_window_sweep
+from .common import (
+    bench_scale,
+    estimation_datasets,
+    estimation_memories_kb,
+    scaled_memory_kb,
+    window_counts,
+)
+
+ALGORITHMS = ("HS", "OO", "WS", "CM")
+
+
+@lru_cache(maxsize=4)
+def _window_sweeps(scale: float) -> Dict[str, Dict[str, FigureResult]]:
+    memory_kb = scaled_memory_kb(500, scale)
+    return {
+        name: estimation_window_sweep(
+            build(), window_counts(), memory_kb=memory_kb,
+            algorithms=ALGORITHMS,
+        )
+        for name, build in estimation_datasets(scale).items()
+    }
+
+
+@lru_cache(maxsize=4)
+def _memory_sweeps(scale: float) -> Dict[str, Dict[str, FigureResult]]:
+    return {
+        name: estimation_memory_sweep(
+            build(), estimation_memories_kb(scale), algorithms=ALGORITHMS
+        )
+        for name, build in estimation_datasets(scale, n_windows=3000).items()
+    }
+
+
+def _collect(sweeps: Dict[str, Dict[str, FigureResult]], metric: str,
+             figure_id: str) -> List[FigureResult]:
+    results = []
+    for figures in sweeps.values():
+        fig = figures[metric]
+        fig.figure_id = figure_id
+        results.append(fig)
+    return results
+
+
+def run_fig11(scale: Optional[float] = None) -> List[FigureResult]:
+    """AAE vs window count."""
+    scale = scale if scale is not None else bench_scale()
+    return _collect(_window_sweeps(scale), "aae", "fig11")
+
+
+def run_fig12(scale: Optional[float] = None) -> List[FigureResult]:
+    """AAE vs memory."""
+    scale = scale if scale is not None else bench_scale()
+    return _collect(_memory_sweeps(scale), "aae", "fig12")
+
+
+def run_fig13(scale: Optional[float] = None) -> List[FigureResult]:
+    """ARE vs memory."""
+    scale = scale if scale is not None else bench_scale()
+    return _collect(_memory_sweeps(scale), "are", "fig13")
+
+
+def run_fig14(scale: Optional[float] = None) -> List[FigureResult]:
+    """ARE vs window count."""
+    scale = scale if scale is not None else bench_scale()
+    return _collect(_window_sweeps(scale), "are", "fig14")
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    for runner in (run_fig11, run_fig12, run_fig13, run_fig14):
+        for result in runner():
+            print(result.to_table())
+            print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,72 @@
+"""Figures 15-18 — finding persistent items (F1 / ARE / FNR / FPR vs memory).
+
+One shared sweep per dataset produces all four figures (they plot the same
+runs).  Paper shape: HS has the highest F1 (→1 with memory) and the lowest
+ARE/FNR/FPR; SS is the weakest; TS/PS sit between OO and HS.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional
+
+from ..report import FigureResult
+from ..sweeps import finding_sweep
+from .common import bench_scale, finding_datasets, finding_memories_kb
+
+ALGORITHMS = ("HS", "OO", "WS", "SS", "TS", "PS")
+ALPHA = 0.4  # persistence threshold as a fraction of the window count
+
+
+@lru_cache(maxsize=4)
+def run_all(scale: Optional[float] = None,
+            alpha: float = ALPHA) -> Dict[str, List[FigureResult]]:
+    """All four finding figures, keyed 'f1'/'are'/'fnr'/'fpr'.
+
+    Cached per (scale, alpha): figures 15-18 share the same runs, so the
+    four bench targets trigger a single sweep.
+    """
+    scale = scale if scale is not None else bench_scale()
+    out: Dict[str, List[FigureResult]] = {
+        "f1": [], "are": [], "fnr": [], "fpr": []
+    }
+    for name, build in finding_datasets(scale).items():
+        figures = finding_sweep(
+            build(),
+            finding_memories_kb(scale),
+            alpha=alpha,
+            algorithms=ALGORITHMS,
+        )
+        fig_ids = {"f1": "fig15", "are": "fig16", "fnr": "fig17",
+                   "fpr": "fig18"}
+        for metric, fig in figures.items():
+            fig.figure_id = fig_ids[metric]
+            out[metric].append(fig)
+    return out
+
+
+def run_fig15(scale: Optional[float] = None) -> List[FigureResult]:
+    return run_all(scale)["f1"]
+
+
+def run_fig16(scale: Optional[float] = None) -> List[FigureResult]:
+    return run_all(scale)["are"]
+
+
+def run_fig17(scale: Optional[float] = None) -> List[FigureResult]:
+    return run_all(scale)["fnr"]
+
+
+def run_fig18(scale: Optional[float] = None) -> List[FigureResult]:
+    return run_all(scale)["fpr"]
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    for metric, figures in run_all().items():
+        for result in figures:
+            print(result.to_table())
+            print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,213 @@
+"""Experiment harness: drive sketches over traces, measure everything once.
+
+The harness is the single place that owns the insert/end_window loop, the
+timing, and the hash-op instrumentation, so every figure driver and bench
+measures identically.  It also owns the algorithm factory — the mapping from
+the paper's algorithm labels ("HS", "OO", "WS", ...) to configured sketch
+instances for each task.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..analysis.metrics import ThroughputRecord
+from ..baselines import (
+    CMPersistenceSketch,
+    OnOffSketchV1,
+    OnOffSketchV2,
+    PIESketch,
+    PSketch,
+    SmallSpace,
+    TightSketch,
+    WavingPersistenceSketch,
+)
+from ..common.errors import ConfigError
+from ..core import HSConfig, HypersistentSketch, make_hypersistent_simd
+from ..streams.model import Trace
+
+#: Algorithm labels for the persistence-estimation task (figures 11-14, 19-20).
+ESTIMATION_ALGORITHMS = ("HS", "HS-SIMD", "OO", "WS", "CM", "PIE")
+
+#: Algorithm labels for the finding-persistent-items task (figures 15-18).
+FINDING_ALGORITHMS = ("HS", "OO", "WS", "SS", "TS", "PS")
+
+
+def make_estimator(
+    name: str,
+    memory_bytes: int,
+    n_windows: int = 3000,
+    seed: int = 42,
+    window_distinct_hint: float = None,
+):
+    """Build a persistence estimator in the paper's evaluation setup.
+
+    ``window_distinct_hint`` (per-window distinct arrivals, measured from
+    the trace) sizes HS's Burst Filter to the actual working set; the
+    baselines ignore it.
+    """
+    if name == "HS":
+        return HypersistentSketch(
+            HSConfig.for_estimation(
+                memory_bytes, n_windows, seed=seed,
+                window_distinct_hint=window_distinct_hint,
+            )
+        )
+    if name == "HS-SIMD":
+        return make_hypersistent_simd(
+            HSConfig.for_estimation(
+                memory_bytes, n_windows, seed=seed,
+                window_distinct_hint=window_distinct_hint,
+            )
+        )
+    if name == "OO":
+        return OnOffSketchV1(memory_bytes, depth=3, seed=seed)
+    if name == "WS":
+        return WavingPersistenceSketch(memory_bytes, seed=seed)
+    if name == "CM":
+        return CMPersistenceSketch(memory_bytes, seed=seed)
+    if name == "PIE":
+        return PIESketch(memory_bytes, seed=seed)
+    raise ConfigError(f"unknown estimation algorithm: {name}")
+
+
+def make_finder(
+    name: str,
+    memory_bytes: int,
+    n_windows: int = 1500,
+    seed: int = 42,
+):
+    """Build a persistent-item finder in the paper's evaluation setup."""
+    if name == "HS":
+        return HypersistentSketch(
+            HSConfig.for_finding(memory_bytes, n_windows, seed=seed)
+        )
+    if name == "OO":
+        return OnOffSketchV2(memory_bytes, seed=seed)
+    if name == "WS":
+        return WavingPersistenceSketch(memory_bytes, seed=seed)
+    if name == "SS":
+        return SmallSpace(memory_bytes, seed=seed)
+    if name == "TS":
+        return TightSketch(memory_bytes, seed=seed)
+    if name == "PS":
+        return PSketch(memory_bytes, seed=seed)
+    raise ConfigError(f"unknown finding algorithm: {name}")
+
+
+@dataclass
+class RunResult:
+    """Outcome of one sketch x trace streaming run."""
+
+    sketch: object
+    trace_name: str
+    insert: ThroughputRecord
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def query_all(self, keys: Iterable[int]) -> Dict[int, int]:
+        """Evaluate the sketch's query over a key set."""
+        return {key: self.sketch.query(key) for key in keys}
+
+
+def _hash_ops(sketch) -> int:
+    return getattr(sketch, "hash_ops", 0)
+
+
+def run_stream(sketch, trace: Trace) -> RunResult:
+    """Feed a trace through a sketch with window boundaries, timed.
+
+    Every window (including empty ones) ends with ``end_window`` so flag
+    resets happen exactly ``n_windows`` times, as on a real timeline.
+    """
+    ops_before = _hash_ops(sketch)
+    insert = sketch.insert
+    started = time.perf_counter()
+    for _, window_items in trace.windows():
+        for item in window_items:
+            insert(item)
+        sketch.end_window()
+    elapsed = time.perf_counter() - started
+    record = ThroughputRecord(
+        operations=trace.n_records,
+        seconds=elapsed,
+        hash_ops=_hash_ops(sketch) - ops_before,
+    )
+    stats = sketch.stats() if hasattr(sketch, "stats") else {}
+    return RunResult(
+        sketch=sketch, trace_name=trace.name, insert=record, stats=stats
+    )
+
+
+def time_queries(sketch, keys: List[int]) -> ThroughputRecord:
+    """Measure query-side throughput over a fixed key list."""
+    ops_before = _hash_ops(sketch)
+    query = sketch.query
+    started = time.perf_counter()
+    for key in keys:
+        query(key)
+    elapsed = time.perf_counter() - started
+    return ThroughputRecord(
+        operations=len(keys),
+        seconds=elapsed,
+        hash_ops=_hash_ops(sketch) - ops_before,
+    )
+
+
+def run_algorithm(
+    name: str,
+    trace: Trace,
+    memory_bytes: int,
+    task: str = "estimation",
+    seed: int = 42,
+) -> RunResult:
+    """Factory + streaming in one call (what the sweeps use)."""
+    if task == "estimation":
+        sketch = make_estimator(
+            name, memory_bytes, n_windows=trace.n_windows, seed=seed,
+            window_distinct_hint=trace.mean_window_distinct(),
+        )
+    elif task == "finding":
+        sketch = make_finder(name, memory_bytes, n_windows=trace.n_windows,
+                             seed=seed)
+    else:
+        raise ConfigError(f"unknown task: {task}")
+    return run_stream(sketch, trace)
+
+
+def repeat_median(
+    fn: Callable[[], float], repeats: int = 3
+) -> float:
+    """Median of repeated measurements (the paper reports run medians)."""
+    if repeats < 1:
+        raise ConfigError("repeats must be >= 1")
+    values = sorted(fn() for _ in range(repeats))
+    return values[len(values) // 2]
+
+
+def stage_distribution(result: RunResult) -> Optional[Dict[str, float]]:
+    """HS *insert*-side stage-hit fractions; None for baselines."""
+    sketch = result.sketch
+    if not isinstance(sketch, HypersistentSketch):
+        return None
+    l1, l2, hot = sketch.cold.stage_distribution()
+    return {"l1": l1, "l2": l2, "hot": hot}
+
+
+def query_stage_shares(sketch, keys) -> Optional[Dict[str, float]]:
+    """Fraction of queries resolved at each HS stage (figure 20(e)/(f)).
+
+    Most queried items are cold, so L1 should dominate on skewed traffic.
+    Returns None for sketches without a staged query path.
+    """
+    if not isinstance(sketch, HypersistentSketch):
+        return None
+    counts = {"l1": 0, "l2": 0, "hot": 0}
+    total = 0
+    for key in keys:
+        counts[sketch.resolving_stage(key)] += 1
+        total += 1
+    if not total:
+        return {"l1": 0.0, "l2": 0.0, "hot": 0.0}
+    return {stage: n / total for stage, n in counts.items()}

@@ -1,0 +1,128 @@
+"""Experiment registry: every reproduced paper artifact, by id.
+
+Maps experiment ids (``fig04`` ... ``fig20``, ablations) to their driver
+functions so tools, benches, and EXPERIMENTS.md generation share one source
+of truth.  See DESIGN.md §3 for the per-experiment index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .figures import ablations, fig04, fig11_14, fig15_18, fig19_20
+from .report import FigureResult
+
+Runner = Callable[[Optional[float]], List[FigureResult]]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artifact."""
+
+    exp_id: str
+    paper_artifact: str
+    description: str
+    runner: Runner
+    bench_module: str
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    exp.exp_id: exp
+    for exp in (
+        Experiment(
+            "fig04", "Figure 4",
+            "Persistence CDFs show cold-item dominance on all workloads",
+            fig04.run, "benchmarks/bench_fig04_cdf.py",
+        ),
+        Experiment(
+            "fig11", "Figure 11",
+            "AAE vs window count (estimation)",
+            fig11_14.run_fig11, "benchmarks/bench_fig11_aae_windows.py",
+        ),
+        Experiment(
+            "fig12", "Figure 12",
+            "AAE vs memory (estimation)",
+            fig11_14.run_fig12, "benchmarks/bench_fig12_aae_memory.py",
+        ),
+        Experiment(
+            "fig13", "Figure 13",
+            "ARE vs memory (estimation)",
+            fig11_14.run_fig13, "benchmarks/bench_fig13_are_memory.py",
+        ),
+        Experiment(
+            "fig14", "Figure 14",
+            "ARE vs window count (estimation)",
+            fig11_14.run_fig14, "benchmarks/bench_fig14_are_windows.py",
+        ),
+        Experiment(
+            "fig15", "Figure 15",
+            "F1 vs memory (finding persistent items)",
+            fig15_18.run_fig15, "benchmarks/bench_fig15_f1.py",
+        ),
+        Experiment(
+            "fig16", "Figure 16",
+            "ARE vs memory (finding persistent items)",
+            fig15_18.run_fig16, "benchmarks/bench_fig16_are_finding.py",
+        ),
+        Experiment(
+            "fig17", "Figure 17",
+            "FNR vs memory (finding persistent items)",
+            fig15_18.run_fig17, "benchmarks/bench_fig17_fnr.py",
+        ),
+        Experiment(
+            "fig18", "Figure 18",
+            "FPR vs memory (finding persistent items)",
+            fig15_18.run_fig18, "benchmarks/bench_fig18_fpr.py",
+        ),
+        Experiment(
+            "fig19", "Figure 19",
+            "Insert throughput with/without SIMD (+ hash-op counts)",
+            fig19_20.run_fig19, "benchmarks/bench_fig19_insert_throughput.py",
+        ),
+        Experiment(
+            "fig20", "Figure 20",
+            "Query throughput and HS stage-hit distribution",
+            fig19_20.run_fig20, "benchmarks/bench_fig20_query_throughput.py",
+        ),
+        Experiment(
+            "ablation-split", "Section III-C (FPR claim)",
+            "Cold/hot memory split ablation",
+            ablations.run_memory_split,
+            "benchmarks/bench_ablation_memory_split.py",
+        ),
+        Experiment(
+            "ablation-burst", "Theorems IV.1/IV.8",
+            "Burst Filter capture/hash-savings ablation",
+            ablations.run_burst_ablation,
+            "benchmarks/bench_ablation_burst_filter.py",
+        ),
+        Experiment(
+            "ablation-components", "Design decomposition",
+            "Stage-contribution ablation: OO vs +ColdFilter vs full HS",
+            ablations.run_component_ablation,
+            "benchmarks/bench_ablation_components.py",
+        ),
+        Experiment(
+            "ablation-thresholds", "Theorem IV.7",
+            "Cold Filter threshold sensitivity",
+            ablations.run_threshold_ablation,
+            "benchmarks/bench_ablation_thresholds.py",
+        ),
+    )
+}
+
+
+def run_experiment(
+    exp_id: str, scale: Optional[float] = None
+) -> List[FigureResult]:
+    """Run one registered experiment and return its figure tables."""
+    if exp_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[exp_id].runner(scale)
+
+
+def list_experiments() -> List[str]:
+    return sorted(EXPERIMENTS)

@@ -1,0 +1,78 @@
+"""Plain-text table rendering for figure/table reproductions.
+
+Every bench prints the same rows/series the paper plots; these helpers keep
+the formatting consistent and are also used to assemble EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Cell]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    text_rows = [[_format_cell(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in text_rows)) if text_rows
+        else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: a titled table plus free-form notes.
+
+    ``series`` maps a curve label (e.g. algorithm name) to its y-values in
+    the order of ``x_values`` — the exact data the paper plots.
+    """
+
+    figure_id: str
+    title: str
+    x_label: str
+    x_values: List[Cell]
+    series: Dict[str, List[Cell]]
+    notes: List[str] = field(default_factory=list)
+
+    def to_table(self) -> str:
+        headers = [self.x_label] + list(self.series)
+        rows = []
+        for i, x in enumerate(self.x_values):
+            rows.append(
+                [x] + [values[i] for values in self.series.values()]
+            )
+        text = format_table(headers, rows,
+                            title=f"[{self.figure_id}] {self.title}")
+        if self.notes:
+            text += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return text
+
+    def best_algorithm_at(self, x_index: int, lower_is_better: bool = True):
+        """Which curve wins at one x point (used by shape assertions)."""
+        chooser = min if lower_is_better else max
+        return chooser(self.series, key=lambda s: self.series[s][x_index])

@@ -1,0 +1,237 @@
+"""Parameter sweeps behind the paper's evaluation figures.
+
+Each sweep streams a trace through every algorithm at every parameter point
+and reduces to :class:`~repro.experiments.report.FigureResult` objects whose
+series match the curves of the corresponding paper figure.  Sweeps that feed
+multiple figures (AAE+ARE share runs; F1/ARE/FNR/FPR share runs) compute all
+of their figures in one pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.metrics import aae, are, classify, estimate_all, reported_are
+from ..common.errors import ConfigError
+from ..streams.model import Trace
+from ..streams.oracle import exact_persistence, persistent_items
+from .harness import (
+    ESTIMATION_ALGORITHMS,
+    FINDING_ALGORITHMS,
+    make_finder,
+    query_stage_shares,
+    run_algorithm,
+    run_stream,
+    time_queries,
+)
+from .report import FigureResult
+
+
+def estimation_memory_sweep(
+    trace: Trace,
+    memories_kb: Sequence[float],
+    algorithms: Sequence[str] = ("HS", "OO", "WS", "CM"),
+    seed: int = 42,
+) -> Dict[str, FigureResult]:
+    """AAE and ARE versus memory (figures 12 and 13), one pass."""
+    truth = exact_persistence(trace)
+    keys = list(truth)
+    series = {
+        m: {name: [] for name in algorithms} for m in ("aae", "are")
+    }
+    for kb in memories_kb:
+        for name in algorithms:
+            result = run_algorithm(
+                name, trace, int(kb * 1024), task="estimation", seed=seed
+            )
+            estimates = estimate_all(result.sketch.query, keys)
+            series["aae"][name].append(aae(truth, estimates))
+            series["are"][name].append(are(truth, estimates))
+    return {
+        metric: FigureResult(
+            figure_id=f"{metric}-vs-memory",
+            title=f"{metric.upper()} on persistence estimation vs. memory "
+                  f"({trace.name})",
+            x_label="memory_kb",
+            x_values=list(memories_kb),
+            series=series[metric],
+        )
+        for metric in ("aae", "are")
+    }
+
+
+def estimation_window_sweep(
+    trace: Trace,
+    window_counts: Sequence[int],
+    memory_kb: float = 500,
+    algorithms: Sequence[str] = ("HS", "OO", "WS", "CM"),
+    seed: int = 42,
+) -> Dict[str, FigureResult]:
+    """AAE and ARE versus window count at fixed memory (figures 11 and 14)."""
+    series = {
+        m: {name: [] for name in algorithms} for m in ("aae", "are")
+    }
+    for n_windows in window_counts:
+        rewindowed = trace.rewindowed(n_windows)
+        truth = exact_persistence(rewindowed)
+        keys = list(truth)
+        for name in algorithms:
+            result = run_algorithm(
+                name, rewindowed, int(memory_kb * 1024),
+                task="estimation", seed=seed,
+            )
+            estimates = estimate_all(result.sketch.query, keys)
+            series["aae"][name].append(aae(truth, estimates))
+            series["are"][name].append(are(truth, estimates))
+    return {
+        metric: FigureResult(
+            figure_id=f"{metric}-vs-windows",
+            title=f"{metric.upper()} on persistence estimation vs. window "
+                  f"count ({trace.name}, {memory_kb:g}KB)",
+            x_label="n_windows",
+            x_values=list(window_counts),
+            series=series[metric],
+        )
+        for metric in ("aae", "are")
+    }
+
+
+def finding_sweep(
+    trace: Trace,
+    memories_kb: Sequence[float],
+    alpha: float = 0.5,
+    algorithms: Sequence[str] = FINDING_ALGORITHMS,
+    seed: int = 42,
+) -> Dict[str, FigureResult]:
+    """One pass producing F1 / ARE / FNR / FPR vs memory (figures 15-18).
+
+    The four figures share the identical sweep in the paper, so we compute
+    them together: for every (algorithm, memory) cell we run once, call
+    ``report`` at the ``alpha``-threshold, and score the reported set.
+    """
+    if not 0 < alpha <= 1:
+        raise ConfigError("alpha must be in (0, 1]")
+    truth = exact_persistence(trace)
+    threshold = max(1, int(alpha * trace.n_windows))
+    actual = persistent_items(truth, threshold)
+    universe = len(truth)
+    metrics = ("f1", "are", "fnr", "fpr")
+    series: Dict[str, Dict[str, List[float]]] = {
+        m: {name: [] for name in algorithms} for m in metrics
+    }
+    for kb in memories_kb:
+        for name in algorithms:
+            finder = make_finder(name, int(kb * 1024),
+                                 n_windows=trace.n_windows, seed=seed)
+            run_stream(finder, trace)
+            reported = finder.report(threshold)
+            score = classify(set(reported), actual, universe)
+            series["f1"][name].append(score.f1)
+            series["fnr"][name].append(score.fnr)
+            series["fpr"][name].append(score.fpr)
+            series["are"][name].append(
+                reported_are(truth, reported, actual) if actual else 0.0
+            )
+    titles = {
+        "f1": "F1-Score on finding persistent items",
+        "are": "ARE on finding persistent items",
+        "fnr": "FNR on finding persistent items",
+        "fpr": "FPR on finding persistent items",
+    }
+    return {
+        m: FigureResult(
+            figure_id=f"{m}-finding",
+            title=f"{titles[m]} ({trace.name}, alpha={alpha})",
+            x_label="memory_kb",
+            x_values=list(memories_kb),
+            series=series[m],
+            notes=[f"threshold={threshold} of {trace.n_windows} windows, "
+                   f"{len(actual)} truly persistent items"],
+        )
+        for m in metrics
+    }
+
+
+def insert_throughput_sweep(
+    trace: Trace,
+    memories_kb: Sequence[float],
+    algorithms: Sequence[str] = ESTIMATION_ALGORITHMS,
+    seed: int = 42,
+) -> Dict[str, FigureResult]:
+    """Insert throughput and hash cost vs memory (figure 19).
+
+    Returns two figures: wall-clock Mops (indicative in Python) and hash
+    operations per insert (platform-independent; lower is faster).
+    """
+    mops: Dict[str, List[float]] = {name: [] for name in algorithms}
+    hash_cost: Dict[str, List[float]] = {name: [] for name in algorithms}
+    for kb in memories_kb:
+        for name in algorithms:
+            result = run_algorithm(
+                name, trace, int(kb * 1024), task="estimation", seed=seed
+            )
+            mops[name].append(result.insert.mops)
+            hash_cost[name].append(result.insert.hash_ops_per_operation)
+    shared = dict(x_label="memory_kb", x_values=list(memories_kb))
+    return {
+        "mops": FigureResult(
+            figure_id="insert-mops",
+            title=f"Insert throughput, Mops ({trace.name})",
+            series=mops,
+            notes=["wall-clock in interpreted Python: ranking only"],
+            **shared,
+        ),
+        "hash_ops": FigureResult(
+            figure_id="insert-hashops",
+            title=f"Hash computations per insert ({trace.name})",
+            series=hash_cost,
+            **shared,
+        ),
+    }
+
+
+def query_throughput_sweep(
+    trace: Trace,
+    memories_kb: Sequence[float],
+    algorithms: Sequence[str] = ESTIMATION_ALGORITHMS,
+    seed: int = 42,
+    queries: Optional[List[int]] = None,
+) -> Dict[str, FigureResult]:
+    """Query throughput vs memory plus HS stage-hit shares (figure 20)."""
+    truth = exact_persistence(trace)
+    keys = queries if queries is not None else list(truth)
+    mqps: Dict[str, List[float]] = {name: [] for name in algorithms}
+    stages: Dict[str, List[float]] = {"l1": [], "l2": [], "hot": []}
+    for kb in memories_kb:
+        for name in algorithms:
+            result = run_algorithm(
+                name, trace, int(kb * 1024), task="estimation", seed=seed
+            )
+            record = time_queries(result.sketch, keys)
+            mqps[name].append(record.mops)
+            if name == "HS":
+                dist = query_stage_shares(result.sketch, keys)
+                if dist:
+                    for stage in stages:
+                        stages[stage].append(dist[stage])
+    out = {
+        "mqps": FigureResult(
+            figure_id="query-mqps",
+            title=f"Query throughput, Mqps ({trace.name})",
+            x_label="memory_kb",
+            x_values=list(memories_kb),
+            series=mqps,
+            notes=["wall-clock in interpreted Python: ranking only"],
+        )
+    }
+    if stages["l1"]:
+        out["stages"] = FigureResult(
+            figure_id="query-stages",
+            title=f"HS query share resolved per stage ({trace.name})",
+            x_label="memory_kb",
+            x_values=list(memories_kb),
+            series=stages,
+            notes=["fig 20(e)/(f): share of queries resolved per stage; "
+                   "most queried items are cold -> L1 dominates"],
+        )
+    return out

@@ -1,0 +1,87 @@
+"""Seed replication: medians and spread across repeated runs.
+
+The paper reports the *median over five experimental runs* for throughput
+metrics.  This module generalizes that: run any sweep under several seeds
+and reduce the resulting figures point-wise to median / min / max series,
+so benches can both report stable numbers and quantify seed sensitivity.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Callable, Dict, List, Sequence
+
+from ..common.errors import ConfigError
+from .report import FigureResult
+
+
+def median_figure(figures: Sequence[FigureResult]) -> FigureResult:
+    """Point-wise median of same-shaped figures (one per seed)."""
+    if not figures:
+        raise ConfigError("median_figure needs at least one figure")
+    first = figures[0]
+    for other in figures[1:]:
+        if other.x_values != first.x_values or \
+                set(other.series) != set(first.series):
+            raise ConfigError("figures must share x values and series")
+    series: Dict[str, List[float]] = {}
+    for name in first.series:
+        series[name] = [
+            statistics.median(f.series[name][i] for f in figures)
+            for i in range(len(first.x_values))
+        ]
+    return FigureResult(
+        figure_id=first.figure_id,
+        title=f"{first.title} (median of {len(figures)} runs)",
+        x_label=first.x_label,
+        x_values=list(first.x_values),
+        series=series,
+        notes=list(first.notes),
+    )
+
+
+def spread_figure(figures: Sequence[FigureResult]) -> FigureResult:
+    """Point-wise relative spread ((max-min)/median) per series.
+
+    A direct seed-sensitivity readout: values near 0 mean the sweep's
+    conclusions do not depend on the RNG seed.
+    """
+    if not figures:
+        raise ConfigError("spread_figure needs at least one figure")
+    first = figures[0]
+    series: Dict[str, List[float]] = {}
+    for name in first.series:
+        spreads = []
+        for i in range(len(first.x_values)):
+            values = [f.series[name][i] for f in figures]
+            mid = statistics.median(values)
+            spreads.append(
+                (max(values) - min(values)) / mid if mid else 0.0
+            )
+        series[name] = spreads
+    return FigureResult(
+        figure_id=f"{first.figure_id}-spread",
+        title=f"{first.title} (relative spread over {len(figures)} seeds)",
+        x_label=first.x_label,
+        x_values=list(first.x_values),
+        series=series,
+    )
+
+
+def replicate(
+    sweep: Callable[[int], FigureResult],
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+) -> Dict[str, FigureResult]:
+    """Run a seed-parameterized sweep per seed; return median and spread.
+
+    ``sweep`` takes a seed and returns one figure; the paper's five-run
+    median corresponds to the default seed list.
+    """
+    if not seeds:
+        raise ConfigError("replicate needs at least one seed")
+    figures = [sweep(seed) for seed in seeds]
+    return {
+        "median": median_figure(figures),
+        "spread": spread_figure(figures),
+        "runs": figures,
+    }

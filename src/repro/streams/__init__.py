@@ -1,0 +1,70 @@
+"""Stream substrate: trace model, workload generators, ground-truth oracle."""
+
+from .adversarial import (
+    boundary_spikes,
+    churn_trace,
+    distinct_flood,
+    single_item_flood,
+)
+from .ingest import flow_key, trace_from_csv_log, trace_from_events
+from .io import load_trace_csv, load_trace_npz, save_trace_csv, save_trace_npz
+from .model import Trace, merge_traces, trace_from_timestamps
+from .runtime import StreamDriver
+from .oracle import (
+    alpha_threshold,
+    exact_frequency,
+    exact_persistence,
+    persistence_histogram,
+    persistent_items,
+    sample_query_set,
+    top_persistent,
+)
+from .synthetic import (
+    burst_trace,
+    exponential_trace,
+    persistence_trace,
+    uniform_trace,
+    zipf_trace,
+)
+from .traces import (
+    big_caida_like,
+    caida_like,
+    campus_like,
+    mawi_like,
+    polygraph_like,
+)
+
+__all__ = [
+    "Trace",
+    "alpha_threshold",
+    "big_caida_like",
+    "boundary_spikes",
+    "burst_trace",
+    "caida_like",
+    "campus_like",
+    "churn_trace",
+    "distinct_flood",
+    "exact_frequency",
+    "exact_persistence",
+    "exponential_trace",
+    "flow_key",
+    "load_trace_csv",
+    "load_trace_npz",
+    "mawi_like",
+    "merge_traces",
+    "persistence_trace",
+    "persistence_histogram",
+    "persistent_items",
+    "polygraph_like",
+    "sample_query_set",
+    "single_item_flood",
+    "StreamDriver",
+    "save_trace_csv",
+    "save_trace_npz",
+    "top_persistent",
+    "trace_from_csv_log",
+    "trace_from_events",
+    "trace_from_timestamps",
+    "uniform_trace",
+    "zipf_trace",
+]

@@ -1,0 +1,103 @@
+"""Ingest real event logs into the windowed trace model.
+
+Production users rarely start from synthetic generators — they have flow
+logs, access logs, or click logs with an identifier column and a timestamp
+column.  These helpers build a :class:`~repro.streams.model.Trace` from
+such records, canonicalizing identifiers and dividing the observed time
+range into equal windows (the paper's stream model).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Tuple, Union
+
+from ..common.errors import StreamError
+from ..common.hashing import ItemKey, canonical_key
+from .model import Trace, trace_from_timestamps
+
+PathLike = Union[str, Path]
+
+
+def trace_from_events(
+    events: Iterable[Tuple[ItemKey, float]],
+    n_windows: int,
+    name: str = "events",
+) -> Trace:
+    """Build a trace from in-memory ``(identifier, timestamp)`` pairs.
+
+    Identifiers may be ints, strings or bytes; timestamps must be
+    non-decreasing (stream order).
+    """
+    items = []
+    times = []
+    for identifier, timestamp in events:
+        items.append(canonical_key(identifier))
+        times.append(float(timestamp))
+    return trace_from_timestamps(items, times, n_windows, name=name)
+
+
+def trace_from_csv_log(
+    path: PathLike,
+    item_column: str,
+    time_column: str,
+    n_windows: int,
+    item_parser: Optional[Callable[[str], ItemKey]] = None,
+    name: Optional[str] = None,
+) -> Trace:
+    """Build a trace from a CSV log with header row.
+
+    ``item_column`` values are canonicalized as strings by default; pass
+    ``item_parser`` to convert them first (e.g. ``int`` for numeric flow
+    ids, or a function combining several columns upstream).
+
+    >>> import tempfile, os
+    >>> fd, p = tempfile.mkstemp(suffix=".csv"); os.close(fd)
+    >>> _ = open(p, "w").write("flow,ts\\na,0.0\\nb,1.0\\na,2.0\\n")
+    >>> t = trace_from_csv_log(p, "flow", "ts", n_windows=2)
+    >>> t.n_records, t.n_windows
+    (3, 2)
+    >>> os.unlink(p)
+    """
+    path = Path(path)
+    parser = item_parser if item_parser is not None else str
+    items = []
+    times = []
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None:
+            raise StreamError(f"{path}: empty CSV")
+        for column in (item_column, time_column):
+            if column not in reader.fieldnames:
+                raise StreamError(
+                    f"{path}: missing column {column!r} "
+                    f"(have {reader.fieldnames})"
+                )
+        for row_number, row in enumerate(reader, start=2):
+            try:
+                items.append(canonical_key(parser(row[item_column])))
+                times.append(float(row[time_column]))
+            except (TypeError, ValueError) as exc:
+                raise StreamError(
+                    f"{path}:{row_number}: bad record: {exc}"
+                ) from exc
+    return trace_from_timestamps(
+        items, times, n_windows, name=name or path.stem
+    )
+
+
+def flow_key(*parts: ItemKey) -> int:
+    """Canonical key for a composite identifier (e.g. a 5-tuple).
+
+    >>> a = flow_key("10.0.0.1", "10.0.0.2", 443)
+    >>> b = flow_key("10.0.0.1", "10.0.0.2", 443)
+    >>> a == b
+    True
+    >>> a != flow_key("10.0.0.2", "10.0.0.1", 443)
+    True
+    """
+    if not parts:
+        raise StreamError("flow_key needs at least one component")
+    combined = "\x1f".join(str(part) for part in parts)
+    return canonical_key(combined)

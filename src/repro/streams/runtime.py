@@ -1,0 +1,122 @@
+"""Online event-time driver: run a sketch on live ``(item, time)`` events.
+
+Precomputed :class:`~repro.streams.model.Trace` objects suit experiments;
+a deployment consumes an unbounded event stream and must decide window
+boundaries itself.  :class:`StreamDriver` owns that logic:
+
+* fixed-duration windows anchored at the first event's timestamp;
+* automatic ``end_window`` calls when an event crosses the boundary
+  (including closing any empty windows skipped over — flag semantics
+  require every boundary to fire);
+* policy for late (out-of-order) events: count into the current window
+  (default, what a one-pass system can do), or drop, or raise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.errors import StreamError
+from ..common.hashing import ItemKey
+
+#: Late-event policies.
+LATE_CURRENT = "current"   # fold into the current window (default)
+LATE_DROP = "drop"         # ignore the event
+LATE_ERROR = "error"       # raise StreamError
+
+
+class StreamDriver:
+    """Feed timestamped events into any windowed sketch.
+
+    >>> from repro.baselines.exact import ExactTracker
+    >>> driver = StreamDriver(ExactTracker(), window_duration=10.0)
+    >>> for t in (0.0, 5.0, 12.0, 27.0):
+    ...     driver.process("flow", t)
+    >>> driver.flush()
+    >>> driver.sketch.query("flow")   # windows [0,10) [10,20) [20,30)
+    3
+    """
+
+    def __init__(
+        self,
+        sketch,
+        window_duration: float,
+        late_policy: str = LATE_CURRENT,
+        max_catchup_windows: int = 100_000,
+    ):
+        if window_duration <= 0:
+            raise StreamError("window_duration must be positive")
+        if late_policy not in (LATE_CURRENT, LATE_DROP, LATE_ERROR):
+            raise StreamError(f"unknown late policy: {late_policy}")
+        if max_catchup_windows < 1:
+            raise StreamError("max_catchup_windows must be >= 1")
+        self.sketch = sketch
+        self.window_duration = float(window_duration)
+        self.late_policy = late_policy
+        self.max_catchup_windows = max_catchup_windows
+        self._origin: Optional[float] = None
+        self._current_window = 0
+        self._flushed = False
+        self.events = 0
+        self.late_events = 0
+        self.dropped_events = 0
+
+    # ------------------------------------------------------------------
+    def _window_of(self, timestamp: float) -> int:
+        return int((timestamp - self._origin) // self.window_duration)
+
+    def process(self, item: ItemKey, timestamp: float) -> None:
+        """Ingest one event; closes windows as event time advances."""
+        if self._flushed:
+            raise StreamError("driver already flushed")
+        self.events += 1
+        if self._origin is None:
+            self._origin = float(timestamp)
+        target = self._window_of(timestamp)
+        if target < self._current_window:
+            self.late_events += 1
+            if self.late_policy == LATE_DROP:
+                self.dropped_events += 1
+                return
+            if self.late_policy == LATE_ERROR:
+                raise StreamError(
+                    f"late event at t={timestamp} "
+                    f"(window {target} < {self._current_window})"
+                )
+            target = self._current_window  # fold into the open window
+        advance = target - self._current_window
+        if advance > self.max_catchup_windows:
+            raise StreamError(
+                f"event jumps {advance} windows ahead "
+                f"(> max_catchup_windows={self.max_catchup_windows})"
+            )
+        for _ in range(advance):
+            self.sketch.end_window()
+            self._current_window += 1
+        self.sketch.insert(item)
+
+    def flush(self) -> None:
+        """Close the final window (call once, when the stream ends)."""
+        if self._flushed:
+            return
+        if self._origin is not None:
+            self.sketch.end_window()
+            self._current_window += 1
+        self._flushed = True
+
+    # ------------------------------------------------------------------
+    @property
+    def windows_closed(self) -> int:
+        """How many window boundaries have fired so far."""
+        return self._current_window
+
+    @property
+    def current_window_start(self) -> Optional[float]:
+        """Event-time start of the currently open window."""
+        if self._origin is None:
+            return None
+        return self._origin + self._current_window * self.window_duration
+
+    def query(self, item: ItemKey) -> int:
+        """Live persistence estimate (delegates to the sketch)."""
+        return self.sketch.query(item)

@@ -1,0 +1,34 @@
+"""Shared fixtures: small deterministic traces for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streams import Trace, zipf_trace
+from repro.streams.oracle import exact_persistence
+
+
+@pytest.fixture(scope="session")
+def tiny_trace() -> Trace:
+    """A minute hand-checkable trace: 3 items over 4 windows."""
+    items = [1, 2, 1, 2, 3, 1, 1, 3]
+    wids = [0, 0, 1, 1, 1, 2, 3, 3]
+    return Trace(items, wids, 4, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def small_zipf() -> Trace:
+    """A small skewed stream with planted stealthy persistent items."""
+    return zipf_trace(
+        n_records=12_000,
+        n_windows=60,
+        skew=1.2,
+        n_items=2_000,
+        seed=11,
+        n_stealthy=4,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_truth(small_zipf):
+    return exact_persistence(small_zipf)

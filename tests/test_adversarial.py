@@ -1,0 +1,97 @@
+"""Robustness tests: sketches under adversarial workloads."""
+
+import pytest
+
+from repro.common.errors import StreamError
+from repro.core import HSConfig, HypersistentSketch
+from repro.experiments.harness import run_stream
+from repro.streams.adversarial import (
+    boundary_spikes,
+    churn_trace,
+    distinct_flood,
+    single_item_flood,
+)
+from repro.streams.oracle import exact_persistence
+
+
+class TestGenerators:
+    def test_distinct_flood_all_unique(self):
+        t = distinct_flood(500, 10)
+        assert t.n_distinct == 500
+        truth = exact_persistence(t)
+        assert all(p == 1 for p in truth.values())
+
+    def test_single_item_flood(self):
+        t = single_item_flood(1000, 20)
+        assert t.n_distinct == 1
+        assert exact_persistence(t)[7] == 20
+
+    def test_boundary_spikes_persistence(self):
+        t = boundary_spikes(50, 10)
+        truth = exact_persistence(t)
+        assert all(p == 5 for p in truth.values())  # even windows only
+
+    def test_churn_cohorts(self):
+        t = churn_trace(20, 30, phase=10)
+        truth = exact_persistence(t)
+        assert len(truth) == 60  # 3 cohorts of 20
+        assert all(p == 10 for p in truth.values())
+
+    def test_validation(self):
+        with pytest.raises(StreamError):
+            distinct_flood(0, 5)
+        with pytest.raises(StreamError):
+            single_item_flood(3, 5)
+        with pytest.raises(StreamError):
+            boundary_spikes(0, 5)
+        with pytest.raises(StreamError):
+            churn_trace(1, 1, phase=0)
+
+
+class TestSketchRobustness:
+    def _sketch(self, n_windows, kb=16):
+        return HypersistentSketch(
+            HSConfig.for_estimation(kb * 1024, n_windows)
+        )
+
+    def test_distinct_flood_no_crash_and_bounded(self):
+        t = distinct_flood(5000, 20)
+        sketch = self._sketch(20)
+        run_stream(sketch, t)
+        # any queried item is bounded by the window count
+        for key in t.items[:200]:
+            assert 0 <= sketch.query(key) <= 20
+
+    def test_single_item_flood_burst_filter_absorbs(self):
+        t = single_item_flood(20_000, 20)
+        sketch = self._sketch(20)
+        result = run_stream(sketch, t)
+        assert sketch.query(7) == 20
+        # nearly every occurrence handled in stage 1: ~1 hash per insert
+        assert result.insert.hash_ops_per_operation < 1.2
+
+    def test_boundary_spikes_exact_with_memory(self):
+        t = boundary_spikes(100, 20)
+        sketch = self._sketch(20, kb=64)
+        run_stream(sketch, t)
+        truth = exact_persistence(t)
+        for key, p in truth.items():
+            assert sketch.query(key) == p
+
+    def test_churn_does_not_inflate_dead_cohorts(self):
+        t = churn_trace(50, 40, phase=10)
+        sketch = self._sketch(40, kb=64)
+        run_stream(sketch, t)
+        truth = exact_persistence(t)
+        errors = [abs(sketch.query(k) - p) for k, p in truth.items()]
+        assert sum(errors) / len(errors) < 2.0
+
+    def test_on_off_v1_under_distinct_flood(self):
+        from repro.baselines import OnOffSketchV1
+
+        t = distinct_flood(5000, 20)
+        oo = OnOffSketchV1(16 * 1024)
+        run_stream(oo, t)
+        truth = exact_persistence(t)
+        sample = list(truth)[::50]
+        assert all(oo.query(k) >= 1 for k in sample)

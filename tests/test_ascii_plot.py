@@ -1,0 +1,68 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_plot, plot_figure
+from repro.experiments.report import FigureResult
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        chart = ascii_plot([1, 2, 3], {"HS": [1.0, 0.5, 0.1]})
+        assert "o=HS" in chart
+        assert chart.count("o") >= 3
+
+    def test_title_and_axis_info(self):
+        chart = ascii_plot([1], {"A": [2.0]}, title="T", log_y=False)
+        assert chart.splitlines()[0] == "T"
+        assert "y[lin]" in chart
+
+    def test_log_scale_handles_zeros(self):
+        chart = ascii_plot([1, 2], {"A": [0.0, 10.0]}, log_y=True)
+        assert "y[log]" in chart
+
+    def test_all_zero_falls_back_to_linear(self):
+        chart = ascii_plot([1, 2], {"A": [0.0, 0.0]}, log_y=True)
+        assert "y[lin]" in chart
+
+    def test_multiple_series_distinct_glyphs(self):
+        chart = ascii_plot(
+            [1, 2], {"A": [1.0, 2.0], "B": [3.0, 4.0]}, log_y=False
+        )
+        assert "o=A" in chart and "x=B" in chart
+
+    def test_overlap_marked(self):
+        chart = ascii_plot([1], {"A": [5.0], "B": [5.0]}, log_y=False)
+        assert "*" in chart
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], {"A": [1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1], {})
+
+    def test_ordering_visible(self):
+        """The lower-error series must render on lower rows."""
+        chart = ascii_plot(
+            [1], {"low": [1.0], "high": [100.0]}, log_y=True, height=10
+        )
+        lines = chart.splitlines()
+        row_of = {}
+        for i, line in enumerate(lines):
+            if "o" in line and "=low" not in line:
+                row_of["low"] = i
+            if "x" in line and "=B" not in line and "=high" not in line:
+                row_of["high"] = i
+        assert row_of["high"] < row_of["low"]  # higher value -> upper row
+
+
+class TestPlotFigure:
+    def test_wraps_figure_result(self):
+        figure = FigureResult(
+            figure_id="f", title="t", x_label="x",
+            x_values=[1, 2], series={"HS": [0.5, 0.1]},
+        )
+        chart = plot_figure(figure)
+        assert "[f] t" in chart

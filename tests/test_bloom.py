@@ -1,0 +1,86 @@
+"""Unit tests for the Bloom filter substrate."""
+
+import pytest
+
+from repro.baselines.bloom import BloomFilter, optimal_hash_count
+from repro.common.errors import ConfigError
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        bf = BloomFilter(memory_bytes=256, n_hashes=3, seed=1)
+        keys = list(range(100))
+        for k in keys:
+            bf.add(k)
+        assert all(k in bf for k in keys)
+
+    def test_add_reports_prior_presence(self):
+        bf = BloomFilter(memory_bytes=256, seed=1)
+        assert bf.add(42) is False  # new
+        assert bf.add(42) is True   # already there
+
+    def test_fresh_filter_rejects(self):
+        bf = BloomFilter(memory_bytes=64, seed=1)
+        assert 7 not in bf
+
+    def test_false_positive_rate_reasonable(self):
+        bf = BloomFilter(memory_bytes=1024, n_hashes=3, seed=2)
+        for k in range(500):
+            bf.add(k)
+        fps = sum(1 for k in range(10_000, 12_000) if k in bf)
+        assert fps / 2000 < 0.15
+
+    def test_clear(self):
+        bf = BloomFilter(memory_bytes=64, seed=1)
+        bf.add(9)
+        bf.clear()
+        assert 9 not in bf
+        assert bf.fill_ratio() == 0.0
+
+
+class TestAccounting:
+    def test_fill_ratio_monotone(self):
+        bf = BloomFilter(memory_bytes=64, seed=3)
+        previous = 0.0
+        for k in range(50):
+            bf.add(k)
+            ratio = bf.fill_ratio()
+            assert ratio >= previous
+            previous = ratio
+
+    def test_theoretical_fpr_tracks_fill(self):
+        bf = BloomFilter(memory_bytes=64, n_hashes=2, seed=3)
+        assert bf.false_positive_rate() == 0.0
+        for k in range(200):
+            bf.add(k)
+        assert 0 < bf.false_positive_rate() <= 1.0
+
+    def test_memory_and_bits(self):
+        bf = BloomFilter(memory_bytes=100, seed=1)
+        assert bf.modeled_bits == 800
+        assert bf.memory_bytes == 100
+
+    def test_hash_ops_counted(self):
+        bf = BloomFilter(memory_bytes=64, n_hashes=4, seed=1)
+        bf.add(1)
+        _ = 1 in bf
+        assert bf.hash_ops == 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BloomFilter(0)
+        with pytest.raises(ConfigError):
+            BloomFilter(10, n_hashes=0)
+
+
+class TestOptimalHashes:
+    def test_classic_formula(self):
+        # m/n = 10 bits per item -> k ~ 7
+        assert optimal_hash_count(1000, 100) == 7
+
+    def test_clamped(self):
+        assert optimal_hash_count(8, 10_000) == 1
+        assert optimal_hash_count(10**9, 1) == 8
+
+    def test_degenerate_item_count(self):
+        assert optimal_hash_count(100, 0) == 1

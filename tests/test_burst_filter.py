@@ -1,0 +1,99 @@
+"""Unit tests for the Burst Filter (stage 1)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.burst_filter import BurstFilter
+
+
+class TestInsertCases:
+    def test_absorbs_new_item(self):
+        bf = BurstFilter(4, cells_per_bucket=2, seed=1)
+        assert bf.insert(10) is True
+        assert len(bf) == 1
+
+    def test_duplicate_absorbed_without_growth(self):
+        bf = BurstFilter(4, cells_per_bucket=2, seed=1)
+        bf.insert(10)
+        assert bf.insert(10) is True
+        assert len(bf) == 1
+
+    def test_overflow_returns_false(self):
+        bf = BurstFilter(1, cells_per_bucket=2, seed=1)
+        assert bf.insert(1) and bf.insert(2)
+        assert bf.insert(3) is False  # single bucket, full
+        assert len(bf) == 2
+
+    def test_resident_item_absorbed_even_when_bucket_full(self):
+        bf = BurstFilter(1, cells_per_bucket=2, seed=1)
+        bf.insert(1)
+        bf.insert(2)
+        assert bf.insert(1) is True  # case 1 beats case 3
+
+    def test_stats_counters(self):
+        bf = BurstFilter(1, cells_per_bucket=1, seed=1)
+        bf.insert(1)
+        bf.insert(2)
+        assert bf.absorbed == 1 and bf.overflowed == 1
+        assert bf.hash_ops == 2
+
+
+class TestDrain:
+    def test_drain_yields_each_stored_id_once(self):
+        bf = BurstFilter(8, cells_per_bucket=4, seed=2)
+        for k in range(10):
+            bf.insert(k)
+            bf.insert(k)  # duplicates must not double-drain
+        drained = sorted(bf.drain())
+        assert drained == list(range(10))
+
+    def test_drain_clears(self):
+        bf = BurstFilter(4, cells_per_bucket=4, seed=2)
+        bf.insert(5)
+        list(bf.drain())
+        assert len(bf) == 0
+        assert bf.insert(5) is True  # can absorb again next window
+
+    def test_clear(self):
+        bf = BurstFilter(4, cells_per_bucket=4, seed=2)
+        bf.insert(5)
+        bf.clear()
+        assert len(bf) == 0
+
+
+class TestContains:
+    def test_contains_after_insert(self):
+        bf = BurstFilter(4, cells_per_bucket=2, seed=3)
+        bf.insert(42)
+        assert bf.contains(42)
+        assert not bf.contains(43)
+
+    def test_contains_after_drain(self):
+        bf = BurstFilter(4, cells_per_bucket=2, seed=3)
+        bf.insert(42)
+        list(bf.drain())
+        assert not bf.contains(42)
+
+
+class TestAccounting:
+    def test_capacity_and_load(self):
+        bf = BurstFilter(3, cells_per_bucket=4, seed=4)
+        assert bf.capacity == 12
+        bf.insert(1)
+        assert bf.load_factor == pytest.approx(1 / 12)
+
+    def test_modeled_bits_is_32_per_cell(self):
+        bf = BurstFilter(2, cells_per_bucket=4, seed=4)
+        assert bf.modeled_bits == 2 * 4 * 32
+
+    def test_reset_stats(self):
+        bf = BurstFilter(2, cells_per_bucket=1, seed=4)
+        bf.insert(1)
+        bf.reset_stats()
+        assert bf.hash_ops == 0 and bf.absorbed == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BurstFilter(0)
+        with pytest.raises(ConfigError):
+            BurstFilter(1, cells_per_bucket=0)

@@ -1,0 +1,164 @@
+"""Unit tests for the CDF helpers and Section IV's theory formulas."""
+
+import math
+
+import pytest
+
+from repro.analysis.cdf import cdf_table, fraction_at_or_below, persistence_cdf
+from repro.analysis.theory import (
+    ThresholdDesign,
+    burst_capture_probability,
+    error_envelope,
+    expected_speedup,
+    harmonic_number,
+    hash_savings,
+    overestimate_probability_bound,
+    pareto_optimal_k,
+    skewness_error_bound,
+    zipf_persistence,
+)
+
+
+class TestCdf:
+    def test_persistence_cdf_monotone_to_one(self):
+        truth = {1: 1, 2: 1, 3: 5, 4: 9}
+        cdf = persistence_cdf(truth)
+        values = [frac for _, frac in cdf]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_persistence_cdf_points(self):
+        truth = {1: 1, 2: 1, 3: 5}
+        assert persistence_cdf(truth)[0] == (1, pytest.approx(2 / 3))
+
+    def test_fraction_at_or_below(self):
+        truth = {1: 1, 2: 3, 3: 10}
+        assert fraction_at_or_below(truth, 3) == pytest.approx(2 / 3)
+
+    def test_cdf_table_keys(self):
+        truth = {1: 2}
+        table = cdf_table(truth, probes=(1, 5))
+        assert set(table) == {1, 5}
+        assert table[5] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            persistence_cdf({})
+        with pytest.raises(ValueError):
+            fraction_at_or_below({}, 5)
+
+
+class TestBurstCapture:
+    def test_oversized_filter_captures_everything(self):
+        p = burst_capture_probability(10, n_buckets=1000,
+                                      cells_per_bucket=4)
+        assert p > 0.999
+
+    def test_capture_improves_with_cells(self):
+        small = burst_capture_probability(500, 100, 1)
+        large = burst_capture_probability(500, 100, 8)
+        assert large > small
+
+    def test_capture_degrades_with_load(self):
+        light = burst_capture_probability(50, 100, 2)
+        heavy = burst_capture_probability(5000, 100, 2)
+        assert light > heavy
+
+    def test_empty_stream(self):
+        assert burst_capture_probability(0, 10, 2) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            burst_capture_probability(10, 0, 2)
+
+
+class TestBounds:
+    def test_error_envelope(self):
+        assert error_envelope(3, 10) == (3, 10)
+        with pytest.raises(ValueError):
+            error_envelope(11, 10)
+
+    def test_overestimate_bound_shrinks_with_width(self):
+        wide = overestimate_probability_bound(0.01, 10_000, 2)
+        narrow = overestimate_probability_bound(0.01, 100, 2)
+        assert wide < narrow
+
+    def test_overestimate_bound_shrinks_with_depth(self):
+        shallow = overestimate_probability_bound(0.01, 1000, 1)
+        deep = overestimate_probability_bound(0.01, 1000, 3)
+        assert deep < shallow
+
+    def test_bound_clamped_to_one(self):
+        assert overestimate_probability_bound(1e-9, 1, 1) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            overestimate_probability_bound(0, 10, 1)
+
+
+class TestZipfTheory:
+    def test_harmonic_number(self):
+        assert harmonic_number(3, 1.0) == pytest.approx(1 + 0.5 + 1 / 3)
+
+    def test_zipf_persistence_normalized(self):
+        total = sum(zipf_persistence(i, 50, 1.5) for i in range(1, 51))
+        assert total == pytest.approx(1.0)
+
+    def test_higher_skew_lowers_bound(self):
+        """Thm IV.6's claim: more skew -> smaller expected error."""
+        flat = skewness_error_bound(10_000, 1.1, 1000, 500)
+        steep = skewness_error_bound(10_000, 2.0, 1000, 500)
+        assert steep < flat
+
+    def test_more_counters_lower_bound(self):
+        small = skewness_error_bound(10_000, 1.5, 100, 50)
+        large = skewness_error_bound(10_000, 1.5, 10_000, 5000)
+        assert large < small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_persistence(0, 10, 1.5)
+        with pytest.raises(ValueError):
+            skewness_error_bound(10, 1.5, 0, 5)
+
+
+class TestThresholdDesign:
+    def test_tradeoff_directions(self):
+        base = ThresholdDesign(k1=2, k2=3, n=10_000, m=1000)
+        bigger_k = ThresholdDesign(k1=4, k2=6, n=10_000, m=1000)
+        assert bigger_k.memory_efficiency < base.memory_efficiency
+        assert bigger_k.relative_error > base.relative_error
+
+    def test_delta2_scales_delta1(self):
+        design = ThresholdDesign(k1=2, k2=3, n=10_000, m=1000)
+        assert design.delta2 == pytest.approx(3 * design.delta1)
+
+    def test_pareto_optimal_orders(self):
+        k1, k2 = pareto_optimal_k(10_000, 1000)
+        assert k1 == pytest.approx(math.sqrt(10_000 / math.log(10_000)))
+        assert k2 == pytest.approx((1000 / math.log(1000)) ** (1 / 3))
+
+    def test_pareto_validation(self):
+        with pytest.raises(ValueError):
+            pareto_optimal_k(2, 1000)
+
+
+class TestHashSavings:
+    def test_paper_worked_example(self):
+        # 100 occurrences, 2 cold hashes: 200 vs 102 -> saves 98
+        assert hash_savings(100, 2) == 98
+
+    def test_savings_grow_with_hash_count(self):
+        assert hash_savings(100, 4) > hash_savings(100, 2)
+
+    def test_expected_speedup_approaches_cold_hashes(self):
+        assert expected_speedup(1000, 2) == pytest.approx(2.0, rel=0.01)
+
+    def test_speedup_below_one_when_no_repeats(self):
+        assert expected_speedup(1, 2) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hash_savings(0, 2)
+        with pytest.raises(ValueError):
+            expected_speedup(0.5, 2)

@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.streams import zipf_trace
+from repro.streams.io import save_trace_npz
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    trace = zipf_trace(4000, 30, seed=23, n_items=600, n_stealthy=2)
+    path = tmp_path / "t.npz"
+    save_trace_npz(trace, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestListExperiments:
+    def test_lists_all_figures(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        for fid in ("fig04", "fig11", "fig20", "ablation-burst"):
+            assert fid in out
+
+
+class TestRunExperiment:
+    def test_unknown_id_fails_cleanly(self, capsys):
+        assert main(["run-experiment", "fig99"]) == 2
+        assert "fig99" in capsys.readouterr().err
+
+    def test_fig04_with_plot(self, capsys):
+        assert main(["run-experiment", "fig04", "--scale", "0.002",
+                     "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "[fig04]" in out
+        assert "y[" in out  # the ASCII chart was rendered
+
+
+class TestGenerateTrace:
+    def test_zipf_to_npz(self, tmp_path, capsys):
+        out_path = tmp_path / "z.npz"
+        code = main([
+            "generate-trace", "zipf", str(out_path),
+            "--records", "2000", "--windows", "20", "--seed", "3",
+        ])
+        assert code == 0
+        assert out_path.exists()
+        assert "2000 records" in capsys.readouterr().out
+
+    def test_named_trace_to_csv(self, tmp_path):
+        out_path = tmp_path / "c.csv"
+        code = main([
+            "generate-trace", "caida", str(out_path),
+            "--scale", "0.002", "--windows", "30",
+        ])
+        assert code == 0
+        assert out_path.exists()
+
+    def test_polygraph_preset(self, tmp_path):
+        out_path = tmp_path / "p.npz"
+        code = main([
+            "generate-trace", "polygraph-2.0", str(out_path),
+            "--scale", "0.002", "--windows", "30",
+        ])
+        assert code == 0
+
+
+class TestCompare:
+    def test_compare_default_algorithms(self, trace_file, capsys):
+        assert main(["compare", trace_file, "--memory-kb", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "AAE" in out and "HS" in out and "best at" in out
+
+    def test_compare_custom_set(self, trace_file, capsys):
+        assert main([
+            "compare", trace_file, "--algorithms", "OO", "CM",
+            "--memory-kb", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "OO" in out and "CM" in out
+
+    def test_compare_rejects_unknown_algorithm(self, trace_file):
+        with pytest.raises(SystemExit):
+            main(["compare", trace_file, "--algorithms", "nope"])
+
+
+class TestEstimateAndFind:
+    def test_estimate(self, trace_file, capsys):
+        code = main([
+            "estimate", trace_file, "--algorithm", "HS",
+            "--memory-kb", "16",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AAE" in out and "ARE" in out
+
+    def test_estimate_all_algorithms(self, trace_file):
+        for name in ("OO", "CM"):
+            assert main(["estimate", trace_file, "--algorithm", name,
+                         "--memory-kb", "8"]) == 0
+
+    def test_find(self, trace_file, capsys):
+        code = main([
+            "find", trace_file, "--algorithm", "HS",
+            "--memory-kb", "8", "--alpha", "0.5", "--show",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "F1" in out and "FNR" in out

@@ -1,0 +1,98 @@
+"""Unit tests for Count-Min / CU sketches and the CM persistence baseline."""
+
+import pytest
+
+from repro.baselines.cm_sketch import (
+    CMPersistenceSketch,
+    CountMinSketch,
+    CUSketch,
+)
+from repro.common.errors import ConfigError
+from repro.streams.oracle import exact_persistence
+
+
+class TestCountMin:
+    def test_single_item_exact(self):
+        cm = CountMinSketch(memory_bytes=1024, seed=1)
+        for _ in range(5):
+            cm.add(7)
+        assert cm.estimate(7) == 5
+
+    def test_never_underestimates(self):
+        cm = CountMinSketch(memory_bytes=64, depth=2, seed=1)
+        truth = {}
+        for k in range(200):
+            count = (k % 5) + 1
+            truth[k] = count
+            for _ in range(count):
+                cm.add(k)
+        assert all(cm.estimate(k) >= c for k, c in truth.items())
+
+    def test_add_by(self):
+        cm = CountMinSketch(memory_bytes=1024, seed=1)
+        cm.add(3, by=10)
+        assert cm.estimate(3) == 10
+
+    def test_absent_key_can_be_zero(self):
+        cm = CountMinSketch(memory_bytes=4096, seed=1)
+        cm.add(1)
+        assert cm.estimate(999999) == 0
+
+    def test_sizing_from_budget(self):
+        cm = CountMinSketch(memory_bytes=1200, depth=3, seed=1)
+        assert cm.depth == 3
+        assert cm.width == (1200 * 8 // 32) // 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CountMinSketch(64, depth=0)
+
+
+class TestCU:
+    def test_cu_never_underestimates(self):
+        cu = CUSketch(memory_bytes=64, depth=2, seed=1)
+        for k in range(100):
+            cu.add(k)
+        assert all(cu.estimate(k) >= 1 for k in range(100))
+
+    def test_cu_no_worse_than_cm(self):
+        cm = CountMinSketch(memory_bytes=128, depth=2, seed=5)
+        cu = CUSketch(memory_bytes=128, depth=2, seed=5)
+        keys = [k % 37 for k in range(500)]
+        for k in keys:
+            cm.add(k)
+            cu.add(k)
+        assert all(cu.estimate(k) <= cm.estimate(k) for k in set(keys))
+
+
+class TestCMPersistence:
+    def _run(self, trace, memory=4096):
+        sketch = CMPersistenceSketch(memory, seed=2)
+        for _, items in trace.windows():
+            for item in items:
+                sketch.insert(item)
+            sketch.end_window()
+        return sketch
+
+    def test_window_dedup(self, tiny_trace):
+        sketch = self._run(tiny_trace)
+        truth = exact_persistence(tiny_trace)
+        # generous memory: estimates equal persistence, not frequency
+        assert sketch.query(1) == truth[1]
+
+    def test_memory_split_between_bloom_and_cm(self):
+        sketch = CMPersistenceSketch(8192, seed=1)
+        assert sketch.bloom.memory_bytes == pytest.approx(4096, abs=8)
+        assert sketch.memory_bytes <= 8192
+
+    def test_bloom_cleared_each_window(self, tiny_trace):
+        sketch = self._run(tiny_trace)
+        assert sketch.bloom.fill_ratio() == 0.0  # cleared at last boundary
+
+    def test_hash_ops_accumulate(self, tiny_trace):
+        sketch = self._run(tiny_trace)
+        assert sketch.hash_ops > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CMPersistenceSketch(1)

@@ -1,0 +1,111 @@
+"""Unit tests for HSConfig sizing and presets."""
+
+import pytest
+
+from repro.common.bitmem import KB
+from repro.common.errors import BudgetError, ConfigError
+from repro.core.config import HSConfig
+
+
+class TestValidation:
+    def test_requires_positive_memory(self):
+        with pytest.raises(ConfigError):
+            HSConfig(memory_bytes=0)
+
+    def test_hot_fraction_range(self):
+        with pytest.raises(ConfigError):
+            HSConfig(memory_bytes=1024, hot_fraction=1.0)
+        with pytest.raises(ConfigError):
+            HSConfig(memory_bytes=1024, hot_fraction=-0.1)
+
+    def test_burst_cannot_eat_budget(self):
+        with pytest.raises(BudgetError):
+            HSConfig(memory_bytes=1024, burst_bytes=1024)
+
+    def test_thresholds_positive(self):
+        with pytest.raises(ConfigError):
+            HSConfig(memory_bytes=1024, delta1=0)
+
+    def test_replacement_policy_checked(self):
+        with pytest.raises(ConfigError):
+            HSConfig(memory_bytes=1024, replacement="nope")
+
+    def test_weights_positive(self):
+        with pytest.raises(ConfigError):
+            HSConfig(memory_bytes=1024, cold_l1_weight=0)
+
+
+class TestDerivedSizing:
+    def test_counter_bits_follow_thresholds(self):
+        config = HSConfig(memory_bytes=64 * KB)
+        assert config.l1_counter_bits == 4   # delta1 = 15
+        assert config.l2_counter_bits == 7   # delta2 = 100
+
+    def test_budget_split_sums_to_accuracy_budget(self):
+        config = HSConfig(memory_bytes=64 * KB, burst_bytes=KB)
+        l1, l2, hot = config.budget_split()
+        assert l1 + l2 + hot == config.accuracy_budget_bytes
+
+    def test_cold_ratio_17_3(self):
+        config = HSConfig(memory_bytes=64 * KB, burst_bytes=0)
+        l1, l2, _ = config.budget_split()
+        assert l1 / l2 == pytest.approx(17 / 3, rel=0.01)
+
+    def test_hot_fraction_honored(self):
+        config = HSConfig(memory_bytes=64 * KB, burst_bytes=0,
+                          hot_fraction=0.4)
+        _, _, hot = config.budget_split()
+        assert hot / config.accuracy_budget_bytes == pytest.approx(
+            0.4, rel=0.01
+        )
+
+    def test_memory_report_close_to_budget(self):
+        config = HSConfig(memory_bytes=64 * KB)
+        report = config.memory_report()
+        assert report.total_bytes <= 64 * KB
+        assert report.total_bytes > 0.9 * 64 * KB  # low slack
+
+    def test_structures_scale_with_memory(self):
+        small = HSConfig(memory_bytes=16 * KB)
+        large = HSConfig(memory_bytes=128 * KB)
+        assert large.l1_width() > small.l1_width()
+        assert large.hot_buckets() > small.hot_buckets()
+
+    def test_zero_burst_disables_stage(self):
+        config = HSConfig(memory_bytes=8 * KB, burst_bytes=0)
+        assert config.burst_buckets() == 0
+
+
+class TestPresets:
+    def test_estimation_preset_30_percent_hot(self):
+        config = HSConfig.for_estimation(500 * KB, n_windows=3000)
+        assert config.hot_fraction == 0.30
+        assert config.meta["preset"] == "estimation"
+
+    def test_estimation_burst_scales_with_windows(self):
+        small = HSConfig.for_estimation(500 * KB, n_windows=500)
+        large = HSConfig.for_estimation(500 * KB, n_windows=5000)
+        assert large.burst_bytes > small.burst_bytes
+
+    def test_estimation_burst_clamped_for_tiny_memory(self):
+        config = HSConfig.for_estimation(2 * KB, n_windows=5000)
+        assert config.burst_bytes <= config.memory_bytes // 2
+
+    def test_estimation_burst_from_working_set_hint(self):
+        config = HSConfig.for_estimation(
+            64 * KB, n_windows=100, window_distinct_hint=200
+        )
+        # 1.5x working set at 4 bytes per ID
+        assert config.burst_bytes == 200 * 6
+
+    def test_finding_preset(self):
+        config = HSConfig.for_finding(50 * KB)
+        assert config.hot_fraction == 0.40
+        assert config.burst_bytes == KB
+        assert config.hot_entries_per_bucket == 16
+
+    def test_with_seed(self):
+        base = HSConfig(memory_bytes=8 * KB, seed=1)
+        reseeded = base.with_seed(2)
+        assert reseeded.seed == 2
+        assert reseeded.memory_bytes == base.memory_bytes

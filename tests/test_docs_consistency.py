@@ -1,0 +1,68 @@
+"""Documentation consistency: DESIGN/README stay in sync with the code."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def design_text():
+    return (REPO / "DESIGN.md").read_text()
+
+
+@pytest.fixture(scope="module")
+def readme_text():
+    return (REPO / "README.md").read_text()
+
+
+class TestDesignDoc:
+    def test_design_lists_every_bench_target(self, design_text):
+        for exp in EXPERIMENTS.values():
+            assert Path(exp.bench_module).name in design_text, (
+                f"DESIGN.md missing {exp.bench_module}"
+            )
+
+    def test_design_names_core_modules(self, design_text):
+        for module in ("burst_filter.py", "cold_filter.py", "hot_part.py",
+                       "hypersistent.py", "simd.py", "meta_filter.py",
+                       "sliding.py"):
+            assert module in design_text
+
+    def test_design_records_substitutions(self, design_text):
+        assert "Substitution record" in design_text
+        assert "deviations" in design_text.lower()
+
+
+class TestReadme:
+    def test_readme_mentions_every_example(self, readme_text):
+        for example in (REPO / "examples").glob("*.py"):
+            assert example.name in readme_text, (
+                f"README.md missing examples/{example.name}"
+            )
+
+    def test_readme_quickstart_code_runs(self, readme_text):
+        # extract the first python code block and execute it
+        start = readme_text.index("```python") + len("```python")
+        end = readme_text.index("```", start)
+        code = readme_text[start:end]
+        namespace = {}
+        exec(compile(code, "README-quickstart", "exec"), namespace)
+
+    def test_readme_points_at_docs(self, readme_text):
+        for doc in ("EXPERIMENTS.md", "DESIGN.md", "docs/API.md"):
+            assert doc in readme_text
+
+
+class TestBenchInventory:
+    def test_every_bench_file_is_registered_or_auxiliary(self):
+        registered = {Path(e.bench_module).name for e in EXPERIMENTS.values()}
+        auxiliary = {"_common.py", "conftest.py",
+                     "bench_ingestion_paths.py"}
+        for bench in (REPO / "benchmarks").glob("*.py"):
+            assert bench.name in registered | auxiliary, (
+                f"benchmarks/{bench.name} not in the experiment registry"
+            )

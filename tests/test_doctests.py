@@ -1,0 +1,27 @@
+"""Run the doctest examples embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.common.bitmem
+import repro.common.hashing
+import repro.core.hypersistent
+import repro.core.sliding
+import repro.streams.ingest
+
+MODULES = [
+    repro.common.hashing,
+    repro.common.bitmem,
+    repro.core.hypersistent,
+    repro.core.sliding,
+    repro.streams.ingest,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0
+    assert result.attempted > 0  # the module really has examples

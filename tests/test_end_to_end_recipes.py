@@ -1,0 +1,110 @@
+"""End-to-end recipes from the README/examples, verified as tests.
+
+Each test mirrors a documented user journey so the documentation's code
+paths stay working: estimation quickstart, finding with reporting,
+sliding monitor, meta-framework acceleration, and ingestion->checkpoint.
+"""
+
+import pytest
+
+from repro import (
+    ColdFilteredSketch,
+    HSConfig,
+    HypersistentSketch,
+    ShardedSketch,
+    SlidingHypersistentSketch,
+    exact_persistence,
+    load_sketch,
+    persistent_items,
+    run_stream,
+    save_sketch,
+    zipf_trace,
+)
+from repro.baselines import OnOffSketchV1
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return zipf_trace(25_000, 80, skew=1.2, n_items=3000, seed=101,
+                      n_stealthy=3, within_window_repeats=3.0)
+
+
+class TestQuickstartRecipe:
+    def test_estimation_journey(self, trace):
+        sketch = HypersistentSketch(
+            HSConfig.for_estimation(32 * 1024, trace.n_windows)
+        )
+        result = run_stream(sketch, trace)
+        truth = exact_persistence(trace)
+        errors = [abs(sketch.query(k) - p) for k, p in truth.items()]
+        assert sum(errors) / len(errors) < 2.0
+        assert result.insert.mops > 0
+        # planted beacons recovered
+        for k in range(3):
+            assert sketch.query((1 << 48) + k) >= trace.n_windows * 0.9
+
+
+class TestFindingRecipe:
+    def test_report_journey(self, trace):
+        sketch = HypersistentSketch(
+            HSConfig.for_finding(8 * 1024, trace.n_windows)
+        )
+        run_stream(sketch, trace)
+        threshold = int(0.6 * trace.n_windows)
+        truth = exact_persistence(trace)
+        actual = persistent_items(truth, threshold)
+        reported = sketch.report(threshold)
+        recovered = sum(1 for k in actual if k in reported)
+        assert recovered / max(1, len(actual)) > 0.7
+
+
+class TestCompositionRecipes:
+    def test_sharded_hs_runs_the_same_journey(self, trace):
+        sharded = ShardedSketch(
+            lambda i: HypersistentSketch(
+                HSConfig.for_estimation(8 * 1024, trace.n_windows,
+                                        seed=200 + i)
+            ),
+            n_shards=4,
+        )
+        for _, items in trace.windows():
+            for item in items:
+                sharded.insert(item)
+            sharded.end_window()
+        assert sharded.query((1 << 48)) >= trace.n_windows * 0.9
+
+    def test_meta_framework_recipe(self, trace):
+        accelerated = ColdFilteredSketch(
+            memory_bytes=16 * 1024,
+            backing_factory=lambda b: OnOffSketchV1(b, seed=7),
+        )
+        run_stream(accelerated, trace)
+        assert accelerated.query((1 << 48)) >= trace.n_windows * 0.9
+
+    def test_sliding_monitor_recipe(self, trace):
+        monitor = SlidingHypersistentSketch(memory_bytes=32 * 1024,
+                                            horizon=20)
+        for _, items in trace.windows():
+            for item in items:
+                monitor.insert(item)
+            monitor.end_window()
+        estimate = monitor.query((1 << 48))
+        assert 10 <= estimate <= 20 + 2  # beacon present every window
+
+    def test_checkpoint_recipe(self, trace, tmp_path):
+        sketch = HypersistentSketch(
+            HSConfig.for_estimation(16 * 1024, trace.n_windows)
+        )
+        windows = list(trace.windows())
+        for _, items in windows[:40]:
+            for item in items:
+                sketch.insert(item)
+            sketch.end_window()
+        save_sketch(sketch, tmp_path / "ckpt")
+        restored = load_sketch(tmp_path / "ckpt",
+                               expected_class=HypersistentSketch)
+        for _, items in windows[40:]:
+            for item in items:
+                restored.insert(item)
+            restored.end_window()
+        assert restored.query((1 << 48)) >= trace.n_windows * 0.9

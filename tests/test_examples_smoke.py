@@ -1,0 +1,45 @@
+"""Smoke-compile every example and lightly execute the cheapest one.
+
+Full example runs take tens of seconds each, so the suite only verifies
+that each script parses/compiles and that its ``main`` is importable; the
+quick paper walkthrough (sub-second) runs end to end.
+"""
+
+import py_compile
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[1] / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 7
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"),
+                       doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_defines_main(path):
+    source = path.read_text()
+    assert "def main()" in source
+    assert '__name__ == "__main__"' in source
+
+
+def test_paper_walkthrough_runs(capsys):
+    path = next(p for p in EXAMPLES if p.name == "paper_walkthrough.py")
+    sys.argv = [str(path)]
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Burst Filter" in out
+    assert "saves 98" in out

@@ -1,0 +1,160 @@
+"""Tests for exporters, CSV-log ingestion, and comparison summaries."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.comparison import (
+    aggregate_factor,
+    compare,
+    orders_of_magnitude,
+    summarize_figures,
+)
+from repro.common.errors import StreamError
+from repro.experiments.exporters import (
+    export_experiment,
+    figure_to_csv,
+    figure_to_dict,
+    figures_to_json,
+    load_figures_json,
+)
+from repro.experiments.report import FigureResult
+from repro.streams.ingest import flow_key, trace_from_csv_log, trace_from_events
+
+
+@pytest.fixture
+def figure():
+    return FigureResult(
+        figure_id="figX",
+        title="demo",
+        x_label="memory",
+        x_values=[1, 2],
+        series={"HS": [0.1, 0.05], "OO": [0.4, 0.2], "CM": [1.0, 0.6]},
+        notes=["n"],
+    )
+
+
+class TestExporters:
+    def test_csv_round(self, figure, tmp_path):
+        path = tmp_path / "f.csv"
+        figure_to_csv(figure, path)
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["memory", "HS", "OO", "CM"]
+        assert rows[1] == ["1", "0.1", "0.4", "1.0"]
+
+    def test_json_roundtrip(self, figure, tmp_path):
+        path = tmp_path / "f.json"
+        figures_to_json([figure], path)
+        loaded = load_figures_json(path)
+        assert len(loaded) == 1
+        assert loaded[0].series == figure.series
+        assert loaded[0].notes == ["n"]
+
+    def test_figure_to_dict(self, figure):
+        d = figure_to_dict(figure)
+        assert json.dumps(d)  # JSON-serializable
+        assert d["figure_id"] == "figX"
+
+    def test_export_experiment_writes_bundle(self, figure, tmp_path):
+        written = export_experiment([figure, figure], tmp_path / "out",
+                                    stem="fig13")
+        assert len(written) == 5  # one json + two csvs + two svgs
+        assert all(p.exists() for p in written)
+        assert sum(1 for p in written if p.suffix == ".svg") == 2
+
+    def test_export_experiment_without_svg(self, figure, tmp_path):
+        written = export_experiment([figure], tmp_path / "out2",
+                                    stem="fig13", svg=False)
+        assert len(written) == 2
+        assert not any(p.suffix == ".svg" for p in written)
+
+
+class TestIngest:
+    def test_trace_from_events(self):
+        events = [("a", 0.0), ("b", 1.0), ("a", 2.0), ("b", 3.0)]
+        t = trace_from_events(events, n_windows=2)
+        assert t.n_records == 4
+        assert t.n_windows == 2
+        assert t.window_ids == [0, 0, 1, 1]
+
+    def test_trace_from_csv_log(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("flow,ts\nalpha,0.0\nbeta,5.0\nalpha,10.0\n")
+        t = trace_from_csv_log(path, "flow", "ts", n_windows=2)
+        assert t.n_records == 3
+        assert t.window_ids == [0, 1, 1]
+
+    def test_item_parser(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("fid,ts\n100,0.0\n100,1.0\n")
+        t = trace_from_csv_log(path, "fid", "ts", n_windows=1,
+                               item_parser=int)
+        assert t.items == [100, 100]
+
+    def test_missing_column(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(StreamError):
+            trace_from_csv_log(path, "flow", "ts", n_windows=1)
+
+    def test_bad_record(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("flow,ts\nx,notatime\n")
+        with pytest.raises(StreamError):
+            trace_from_csv_log(path, "flow", "ts", n_windows=1)
+
+    def test_empty_csv(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("")
+        with pytest.raises(StreamError):
+            trace_from_csv_log(path, "flow", "ts", n_windows=1)
+
+    def test_flow_key_deterministic_and_order_sensitive(self):
+        assert flow_key("a", "b", 80) == flow_key("a", "b", 80)
+        assert flow_key("a", "b") != flow_key("b", "a")
+        with pytest.raises(StreamError):
+            flow_key()
+
+
+class TestComparison:
+    def test_verdict_wins_and_factors(self, figure):
+        verdict = compare(figure, subject="HS", lower_is_better=True)
+        assert verdict.wins == 2 and verdict.points == 2
+        assert verdict.mean_factor_vs["OO"] == pytest.approx(4.0)
+        assert verdict.mean_factor_vs["CM"] > 10
+        assert verdict.dominates("OO", factor=3.0)
+        assert "HS best at 2/2" in verdict.summary()
+
+    def test_higher_is_better(self):
+        figure = FigureResult(
+            figure_id="f1", title="t", x_label="x", x_values=[1],
+            series={"HS": [0.9], "OO": [0.45]},
+        )
+        verdict = compare(figure, lower_is_better=False)
+        assert verdict.wins == 1
+        assert verdict.mean_factor_vs["OO"] == pytest.approx(2.0)
+
+    def test_zero_values_floored(self):
+        figure = FigureResult(
+            figure_id="fnr", title="t", x_label="x", x_values=[1],
+            series={"HS": [0.0], "OO": [0.1]},
+        )
+        verdict = compare(figure)
+        assert verdict.mean_factor_vs["OO"] > 1e6  # huge, finite
+
+    def test_unknown_subject(self, figure):
+        with pytest.raises(KeyError):
+            compare(figure, subject="ZZ")
+
+    def test_orders_of_magnitude(self):
+        assert orders_of_magnitude(10.0) == pytest.approx(1.0)
+        assert orders_of_magnitude(1.0) == pytest.approx(0.0)
+
+    def test_summarize_and_aggregate(self, figure):
+        verdicts = summarize_figures([figure, figure])
+        assert len(verdicts) == 2
+        agg = aggregate_factor(verdicts, "OO")
+        assert agg == pytest.approx(4.0)
+        assert aggregate_factor(verdicts, "nobody") is None

@@ -1,0 +1,69 @@
+"""Fair-comparison guarantees: every algorithm sizes from the same budget.
+
+Accuracy-vs-memory conclusions are only meaningful if no algorithm
+quietly uses more memory than its rivals at the same sweep point; these
+tests pin the sizing contract across the whole factory.
+"""
+
+import pytest
+
+from repro.experiments.harness import (
+    ESTIMATION_ALGORITHMS,
+    FINDING_ALGORITHMS,
+    make_estimator,
+    make_finder,
+)
+
+
+class TestBudgetFairness:
+    @pytest.mark.parametrize("kb", [1, 4, 16, 64])
+    @pytest.mark.parametrize("name", ESTIMATION_ALGORITHMS)
+    def test_estimators_within_budget(self, name, kb):
+        sketch = make_estimator(name, kb * 1024)
+        assert sketch.memory_bytes <= kb * 1024
+
+    @pytest.mark.parametrize("kb", [1, 4, 16])
+    @pytest.mark.parametrize("name", FINDING_ALGORITHMS)
+    def test_finders_within_budget(self, name, kb):
+        finder = make_finder(name, kb * 1024)
+        assert finder.memory_bytes <= kb * 1024
+
+    @pytest.mark.parametrize("name", ESTIMATION_ALGORITHMS)
+    def test_estimators_use_most_of_budget(self, name):
+        """No algorithm is accidentally starved by rounding (>=70%)."""
+        sketch = make_estimator(name, 64 * 1024)
+        assert sketch.memory_bytes >= 0.7 * 64 * 1024
+
+    @pytest.mark.parametrize("name", FINDING_ALGORITHMS)
+    def test_finders_use_most_of_budget(self, name):
+        finder = make_finder(name, 64 * 1024)
+        assert finder.memory_bytes >= 0.6 * 64 * 1024
+
+
+class TestHsInternalAccounting:
+    def test_memory_report_components_sum(self):
+        from repro.core import HSConfig
+
+        config = HSConfig.for_estimation(128 * 1024, 1000)
+        report = config.memory_report()
+        assert set(report.components) == {"burst", "cold_l1", "cold_l2",
+                                          "hot"}
+        assert report.total_bits == sum(report.components.values())
+
+    def test_sketch_memory_matches_config_report(self):
+        from repro.core import HSConfig, HypersistentSketch
+
+        config = HSConfig.for_estimation(128 * 1024, 1000)
+        sketch = HypersistentSketch(config)
+        assert sketch.memory_bytes == config.memory_report().total_bytes
+
+    def test_fractions_track_hot_fraction(self):
+        from repro.core import HSConfig
+
+        config = HSConfig.for_estimation(256 * 1024, 1000)
+        report = config.memory_report()
+        accuracy_bits = (report.components["cold_l1"]
+                         + report.components["cold_l2"]
+                         + report.components["hot"])
+        hot_share = report.components["hot"] / accuracy_bits
+        assert hot_share == pytest.approx(config.hot_fraction, abs=0.05)

@@ -1,0 +1,80 @@
+"""Tests for the figure drivers' shared scale/workload configuration."""
+
+import pytest
+
+from repro.experiments.figures.common import (
+    DEFAULT_SCALE,
+    FINDING_SCALE_BOOST,
+    bench_scale,
+    estimation_datasets,
+    estimation_memories_kb,
+    finding_datasets,
+    finding_memories_kb,
+    scaled_memory_kb,
+    throughput_datasets,
+    window_counts,
+)
+
+
+class TestBenchScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == DEFAULT_SCALE
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.05")
+        assert bench_scale() == 0.05
+
+    def test_bad_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "banana")
+        assert bench_scale() == DEFAULT_SCALE
+
+    def test_clamped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "5.0")
+        assert bench_scale() == 1.0
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0")
+        assert bench_scale() == pytest.approx(1e-4)
+
+
+class TestMemoryAxes:
+    def test_scaled_memory_proportional(self):
+        assert scaled_memory_kb(500, 0.01) == pytest.approx(5.0)
+
+    def test_scaled_memory_floor(self):
+        assert scaled_memory_kb(50, 1e-4) == 0.5
+
+    def test_estimation_axis_monotone(self):
+        memories = estimation_memories_kb(0.01)
+        assert memories == sorted(memories)
+        assert len(memories) == 5
+
+    def test_finding_axis_monotone_with_boost(self):
+        memories = finding_memories_kb(0.01)
+        assert memories == sorted(memories)
+        assert memories[-1] == pytest.approx(
+            50 * 0.01 * FINDING_SCALE_BOOST
+        )
+
+    def test_window_counts_match_paper(self):
+        assert window_counts()[0] == 500
+        assert window_counts()[-1] == 5000
+
+
+class TestDatasetFamilies:
+    def test_estimation_datasets_lazy_and_buildable(self):
+        builders = estimation_datasets(0.002, n_windows=50)
+        assert set(builders) == {"caida", "big_caida", "zipf1.5", "zipf2.0"}
+        trace = builders["zipf2.0"]()
+        assert trace.n_windows == 50
+
+    def test_finding_datasets(self):
+        builders = finding_datasets(0.0005, n_windows=50)
+        assert set(builders) == {"caida", "mawi", "campus", "zipf1.5"}
+        trace = builders["mawi"]()
+        assert trace.n_records > 0
+
+    def test_throughput_datasets_have_no_overlay(self):
+        builders = throughput_datasets(0.002, n_windows=50)
+        trace = builders["caida"]()
+        assert trace.name == "caida-bg"  # background only
+        assert "n_persistent" not in trace.meta

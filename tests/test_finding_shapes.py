@@ -1,0 +1,60 @@
+"""Finding-task shape checks at reduced scale (figures 15-18 conditions)."""
+
+import pytest
+
+from repro.analysis.metrics import classify
+from repro.experiments.harness import make_finder, run_stream
+from repro.streams import merge_traces, zipf_trace
+from repro.streams.oracle import exact_persistence, persistent_items
+from repro.streams.synthetic import persistence_trace
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Cold-pressure regime with a modest persistent head + hard negatives."""
+    background = zipf_trace(30_000, 200, skew=1.0, n_items=15_000, seed=51,
+                            within_window_repeats=3.0)
+    overlay = persistence_trace(
+        [(15, 130, 200), (30, 60, 110), (80, 8, 40)], 200, seed=52,
+        occurrences_per_window=2,
+    )
+    trace = merge_traces(background, overlay, name="shape-test")
+    truth = exact_persistence(trace)
+    threshold = 120  # between the hard negatives and the persistent head
+    actual = persistent_items(truth, threshold)
+    assert len(actual) >= 12
+    return trace, truth, threshold, actual
+
+
+def scores_for(name, workload, kb=2):
+    trace, truth, threshold, actual = workload
+    finder = make_finder(name, kb * 1024, n_windows=trace.n_windows)
+    run_stream(finder, trace)
+    reported = finder.report(threshold)
+    return classify(set(reported), actual, len(truth))
+
+
+class TestFindingShapes:
+    def test_hs_recall_strong(self, workload):
+        score = scores_for("HS", workload)
+        assert score.recall > 0.7
+
+    def test_hs_fpr_tiny(self, workload):
+        score = scores_for("HS", workload)
+        assert score.fpr < 0.01
+
+    def test_hs_beats_small_space(self, workload):
+        hs = scores_for("HS", workload)
+        ss = scores_for("SS", workload)
+        assert hs.f1 >= ss.f1
+
+    def test_on_off_fpr_not_better_than_hs(self, workload):
+        """The paper's critique: OO's swaps inflate cold items."""
+        hs = scores_for("HS", workload)
+        oo = scores_for("OO", workload)
+        assert hs.fpr <= oo.fpr + 0.002
+
+    def test_all_finders_complete(self, workload):
+        for name in ("HS", "OO", "WS", "SS", "TS", "PS"):
+            score = scores_for(name, workload, kb=4)
+            assert 0.0 <= score.f1 <= 1.0

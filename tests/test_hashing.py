@@ -1,0 +1,129 @@
+"""Unit tests for repro.common.hashing."""
+
+import pytest
+
+from repro.common.hashing import (
+    MASK64,
+    HashFamily,
+    canonical_key,
+    derive_seed,
+    fingerprint,
+    iter_canonical,
+    mix,
+    splitmix64,
+)
+
+
+class TestCanonicalKey:
+    def test_int_passthrough(self):
+        assert canonical_key(42) == 42
+
+    def test_int_masked_to_64_bits(self):
+        assert canonical_key(1 << 80) == 0
+        assert canonical_key((1 << 64) + 5) == 5
+
+    def test_negative_int_wraps(self):
+        assert canonical_key(-1) == MASK64
+
+    def test_str_deterministic(self):
+        assert canonical_key("10.0.0.1") == canonical_key("10.0.0.1")
+
+    def test_str_and_equivalent_bytes_agree(self):
+        assert canonical_key("abc") == canonical_key(b"abc")
+
+    def test_distinct_strings_differ(self):
+        assert canonical_key("a") != canonical_key("b")
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            canonical_key(3.14)
+
+    def test_iter_canonical(self):
+        assert list(iter_canonical([1, "a"])) == [1, canonical_key("a")]
+
+
+class TestSplitmix:
+    def test_range(self):
+        for x in (0, 1, MASK64, 123456789):
+            assert 0 <= splitmix64(x) <= MASK64
+
+    def test_deterministic(self):
+        assert splitmix64(99) == splitmix64(99)
+
+    def test_avalanche_on_low_bit(self):
+        a, b = splitmix64(2), splitmix64(3)
+        differing = bin(a ^ b).count("1")
+        assert differing > 16  # a single-bit flip should scramble widely
+
+    def test_mix_depends_on_seed(self):
+        assert mix(5, 1) != mix(5, 2)
+
+
+class TestHashFamily:
+    def test_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            HashFamily(0, seed=1)
+
+    def test_functions_disagree(self):
+        fam = HashFamily(3, seed=7)
+        values = {fam.hash(12345, i) for i in range(3)}
+        assert len(values) == 3
+
+    def test_index_in_range(self):
+        fam = HashFamily(4, seed=3)
+        for key in range(200):
+            for idx in fam.indexes(key, 17):
+                assert 0 <= idx < 17
+
+    def test_indexes_matches_index(self):
+        fam = HashFamily(3, seed=9)
+        assert fam.indexes(555, 101) == [
+            fam.index(555, i, 101) for i in range(3)
+        ]
+
+    def test_same_seed_reproducible(self):
+        a = HashFamily(2, seed=21)
+        b = HashFamily(2, seed=21)
+        assert a.indexes(777, 50) == b.indexes(777, 50)
+
+    def test_different_seed_differs_somewhere(self):
+        a = HashFamily(1, seed=1)
+        b = HashFamily(1, seed=2)
+        assert any(
+            a.index(k, 0, 1000) != b.index(k, 0, 1000) for k in range(20)
+        )
+
+    def test_sign_is_plus_minus_one(self):
+        fam = HashFamily(1, seed=5)
+        signs = {fam.sign(k) for k in range(100)}
+        assert signs == {-1, 1}
+
+    def test_distribution_roughly_uniform(self):
+        fam = HashFamily(1, seed=13)
+        width = 10
+        counts = [0] * width
+        n = 5000
+        for k in range(n):
+            counts[fam.index(k, 0, width)] += 1
+        expected = n / width
+        assert all(0.8 * expected < c < 1.2 * expected for c in counts)
+
+
+class TestDerivedSeeds:
+    def test_derive_seed_changes_with_salt(self):
+        assert derive_seed(1, 2) != derive_seed(1, 3)
+
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(9, 1, 2) == derive_seed(9, 1, 2)
+
+    def test_fingerprint_width(self):
+        assert 0 <= fingerprint("x", bits=8) < 256
+
+    def test_fingerprint_bits_validated(self):
+        with pytest.raises(ValueError):
+            fingerprint("x", bits=0)
+        with pytest.raises(ValueError):
+            fingerprint("x", bits=65)
+
+    def test_fingerprint_deterministic(self):
+        assert fingerprint("flow") == fingerprint("flow")

@@ -1,0 +1,195 @@
+"""Unit and behavioural tests for the composed Hypersistent Sketch."""
+
+import pytest
+
+from repro.common.bitmem import KB
+from repro.core import HSConfig, HypersistentSketch
+from repro.streams import zipf_trace
+from repro.streams.oracle import exact_persistence
+
+
+def make_sketch(memory_kb=32, n_windows=100, **overrides):
+    config = HSConfig.for_estimation(memory_kb * KB, n_windows)
+    if overrides:
+        from dataclasses import replace
+        config = replace(config, **overrides)
+    return HypersistentSketch(config)
+
+
+class TestConstruction:
+    def test_from_config(self):
+        sketch = make_sketch()
+        assert sketch.burst is not None
+        assert sketch.memory_bytes <= 32 * KB
+
+    def test_from_kwargs(self):
+        sketch = HypersistentSketch(memory_bytes=8 * KB)
+        assert sketch.memory_bytes <= 8 * KB
+
+    def test_config_and_kwargs_conflict(self):
+        with pytest.raises(TypeError):
+            HypersistentSketch(HSConfig(memory_bytes=8 * KB),
+                               memory_bytes=4 * KB)
+
+    def test_burst_disabled(self):
+        sketch = make_sketch(burst_bytes=0)
+        assert sketch.burst is None
+
+
+class TestWindowSemantics:
+    def test_duplicates_in_window_count_once(self):
+        sketch = make_sketch()
+        for _ in range(10):
+            sketch.insert("flow-a")
+        sketch.end_window()
+        assert sketch.query("flow-a") == 1
+
+    def test_persistence_accumulates_across_windows(self):
+        sketch = make_sketch()
+        for _ in range(7):
+            sketch.insert("flow-a")
+            sketch.end_window()
+        assert sketch.query("flow-a") == 7
+
+    def test_in_window_query_counts_pending_burst_entry(self):
+        sketch = make_sketch()
+        sketch.insert("flow-a")
+        assert sketch.query("flow-a") == 1  # pending in burst filter
+        sketch.end_window()
+        assert sketch.query("flow-a") == 1  # flushed to cold filter
+
+    def test_absent_item_zero(self):
+        sketch = make_sketch()
+        sketch.insert("x")
+        sketch.end_window()
+        assert sketch.query("never-seen") == 0
+
+    def test_same_behaviour_without_burst_filter(self):
+        with_bf = make_sketch()
+        without_bf = make_sketch(burst_bytes=0)
+        for sketch in (with_bf, without_bf):
+            for window in range(5):
+                for _ in range(3):
+                    sketch.insert("flow")
+                sketch.end_window()
+        assert with_bf.query("flow") == without_bf.query("flow") == 5
+
+    def test_window_counter(self):
+        sketch = make_sketch()
+        for _ in range(4):
+            sketch.end_window()
+        assert sketch.window == 4
+
+
+class TestHotPromotion:
+    def test_item_crossing_thresholds_reaches_hot_part(self):
+        sketch = make_sketch(delta1=2, delta2=3)
+        for _ in range(10):
+            sketch.insert("hot-item")
+            sketch.end_window()
+        assert sketch.hot.contains(
+            __import__("repro.common.hashing", fromlist=["canonical_key"])
+            .canonical_key("hot-item")
+        )
+        assert sketch.query("hot-item") == 10
+
+    def test_report_threshold(self):
+        sketch = make_sketch(delta1=2, delta2=3)
+        for _ in range(10):
+            sketch.insert("hot-item")
+            sketch.insert("lukewarm")
+            sketch.end_window()
+        reported = sketch.report(threshold=8)
+        from repro.common.hashing import canonical_key
+        assert canonical_key("hot-item") in reported
+        assert reported[canonical_key("hot-item")] == 10
+
+    def test_report_excludes_below_threshold(self):
+        sketch = make_sketch(delta1=2, delta2=3)
+        for _ in range(6):
+            sketch.insert("sixer")
+            sketch.end_window()
+        assert sketch.report(threshold=100) == {}
+
+
+class TestAccuracyOnStream:
+    def test_overestimation_dominates(self, small_zipf, small_truth):
+        """Cold Filter + CU update should rarely underestimate."""
+        sketch = make_sketch(memory_kb=16, n_windows=small_zipf.n_windows)
+        for _, items in small_zipf.windows():
+            for item in items:
+                sketch.insert(item)
+            sketch.end_window()
+        under = sum(
+            1 for k, p in small_truth.items() if sketch.query(k) < p
+        )
+        assert under / len(small_truth) < 0.05
+
+    def test_generous_memory_gives_near_exact_answers(
+        self, small_zipf, small_truth
+    ):
+        sketch = make_sketch(memory_kb=64, n_windows=small_zipf.n_windows)
+        for _, items in small_zipf.windows():
+            for item in items:
+                sketch.insert(item)
+            sketch.end_window()
+        errors = [abs(sketch.query(k) - p) for k, p in small_truth.items()]
+        assert sum(errors) / len(errors) < 1.0
+
+    def test_stealthy_persistent_items_tracked(self, small_zipf):
+        sketch = make_sketch(memory_kb=64, n_windows=small_zipf.n_windows)
+        for _, items in small_zipf.windows():
+            for item in items:
+                sketch.insert(item)
+            sketch.end_window()
+        for k in range(4):
+            key = (1 << 48) + k
+            assert sketch.query(key) >= small_zipf.n_windows * 0.9
+
+
+class TestStatsAndReset:
+    def test_stats_keys(self):
+        sketch = make_sketch()
+        sketch.insert(1)
+        sketch.end_window()
+        stats = sketch.stats()
+        for key in ("inserts", "hash_ops", "cold_l1_hits",
+                    "burst_absorbed", "hot_occupancy"):
+            assert key in stats
+
+    def test_reset_stats_keeps_state(self):
+        sketch = make_sketch()
+        sketch.insert(1)
+        sketch.end_window()
+        sketch.reset_stats()
+        assert sketch.stats()["inserts"] == 0
+        assert sketch.query(1) == 1  # counters untouched
+
+    def test_clear_resets_everything(self):
+        sketch = make_sketch()
+        sketch.insert(1)
+        sketch.end_window()
+        sketch.clear()
+        assert sketch.query(1) == 0
+        assert sketch.window == 0
+
+    def test_memory_accounting_within_budget(self):
+        for kb in (4, 16, 64):
+            sketch = make_sketch(memory_kb=kb)
+            assert sketch.memory_bytes <= kb * KB
+
+
+class TestDeterminism:
+    def test_same_seed_same_estimates(self):
+        trace = zipf_trace(3000, 30, seed=3, n_items=500)
+        truth = exact_persistence(trace)
+
+        def run():
+            sketch = make_sketch(memory_kb=8, n_windows=30)
+            for _, items in trace.windows():
+                for item in items:
+                    sketch.insert(item)
+                sketch.end_window()
+            return {k: sketch.query(k) for k in truth}
+
+        assert run() == run()

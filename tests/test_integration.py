@@ -1,0 +1,157 @@
+"""Integration tests: the paper's headline comparisons at reduced scale.
+
+These exercise the full pipeline (generators -> harness -> sketches ->
+metrics) and assert the *shape* of the paper's results:
+
+* estimation error ordering HS < OO < CM (figures 11-14);
+* HS saves hash operations relative to a Cold-Filter-only setup (fig 19);
+* persistent-item finding: HS's F1 beats WS/SS and its FPR beats OO
+  (figures 15-18);
+* the protocol surface every sketch promises.
+"""
+
+import pytest
+
+from repro.analysis.metrics import aae, are, classify, estimate_all
+from repro.common.protocols import (
+    PersistenceEstimator,
+    PersistentItemFinder,
+)
+from repro.experiments.harness import (
+    ESTIMATION_ALGORITHMS,
+    FINDING_ALGORITHMS,
+    make_estimator,
+    make_finder,
+    run_algorithm,
+    run_stream,
+)
+from repro.streams import merge_traces, zipf_trace
+from repro.streams.oracle import exact_persistence, persistent_items
+from repro.streams.synthetic import persistence_trace
+
+
+@pytest.fixture(scope="module")
+def est_trace():
+    """A skewed stream under memory pressure (estimation regime)."""
+    return zipf_trace(40_000, 120, skew=1.1, n_items=8000, seed=31,
+                      n_stealthy=5)
+
+
+@pytest.fixture(scope="module")
+def est_truth(est_trace):
+    return exact_persistence(est_trace)
+
+
+@pytest.fixture(scope="module")
+def find_trace():
+    background = zipf_trace(40_000, 150, skew=1.0, n_items=20_000, seed=33)
+    overlay = persistence_trace(
+        [(20, 100, 150), (40, 40, 75), (120, 5, 30)], 150, seed=34
+    )
+    return merge_traces(background, overlay, name="find-integration")
+
+
+class TestEstimationOrdering:
+    def _errors(self, trace, truth, memory_kb):
+        keys = list(truth)
+        out = {}
+        for name in ("HS", "OO", "CM"):
+            result = run_algorithm(name, trace, memory_kb * 1024,
+                                   task="estimation")
+            estimates = estimate_all(result.sketch.query, keys)
+            out[name] = (aae(truth, estimates), are(truth, estimates))
+        return out
+
+    def test_hs_beats_oo_beats_cm(self, est_trace, est_truth):
+        errors = self._errors(est_trace, est_truth, memory_kb=8)
+        assert errors["HS"][0] < errors["OO"][0] < errors["CM"][0]
+        assert errors["HS"][1] < errors["OO"][1] < errors["CM"][1]
+
+    def test_ordering_stable_across_memory(self, est_trace, est_truth):
+        for kb in (4, 16):
+            errors = self._errors(est_trace, est_truth, memory_kb=kb)
+            assert errors["HS"][0] < errors["OO"][0]
+
+    def test_hs_large_gap(self, est_trace, est_truth):
+        """The paper reports ~1 order of magnitude over On-Off."""
+        errors = self._errors(est_trace, est_truth, memory_kb=8)
+        assert errors["OO"][1] / errors["HS"][1] > 3
+
+
+class TestHashSavings:
+    def test_burst_filter_cuts_hash_ops(self, est_trace):
+        from dataclasses import replace
+
+        from repro.core import HSConfig, HypersistentSketch
+
+        config = HSConfig.for_estimation(16 * 1024, est_trace.n_windows)
+        with_bf = run_stream(HypersistentSketch(config), est_trace)
+        without_bf = run_stream(
+            HypersistentSketch(replace(config, burst_bytes=0)), est_trace
+        )
+        assert with_bf.insert.hash_ops < without_bf.insert.hash_ops
+
+    def test_hs_cheaper_than_oo_per_insert(self, est_trace):
+        hs = run_algorithm("HS", est_trace, 16 * 1024)
+        oo = run_algorithm("OO", est_trace, 16 * 1024)
+        assert (hs.insert.hash_ops_per_operation
+                < oo.insert.hash_ops_per_operation)
+
+
+class TestFindingShape:
+    @pytest.fixture(scope="class")
+    def scores(self, find_trace):
+        truth = exact_persistence(find_trace)
+        threshold = int(0.6 * find_trace.n_windows)
+        actual = persistent_items(truth, threshold)
+        assert actual, "fixture must contain persistent items"
+        out = {}
+        for name in FINDING_ALGORITHMS:
+            finder = make_finder(name, 3 * 1024,
+                                 n_windows=find_trace.n_windows)
+            run_stream(finder, find_trace)
+            reported = finder.report(threshold)
+            out[name] = classify(set(reported), actual, len(truth))
+        return out
+
+    def test_hs_f1_beats_ws_and_ss(self, scores):
+        assert scores["HS"].f1 > scores["WS"].f1
+        assert scores["HS"].f1 > scores["SS"].f1
+
+    def test_hs_fpr_not_worse_than_oo(self, scores):
+        assert scores["HS"].fpr <= scores["OO"].fpr
+
+    def test_hs_recall_high(self, scores):
+        assert scores["HS"].recall > 0.7
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize("name", ESTIMATION_ALGORITHMS)
+    def test_estimators_satisfy_protocol(self, name):
+        sketch = make_estimator(name, 4096)
+        assert isinstance(sketch, PersistenceEstimator)
+        assert sketch.memory_bytes > 0
+
+    @pytest.mark.parametrize("name", FINDING_ALGORITHMS)
+    def test_finders_satisfy_protocol(self, name):
+        finder = make_finder(name, 4096)
+        assert isinstance(finder, PersistentItemFinder)
+
+    @pytest.mark.parametrize("name", ESTIMATION_ALGORITHMS)
+    def test_memory_budget_respected(self, name):
+        for kb in (2, 8, 32):
+            sketch = make_estimator(name, kb * 1024)
+            assert sketch.memory_bytes <= kb * 1024
+
+
+class TestStringAndIntKeysAgree:
+    def test_mixed_key_types(self):
+        sketch = make_estimator("HS", 8192, n_windows=10)
+        for _ in range(5):
+            sketch.insert("flow:10.0.0.1")
+            sketch.insert(b"flow:10.0.0.2")
+            sketch.insert(777)
+            sketch.end_window()
+        assert sketch.query("flow:10.0.0.1") == 5
+        assert sketch.query(b"flow:10.0.0.2") == 5
+        assert sketch.query(777) == 5

@@ -1,0 +1,66 @@
+"""Unit tests for trace save/load round-trips."""
+
+import pytest
+
+from repro.common.errors import StreamError
+from repro.streams.io import (
+    load_trace_csv,
+    load_trace_npz,
+    save_trace_csv,
+    save_trace_npz,
+)
+from repro.streams.model import Trace
+
+
+@pytest.fixture
+def trace():
+    return Trace([3, 1, 4, 1], [0, 0, 1, 2], 3, name="pi",
+                 meta={"skew": 1.5})
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "t.csv"
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path)
+        assert loaded.items == trace.items
+        assert loaded.window_ids == trace.window_ids
+        assert loaded.n_windows == trace.n_windows
+        assert loaded.name == "pi"
+        assert loaded.meta == {"skew": 1.5}
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("item,window\n1,0\n")
+        with pytest.raises(StreamError):
+            load_trace_csv(path)
+
+    def test_wrong_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad2.csv"
+        path.write_text('#meta {"name": "x", "n_windows": 1}\nfoo,bar\n')
+        with pytest.raises(StreamError):
+            load_trace_csv(path)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_trace_csv(Trace([], [], 2, name="e"), path)
+        loaded = load_trace_csv(path)
+        assert loaded.n_records == 0 and loaded.n_windows == 2
+
+
+class TestNpzRoundTrip:
+    def test_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace_npz(trace, path)
+        loaded = load_trace_npz(path)
+        assert loaded.items == trace.items
+        assert loaded.window_ids == trace.window_ids
+        assert loaded.n_windows == trace.n_windows
+        assert loaded.name == "pi"
+        assert loaded.meta == {"skew": 1.5}
+
+    def test_large_keys_survive(self, tmp_path):
+        t = Trace([(1 << 48) + 7], [0], 1)
+        path = tmp_path / "big.npz"
+        save_trace_npz(t, path)
+        assert load_trace_npz(path).items == [(1 << 48) + 7]

@@ -1,0 +1,86 @@
+"""Tests for the Cold-Filter meta-framework wrapper."""
+
+import pytest
+
+from repro.analysis.metrics import aae, estimate_all
+from repro.baselines import OnOffSketchV1
+from repro.common.errors import ConfigError
+from repro.core.meta_filter import ColdFilteredSketch
+from repro.experiments.harness import run_stream
+from repro.streams import zipf_trace
+from repro.streams.oracle import exact_persistence
+
+
+def make(memory_kb=16, **kwargs):
+    return ColdFilteredSketch(
+        memory_bytes=memory_kb * 1024,
+        backing_factory=lambda b: OnOffSketchV1(b, seed=11),
+        seed=3,
+        **kwargs,
+    )
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            make(filter_fraction=0.0)
+        with pytest.raises(ConfigError):
+            make(filter_fraction=1.0)
+
+    def test_cold_item_answered_by_filter(self):
+        sketch = make()
+        for _ in range(5):
+            sketch.insert("cold")
+            sketch.end_window()
+        assert sketch.query("cold") == 5
+        assert sketch.forwarded == 0  # never reached the backing sketch
+
+    def test_hot_item_offsets_backing(self):
+        sketch = make(delta1=2, delta2=3)
+        for _ in range(12):
+            sketch.insert("hot")
+            sketch.end_window()
+        assert sketch.query("hot") == 12
+        assert sketch.forwarded > 0
+
+    def test_forward_rate(self):
+        sketch = make(delta1=1, delta2=1)
+        sketch.insert("x")       # absorbed by L1
+        sketch.end_window()
+        sketch.insert("x")       # L2
+        sketch.end_window()
+        sketch.insert("x")       # forwarded
+        assert sketch.forward_rate == pytest.approx(1 / 3)
+
+    def test_memory_within_budget(self):
+        sketch = make(memory_kb=8)
+        assert sketch.memory_bytes <= 8 * 1024
+
+
+class TestAblationValue:
+    def test_filter_improves_on_off_accuracy(self):
+        """The meta-framework's whole point: same budget, better AAE."""
+        trace = zipf_trace(30_000, 100, skew=1.1, n_items=6000, seed=13)
+        truth = exact_persistence(trace)
+        keys = list(truth)
+        budget = 4 * 1024
+
+        plain = OnOffSketchV1(budget, seed=11)
+        run_stream(plain, trace)
+        plain_aae = aae(truth, estimate_all(plain.query, keys))
+
+        filtered = ColdFilteredSketch(
+            memory_bytes=budget,
+            backing_factory=lambda b: OnOffSketchV1(b, seed=11),
+            seed=3,
+        )
+        run_stream(filtered, trace)
+        filtered_aae = aae(truth, estimate_all(filtered.query, keys))
+
+        assert filtered_aae < plain_aae
+
+    def test_most_inserts_never_reach_backing(self):
+        trace = zipf_trace(20_000, 100, skew=1.2, n_items=4000, seed=17)
+        sketch = make(memory_kb=8)
+        run_stream(sketch, trace)
+        assert sketch.forward_rate < 0.5

@@ -1,0 +1,107 @@
+"""Unit tests for the evaluation metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    ClassificationReport,
+    ThroughputRecord,
+    aae,
+    are,
+    classify,
+    estimate_all,
+    reported_are,
+)
+
+
+class TestAae:
+    def test_exact_estimates_zero_error(self):
+        truth = {1: 5, 2: 3}
+        assert aae(truth, {1: 5, 2: 3}) == 0.0
+
+    def test_hand_computed(self):
+        truth = {1: 5, 2: 3}
+        assert aae(truth, {1: 7, 2: 3}) == 1.0
+
+    def test_missing_estimates_count_as_zero(self):
+        assert aae({1: 4}, {}) == 4.0
+
+    def test_empty_query_set_rejected(self):
+        with pytest.raises(ValueError):
+            aae({}, {})
+
+
+class TestAre:
+    def test_hand_computed(self):
+        truth = {1: 4, 2: 8}
+        estimates = {1: 6, 2: 8}
+        assert are(truth, estimates) == pytest.approx(0.25)
+
+    def test_zero_persistence_items_excluded(self):
+        truth = {1: 0, 2: 5}
+        assert are(truth, {2: 10}) == 1.0
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            are({1: 0}, {})
+
+
+class TestEstimateAll:
+    def test_maps_query(self):
+        assert estimate_all(lambda k: k * 2, [1, 2]) == {1: 2, 2: 4}
+
+
+class TestClassification:
+    def test_confusion_matrix(self):
+        report = classify({1, 2, 3}, {2, 3, 4}, universe_size=10)
+        assert (report.tp, report.fp, report.fn, report.tn) == (2, 1, 1, 6)
+
+    def test_f1_precision_recall(self):
+        report = ClassificationReport(tp=2, fp=1, fn=1, tn=6)
+        assert report.precision == pytest.approx(2 / 3)
+        assert report.recall == pytest.approx(2 / 3)
+        assert report.f1 == pytest.approx(2 / 3)
+
+    def test_fnr_fpr(self):
+        report = ClassificationReport(tp=8, fp=2, fn=2, tn=88)
+        assert report.fnr == pytest.approx(0.2)
+        assert report.fpr == pytest.approx(2 / 90)
+
+    def test_perfect(self):
+        report = classify({1}, {1}, universe_size=5)
+        assert report.f1 == 1.0 and report.fnr == 0.0 and report.fpr == 0.0
+
+    def test_degenerate_empty(self):
+        report = classify(set(), set(), universe_size=3)
+        assert report.f1 == 1.0
+        assert report.fpr == 0.0
+
+    def test_universe_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            classify({1, 2}, {3, 4}, universe_size=2)
+
+
+class TestReportedAre:
+    def test_missed_item_counts_as_full_error(self):
+        truth = {1: 10, 2: 10}
+        assert reported_are(truth, {1: 10}, {1, 2}) == pytest.approx(0.5)
+
+    def test_reported_error_measured(self):
+        truth = {1: 10}
+        assert reported_are(truth, {1: 12}, {1}) == pytest.approx(0.2)
+
+    def test_empty_actual_rejected(self):
+        with pytest.raises(ValueError):
+            reported_are({}, {}, set())
+
+
+class TestThroughputRecord:
+    def test_mops(self):
+        record = ThroughputRecord(operations=2_000_000, seconds=1.0,
+                                  hash_ops=6_000_000)
+        assert record.mops == pytest.approx(2.0)
+        assert record.hash_ops_per_operation == pytest.approx(3.0)
+
+    def test_zero_division_guards(self):
+        record = ThroughputRecord(operations=0, seconds=0.0, hash_ops=0)
+        assert record.mops == 0.0
+        assert record.hash_ops_per_operation == 0.0

@@ -1,0 +1,137 @@
+"""Unit tests for repro.streams.model."""
+
+import pytest
+
+from repro.common.errors import StreamError
+from repro.streams.model import Trace, merge_traces, trace_from_timestamps
+
+
+class TestTraceValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(StreamError):
+            Trace([1, 2], [0], 1)
+
+    def test_decreasing_window_ids(self):
+        with pytest.raises(StreamError):
+            Trace([1, 2], [1, 0], 2)
+
+    def test_window_id_out_of_range(self):
+        with pytest.raises(StreamError):
+            Trace([1], [3], 3)
+
+    def test_zero_windows_rejected(self):
+        with pytest.raises(StreamError):
+            Trace([], [], 0)
+
+    def test_empty_trace_ok(self):
+        t = Trace([], [], 5)
+        assert t.n_records == 0 and t.n_windows == 5
+
+
+class TestTraceAccessors:
+    def test_counts(self, tiny_trace):
+        assert tiny_trace.n_records == 8
+        assert tiny_trace.n_distinct == 3
+        assert len(tiny_trace) == 8
+
+    def test_records_order(self, tiny_trace):
+        assert list(tiny_trace.records())[0] == (1, 0)
+
+    def test_windows_includes_empty(self):
+        t = Trace([7], [2], 4)
+        windows = dict(t.windows())
+        assert windows == {0: [], 1: [], 2: [7], 3: []}
+
+    def test_windows_partition_covers_all_records(self, tiny_trace):
+        total = sum(len(items) for _, items in tiny_trace.windows())
+        assert total == tiny_trace.n_records
+
+    def test_describe(self, tiny_trace):
+        d = tiny_trace.describe()
+        assert d["records"] == 8 and d["windows"] == 4
+
+
+class TestSliceAndRewindow:
+    def test_slice_windows(self, tiny_trace):
+        sub = tiny_trace.slice_windows(1, 3)
+        assert sub.n_windows == 2
+        assert list(sub.records()) == [(1, 0), (2, 0), (3, 0), (1, 1)]
+
+    def test_slice_invalid(self, tiny_trace):
+        with pytest.raises(StreamError):
+            tiny_trace.slice_windows(2, 2)
+
+    def test_rewindow_count(self, tiny_trace):
+        re = tiny_trace.rewindowed(2)
+        assert re.n_windows == 2
+        assert re.n_records == tiny_trace.n_records
+
+    def test_rewindow_preserves_item_sequence(self, tiny_trace):
+        re = tiny_trace.rewindowed(8)
+        assert re.items == tiny_trace.items
+
+    def test_rewindow_monotone(self, tiny_trace):
+        re = tiny_trace.rewindowed(3)
+        assert re.window_ids == sorted(re.window_ids)
+
+    def test_rewindow_empty(self):
+        t = Trace([], [], 4)
+        assert t.rewindowed(2).n_windows == 2
+
+    def test_rewindow_validation(self, tiny_trace):
+        with pytest.raises(StreamError):
+            tiny_trace.rewindowed(0)
+
+
+class TestMergeTraces:
+    def test_merge_same_axis(self):
+        a = Trace([1, 1], [0, 2], 3, name="a")
+        b = Trace([2], [1], 3, name="b")
+        merged = merge_traces(a, b)
+        assert merged.n_records == 3
+        assert merged.window_ids == [0, 1, 2]
+        assert merged.n_windows == 3
+
+    def test_merge_rejects_mismatched_windows(self):
+        a = Trace([1], [0], 2)
+        b = Trace([2], [0], 3)
+        with pytest.raises(StreamError):
+            merge_traces(a, b)
+
+    def test_merge_name(self):
+        a = Trace([1], [0], 1, name="x")
+        b = Trace([2], [0], 1, name="y")
+        assert merge_traces(a, b).name == "x+y"
+        assert merge_traces(a, b, name="z").name == "z"
+
+    def test_merge_combines_meta(self):
+        a = Trace([1], [0], 1, meta={"p": 1})
+        b = Trace([2], [0], 1, meta={"q": 2})
+        merged = merge_traces(a, b)
+        assert merged.meta["p"] == 1 and merged.meta["q"] == 2
+
+
+class TestTraceFromTimestamps:
+    def test_even_partition(self):
+        t = trace_from_timestamps([1, 2, 3, 4], [0.0, 1.0, 2.0, 3.0], 2)
+        assert t.window_ids == [0, 0, 1, 1]
+
+    def test_last_record_in_last_window(self):
+        t = trace_from_timestamps([1, 2], [0.0, 10.0], 5)
+        assert t.window_ids[-1] == 4
+
+    def test_constant_time_collapses_to_first_window(self):
+        t = trace_from_timestamps([1, 2, 3], [5.0, 5.0, 5.0], 4)
+        assert t.window_ids == [0, 0, 0]
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(StreamError):
+            trace_from_timestamps([1, 2], [1.0, 0.5], 2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(StreamError):
+            trace_from_timestamps([1], [1.0, 2.0], 2)
+
+    def test_empty(self):
+        t = trace_from_timestamps([], [], 3)
+        assert t.n_records == 0

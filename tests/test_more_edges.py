@@ -1,0 +1,174 @@
+"""Extra edge-case coverage across modules.
+
+Targets corners the main suites do not reach: single-cell structures,
+window-boundary pathologies, degenerate budgets, and estimator behaviour
+at the extremes of the parameter space.
+"""
+
+import pytest
+
+from repro.baselines import (
+    CMPersistenceSketch,
+    OnOffSketchV1,
+    OnOffSketchV2,
+    PSketch,
+    SmallSpace,
+    TightSketch,
+    WavingPersistenceSketch,
+)
+from repro.common.bitmem import KB
+from repro.core import HSConfig, HypersistentSketch
+from repro.experiments.harness import (
+    ESTIMATION_ALGORITHMS,
+    FINDING_ALGORITHMS,
+    make_estimator,
+    make_finder,
+)
+from repro.streams import Trace
+
+
+class TestDegenerateBudgets:
+    @pytest.mark.parametrize("name", ESTIMATION_ALGORITHMS)
+    def test_estimators_survive_tiny_budget(self, name):
+        sketch = make_estimator(name, 64)
+        for window in range(3):
+            for item in range(20):
+                sketch.insert(item)
+            sketch.end_window()
+        assert sketch.query(0) >= 0
+
+    @pytest.mark.parametrize("name", FINDING_ALGORITHMS)
+    def test_finders_survive_tiny_budget(self, name):
+        finder = make_finder(name, 64, n_windows=3)
+        for window in range(3):
+            for item in range(20):
+                finder.insert(item)
+            finder.end_window()
+        assert isinstance(finder.report(1), dict)
+
+
+class TestEmptyAndSingleWindow:
+    @pytest.mark.parametrize("name", ESTIMATION_ALGORITHMS)
+    def test_query_before_any_insert(self, name):
+        sketch = make_estimator(name, 2048)
+        assert sketch.query("never") == 0
+
+    def test_end_window_without_inserts(self):
+        sketch = HypersistentSketch(HSConfig.for_estimation(4 * KB, 10))
+        for _ in range(10):
+            sketch.end_window()
+        assert sketch.window == 10
+        assert sketch.query("x") == 0
+
+    def test_single_window_stream(self):
+        sketch = HypersistentSketch(HSConfig.for_estimation(4 * KB, 1))
+        for item in range(50):
+            sketch.insert(item)
+        sketch.end_window()
+        assert all(sketch.query(item) >= 1 for item in range(50))
+
+
+class TestManyWindowsNoTraffic:
+    """Flag resets across thousands of empty windows must stay O(1)."""
+
+    def test_hs_many_empty_windows_fast(self):
+        import time
+
+        sketch = HypersistentSketch(HSConfig.for_estimation(64 * KB, 10))
+        sketch.insert("x")
+        started = time.perf_counter()
+        for _ in range(20_000):
+            sketch.end_window()
+        assert time.perf_counter() - started < 1.0
+
+    def test_on_off_many_empty_windows_fast(self):
+        import time
+
+        oo = OnOffSketchV1(64 * KB)
+        started = time.perf_counter()
+        for _ in range(20_000):
+            oo.end_window()
+        assert time.perf_counter() - started < 1.0
+
+
+class TestWindowBoundaryPathologies:
+    def test_item_straddling_every_boundary(self):
+        """An item arriving exactly once per window, first thing."""
+        sketch = HypersistentSketch(HSConfig.for_estimation(16 * KB, 30))
+        for _ in range(30):
+            sketch.insert("edge")
+            for noise in range(20):
+                sketch.insert(f"noise-{noise}")
+            sketch.end_window()
+        assert sketch.query("edge") == 30
+
+    def test_item_arriving_last_in_window(self):
+        sketch = HypersistentSketch(HSConfig.for_estimation(16 * KB, 30))
+        for _ in range(30):
+            for noise in range(20):
+                sketch.insert(f"noise-{noise}")
+            sketch.insert("edge")
+            sketch.end_window()
+        assert sketch.query("edge") == 30
+
+    def test_alternating_presence(self):
+        sketch = HypersistentSketch(HSConfig.for_estimation(16 * KB, 40))
+        for window in range(40):
+            if window % 2 == 0:
+                sketch.insert("blinker")
+            sketch.end_window()
+        assert sketch.query("blinker") == 20
+
+
+class TestFinderReportEdges:
+    def test_threshold_zero_like(self):
+        oo = OnOffSketchV2(2048)
+        oo.insert("a")
+        oo.end_window()
+        assert oo.report(1) != {}
+
+    def test_threshold_above_everything(self):
+        for cls in (OnOffSketchV2, TightSketch, PSketch):
+            finder = cls(2048)
+            finder.insert("a")
+            finder.end_window()
+            assert finder.report(10**9) == {}
+
+    def test_small_space_full_probability_tracks_all(self):
+        ss = SmallSpace(8 * KB, sample_probability=1.0)
+        for item in range(10):
+            ss.insert(item)
+        ss.end_window()
+        assert len(ss.report(1)) == 10
+
+
+class TestBaselineWindowSemantics:
+    @pytest.mark.parametrize("cls", [
+        CMPersistenceSketch, WavingPersistenceSketch,
+    ])
+    def test_bloom_gated_dedup(self, cls):
+        sketch = cls(8 * KB)
+        for _ in range(6):
+            for _ in range(5):
+                sketch.insert("dup")
+            sketch.end_window()
+        assert sketch.query("dup") == 6
+
+    def test_tight_sketch_counts_occurrences_instead(self):
+        ts = TightSketch(8 * KB)
+        for _ in range(6):
+            for _ in range(5):
+                ts.insert("dup")
+            ts.end_window()
+        assert ts.query("dup") == 30  # frequency, not persistence
+
+
+class TestTraceEdge:
+    def test_trace_with_gap_windows(self):
+        t = Trace([1, 1], [0, 9], 10)
+        sketch = HypersistentSketch(HSConfig.for_estimation(4 * KB, 10))
+        for _, items in t.windows():
+            for item in items:
+                sketch.insert(item)
+            sketch.end_window()
+        assert sketch.query(1) == 2

@@ -1,0 +1,131 @@
+"""Unit tests for On-Off Sketch versions 1 and 2."""
+
+import pytest
+
+from repro.baselines.on_off import OnOffSketchV1, OnOffSketchV2
+from repro.common.errors import ConfigError
+from repro.common.hashing import canonical_key
+from repro.streams import zipf_trace
+from repro.streams.oracle import exact_persistence
+
+
+def stream(sketch, trace):
+    for _, items in trace.windows():
+        for item in items:
+            sketch.insert(item)
+        sketch.end_window()
+    return sketch
+
+
+class TestV1Semantics:
+    def test_once_per_window(self):
+        oo = OnOffSketchV1(1024, seed=1)
+        for _ in range(10):
+            oo.insert(5)
+        oo.end_window()
+        assert oo.query(5) == 1
+
+    def test_accumulates_across_windows(self):
+        oo = OnOffSketchV1(1024, seed=1)
+        for _ in range(6):
+            oo.insert(5)
+            oo.end_window()
+        assert oo.query(5) == 6
+
+    def test_never_underestimates(self, small_zipf, small_truth):
+        oo = stream(OnOffSketchV1(2048, seed=2), small_zipf)
+        assert all(oo.query(k) >= p for k, p in small_truth.items())
+
+    def test_upper_bound_is_window_count(self, small_zipf, small_truth):
+        oo = stream(OnOffSketchV1(2048, seed=2), small_zipf)
+        assert all(
+            oo.query(k) <= small_zipf.n_windows for k in small_truth
+        )
+
+    def test_collision_causes_overestimate_only(self):
+        oo = OnOffSketchV1(16, depth=1, seed=3)  # tiny: forced collisions
+        for window in range(5):
+            for k in range(50):
+                oo.insert(k)
+            oo.end_window()
+        assert all(oo.query(k) >= 5 for k in range(50))
+
+    def test_memory_within_budget(self):
+        oo = OnOffSketchV1(10 * 1024)
+        assert oo.memory_bytes <= 10 * 1024
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            OnOffSketchV1(1024, depth=0)
+
+
+class TestV2Semantics:
+    def test_tracked_item_counts_per_window(self):
+        oo = OnOffSketchV2(2048, seed=1)
+        for _ in range(4):
+            oo.insert("flow")
+            oo.insert("flow")
+            oo.end_window()
+        assert oo.query("flow") == 4
+
+    def test_empty_cell_insert(self):
+        oo = OnOffSketchV2(2048, seed=1)
+        oo.insert("a")
+        assert oo.query("a") == 1
+
+    def test_absent_item_zero(self):
+        oo = OnOffSketchV2(2048, seed=1)
+        assert oo.query("nothing") == 0
+
+    def test_swap_promotes_frequent_attacker(self):
+        # one bucket, tiny cells: a persistent attacker must eventually
+        # displace a one-shot resident via the global cell
+        oo = OnOffSketchV2(13, cells_per_bucket=1, seed=4)
+        assert oo.n_buckets == 1
+        oo.insert("resident")
+        oo.end_window()
+        for _ in range(30):
+            oo.insert("attacker")
+            oo.end_window()
+        assert oo.query("attacker") > 0
+        assert oo.swaps >= 1
+
+    def test_report_threshold(self):
+        oo = OnOffSketchV2(2048, seed=1)
+        for window in range(10):
+            oo.insert("hot")
+            if window < 3:
+                oo.insert("cold")
+            oo.end_window()
+        reported = oo.report(8)
+        assert canonical_key("hot") in reported
+        assert canonical_key("cold") not in reported
+
+    def test_report_values_match_query(self):
+        oo = OnOffSketchV2(2048, seed=1)
+        for _ in range(5):
+            oo.insert("x")
+            oo.end_window()
+        assert oo.report(1)[canonical_key("x")] == oo.query("x")
+
+    def test_memory_within_budget(self):
+        oo = OnOffSketchV2(10 * 1024)
+        assert oo.memory_bytes <= 10 * 1024
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            OnOffSketchV2(1024, cells_per_bucket=0)
+
+
+class TestV2OverestimationWeakness:
+    def test_swapped_items_inherit_counters(self):
+        """The paper's motivation: V2 swaps cause overestimation."""
+        trace = zipf_trace(8000, 40, seed=12, n_items=4000)
+        truth = exact_persistence(trace)
+        oo = stream(OnOffSketchV2(512, seed=5), trace)
+        overestimates = [
+            oo.query(k) - p
+            for k, p in truth.items()
+            if oo.query(k) > 0
+        ]
+        assert max(overestimates) > 0

@@ -1,0 +1,58 @@
+"""Unit tests for the PIE strawman sketch."""
+
+import pytest
+
+from repro.baselines.pie import PIESketch
+from repro.common.errors import ConfigError
+from repro.streams import zipf_trace
+from repro.streams.oracle import exact_persistence
+
+
+def run(trace, memory=8192, **kwargs):
+    sketch = PIESketch(memory, seed=3, **kwargs)
+    for _, items in trace.windows():
+        for item in items:
+            sketch.insert(item)
+        sketch.end_window()
+    return sketch
+
+
+class TestPie:
+    def test_window_dedup(self, tiny_trace):
+        sketch = run(tiny_trace)
+        truth = exact_persistence(tiny_trace)
+        assert sketch.query(1) == truth[1]
+
+    def test_estimates_nonnegative(self, tiny_trace):
+        sketch = run(tiny_trace)
+        assert sketch.query(12345) >= 0
+
+    def test_bloom_fraction_validated(self):
+        with pytest.raises(ConfigError):
+            PIESketch(1024, bloom_fraction=0.0)
+        with pytest.raises(ConfigError):
+            PIESketch(1024, bloom_fraction=1.0)
+
+    def test_memory_within_budget(self):
+        sketch = PIESketch(4096)
+        assert sketch.memory_bytes <= 4096
+
+    def test_underestimation_possible_from_bloom_fps(self):
+        """PIE's signature failure: Bloom false positives suppress counts.
+
+        A saturated per-window Bloom filter (many distinct items per window
+        vs. a few hundred bits) falsely reports new items as seen, so their
+        counters never increment — persistence is underestimated, which
+        On-Off v1 can never do.
+        """
+        trace = zipf_trace(12_000, 40, skew=0.5, n_items=150, seed=8)
+        truth = exact_persistence(trace)
+        sketch = run(trace, memory=4096, bloom_fraction=0.0075)
+        under = sum(
+            1 for k, p in truth.items() if sketch.query(k) < p
+        )
+        assert under > 0  # unlike On-Off v1, PIE underestimates
+
+    def test_window_counter(self, tiny_trace):
+        sketch = run(tiny_trace)
+        assert sketch.window == tiny_trace.n_windows

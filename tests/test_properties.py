@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Invariants checked:
+
+* Cold Filter / On-Off v1: one-sided error (never underestimate), estimates
+  bounded by the window count.
+* Hypersistent Sketch: window semantics (duplicates within a window never
+  change the estimate), determinism under a fixed seed.
+* Burst Filter: drain returns exactly the set of absorbed distinct keys.
+* Oracle: persistence <= min(frequency, windows); rewindowing to 1 window
+  gives persistence 1 for every item.
+* Bloom filter: no false negatives, ever.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bloom import BloomFilter
+from repro.baselines.on_off import OnOffSketchV1
+from repro.common.bitmem import KB
+from repro.core import HSConfig, HypersistentSketch
+from repro.core.burst_filter import BurstFilter
+from repro.streams.model import Trace
+from repro.streams.oracle import exact_frequency, exact_persistence
+
+# streams: lists of (item, window-advance) steps
+stream_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=30),
+              st.booleans()),
+    min_size=1,
+    max_size=200,
+)
+
+keys_strategy = st.lists(
+    st.integers(min_value=0, max_value=10_000), min_size=1, max_size=300
+)
+
+
+def play(sketch, steps):
+    """Apply a (item, advance-window) step sequence; returns window count."""
+    windows = 0
+    for item, advance in steps:
+        sketch.insert(item)
+        if advance:
+            sketch.end_window()
+            windows += 1
+    sketch.end_window()
+    return windows + 1
+
+
+def exact_from_steps(steps):
+    seen = {}
+    persistence = Counter()
+    window = 0
+    for item, advance in steps:
+        if seen.get(item) != window:
+            seen[item] = window
+            persistence[item] += 1
+        if advance:
+            window += 1
+    return dict(persistence)
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream_strategy)
+def test_on_off_v1_never_underestimates(steps):
+    oo = OnOffSketchV1(2 * KB, seed=1)
+    windows = play(oo, steps)
+    truth = exact_from_steps(steps)
+    for item, p in truth.items():
+        estimate = oo.query(item)
+        assert p <= estimate <= windows
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream_strategy)
+def test_hypersistent_estimate_bounded_by_windows(steps):
+    sketch = HypersistentSketch(HSConfig.for_estimation(8 * KB, 64))
+    windows = play(sketch, steps)
+    truth = exact_from_steps(steps)
+    for item in truth:
+        assert 0 <= sketch.query(item) <= windows
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream_strategy)
+def test_hypersistent_duplicates_within_window_are_noops(steps):
+    """Inserting an item twice per window must equal inserting it once."""
+    once = HypersistentSketch(HSConfig.for_estimation(8 * KB, 64, seed=5))
+    twice = HypersistentSketch(HSConfig.for_estimation(8 * KB, 64, seed=5))
+    for item, advance in steps:
+        once.insert(item)
+        twice.insert(item)
+        twice.insert(item)
+        if advance:
+            once.end_window()
+            twice.end_window()
+    once.end_window()
+    twice.end_window()
+    for item in {item for item, _ in steps}:
+        assert once.query(item) == twice.query(item)
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream_strategy)
+def test_hypersistent_deterministic(steps):
+    def run():
+        sketch = HypersistentSketch(HSConfig.for_estimation(4 * KB, 64,
+                                                            seed=9))
+        play(sketch, steps)
+        return {item: sketch.query(item) for item, _ in steps}
+
+    assert run() == run()
+
+
+@settings(max_examples=60, deadline=None)
+@given(keys_strategy)
+def test_burst_filter_drains_exactly_absorbed_keys(keys):
+    bf = BurstFilter(16, cells_per_bucket=2, seed=3)
+    absorbed = {key for key in keys if bf.insert(key)}
+    assert sorted(bf.drain()) == sorted(absorbed)
+    assert len(bf) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(keys_strategy)
+def test_bloom_filter_no_false_negatives(keys):
+    bloom = BloomFilter(128, n_hashes=3, seed=7)
+    for key in keys:
+        bloom.add(key)
+    assert all(key in bloom for key in keys)
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream_strategy)
+def test_oracle_persistence_bounds(steps):
+    items = [item for item, _ in steps]
+    wids = []
+    window = 0
+    for _, advance in steps:
+        wids.append(window)
+        if advance:
+            window += 1
+    trace = Trace(items, wids, window + 1)
+    persistence = exact_persistence(trace)
+    frequency = exact_frequency(trace)
+    for item, p in persistence.items():
+        assert 1 <= p <= min(frequency[item], trace.n_windows)
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream_strategy)
+def test_oracle_single_window_collapse(steps):
+    items = [item for item, _ in steps]
+    trace = Trace(items, [0] * len(items), 1)
+    persistence = exact_persistence(trace)
+    assert all(p == 1 for p in persistence.values())

@@ -1,0 +1,55 @@
+"""Tests for the experiment registry (structure + one cheap smoke run)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    list_experiments,
+    run_experiment,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+EXPECTED_IDS = {
+    "fig04", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+    "ablation-split", "ablation-burst", "ablation-thresholds",
+    "ablation-components",
+}
+
+
+class TestRegistryStructure:
+    def test_every_paper_figure_registered(self):
+        assert set(EXPERIMENTS) == EXPECTED_IDS
+
+    def test_list_is_sorted(self):
+        assert list_experiments() == sorted(EXPERIMENTS)
+
+    def test_every_experiment_has_bench_file(self):
+        for exp in EXPERIMENTS.values():
+            assert (REPO_ROOT / exp.bench_module).exists(), exp.bench_module
+
+    def test_runners_are_callable(self):
+        assert all(callable(exp.runner) for exp in EXPERIMENTS.values())
+
+    def test_descriptions_non_empty(self):
+        assert all(exp.description for exp in EXPERIMENTS.values())
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestSmokeRun:
+    def test_fig04_runs_at_small_scale(self):
+        results = run_experiment("fig04", scale=0.01)
+        assert len(results) == 1
+        fig = results[0]
+        assert fig.figure_id == "fig04"
+        for series in fig.series.values():
+            assert 0 < series[-1] <= 1.0
+            assert series == sorted(series)  # CDFs are monotone
+        # the background-dominated workloads show cold-item dominance
+        assert fig.series["caida"][-1] > 0.6

@@ -1,0 +1,49 @@
+"""Unit tests for table rendering and FigureResult."""
+
+from repro.experiments.report import FigureResult, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["x", "metric"], [[1, 0.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("x")
+        assert "0.500" in text and "0.250" in text
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_scientific_for_extremes(self):
+        text = format_table(["v"], [[123456.0], [0.00001]])
+        assert "1.23e+05" in text
+        assert "1e-05" in text
+
+
+class TestFigureResult:
+    def _figure(self):
+        return FigureResult(
+            figure_id="figX",
+            title="demo",
+            x_label="memory",
+            x_values=[1, 2],
+            series={"HS": [0.1, 0.05], "OO": [0.4, 0.2]},
+            notes=["a note"],
+        )
+
+    def test_to_table_contains_everything(self):
+        text = self._figure().to_table()
+        assert "[figX] demo" in text
+        assert "HS" in text and "OO" in text
+        assert "note: a note" in text
+
+    def test_best_algorithm_lower(self):
+        assert self._figure().best_algorithm_at(0) == "HS"
+
+    def test_best_algorithm_higher(self):
+        fig = self._figure()
+        assert fig.best_algorithm_at(0, lower_is_better=False) == "OO"

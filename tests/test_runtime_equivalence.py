@@ -1,0 +1,74 @@
+"""Property: the online driver matches the offline trace pipeline.
+
+Driving timestamped events through :class:`StreamDriver` must produce the
+same estimates as building a :class:`Trace` from the same events offline
+(``trace_from_timestamps``) and replaying it — the two paths implement the
+same stream model, so any divergence is a windowing bug.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import ExactTracker
+from repro.streams.model import trace_from_timestamps
+from repro.streams.oracle import exact_persistence
+from repro.streams.runtime import StreamDriver
+
+# (item, inter-arrival gap in tenths) sequences; gaps >= 0 keep time monotone
+events_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=40),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def materialize(raw):
+    t = 0.0
+    events = []
+    for item, gap in raw:
+        t += gap / 10.0
+        events.append((item, t))
+    return events
+
+
+@settings(max_examples=80, deadline=None)
+@given(events_strategy, st.integers(min_value=1, max_value=20))
+def test_driver_matches_offline_windowing(raw, duration_tenths):
+    events = materialize(raw)
+    duration = duration_tenths / 10.0
+
+    # online path
+    driver = StreamDriver(ExactTracker(), window_duration=duration)
+    for item, t in events:
+        driver.process(item, t)
+    driver.flush()
+
+    # offline path: same fixed-duration windows anchored at the first event
+    t0 = events[0][1]
+    span = events[-1][1] - t0
+    n_windows = max(1, int(span // duration) + 1)
+    items = [item for item, _ in events]
+    wids = [min(n_windows - 1, int((t - t0) // duration))
+            for _, t in events]
+    from repro.streams.model import Trace
+
+    trace = Trace(items, wids, n_windows)
+    truth = exact_persistence(trace)
+
+    for item in {item for item, _ in events}:
+        assert driver.sketch.query(item) == truth[item]
+
+
+@settings(max_examples=50, deadline=None)
+@given(events_strategy)
+def test_trace_from_timestamps_persistence_bounds(raw):
+    events = materialize(raw)
+    items = [item for item, _ in events]
+    times = [t for _, t in events]
+    trace = trace_from_timestamps(items, times, n_windows=5)
+    truth = exact_persistence(trace)
+    for item, p in truth.items():
+        assert 1 <= p <= 5

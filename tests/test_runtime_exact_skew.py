@@ -1,0 +1,177 @@
+"""Tests for the online stream driver, exact tracker, batch API, skew fit."""
+
+import pytest
+
+from repro.baselines.exact import ExactTracker
+from repro.common.errors import StreamError
+from repro.core import HSConfig, HypersistentSketch
+from repro.streams import zipf_trace
+from repro.streams.oracle import exact_frequency, exact_persistence
+from repro.streams.runtime import (
+    LATE_DROP,
+    LATE_ERROR,
+    StreamDriver,
+)
+from repro.analysis.skew import (
+    fit_zipf_mle,
+    fit_zipf_regression,
+    skew_report,
+)
+
+
+class TestExactTracker:
+    def test_matches_oracle_on_trace(self, small_zipf, small_truth):
+        tracker = ExactTracker()
+        for _, items in small_zipf.windows():
+            for item in items:
+                tracker.insert(item)
+            tracker.end_window()
+        for key, p in small_truth.items():
+            assert tracker.query(key) == p
+
+    def test_report_exact(self):
+        t = ExactTracker()
+        for _ in range(5):
+            t.insert("a")
+            t.insert("b") if t.window < 2 else None
+            t.end_window()
+        assert t.report(5) == {
+            __import__("repro.common.hashing",
+                       fromlist=["canonical_key"]).canonical_key("a"): 5
+        }
+
+    def test_memory_grows_with_items(self):
+        t = ExactTracker()
+        for item in range(100):
+            t.insert(item)
+        assert t.n_tracked == 100
+        assert t.memory_bytes == 100 * 48
+
+
+class TestStreamDriver:
+    def test_window_boundaries_from_timestamps(self):
+        driver = StreamDriver(ExactTracker(), window_duration=10.0)
+        for t in (0.0, 5.0, 12.0, 27.0):
+            driver.process("flow", t)
+        driver.flush()
+        assert driver.sketch.query("flow") == 3
+        assert driver.windows_closed == 3
+
+    def test_empty_windows_are_closed(self):
+        sketch = HypersistentSketch(HSConfig.for_estimation(8 * 1024, 50))
+        driver = StreamDriver(sketch, window_duration=1.0)
+        driver.process("x", 0.0)
+        driver.process("x", 10.0)  # 9 empty windows in between
+        driver.flush()
+        assert sketch.window == 11
+        assert sketch.query("x") == 2
+
+    def test_late_event_current_policy(self):
+        driver = StreamDriver(ExactTracker(), window_duration=10.0)
+        driver.process("a", 25.0)
+        driver.process("b", 3.0)  # late: folded into the open window
+        driver.flush()
+        assert driver.late_events == 1
+        assert driver.sketch.query("b") == 1
+
+    def test_late_event_drop_policy(self):
+        driver = StreamDriver(ExactTracker(), window_duration=10.0,
+                              late_policy=LATE_DROP)
+        driver.process("a", 25.0)
+        driver.process("b", 3.0)
+        driver.flush()
+        assert driver.dropped_events == 1
+        assert driver.sketch.query("b") == 0
+
+    def test_late_event_error_policy(self):
+        driver = StreamDriver(ExactTracker(), window_duration=10.0,
+                              late_policy=LATE_ERROR)
+        driver.process("a", 25.0)
+        with pytest.raises(StreamError):
+            driver.process("b", 3.0)
+
+    def test_catchup_guard(self):
+        driver = StreamDriver(ExactTracker(), window_duration=1.0,
+                              max_catchup_windows=10)
+        driver.process("a", 0.0)
+        with pytest.raises(StreamError):
+            driver.process("a", 1e9)
+
+    def test_flush_idempotent_and_final(self):
+        driver = StreamDriver(ExactTracker(), window_duration=1.0)
+        driver.process("a", 0.0)
+        driver.flush()
+        driver.flush()
+        with pytest.raises(StreamError):
+            driver.process("a", 2.0)
+
+    def test_current_window_start(self):
+        driver = StreamDriver(ExactTracker(), window_duration=10.0)
+        assert driver.current_window_start is None
+        driver.process("a", 100.0)
+        assert driver.current_window_start == 100.0
+        driver.process("a", 115.0)
+        assert driver.current_window_start == 110.0
+
+    def test_validation(self):
+        with pytest.raises(StreamError):
+            StreamDriver(ExactTracker(), window_duration=0)
+        with pytest.raises(StreamError):
+            StreamDriver(ExactTracker(), window_duration=1,
+                         late_policy="whatever")
+
+
+class TestInsertWindowBatch:
+    def test_equivalent_to_record_at_a_time(self, small_zipf):
+        config = HSConfig.for_estimation(16 * 1024, small_zipf.n_windows,
+                                         seed=5)
+        one_by_one = HypersistentSketch(config)
+        batched = HypersistentSketch(config)
+        for _, items in small_zipf.windows():
+            for item in items:
+                one_by_one.insert(item)
+            one_by_one.end_window()
+            batched.insert_window(items)
+        truth = exact_persistence(small_zipf)
+        diffs = sum(
+            1 for k in truth
+            if one_by_one.query(k) != batched.query(k)
+        )
+        # identical whenever the Burst Filter captured the window; allow a
+        # tiny divergence where it overflowed
+        assert diffs / len(truth) < 0.02
+
+    def test_batch_counts_each_window_once(self):
+        sketch = HypersistentSketch(HSConfig.for_estimation(8 * 1024, 10))
+        for _ in range(6):
+            sketch.insert_window(["dup"] * 7)
+        assert sketch.query("dup") == 6
+        assert sketch.window == 6
+
+
+class TestSkewEstimation:
+    def _counts(self, skew, seed=31):
+        trace = zipf_trace(60_000, 10, skew=skew, n_items=4000, seed=seed)
+        return exact_frequency(trace)
+
+    @pytest.mark.parametrize("true_skew", [0.8, 1.3, 2.0])
+    def test_mle_recovers_exponent(self, true_skew):
+        estimate = fit_zipf_mle(self._counts(true_skew))
+        assert estimate == pytest.approx(true_skew, abs=0.25)
+
+    def test_regression_orders_workloads(self):
+        flat = fit_zipf_regression(self._counts(0.6))
+        steep = fit_zipf_regression(self._counts(2.0))
+        assert steep > flat
+
+    def test_report_keys(self):
+        report = skew_report(self._counts(1.5))
+        assert set(report) == {"regression", "mle", "top10_share",
+                               "distinct"}
+        assert 0 < report["top10_share"] <= 1
+
+    def test_degenerate_input_rejected(self):
+        with pytest.raises(ValueError):
+            fit_zipf_mle({1: 5})
+        with pytest.raises(ValueError):
+            fit_zipf_regression({})

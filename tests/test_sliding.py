@@ -1,0 +1,79 @@
+"""Tests for the sliding-window persistence extension."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.sliding import SlidingHypersistentSketch
+
+
+def run_pattern(sketch, pattern):
+    """pattern: list of per-window item lists."""
+    for window_items in pattern:
+        for item in window_items:
+            sketch.insert(item)
+        sketch.end_window()
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SlidingHypersistentSketch(memory_bytes=1024, horizon=1)
+        with pytest.raises(ConfigError):
+            SlidingHypersistentSketch(memory_bytes=1, horizon=8)
+
+    def test_memory_split_between_panels(self):
+        sw = SlidingHypersistentSketch(memory_bytes=32 * 1024, horizon=10)
+        assert sw.memory_bytes <= 32 * 1024
+
+    def test_always_present_item_within_horizon_bounds(self):
+        sw = SlidingHypersistentSketch(memory_bytes=32 * 1024, horizon=8)
+        run_pattern(sw, [["x"]] * 40)
+        assert 4 <= sw.query("x") <= 8
+
+    def test_coverage_tracks_rotation(self):
+        sw = SlidingHypersistentSketch(memory_bytes=16 * 1024, horizon=8)
+        assert sw.coverage == 0
+        run_pattern(sw, [["a"]] * 3)
+        assert sw.coverage == 3
+        run_pattern(sw, [["a"]] * 20)
+        assert 4 <= sw.coverage <= 8
+
+
+class TestExpiry:
+    def test_item_that_stops_appearing_decays_to_zero(self):
+        sw = SlidingHypersistentSketch(memory_bytes=32 * 1024, horizon=6)
+        run_pattern(sw, [["old"]] * 10)       # active for 10 windows
+        assert sw.query("old") >= 3
+        run_pattern(sw, [["other"]] * 12)     # absent for 2x horizon
+        assert sw.query("old") == 0
+
+    def test_recent_item_not_expired(self):
+        sw = SlidingHypersistentSketch(memory_bytes=32 * 1024, horizon=6)
+        run_pattern(sw, [["noise"]] * 20)
+        run_pattern(sw, [["fresh", "noise"]] * 3)
+        assert sw.query("fresh") == 3
+
+    def test_duplicates_within_window_still_deduped(self):
+        sw = SlidingHypersistentSketch(memory_bytes=32 * 1024, horizon=6)
+        run_pattern(sw, [["x", "x", "x"]] * 3)
+        assert sw.query("x") == 3
+
+
+class TestReport:
+    def test_reports_currently_persistent(self):
+        sw = SlidingHypersistentSketch(memory_bytes=64 * 1024, horizon=400)
+        # items crossing the panels' cold thresholds need long activity
+        for _ in range(300):
+            sw.insert("hot")
+            sw.end_window()
+        reported = sw.report(threshold=100)
+        from repro.common.hashing import canonical_key
+        assert canonical_key("hot") in reported
+
+    def test_report_threshold_respected(self):
+        sw = SlidingHypersistentSketch(memory_bytes=64 * 1024, horizon=400)
+        for _ in range(300):
+            sw.insert("hot")
+            sw.end_window()
+        assert all(v >= 10_000 for v in sw.report(10_000).values()) or \
+            sw.report(10_000) == {}

@@ -1,0 +1,81 @@
+"""Unit tests for the Small-Space sampling tracker."""
+
+import pytest
+
+from repro.baselines.small_space import SmallSpace
+from repro.common.errors import ConfigError
+from repro.common.hashing import canonical_key
+
+
+def run_windows(sketch, per_window_items, n_windows):
+    for _ in range(n_windows):
+        for item in per_window_items:
+            sketch.insert(item)
+        sketch.end_window()
+    return sketch
+
+
+class TestSampling:
+    def test_tracked_item_counts_once_per_window(self):
+        ss = SmallSpace(4096, sample_probability=1.0, seed=1)
+        run_windows(ss, ["a", "a", "a"], 5)
+        # p=1 -> tracked from the first window, correction is 0
+        assert ss.query("a") == 5
+
+    def test_correction_added_for_subsampling(self):
+        ss = SmallSpace(4096, sample_probability=0.5, seed=1)
+        ss.insert("b")
+        ss.end_window()
+        if ss.query("b"):
+            assert ss.query("b") >= 1 + 1  # count + (1/p - 1)
+
+    def test_unsampled_item_zero(self):
+        ss = SmallSpace(4096, sample_probability=1e-9, seed=1)
+        run_windows(ss, ["c"], 3)
+        assert ss.query("c") == 0
+
+    def test_capacity_bounded(self):
+        ss = SmallSpace(64, sample_probability=1.0, seed=2)
+        for k in range(1000):
+            ss.insert(k)
+        ss.end_window()
+        assert len(ss._table) <= ss.capacity
+
+    def test_eviction_counted(self):
+        ss = SmallSpace(64, sample_probability=1.0, seed=2)
+        for window in range(3):
+            for k in range(1000):
+                ss.insert(k + window * 1000)
+            ss.end_window()
+        assert ss.evictions > 0
+
+    def test_report(self):
+        ss = SmallSpace(4096, sample_probability=1.0, seed=3)
+        run_windows(ss, ["hot"], 10)
+        reported = ss.report(10)
+        assert reported[canonical_key("hot")] == 10
+
+    def test_report_threshold(self):
+        ss = SmallSpace(4096, sample_probability=1.0, seed=3)
+        run_windows(ss, ["hot", "warm"], 4)
+        assert ss.report(5) == {}
+
+    def test_memory_accounting(self):
+        ss = SmallSpace(4096)
+        assert ss.memory_bytes <= 4096 + 12  # one entry of slack
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SmallSpace(1024, sample_probability=0.0)
+        with pytest.raises(ConfigError):
+            SmallSpace(1024, sample_probability=1.5)
+
+    def test_sampling_consistent_within_window(self):
+        ss = SmallSpace(4096, sample_probability=0.3, seed=4)
+        # repeated occurrences in one window make one consistent decision
+        for _ in range(5):
+            ss.insert("x")
+        tracked_now = canonical_key("x") in ss._table
+        for _ in range(5):
+            ss.insert("x")
+        assert (canonical_key("x") in ss._table) == tracked_now

@@ -1,0 +1,92 @@
+"""Tests for sketch checkpoint/restore."""
+
+import pytest
+
+from repro.baselines import OnOffSketchV1
+from repro.core import (
+    HSConfig,
+    HypersistentSketch,
+    SnapshotError,
+    load_sketch,
+    save_sketch,
+)
+from repro.core.simd import make_hypersistent_simd
+from repro.streams import zipf_trace
+from repro.streams.oracle import exact_persistence
+
+
+@pytest.fixture
+def trace():
+    return zipf_trace(6000, 40, seed=19, n_items=800, n_stealthy=2)
+
+
+def _stream(sketch, trace, start=0, stop=None):
+    windows = list(trace.windows())[start:stop]
+    for _, items in windows:
+        for item in items:
+            sketch.insert(item)
+        sketch.end_window()
+
+
+class TestRoundTrip:
+    def test_mid_stream_restore_matches_uninterrupted_run(
+        self, trace, tmp_path
+    ):
+        config = HSConfig.for_estimation(16 * 1024, trace.n_windows)
+        uninterrupted = HypersistentSketch(config)
+        _stream(uninterrupted, trace)
+
+        restarted = HypersistentSketch(config)
+        _stream(restarted, trace, stop=20)
+        save_sketch(restarted, tmp_path / "ckpt.pkl")
+        restored = load_sketch(tmp_path / "ckpt.pkl")
+        _stream(restored, trace, start=20)
+
+        truth = exact_persistence(trace)
+        for key in truth:
+            assert restored.query(key) == uninterrupted.query(key)
+
+    def test_simd_sketch_roundtrip(self, trace, tmp_path):
+        config = HSConfig.for_estimation(16 * 1024, trace.n_windows)
+        sketch = make_hypersistent_simd(config)
+        _stream(sketch, trace, stop=10)
+        save_sketch(sketch, tmp_path / "s.pkl")
+        restored = load_sketch(tmp_path / "s.pkl")
+        assert restored.query(trace.items[0]) == sketch.query(trace.items[0])
+
+    def test_baseline_roundtrip(self, trace, tmp_path):
+        oo = OnOffSketchV1(4096)
+        _stream(oo, trace)
+        save_sketch(oo, tmp_path / "oo.pkl")
+        restored = load_sketch(tmp_path / "oo.pkl",
+                               expected_class=OnOffSketchV1)
+        truth = exact_persistence(trace)
+        sample = list(truth)[:50]
+        assert all(restored.query(k) == oo.query(k) for k in sample)
+
+
+class TestFailureModes:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            load_sketch(tmp_path / "absent.pkl")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.raises(SnapshotError):
+            load_sketch(path)
+
+    def test_wrong_payload(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "other.pkl"
+        path.write_bytes(pickle.dumps({"something": "else"}))
+        with pytest.raises(SnapshotError):
+            load_sketch(path)
+
+    def test_class_guard(self, trace, tmp_path):
+        oo = OnOffSketchV1(4096)
+        save_sketch(oo, tmp_path / "oo.pkl")
+        with pytest.raises(SnapshotError):
+            load_sketch(tmp_path / "oo.pkl",
+                        expected_class=HypersistentSketch)

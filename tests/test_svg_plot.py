@@ -1,0 +1,92 @@
+"""Tests for the SVG figure renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svg_plot import figure_to_svg, svg_line_chart
+from repro.experiments.report import FigureResult
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+@pytest.fixture
+def figure():
+    return FigureResult(
+        figure_id="fig13",
+        title="ARE vs memory",
+        x_label="memory_kb",
+        x_values=[1, 2.5, 5],
+        series={"HS": [0.9, 0.1, 0.01], "OO": [5.0, 1.2, 0.4]},
+    )
+
+
+class TestSvgStructure:
+    def test_valid_xml(self, figure):
+        root = parse(figure_to_svg(figure))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_polyline_per_series(self, figure):
+        root = parse(figure_to_svg(figure))
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 2
+
+    def test_markers_per_point(self, figure):
+        root = parse(figure_to_svg(figure))
+        circles = root.findall(f"{SVG_NS}circle")  # first series markers
+        assert len(circles) == 3
+
+    def test_legend_and_labels_present(self, figure):
+        svg = figure_to_svg(figure)
+        assert "HS" in svg and "OO" in svg
+        assert "memory_kb" in svg
+        assert "ARE vs memory" in svg
+
+    def test_log_axis_decade_ticks(self, figure):
+        svg = figure_to_svg(figure, log_y=True)
+        assert ">1<" in svg or ">0.1<" in svg or ">0.01<" in svg
+
+    def test_linear_axis(self, figure):
+        svg = figure_to_svg(figure, log_y=False)
+        parse(svg)  # well-formed
+
+    def test_writes_file(self, figure, tmp_path):
+        path = tmp_path / "fig.svg"
+        figure_to_svg(figure, path)
+        assert path.read_text().startswith("<svg")
+
+
+class TestSvgEdges:
+    def test_single_point(self):
+        svg = svg_line_chart([10], {"A": [3.0]})
+        parse(svg)
+
+    def test_zero_values_on_log_axis(self):
+        svg = svg_line_chart([1, 2], {"A": [0.0, 100.0]}, log_y=True)
+        parse(svg)
+
+    def test_constant_series(self):
+        svg = svg_line_chart([1, 2, 3], {"A": [5.0, 5.0, 5.0]},
+                             log_y=False)
+        parse(svg)
+
+    def test_escaping(self):
+        svg = svg_line_chart([1], {"A<B>&C": [1.0]}, title="a<b>")
+        parse(svg)  # would raise on raw < >
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            svg_line_chart([1, 2], {"A": [1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            svg_line_chart([1], {})
+
+    def test_many_series_cycle_palette(self):
+        series = {f"s{i}": [float(i + 1)] for i in range(10)}
+        svg = svg_line_chart([1], series, log_y=False)
+        parse(svg)

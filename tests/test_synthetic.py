@@ -1,0 +1,142 @@
+"""Unit tests for repro.streams.synthetic generators."""
+
+import pytest
+
+from repro.common.errors import StreamError
+from repro.streams.oracle import exact_persistence
+from repro.streams.synthetic import (
+    burst_trace,
+    exponential_trace,
+    persistence_trace,
+    uniform_trace,
+    zipf_trace,
+)
+
+
+class TestZipfTrace:
+    def test_record_count(self):
+        t = zipf_trace(n_records=1000, n_windows=10, seed=1)
+        assert t.n_records == 1000
+
+    def test_window_ids_sorted_and_in_range(self):
+        t = zipf_trace(n_records=500, n_windows=7, seed=2)
+        assert t.window_ids == sorted(t.window_ids)
+        assert max(t.window_ids) < 7
+
+    def test_seed_reproducible(self):
+        a = zipf_trace(1000, 10, seed=5)
+        b = zipf_trace(1000, 10, seed=5)
+        assert a.items == b.items and a.window_ids == b.window_ids
+
+    def test_different_seed_differs(self):
+        a = zipf_trace(1000, 10, seed=5)
+        b = zipf_trace(1000, 10, seed=6)
+        assert a.items != b.items
+
+    def test_skew_concentrates_mass(self):
+        flat = zipf_trace(5000, 10, skew=0.2, n_items=500, seed=3)
+        steep = zipf_trace(5000, 10, skew=2.5, n_items=500, seed=3)
+        def head_share(t):
+            from collections import Counter
+            counts = Counter(t.items)
+            top = sum(c for _, c in counts.most_common(5))
+            return top / t.n_records
+        assert head_share(steep) > head_share(flat) + 0.2
+
+    def test_stealthy_items_have_full_persistence(self):
+        t = zipf_trace(2000, 25, seed=4, n_stealthy=3, stealthy_rate=2)
+        truth = exact_persistence(t)
+        for k in range(3):
+            assert truth[(1 << 48) + k] == 25
+
+    def test_stealthy_rate_controls_occurrences(self):
+        t = zipf_trace(100, 5, seed=4, n_stealthy=1, stealthy_rate=3)
+        count = sum(1 for item in t.items if item == 1 << 48)
+        assert count == 15  # 3 per window x 5 windows
+
+    def test_validation(self):
+        with pytest.raises(StreamError):
+            zipf_trace(0, 5)
+        with pytest.raises(StreamError):
+            zipf_trace(10, 0)
+        with pytest.raises(StreamError):
+            zipf_trace(10, 5, skew=-1)
+
+    def test_meta_recorded(self):
+        t = zipf_trace(100, 5, skew=1.7, seed=9)
+        assert t.meta["skew"] == 1.7 and t.meta["seed"] == 9
+
+
+class TestPersistenceTrace:
+    def test_band_persistence_exact(self):
+        t = persistence_trace([(10, 5, 5)], n_windows=20, seed=1)
+        truth = exact_persistence(t)
+        assert len(truth) == 10
+        assert all(p == 5 for p in truth.values())
+
+    def test_band_persistence_within_range(self):
+        t = persistence_trace([(20, 3, 8)], n_windows=50, seed=2)
+        truth = exact_persistence(t)
+        assert all(3 <= p <= 8 for p in truth.values())
+
+    def test_persistence_capped_at_window_count(self):
+        t = persistence_trace([(4, 90, 120)], n_windows=30, seed=3)
+        truth = exact_persistence(t)
+        assert all(p == 30 for p in truth.values())
+
+    def test_occurrences_per_window(self):
+        t = persistence_trace(
+            [(1, 4, 4)], n_windows=10, seed=4, occurrences_per_window=3
+        )
+        assert t.n_records == 12
+
+    def test_late_start_changes_layout_not_persistence(self):
+        early = persistence_trace([(8, 10, 10)], 100, seed=5,
+                                  late_start=False)
+        late = persistence_trace([(8, 10, 10)], 100, seed=5, late_start=True)
+        assert exact_persistence(early) == exact_persistence(late)
+
+    def test_late_start_spreads_first_appearances(self):
+        t = persistence_trace([(40, 3, 3)], 200, seed=6, late_start=True)
+        first_seen = {}
+        for item, wid in t.records():
+            first_seen.setdefault(item, wid)
+        assert max(first_seen.values()) > 100  # some items start late
+
+    def test_invalid_band(self):
+        with pytest.raises(StreamError):
+            persistence_trace([(5, 0, 4)], 10)
+        with pytest.raises(StreamError):
+            persistence_trace([(5, 6, 4)], 10)
+
+    def test_validation(self):
+        with pytest.raises(StreamError):
+            persistence_trace([(1, 1, 1)], 0)
+        with pytest.raises(StreamError):
+            persistence_trace([(1, 1, 1)], 5, occurrences_per_window=0)
+
+
+class TestOtherGenerators:
+    def test_uniform_trace(self):
+        t = uniform_trace(1000, 8, n_items=50, seed=1)
+        assert t.n_records == 1000
+        assert t.n_distinct <= 50
+
+    def test_uniform_validation(self):
+        with pytest.raises(StreamError):
+            uniform_trace(100, 5, n_items=0)
+
+    def test_exponential_trace_skewed(self):
+        t = exponential_trace(2000, 5, n_items=300, seed=2)
+        from collections import Counter
+        counts = Counter(t.items)
+        top = counts.most_common(1)[0][1]
+        assert top > 2000 / 300 * 5  # far above a uniform share
+
+    def test_burst_trace(self):
+        t = burst_trace(1000, 10, n_items=100, burst_fraction=0.5, seed=3)
+        assert t.n_records == 1000
+
+    def test_burst_fraction_validated(self):
+        with pytest.raises(StreamError):
+            burst_trace(100, 5, 10, burst_fraction=1.5)

@@ -1,0 +1,153 @@
+"""Empirical validation of Section IV's formulas against simulation.
+
+The theory module is only useful if its predictions track the structures
+they model; these tests compare each formula against direct Monte-Carlo
+measurements of the corresponding mechanism.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.theory import (
+    burst_capture_probability,
+    expected_speedup,
+    overestimate_probability_bound,
+    skewness_error_bound,
+)
+from repro.common.bitmem import KB
+from repro.core import HSConfig, HypersistentSketch
+from repro.core.burst_filter import BurstFilter
+from repro.experiments.harness import run_stream
+from repro.streams import zipf_trace
+from repro.streams.oracle import exact_persistence
+
+
+class TestBurstCaptureVsSimulation:
+    def _simulate_capture(self, n_distinct, n_buckets, cells, seed):
+        """Fraction of distinct arrivals absorbed by a real BurstFilter."""
+        rng = random.Random(seed)
+        bf = BurstFilter(n_buckets, cells, seed=seed)
+        absorbed = 0
+        trials = 40
+        for _ in range(trials):
+            bf.clear()
+            items = [rng.getrandbits(48) for _ in range(n_distinct)]
+            for item in items:
+                absorbed += bf.insert(item)
+        return absorbed / (trials * n_distinct)
+
+    @pytest.mark.parametrize("n_distinct,n_buckets,cells", [
+        (50, 100, 2),    # light load
+        (200, 100, 2),   # moderate load
+        (400, 100, 2),   # heavy load
+        (200, 50, 8),    # same capacity, wider buckets
+    ])
+    def test_prediction_tracks_simulation(self, n_distinct, n_buckets,
+                                          cells):
+        predicted = burst_capture_probability(n_distinct, n_buckets, cells)
+        measured = self._simulate_capture(n_distinct, n_buckets, cells,
+                                          seed=9)
+        assert predicted == pytest.approx(measured, abs=0.08)
+
+
+class TestOverestimateBoundVsCountMin:
+    def test_bound_is_conservative(self):
+        """Measured violation rate must not exceed the (eps, delta) bound."""
+        from repro.baselines.cm_sketch import CountMinSketch
+
+        rng = random.Random(5)
+        n_counters_per_row = 128
+        depth = 2
+        n_items = 400
+        epsilon = 8.0 / n_counters_per_row
+        delta = overestimate_probability_bound(
+            epsilon, n_counters_per_row, depth
+        )
+        violations = 0
+        trials = 30
+        for trial in range(trials):
+            cm = CountMinSketch(
+                memory_bytes=depth * n_counters_per_row * 4,
+                depth=depth, seed=trial,
+            )
+            truth = {}
+            for item in range(n_items):
+                count = rng.randint(1, 4)
+                truth[item] = count
+                for _ in range(count):
+                    cm.add(item)
+            l1 = sum(truth.values())
+            probe = rng.randrange(n_items)
+            if cm.estimate(probe) > truth[probe] + epsilon * l1:
+                violations += 1
+        assert violations / trials <= delta + 0.1
+
+    def test_bound_monotonicity_matches_experiment_direction(self):
+        tight = overestimate_probability_bound(0.05, 4096, 3)
+        loose = overestimate_probability_bound(0.05, 64, 1)
+        assert tight < loose
+
+
+class TestSkewnessBoundVsMeasurement:
+    def test_bound_upper_bounds_measured_overestimate(self):
+        """Thm IV.6's expected-error bound vs the real sketch's mean error."""
+        trace = zipf_trace(30_000, 60, skew=1.5, n_items=3000, seed=21)
+        truth = exact_persistence(trace)
+        config = HSConfig.for_estimation(8 * KB, 60)
+        sketch = HypersistentSketch(config)
+        run_stream(sketch, trace)
+        over = [
+            sketch.query(k) - p for k, p in truth.items()
+        ]
+        mean_over = sum(max(0, o) for o in over) / len(over)
+        bound = skewness_error_bound(
+            n_items=len(truth),
+            skew=1.5,
+            l1_counters=config.d1 * config.l1_width(),
+            l2_counters=config.d2 * config.l2_width(),
+        )
+        # the theorem's bound is on *normalized* persistence; rescale by
+        # the L1 mass of the persistence vector
+        l1_mass = sum(truth.values())
+        assert mean_over <= bound * l1_mass
+
+    def test_more_skew_less_measured_error(self):
+        def measured_are(skew):
+            from repro.analysis.metrics import are, estimate_all
+
+            trace = zipf_trace(30_000, 60, skew=skew, n_items=3000, seed=22)
+            truth = exact_persistence(trace)
+            sketch = HypersistentSketch(HSConfig.for_estimation(4 * KB, 60))
+            run_stream(sketch, trace)
+            return are(truth, estimate_all(sketch.query, truth))
+
+        assert measured_are(2.0) < measured_are(1.0)
+
+
+class TestSpeedupModelVsMeasurement:
+    def test_hash_cost_ratio_matches_model_direction(self):
+        """Thm IV.8: measured hash savings grow with the repeat factor."""
+        from dataclasses import replace
+
+        def hash_ratio(repeats):
+            trace = zipf_trace(
+                30_000, 50, skew=1.2, n_items=2000, seed=23,
+                within_window_repeats=repeats,
+            )
+            config = HSConfig.for_estimation(
+                16 * KB, 50,
+                window_distinct_hint=trace.mean_window_distinct(),
+            )
+            with_bf = run_stream(HypersistentSketch(config), trace)
+            without = run_stream(
+                HypersistentSketch(replace(config, burst_bytes=0)), trace
+            )
+            return (without.insert.hash_ops_per_operation
+                    / with_bf.insert.hash_ops_per_operation)
+
+        low = hash_ratio(1.5)
+        high = hash_ratio(8.0)
+        assert high > low
+        # the model predicts the same ordering
+        assert expected_speedup(8.0, 2) > expected_speedup(1.5, 2)

@@ -1,0 +1,104 @@
+"""Unit tests for the Tight-Sketch and P-Sketch reconstructions."""
+
+import pytest
+
+from repro.baselines.p_sketch import PSketch
+from repro.baselines.tight_sketch import TightSketch
+from repro.common.errors import ConfigError
+from repro.common.hashing import canonical_key
+
+
+class TestTightSketch:
+    def test_counts_every_occurrence(self):
+        ts = TightSketch(2048, seed=1)
+        for _ in range(7):
+            ts.insert("x")
+        ts.end_window()
+        assert ts.query("x") == 7  # occurrence count, not persistence
+
+    def test_empty_cell_admission(self):
+        ts = TightSketch(2048, seed=1)
+        ts.insert("a")
+        assert ts.query("a") == 1
+
+    def test_decay_eventually_replaces_weak_resident(self):
+        ts = TightSketch(8, cells_per_bucket=1, seed=2)
+        assert ts.n_buckets == 1
+        ts.insert("weak")
+        for _ in range(200):
+            ts.insert("strong")
+        assert ts.query("strong") >= 1
+        assert ts.decays >= 1
+
+    def test_established_items_resist_eviction(self):
+        ts = TightSketch(8, cells_per_bucket=1, seed=3)
+        for _ in range(500):
+            ts.insert("heavy")
+        before = ts.query("heavy")
+        for k in range(50):  # singleton attackers
+            ts.insert(k)
+        assert ts.query("heavy") >= before - 50  # decay is slow vs count
+
+    def test_report_uses_occurrence_threshold(self):
+        ts = TightSketch(2048, seed=1)
+        for _ in range(30):
+            ts.insert("bursty")
+        assert canonical_key("bursty") in ts.report(20)
+
+    def test_memory_within_budget(self):
+        assert TightSketch(4096).memory_bytes <= 4096
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TightSketch(64, cells_per_bucket=0)
+
+
+class TestPSketch:
+    def test_persistence_semantics(self):
+        ps = PSketch(2048, seed=1)
+        for _ in range(4):
+            ps.insert("x")
+            ps.insert("x")
+            ps.end_window()
+        assert ps.query("x") == 4
+
+    def test_fresh_start_on_eviction(self):
+        ps = PSketch(10, cells_per_bucket=1, seed=2)
+        assert ps.n_buckets == 1
+        for _ in range(3):
+            ps.insert("old")
+            ps.end_window()
+        # hammer with a new item until it takes the cell
+        for _ in range(500):
+            ps.insert("new")
+        if ps.query("new"):
+            assert ps.query("new") <= 3  # no counter inheritance
+
+    def test_stale_items_lose_protection(self):
+        ps = PSketch(10, cells_per_bucket=1, age_penalty=1.0, seed=3)
+        for _ in range(5):
+            ps.insert("stale")
+            ps.end_window()
+        for _ in range(30):  # 30 idle windows: score decays to zero
+            ps.end_window()
+        evicted_before = ps.evictions
+        for _ in range(100):
+            ps.insert("fresh")
+        assert ps.evictions > evicted_before
+
+    def test_report(self):
+        ps = PSketch(2048, seed=1)
+        for _ in range(6):
+            ps.insert("hot")
+            ps.end_window()
+        assert ps.report(6)[canonical_key("hot")] == 6
+        assert ps.report(7) == {}
+
+    def test_memory_within_budget(self):
+        assert PSketch(4096).memory_bytes <= 4096
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PSketch(64, cells_per_bucket=0)
+        with pytest.raises(ConfigError):
+            PSketch(64, age_penalty=-1)

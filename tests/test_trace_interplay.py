@@ -1,0 +1,76 @@
+"""Interplay of trace transforms: slice/rewindow/merge compositions."""
+
+import pytest
+
+from repro.streams import Trace, merge_traces, zipf_trace
+from repro.streams.oracle import exact_frequency, exact_persistence
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return zipf_trace(5000, 40, skew=1.2, n_items=800, seed=91)
+
+
+class TestTransformComposition:
+    def test_slice_then_rewindow(self, trace):
+        sub = trace.slice_windows(10, 30).rewindowed(5)
+        assert sub.n_windows == 5
+        truth = exact_persistence(sub)
+        assert all(1 <= p <= 5 for p in truth.values())
+
+    def test_rewindow_preserves_frequency(self, trace):
+        re = trace.rewindowed(7)
+        assert exact_frequency(re) == exact_frequency(trace)
+
+    def test_rewindow_to_one_window_collapses_persistence(self, trace):
+        re = trace.rewindowed(1)
+        truth = exact_persistence(re)
+        assert set(truth.values()) == {1}
+
+    def test_rewindow_up_never_lowers_persistence_floor(self, trace):
+        """More windows can only split an item's appearances further."""
+        coarse = exact_persistence(trace.rewindowed(5))
+        fine = exact_persistence(trace.rewindowed(40))
+        for key, p_coarse in coarse.items():
+            assert fine[key] >= p_coarse or p_coarse <= 5
+
+    def test_merge_then_slice(self, trace):
+        other = zipf_trace(2000, 40, skew=1.0, n_items=300, seed=92)
+        merged = merge_traces(trace, other)
+        sub = merged.slice_windows(0, 20)
+        assert sub.n_records == sum(
+            1 for _, wid in merged.records() if wid < 20
+        )
+
+    def test_merge_is_order_insensitive_for_oracle(self, trace):
+        other = zipf_trace(2000, 40, skew=1.0, n_items=300, seed=92)
+        ab = exact_persistence(merge_traces(trace, other))
+        ba = exact_persistence(merge_traces(other, trace))
+        assert ab == ba
+
+    def test_merge_frequency_is_sum(self, trace):
+        doubled = merge_traces(trace, trace)
+        freq_single = exact_frequency(trace)
+        freq_double = exact_frequency(doubled)
+        assert all(freq_double[k] == 2 * v for k, v in freq_single.items())
+
+    def test_merge_persistence_is_union_not_sum(self, trace):
+        doubled = merge_traces(trace, trace)
+        assert exact_persistence(doubled) == exact_persistence(trace)
+
+
+class TestWindowIterationContracts:
+    def test_windows_yield_exactly_n_windows(self, trace):
+        assert sum(1 for _ in trace.windows()) == trace.n_windows
+
+    def test_windows_preserve_record_order(self, trace):
+        flattened = [
+            item for _, items in trace.windows() for item in items
+        ]
+        assert flattened == trace.items
+
+    def test_empty_trace_windows(self):
+        t = Trace([], [], 3)
+        windows = list(t.windows())
+        assert len(windows) == 3
+        assert all(items == [] for _, items in windows)

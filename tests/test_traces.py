@@ -1,0 +1,88 @@
+"""Unit tests for the paper-trace analogues (repro.streams.traces)."""
+
+import pytest
+
+from repro.common.errors import StreamError
+from repro.streams.oracle import exact_persistence, persistent_items
+from repro.streams.traces import (
+    big_caida_like,
+    caida_like,
+    campus_like,
+    mawi_like,
+    polygraph_like,
+)
+
+SMALL = dict(scale=0.002, n_windows=100)
+
+
+class TestGeneratorsBasics:
+    @pytest.mark.parametrize("build", [
+        caida_like, mawi_like, campus_like,
+    ])
+    def test_shape(self, build):
+        t = build(**SMALL)
+        assert t.n_records > 0
+        assert t.n_windows == 100
+        assert t.n_distinct > 50
+
+    def test_big_caida(self):
+        t = big_caida_like(scale=0.0005, n_windows=100)
+        assert t.n_records > 0
+
+    def test_scale_validation(self):
+        with pytest.raises(StreamError):
+            caida_like(scale=0.0)
+        with pytest.raises(StreamError):
+            mawi_like(scale=1.5)
+
+    def test_deterministic(self):
+        a = caida_like(**SMALL)
+        b = caida_like(**SMALL)
+        assert a.items == b.items
+
+    def test_scale_grows_trace(self):
+        small = caida_like(scale=0.002, n_windows=50)
+        bigger = caida_like(scale=0.004, n_windows=50)
+        assert bigger.n_records > small.n_records
+        assert bigger.n_distinct > small.n_distinct
+
+
+class TestPersistenceStructure:
+    def test_has_persistent_population(self):
+        t = mawi_like(**SMALL)
+        truth = exact_persistence(t)
+        persistent = persistent_items(truth, int(0.55 * t.n_windows))
+        # overlay band (0.55w..w) plus stealthy items guarantee a head
+        assert len(persistent) >= 30
+
+    def test_has_hard_negatives(self):
+        t = caida_like(**SMALL)
+        truth = exact_persistence(t)
+        mid = [p for p in truth.values() if 0.2 * 100 <= p <= 0.5 * 100]
+        assert len(mid) >= 50
+
+    def test_cold_majority(self):
+        # At realistic scales the Zipf background dominates the fixed-size
+        # overlay and most items are cold (the figure-4 premise).
+        t = caida_like(scale=0.01, n_windows=100)
+        truth = exact_persistence(t)
+        cold = sum(1 for p in truth.values() if p <= 10)
+        assert cold / len(truth) > 0.5
+
+    def test_overlay_counts_fixed_across_scales(self):
+        a = caida_like(scale=0.002, n_windows=50)
+        b = caida_like(scale=0.01, n_windows=50)
+        assert a.meta["n_persistent"] == b.meta["n_persistent"]
+
+
+class TestPolygraph:
+    @pytest.mark.parametrize("skew", [1.5, 2.0, 2.5])
+    def test_runs_per_skew(self, skew):
+        t = polygraph_like(skew, scale=0.002, n_windows=50)
+        assert t.n_records > 0
+        assert t.name == f"zipf{skew:g}"
+
+    def test_higher_skew_fewer_distinct(self):
+        lo = polygraph_like(1.5, scale=0.005, n_windows=50)
+        hi = polygraph_like(2.5, scale=0.005, n_windows=50)
+        assert hi.n_distinct < lo.n_distinct

@@ -1,0 +1,102 @@
+"""Tests for seed replication (median/spread across runs)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.experiments.report import FigureResult
+from repro.experiments.variance import (
+    median_figure,
+    replicate,
+    spread_figure,
+)
+
+
+def make_figure(values, fid="f", title="t"):
+    return FigureResult(
+        figure_id=fid, title=title, x_label="x",
+        x_values=[1, 2], series={"HS": values},
+    )
+
+
+class TestMedianFigure:
+    def test_median_of_three(self):
+        figs = [make_figure([1.0, 10.0]), make_figure([3.0, 30.0]),
+                make_figure([2.0, 20.0])]
+        median = median_figure(figs)
+        assert median.series["HS"] == [2.0, 20.0]
+        assert "median of 3 runs" in median.title
+
+    def test_single_figure_identity(self):
+        median = median_figure([make_figure([5.0, 6.0])])
+        assert median.series["HS"] == [5.0, 6.0]
+
+    def test_shape_mismatch_rejected(self):
+        a = make_figure([1.0, 2.0])
+        b = FigureResult(figure_id="f", title="t", x_label="x",
+                         x_values=[1], series={"HS": [1.0]})
+        with pytest.raises(ConfigError):
+            median_figure([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            median_figure([])
+
+
+class TestSpreadFigure:
+    def test_zero_spread_for_identical_runs(self):
+        figs = [make_figure([2.0, 4.0])] * 3
+        spread = spread_figure(figs)
+        assert spread.series["HS"] == [0.0, 0.0]
+
+    def test_spread_computation(self):
+        figs = [make_figure([1.0, 1.0]), make_figure([3.0, 1.0])]
+        spread = spread_figure(figs)
+        assert spread.series["HS"][0] == pytest.approx(1.0)  # (3-1)/2
+        assert spread.series["HS"][1] == 0.0
+
+    def test_zero_median_guard(self):
+        figs = [make_figure([0.0, 1.0]), make_figure([0.0, 1.0])]
+        assert spread_figure(figs).series["HS"][0] == 0.0
+
+
+class TestReplicate:
+    def test_runs_per_seed(self):
+        seen = []
+
+        def sweep(seed):
+            seen.append(seed)
+            return make_figure([float(seed), float(seed * 2)])
+
+        out = replicate(sweep, seeds=(1, 2, 3))
+        assert seen == [1, 2, 3]
+        assert out["median"].series["HS"] == [2.0, 4.0]
+        assert len(out["runs"]) == 3
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ConfigError):
+            replicate(lambda s: make_figure([1.0, 2.0]), seeds=())
+
+    def test_real_sweep_seed_stability(self, small_zipf):
+        """Estimation AAE conclusions must not flip across seeds."""
+        from repro.analysis.metrics import aae, estimate_all
+        from repro.experiments.harness import run_algorithm
+        from repro.streams.oracle import exact_persistence
+
+        truth = exact_persistence(small_zipf)
+        keys = list(truth)
+
+        def sweep(seed):
+            hs = run_algorithm("HS", small_zipf, 8 * 1024, seed=seed)
+            oo = run_algorithm("OO", small_zipf, 8 * 1024, seed=seed)
+            return FigureResult(
+                figure_id="seedcheck", title="t", x_label="alg",
+                x_values=[0],
+                series={
+                    "HS": [aae(truth, estimate_all(hs.sketch.query, keys))],
+                    "OO": [aae(truth, estimate_all(oo.sketch.query, keys))],
+                },
+            )
+
+        out = replicate(sweep, seeds=(1, 2, 3))
+        median = out["median"]
+        assert median.series["HS"][0] < median.series["OO"][0]

@@ -1,0 +1,74 @@
+"""Unit tests for WavingSketch and its persistence adaptation."""
+
+import pytest
+
+from repro.baselines.waving import WavingPersistenceSketch, WavingSketch
+from repro.common.errors import ConfigError
+from repro.common.hashing import canonical_key
+from repro.streams.oracle import exact_persistence
+
+
+class TestWavingCore:
+    def test_heavy_item_exact_while_resident(self):
+        ws = WavingSketch(2048, seed=1)
+        for _ in range(9):
+            ws.add(5)
+        assert ws.estimate(5) == 9
+
+    def test_absent_key_estimate_nonnegative(self):
+        ws = WavingSketch(2048, seed=1)
+        ws.add(1)
+        assert ws.estimate(424242) >= 0
+
+    def test_eviction_when_bucket_full(self):
+        ws = WavingSketch(64, cells_per_bucket=1, seed=2)
+        # many distinct keys hammer the single bucket; a heavy late key
+        # must eventually displace the light resident
+        for k in range(10, 40):
+            ws.add(k)
+        for _ in range(60):
+            ws.add(7)
+        assert ws.estimate(7) >= 1
+        assert ws.swaps >= 1
+
+    def test_heavy_items_listing(self):
+        ws = WavingSketch(2048, seed=1)
+        ws.add(1)
+        ws.add(1)
+        assert ws.heavy_items()[1] == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WavingSketch(64, cells_per_bucket=0)
+
+
+class TestWavingPersistence:
+    def _run(self, trace, memory=8192):
+        sketch = WavingPersistenceSketch(memory, seed=3)
+        for _, items in trace.windows():
+            for item in items:
+                sketch.insert(item)
+            sketch.end_window()
+        return sketch
+
+    def test_window_dedup(self, tiny_trace):
+        sketch = self._run(tiny_trace)
+        truth = exact_persistence(tiny_trace)
+        assert sketch.query(1) == truth[1]
+
+    def test_report(self, tiny_trace):
+        sketch = self._run(tiny_trace)
+        reported = sketch.report(3)
+        assert canonical_key(1) in reported
+
+    def test_report_threshold_respected(self, tiny_trace):
+        sketch = self._run(tiny_trace)
+        assert all(v >= 3 for v in sketch.report(3).values())
+
+    def test_memory_within_budget(self):
+        sketch = WavingPersistenceSketch(4096)
+        assert sketch.memory_bytes <= 4096
+
+    def test_hash_ops_positive(self, tiny_trace):
+        sketch = self._run(tiny_trace)
+        assert sketch.hash_ops > 0
