@@ -1,10 +1,13 @@
 """Ingestion-path microbenchmark (library-level, beyond the paper).
 
-Times the three ways to feed a window stream into a Hypersistent Sketch:
+Times the ways to feed a window stream into a Hypersistent Sketch:
 
 * record-at-a-time through the scalar Burst Filter (the paper's path);
 * record-at-a-time through the numpy SIMD-emulating Burst Filter;
-* whole-window batches through :class:`BatchWindowProcessor`.
+* whole-window batches through :class:`BatchWindowProcessor` (legacy,
+  approximate pre-dedup);
+* whole-window columnar batches through ``insert_window`` (the exact
+  fast path — bit-for-bit the scalar results).
 
 Uses pytest-benchmark's statistical timing (multiple rounds) since these
 are honest wall-clock comparisons of same-language implementations.
@@ -29,7 +32,7 @@ def workload():
     config = HSConfig.for_estimation(
         32 * 1024, 200, window_distinct_hint=trace.mean_window_distinct()
     )
-    return windows, config
+    return windows, config, trace
 
 
 def _run_scalar(windows, config):
@@ -58,8 +61,16 @@ def _run_batch(windows, config):
     return sketch
 
 
+def _run_window_batch(window_arrays, config, simd=True):
+    sketch = (make_hypersistent_simd(config) if simd
+              else HypersistentSketch(config))
+    for keys in window_arrays:
+        sketch.insert_window(keys)
+    return sketch
+
+
 def test_ingest_scalar(benchmark, workload):
-    windows, config = workload
+    windows, config, _ = workload
     sketch = benchmark.pedantic(
         _run_scalar, args=(windows, config), rounds=3, iterations=1
     )
@@ -67,7 +78,7 @@ def test_ingest_scalar(benchmark, workload):
 
 
 def test_ingest_simd_filter(benchmark, workload):
-    windows, config = workload
+    windows, config, _ = workload
     sketch = benchmark.pedantic(
         _run_simd, args=(windows, config), rounds=3, iterations=1
     )
@@ -75,17 +86,73 @@ def test_ingest_simd_filter(benchmark, workload):
 
 
 def test_ingest_batch_windows(benchmark, workload):
-    windows, config = workload
+    windows, config, _ = workload
     sketch = benchmark.pedantic(
         _run_batch, args=(windows, config), rounds=3, iterations=1
     )
     assert sketch.window == len(windows)
 
 
+def test_ingest_columnar_windows(benchmark, workload):
+    """The exact columnar fast path: ``insert_window`` on key arrays."""
+    windows, config, trace = workload
+    arrays = trace.window_arrays()
+    sketch = benchmark.pedantic(
+        _run_window_batch, args=(arrays, config), rounds=3, iterations=1
+    )
+    assert sketch.window == len(windows)
+
+
 def test_paths_agree_on_estimates(workload):
-    windows, config = workload
+    windows, config, _ = workload
     scalar = _run_scalar(windows, config)
     batch = _run_batch(windows, config)
     keys = {item for items in windows for item in items}
     diffs = sum(1 for k in keys if scalar.query(k) != batch.query(k))
     assert diffs / max(1, len(keys)) < 0.02  # only burst-overflow corners
+
+
+def test_columnar_path_is_exact(workload):
+    """``insert_window`` is bit-for-bit the scalar loop, not approximate."""
+    windows, config, trace = workload
+    scalar = _run_scalar(windows, config)
+    columnar = _run_window_batch(trace.window_arrays(), config, simd=False)
+    assert scalar.stats() == columnar.stats()
+    keys = {item for items in windows for item in items}
+    assert all(scalar.query(k) == columnar.query(k) for k in keys)
+
+
+def _canonicalize_bytes(fn, blobs):
+    total = 0
+    for blob in blobs:
+        total ^= fn(blob)
+    return total
+
+
+def test_bytes_canonicalization_v2(benchmark):
+    """Chunked v2 bytes hashing vs the per-byte FNV-1a it replaced.
+
+    Times the current ``canonical_key`` bytes path (8-byte chunks) and
+    prints the measured delta against the v1 per-byte reference kept in
+    ``repro.common.hashing``.
+    """
+    import time
+
+    from repro.common.hashing import _fnv1a_bytes_v1, canonical_key
+
+    blobs = [f"flow-{i}-{'x' * (i % 40)}".encode() for i in range(4096)]
+    checksum = benchmark.pedantic(
+        _canonicalize_bytes, args=(canonical_key, blobs),
+        rounds=3, iterations=1,
+    )
+    assert isinstance(checksum, int)
+    started = time.perf_counter()
+    _canonicalize_bytes(_fnv1a_bytes_v1, blobs)
+    v1_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    _canonicalize_bytes(canonical_key, blobs)
+    v2_seconds = time.perf_counter() - started
+    speedup = v1_seconds / max(v2_seconds, 1e-9)
+    print(f"\nbytes canonicalization: v1(per-byte)={v1_seconds * 1e3:.2f}ms "
+          f"v2(chunked)={v2_seconds * 1e3:.2f}ms ({speedup:.1f}x)")
+    assert v2_seconds < v1_seconds  # chunking must beat the per-byte loop

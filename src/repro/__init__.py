@@ -45,6 +45,7 @@ from .common import (
     PersistenceEstimator,
     PersistentItemFinder,
     canonical_key,
+    canonical_keys,
 )
 from .core import (
     BurstFilter,
@@ -65,6 +66,7 @@ from .experiments import (
     make_finder,
     run_experiment,
     run_stream,
+    run_stream_batched,
 )
 from .streams import (
     Trace,
@@ -114,6 +116,7 @@ __all__ = [
     "caida_like",
     "campus_like",
     "canonical_key",
+    "canonical_keys",
     "classify",
     "estimate_all",
     "exact_persistence",
@@ -129,5 +132,6 @@ __all__ = [
     "run_experiment",
     "save_sketch",
     "run_stream",
+    "run_stream_batched",
     "zipf_trace",
 ]

@@ -20,10 +20,15 @@ from typing import List, Optional
 from .analysis.ascii_plot import plot_figure
 from .analysis.metrics import aae, are, classify, estimate_all
 from .experiments.harness import (
+    BATCHED_ALGORITHMS,
     ESTIMATION_ALGORITHMS,
     FINDING_ALGORITHMS,
     run_algorithm,
 )
+
+#: Labels accepted by ``estimate``/``compare``: the estimation suite plus
+#: the batched-ingestion variants (same estimates, columnar insert path).
+_ESTIMATE_CHOICES = tuple(ESTIMATION_ALGORITHMS) + tuple(BATCHED_ALGORITHMS)
 from .experiments.registry import EXPERIMENTS, run_experiment
 from .streams.io import (
     load_trace_csv,
@@ -215,7 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("estimate", help="persistence estimation accuracy")
     p.add_argument("trace", help="trace file (.csv or .npz)")
-    p.add_argument("--algorithm", choices=ESTIMATION_ALGORITHMS,
+    p.add_argument("--algorithm", choices=_ESTIMATE_CHOICES,
                    default="HS")
     p.add_argument("--memory-kb", type=float, default=64)
     p.add_argument("--seed", type=int, default=42)
@@ -226,7 +231,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("trace", help="trace file (.csv or .npz)")
     p.add_argument("--algorithms", nargs="+",
-                   choices=ESTIMATION_ALGORITHMS,
+                   choices=_ESTIMATE_CHOICES,
                    default=["HS", "OO", "CM"])
     p.add_argument("--memory-kb", type=float, default=16)
     p.add_argument("--seed", type=int, default=42)

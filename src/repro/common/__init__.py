@@ -11,18 +11,22 @@ from .bitmem import (
 )
 from .errors import BudgetError, ConfigError, ReproError, StreamError
 from .hashing import (
+    HASH_VERSION,
     MASK64,
     HashFamily,
     ItemKey,
     canonical_key,
+    canonical_keys,
     derive_seed,
     fingerprint,
     mix,
+    mix_array,
     splitmix64,
 )
 from .protocols import PersistenceEstimator, PersistentItemFinder
 
 __all__ = [
+    "HASH_VERSION",
     "KB",
     "MASK64",
     "BudgetError",
@@ -37,11 +41,13 @@ __all__ = [
     "SaturatingCounterArray",
     "StreamError",
     "canonical_key",
+    "canonical_keys",
     "cells_for_budget",
     "counter_bits_for",
     "derive_seed",
     "fingerprint",
     "mix",
+    "mix_array",
     "split_budget",
     "splitmix64",
 ]

@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 KB = 1024
 ID_BITS = 32  # the paper uses 4-byte item IDs throughout
 
@@ -77,10 +79,11 @@ class MemoryReport:
 class SaturatingCounterArray:
     """A flat array of saturating counters of a fixed bit width.
 
-    Stores plain Python ints in a list (fast and simple); the *modeled*
-    memory is ``len(self) * bits`` which is what the sizing math uses.
-    Counters never exceed ``2**bits - 1`` (matching hardware counters that
-    would otherwise overflow).
+    Backed by a contiguous ``numpy.int64`` array so batch ingestion can
+    gather/scatter whole index vectors in C; the *modeled* memory is still
+    ``len(self) * bits`` which is what the sizing math uses.  Counters never
+    exceed ``2**bits - 1`` (matching hardware counters that would otherwise
+    overflow).
     """
 
     __slots__ = ("bits", "cap", "_values")
@@ -92,17 +95,17 @@ class SaturatingCounterArray:
             raise ValueError("bits must be >= 1")
         self.bits = bits
         self.cap = (1 << bits) - 1
-        self._values = [0] * size
+        self._values = np.zeros(size, dtype=np.int64)
 
     def __len__(self) -> int:
         return len(self._values)
 
     def __getitem__(self, idx: int) -> int:
-        return self._values[idx]
+        return int(self._values[idx])
 
     def increment(self, idx: int, by: int = 1) -> int:
         """Saturating add; returns the new value."""
-        value = min(self.cap, self._values[idx] + by)
+        value = min(self.cap, int(self._values[idx]) + by)
         self._values[idx] = value
         return value
 
@@ -111,8 +114,21 @@ class SaturatingCounterArray:
 
     def clear(self) -> None:
         """Reset all state (keeps sizing)."""
-        for i in range(len(self._values)):
-            self._values[i] = 0
+        self._values.fill(0)
+
+    def gather(self, idx: np.ndarray) -> np.ndarray:
+        """Counter values at an index vector (one vectorized read)."""
+        return self._values[idx]
+
+    def increment_at(self, idx: np.ndarray, by: int = 1) -> None:
+        """Saturating add at a vector of *distinct* indexes.
+
+        Indexes must be unique within one call (the Cold Filter's batch
+        path guarantees this: a cell is incremented at most once per
+        window); duplicate indexes would apply only one increment, which is
+        the numpy scatter semantics.
+        """
+        self._values[idx] = np.minimum(self._values[idx] + by, self.cap)
 
     @property
     def modeled_bits(self) -> int:
@@ -137,13 +153,13 @@ class FlagArray:
         if size < 1:
             raise ValueError("size must be >= 1")
         self._epoch = 1
-        self._off_epoch = [0] * size
+        self._off_epoch = np.zeros(size, dtype=np.int64)
 
     def __len__(self) -> int:
         return len(self._off_epoch)
 
     def is_on(self, idx: int) -> bool:
-        return self._off_epoch[idx] != self._epoch
+        return int(self._off_epoch[idx]) != self._epoch
 
     def turn_off(self, idx: int) -> None:
         self._off_epoch[idx] = self._epoch
@@ -151,6 +167,14 @@ class FlagArray:
     def reset(self) -> None:
         """Turn every flag back on (start of a new window)."""
         self._epoch += 1
+
+    def is_on_batch(self, idx: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`is_on` over an index vector."""
+        return self._off_epoch[idx] != self._epoch
+
+    def turn_off_at(self, idx: np.ndarray) -> None:
+        """Vectorized :meth:`turn_off` over an index vector."""
+        self._off_epoch[idx] = self._epoch
 
     @property
     def modeled_bits(self) -> int:

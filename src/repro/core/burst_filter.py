@@ -20,9 +20,12 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional
 
+import numpy as np
+
 from ..common.bitmem import ID_BITS
 from ..common.errors import ConfigError
 from ..common.hashing import HashFamily
+from .columnar import plan_burst_admission, window_downstream
 
 
 class BurstFilter:
@@ -75,6 +78,90 @@ class BurstFilter:
         self.overflowed += 1
         return False
 
+    def insert_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Columnar :meth:`insert` of a whole batch of occurrences.
+
+        Returns the per-occurrence absorbed mask (``True`` where the scalar
+        ``insert`` would have returned ``True``); the caller forwards
+        ``keys[~mask]`` downstream in order, which is exactly the scalar
+        forwarding sequence.  State and the ``absorbed`` / ``overflowed`` /
+        ``compare_ops`` counters match a record-at-a-time replay bit for
+        bit; ``hash_ops`` keeps the scalar cost model (one hash per record)
+        even though the batch coalesces the actual hashing into one
+        vectorized pass over the batch's *distinct* keys.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        n = int(keys.size)
+        if not n:
+            return np.zeros(0, dtype=bool)
+        self.hash_ops += n
+        empty = not len(self)
+        plan = plan_burst_admission(
+            keys,
+            lambda u: self._hash.index_batch(u, 0, self.n_buckets),
+            self.cells_per_bucket,
+            fill_of_unique=None if empty else self._fill_of,
+            slot_of_unique=None if empty else self._slot_of,
+        )
+        buckets = self._buckets
+        for key, b in zip(plan.unique_keys[plan.newly_stored].tolist(),
+                          plan.buckets[plan.newly_stored].tolist()):
+            buckets[b].append(key)
+        self.compare_ops += plan.scan_compares
+        self.absorbed += plan.n_absorbed
+        self.overflowed += n - plan.n_absorbed
+        return plan.absorbed
+
+    def window_batch(self, keys: np.ndarray) -> Optional[np.ndarray]:
+        """Whole-window fast path: admission plus drain in one plan.
+
+        Returns the downstream key sequence the scalar window would send to
+        the Cold Filter — every overflowing occurrence in arrival order,
+        then the stored distinct keys in drain (bucket-major, slot-minor)
+        order — leaving the filter empty, exactly as
+        ``insert_batch`` + ``drain_array`` would.  Because the stored set
+        is drained at the window end regardless, bucket storage is never
+        touched; only the plan and the counters are computed.  Requires an
+        empty filter (the whole-window invariant); returns ``None`` when
+        the filter holds keys so the caller can take the general path.
+        """
+        if len(self):
+            return None
+        keys = np.asarray(keys, dtype=np.uint64)
+        n = int(keys.size)
+        if not n:
+            return keys
+        self.hash_ops += n
+        plan = plan_burst_admission(
+            keys,
+            lambda u: self._hash.index_batch(u, 0, self.n_buckets),
+            self.cells_per_bucket,
+        )
+        self.compare_ops += plan.scan_compares
+        self.absorbed += plan.n_absorbed
+        self.overflowed += n - plan.n_absorbed
+        return window_downstream(keys, plan, self.cells_per_bucket)
+
+    def _fill_of(self, buckets: np.ndarray) -> np.ndarray:
+        """Current fill of each listed bucket (general-path helper)."""
+        return np.fromiter(
+            (len(self._buckets[b]) for b in buckets.tolist()),
+            dtype=np.int64,
+            count=buckets.size,
+        )
+
+    def _slot_of(self, keys: np.ndarray, buckets: np.ndarray) -> np.ndarray:
+        """Slot of each already-stored key, -1 where absent."""
+        slots = np.full(keys.size, -1, dtype=np.int64)
+        for i, (key, b) in enumerate(zip(keys.tolist(), buckets.tolist())):
+            bucket = self._buckets[b]
+            if bucket:
+                try:
+                    slots[i] = bucket.index(key)
+                except ValueError:
+                    pass
+        return slots
+
     def contains(self, key: int) -> bool:
         """In-window membership probe (Algorithm 5's Burst Filter check)."""
         self.hash_ops += 1
@@ -88,6 +175,14 @@ class BurstFilter:
             for key in bucket:
                 yield key
             bucket.clear()
+
+    def drain_array(self) -> np.ndarray:
+        """Columnar :meth:`drain`: stored IDs in the same bucket-major,
+        slot-minor order, as one ``uint64`` array, clearing the filter."""
+        out = [key for bucket in self._buckets for key in bucket]
+        for bucket in self._buckets:
+            bucket.clear()
+        return np.array(out, dtype=np.uint64)
 
     def clear(self) -> None:
         """Reset all state (keeps sizing)."""

@@ -21,9 +21,18 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+import numpy as np
+
 from ..common.bitmem import FlagArray, SaturatingCounterArray, counter_bits_for
 from ..common.errors import ConfigError
 from ..common.hashing import HashFamily
+from .columnar import conflict_free_wave
+
+#: Below this many pending keys a vectorized wave costs more than the
+#: equivalent scalar loop; the batch path finishes the stragglers scalar
+#: (with precomputed indexes), which is exact by the same per-cell-order
+#: argument.
+_SCALAR_TAIL = 24
 
 
 class _ColdLayer:
@@ -62,6 +71,10 @@ class _ColdLayer:
         has outgrown this layer.
         """
         idx = [self._hash.index(key, i, self.width) for i in range(self.rows)]
+        return self._try_insert_at(idx)
+
+    def _try_insert_at(self, idx) -> bool:
+        """The CU-update step on precomputed per-row cell indexes."""
         vmin = min(self._counters[i][j] for i, j in enumerate(idx))
         if vmin >= self.threshold:
             return False
@@ -70,6 +83,83 @@ class _ColdLayer:
                 self._counters[i].increment(j)
                 self._flags[i].turn_off(j)
         return True
+
+    def try_insert_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Columnar :meth:`try_insert` over an ordered key batch.
+
+        Returns the per-key accepted mask.  Bit-for-bit equivalent to
+        calling ``try_insert`` on each key in order: keys are processed in
+        conflict-free waves (see :func:`~repro.core.columnar
+        .conflict_free_wave`) so that every cell sees its users in arrival
+        order, each wave doing one grouped gather / row-min / scatter; a
+        cell is incremented at most once per window (the on/off flag), so
+        the scatter never collides within a wave.
+        """
+        n = int(keys.size)
+        accepted = np.zeros(n, dtype=bool)
+        if not n:
+            return accepted
+        idx = self._hash.indexes_batch(keys, self.width)
+        pending = np.arange(n)
+        while pending.size:
+            if pending.size <= _SCALAR_TAIL:
+                for p in pending.tolist():
+                    accepted[p] = self._try_insert_at(idx[:, p].tolist())
+                break
+            selected = conflict_free_wave(idx[:, pending])
+            wave = pending[selected]
+            values = np.empty((self.rows, wave.size), dtype=np.int64)
+            for i in range(self.rows):
+                values[i] = self._counters[i].gather(idx[i, wave])
+            vmin = values.min(axis=0)
+            ok = vmin < self.threshold
+            accepted[wave] = ok
+            wave_ok = wave[ok]
+            vmin_ok = vmin[ok]
+            for i in range(self.rows):
+                cells = idx[i, wave_ok]
+                update = (values[i, ok] == vmin_ok) \
+                    & self._flags[i].is_on_batch(cells)
+                touched = cells[update]
+                self._counters[i].increment_at(touched)
+                self._flags[i].turn_off_at(touched)
+            pending = pending[~selected]
+            if pending.size > _SCALAR_TAIL:
+                pending = self._retire_settled(idx, pending, accepted)
+            if wave.size < _SCALAR_TAIL:
+                # low wave yield means the leftovers are repeat ranks of a
+                # few keys (duplicates conflict with themselves), and every
+                # later wave would retire at most as many — finish scalar
+                for p in pending.tolist():
+                    accepted[p] = self._try_insert_at(idx[:, p].tolist())
+                break
+        return accepted
+
+    def _retire_settled(
+        self, idx: np.ndarray, pending: np.ndarray, accepted: np.ndarray
+    ) -> np.ndarray:
+        """Bulk-retire pending occurrences whose cells are all flagged off.
+
+        A cell increments at most once per window (incrementing turns its
+        flag off until ``end_window``), so once every cell of a key is off
+        the key's minimum is frozen for the rest of the window: each of its
+        remaining occurrences is a state no-op whose accept decision is the
+        frozen ``vmin < threshold``, independent of processing order.
+        Retiring them here is therefore exact, and collapses the long
+        duplicate tails that burst-overflow occurrences produce.
+        """
+        on = self._flags[0].is_on_batch(idx[0, pending])
+        for i in range(1, self.rows):
+            on |= self._flags[i].is_on_batch(idx[i, pending])
+        if on.all():
+            return pending
+        spots = pending[~on]
+        vmin = self._counters[0].gather(idx[0, spots])
+        for i in range(1, self.rows):
+            np.minimum(vmin, self._counters[i].gather(idx[i, spots]),
+                       out=vmin)
+        accepted[spots] = vmin < self.threshold
+        return pending[on]
 
     def end_window(self) -> None:
         """Close the current window and open the next one."""
@@ -150,6 +240,31 @@ class ColdFilter:
             return True
         self.overflows += 1
         return False
+
+    def insert_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Columnar :meth:`insert` over an ordered key batch.
+
+        Returns the per-key accepted mask (``False`` marks overflow: the
+        caller promotes those keys to the Hot Part, in order).  Equivalent
+        to the scalar loop because the two layers and the Hot Part are
+        disjoint structures: running all L1 steps before all L2 steps
+        preserves every per-structure arrival order.  ``hash_ops`` follows
+        the scalar cost model exactly (``d1`` per key plus ``d2`` per
+        L1-rejected key).
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        n = int(keys.size)
+        self.hash_ops += self.l1.rows * n
+        accepted = self.l1.try_insert_batch(keys)
+        self.l1_hits += int(accepted.sum())
+        rejected = np.flatnonzero(~accepted)
+        if rejected.size:
+            self.hash_ops += self.l2.rows * int(rejected.size)
+            l2_accepted = self.l2.try_insert_batch(keys[rejected])
+            self.l2_hits += int(l2_accepted.sum())
+            self.overflows += int(rejected.size) - int(l2_accepted.sum())
+            accepted[rejected[l2_accepted]] = True
+        return accepted
 
     def query(self, key: int) -> Tuple[int, bool]:
         """Staged query: ``(partial_estimate, needs_hot_part)``.

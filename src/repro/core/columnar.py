@@ -1,0 +1,206 @@
+"""Columnar batch-ingestion primitives shared by the sketch stages.
+
+The batched fast path replays a whole window of records through the three
+stages with numpy gather/scatter instead of a per-record interpreter loop,
+while staying **bit-for-bit equivalent** to the scalar ``insert`` sequence.
+Equivalence rests on two order-analysis facts encoded here:
+
+* **Burst admission is a prefix property** (:func:`plan_burst_admission`).
+  Within one window a Burst-Filter bucket only ever fills, so the stored
+  set is exactly the first ``capacity`` *distinct* keys per bucket in
+  first-arrival order, and every occurrence of a non-stored key overflows.
+  One ``numpy.unique`` plus a grouped rank computes the whole window's
+  admission decisions — including the per-occurrence compare-op accounting
+  of the scalar scan — without touching buckets record by record.
+
+* **CU updates commute across disjoint cells** (:func:`conflict_free_wave`).
+  A Cold-Filter insert reads and writes only its ``d`` hashed cells, so any
+  processing order that preserves the per-cell arrival order of the keys
+  touching that cell yields the same counters, flags, and per-key
+  accept/escalate decisions as the sequential order.  The wave selector
+  picks, per round, every pending key that is the earliest pending user of
+  all of its cells; selected keys share no cell and are processed with one
+  vectorized gather/min/scatter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def group_ranks(groups: np.ndarray) -> np.ndarray:
+    """Rank of each element within its equal-valued group, order-preserving.
+
+    ``group_ranks([3, 5, 3, 3, 5]) == [0, 0, 1, 2, 1]``: the i-th element's
+    rank counts the earlier elements with the same group value.  Used to
+    assign bucket slots to newly-stored keys in first-arrival order.
+    """
+    n = groups.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(groups, kind="stable")
+    sorted_groups = groups[order]
+    positions = np.arange(n, dtype=np.int64)
+    starts = np.empty(n, dtype=bool)
+    starts[0] = True
+    starts[1:] = sorted_groups[1:] != sorted_groups[:-1]
+    group_start = np.maximum.accumulate(np.where(starts, positions, 0))
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[order] = positions - group_start
+    return ranks
+
+
+def conflict_free_wave(cells: np.ndarray) -> np.ndarray:
+    """Select the keys that may be processed together this round.
+
+    ``cells`` has shape ``(rows, n_pending)``: column ``k`` holds pending
+    key ``k``'s cell index in every row, with pending keys ordered by
+    arrival.  A key is selected iff it is the first pending user of each of
+    its cells (per row; different rows are distinct arrays and never
+    conflict).  Two selected keys therefore share no cell, and every
+    deferred key still runs after all earlier users of its cells — exactly
+    the per-cell arrival order of the sequential insert loop.  The earliest
+    pending key is always selected, so repeated waves terminate.
+    """
+    n = cells.shape[1]
+    selected = np.ones(n, dtype=bool)
+    for row_cells in cells:
+        order = np.argsort(row_cells, kind="stable")
+        sorted_cells = row_cells[order]
+        first_sorted = np.empty(n, dtype=bool)
+        first_sorted[0] = True
+        first_sorted[1:] = sorted_cells[1:] != sorted_cells[:-1]
+        first = np.empty(n, dtype=bool)
+        first[order] = first_sorted
+        selected &= first
+    return selected
+
+
+@dataclass
+class BurstBatchPlan:
+    """One window-batch's Burst-Filter admission decisions.
+
+    All per-distinct arrays are ordered by first arrival (the order bucket
+    slots fill in the scalar path).
+    """
+
+    #: distinct keys in first-arrival order (``uint64``)
+    unique_keys: np.ndarray
+    #: bucket of each distinct key
+    buckets: np.ndarray
+    #: occurrence count of each distinct key
+    counts: np.ndarray
+    #: bucket slot of each distinct key (-1 for overflowed keys)
+    slots: np.ndarray
+    #: True where the distinct key is (or was already) stored
+    stored: np.ndarray
+    #: True where the distinct key was newly stored by this batch
+    newly_stored: np.ndarray
+    #: per-occurrence absorbed mask, aligned with the input key array
+    absorbed: np.ndarray
+    #: total absorbed occurrences
+    n_absorbed: int
+    #: scalar-equivalent ID comparisons of the whole batch
+    scan_compares: int
+
+
+def window_downstream(
+    keys: np.ndarray, plan: "BurstBatchPlan", capacity: int
+) -> np.ndarray:
+    """The window's downstream key sequence implied by a burst plan.
+
+    Exactly what the scalar path forwards to the Cold Filter over a whole
+    window: each overflowing occurrence at its arrival position, then the
+    stored distinct keys in drain order (bucket-major, slot-minor).
+    """
+    overflow = keys[~plan.absorbed]
+    stored = plan.stored
+    order = np.argsort(
+        plan.buckets[stored] * np.int64(capacity) + plan.slots[stored],
+        kind="stable",
+    )
+    drained = plan.unique_keys[stored][order]
+    if not overflow.size:
+        return drained
+    return np.concatenate((overflow, drained))
+
+
+def plan_burst_admission(
+    keys: np.ndarray,
+    buckets_of_unique,
+    capacity: int,
+    fill_of_unique=None,
+    slot_of_unique=None,
+) -> BurstBatchPlan:
+    """Compute a batch's Burst-Filter admission plan in one columnar pass.
+
+    ``buckets_of_unique`` maps the first-arrival-ordered distinct-key array
+    to bucket indexes (vectorized hashing).  ``fill_of_unique`` /
+    ``slot_of_unique`` report pre-existing bucket fill and the slot of
+    already-stored keys (-1 when absent); both default to the empty-filter
+    fast path, which is the whole-window case.
+
+    The returned plan reproduces the scalar insert loop exactly:
+
+    * a distinct key is stored iff ``existing fill + arrival rank`` among
+      the batch's new keys in its bucket is below ``capacity``;
+    * every occurrence of a stored key is absorbed, every occurrence of a
+      non-stored key overflows (a full bucket never drains mid-window);
+    * ``scan_compares`` counts the sequential scan's early-exiting ID
+      comparisons: a key stored at slot ``s`` costs ``s`` compares to
+      append and ``s + 1`` per repeat hit; an overflowing occurrence scans
+      the full bucket for ``capacity`` compares.
+    """
+    unique, first_pos, inverse = np.unique(
+        keys, return_index=True, return_inverse=True
+    )
+    counts = np.bincount(inverse, minlength=unique.size)
+    arrival = np.argsort(first_pos, kind="stable")
+    unique_keys = unique[arrival]
+    counts_ord = counts[arrival]
+    buckets = buckets_of_unique(unique_keys)
+
+    if slot_of_unique is None:
+        slots = np.full(unique_keys.size, -1, dtype=np.int64)
+    else:
+        slots = slot_of_unique(unique_keys, buckets)
+    present = slots >= 0
+    if fill_of_unique is None:
+        fill = np.zeros(unique_keys.size, dtype=np.int64)
+    else:
+        fill = fill_of_unique(buckets)
+
+    new = ~present
+    new_slots = fill[new] + group_ranks(buckets[new])
+    newly_stored = np.zeros(unique_keys.size, dtype=bool)
+    newly_stored[new] = new_slots < capacity
+    slots[new] = np.where(new_slots < capacity, new_slots, -1)
+    stored = present | newly_stored
+
+    absorbed_unique = np.zeros(unique.size, dtype=bool)
+    absorbed_unique[arrival] = stored
+    absorbed = absorbed_unique[inverse]
+    n_absorbed = int(counts_ord[stored].sum())
+
+    # scalar-scan compare accounting (early exit on hits, full scan on miss)
+    hit_cost = counts_ord[present] * (slots[present] + 1)
+    append_cost = (slots[newly_stored]
+                   + (counts_ord[newly_stored] - 1)
+                   * (slots[newly_stored] + 1))
+    overflow_cost = counts_ord[~stored] * capacity
+    scan_compares = int(hit_cost.sum()) + int(append_cost.sum()) \
+        + int(overflow_cost.sum())
+
+    return BurstBatchPlan(
+        unique_keys=unique_keys,
+        buckets=buckets,
+        counts=counts_ord,
+        slots=slots,
+        stored=stored,
+        newly_stored=newly_stored,
+        absorbed=absorbed,
+        n_absorbed=n_absorbed,
+        scan_compares=scan_compares,
+    )

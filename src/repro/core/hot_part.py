@@ -22,6 +22,8 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from ..common.bitmem import ID_BITS
 from ..common.errors import ConfigError
 from ..common.hashing import HashFamily, derive_seed, mix
@@ -84,7 +86,28 @@ class HotPart:
     def insert(self, key: int) -> None:
         """One promoted occurrence of ``key`` (Algorithm 1)."""
         self.hash_ops += 1
-        bucket = self._buckets[self._hash.index(key, 0, self.n_buckets)]
+        self._insert_at(self._hash.index(key, 0, self.n_buckets), key)
+
+    def insert_batch(self, keys: np.ndarray) -> None:
+        """Columnar :meth:`insert` over an ordered key batch.
+
+        Promotions are the rare tail of the pipeline, so only the hashing
+        is vectorized (one coalesced pass over the batch); bucket entries
+        update per key, in order, through the identical Algorithm 1 walk —
+        state, ``replacements`` and the deterministic replacement hashes
+        match the scalar loop bit for bit.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        if not keys.size:
+            return
+        self.hash_ops += int(keys.size)
+        buckets = self._hash.index_batch(keys, 0, self.n_buckets)
+        for b, key in zip(buckets.tolist(), keys.tolist()):
+            self._insert_at(b, key)
+
+    def _insert_at(self, bucket_index: int, key: int) -> None:
+        """Algorithm 1's bucket walk with the bucket already hashed."""
+        bucket = self._buckets[bucket_index]
         replace: Optional[_Entry] = None
         for entry in bucket:
             if entry.key is None:

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..common.hashing import ItemKey, canonical_key
+import numpy as np
+
+from ..common.hashing import ItemKey, canonical_key, canonical_keys
 from .burst_filter import BurstFilter
 from .cold_filter import ColdFilter
 from .config import HSConfig
@@ -97,25 +99,59 @@ class HypersistentSketch:
         self.hot.end_window()
         self.window += 1
 
+    def insert_batch(self, items) -> None:
+        """Columnar :meth:`insert` of a batch of occurrences, in order.
+
+        Bit-for-bit equivalent to calling ``insert`` per item: the Burst
+        Filter admits the whole batch in one columnar plan, and the
+        occurrences it could not absorb walk the Cold Filter / Hot Part in
+        their original arrival order via the stages' batch paths.  The
+        window stays open — call :meth:`end_window` (or use
+        :meth:`insert_window`) to close it.
+        """
+        keys = canonical_keys(items)
+        self.inserts += int(keys.size)
+        if self.burst is not None:
+            absorbed = self.burst.insert_batch(keys)
+            keys = keys[~absorbed]
+        self._insert_downstream_batch(keys)
+
+    def _insert_downstream_batch(self, keys: np.ndarray) -> None:
+        """Cold Filter, then Hot Part on overflow, for an ordered batch."""
+        if not keys.size:
+            return
+        accepted = self.cold.insert_batch(keys)
+        self.hot.insert_batch(keys[~accepted])
+
     def insert_window(self, items) -> None:
         """Process one whole window of occurrences and close it.
 
-        The batch equivalent of ``insert`` x N + ``end_window``: the
-        window's items are deduplicated up front (the Burst Filter's
-        semantics, without per-occurrence bucket scans) and each distinct
-        item walks the downstream stages once.  Estimates are identical to
-        the record-at-a-time path whenever the Burst Filter would have
-        captured the window (its common case); use it when the caller
-        already holds the window's records as a batch.
+        The batch equivalent of ``insert`` x N + ``end_window``, and
+        bit-for-bit equivalent to it: the Burst Filter's columnar admission
+        plan decides absorption exactly as the per-record scans would, the
+        overflowing occurrences go downstream in arrival order, and the
+        absorbed distinct keys follow in drain order — the same downstream
+        sequence the scalar path produces.  Use it when the caller already
+        holds the window's records as a batch (see
+        :meth:`~repro.streams.model.Trace.window_arrays`).
         """
-        self.inserts += len(items)
-        seen = set()
-        downstream = self._insert_downstream
-        for item in items:
-            key = canonical_key(item)
-            if key not in seen:
-                seen.add(key)
-                downstream(key)
+        keys = canonical_keys(items)
+        self.inserts += int(keys.size)
+        if self.burst is not None:
+            # empty filter (the steady whole-window state): one fused plan
+            # yields the downstream sequence without touching bucket storage
+            downstream = self.burst.window_batch(keys)
+            if downstream is None:  # open window left by insert_batch
+                absorbed = self.burst.insert_batch(keys)
+                overflow = keys[~absorbed]
+                drained = self.burst.drain_array()
+                downstream = (
+                    np.concatenate((overflow, drained))
+                    if overflow.size else drained
+                )
+        else:
+            downstream = keys
+        self._insert_downstream_batch(downstream)
         self.cold.end_window()
         self.hot.end_window()
         self.window += 1

@@ -27,12 +27,15 @@ import numpy as np
 from ..common.bitmem import ID_BITS
 from ..common.errors import ConfigError
 from ..common.hashing import HashFamily
+from .columnar import plan_burst_admission, window_downstream
 
 #: 128-bit register / 32-bit IDs -> four comparisons per instruction.
 SIMD_LANES = 4
 
-#: Sentinel for an empty cell (valid canonical keys are non-negative).
-_EMPTY = -1
+#: Sentinel for an empty cell.  Cells at or beyond a bucket's fill are
+#: never consulted (every scan masks by fill), so the sentinel is cosmetic;
+#: uint64-max keeps the array dtype unsigned like the canonical key space.
+_EMPTY = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
 
 
 def scalar_scan_cost(cells_per_bucket: int) -> int:
@@ -67,7 +70,7 @@ class VectorizedBurstFilter:
         self.cells_per_bucket = cells_per_bucket
         self._hash = HashFamily(1, seed)
         self._keys = np.full(
-            (n_buckets, cells_per_bucket), _EMPTY, dtype=np.int64
+            (n_buckets, cells_per_bucket), _EMPTY, dtype=np.uint64
         )
         self._fill = np.zeros(n_buckets, dtype=np.int32)
         self._vector_compares_per_scan = simd_scan_cost(cells_per_bucket)
@@ -94,6 +97,80 @@ class VectorizedBurstFilter:
         self.overflowed += 1
         return False
 
+    def insert_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Columnar :meth:`insert` of a whole batch of occurrences.
+
+        Same admission plan and return contract as
+        :meth:`BurstFilter.insert_batch <repro.core.burst_filter
+        .BurstFilter.insert_batch>`, with the storage scatter fully
+        vectorized; ``compare_ops`` keeps this class's vector cost model
+        (one ``ceil(gamma / SIMD_LANES)``-compare scan per record) and
+        ``hash_ops`` the scalar one-hash-per-record model, while the actual
+        hashing is coalesced over the batch's distinct keys.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        n = int(keys.size)
+        if not n:
+            return np.zeros(0, dtype=bool)
+        self.hash_ops += n
+        self.compare_ops += n * self._vector_compares_per_scan
+        empty = not self._fill.any()
+        plan = plan_burst_admission(
+            keys,
+            lambda u: self._hash.index_batch(u, 0, self.n_buckets),
+            self.cells_per_bucket,
+            fill_of_unique=None if empty else self._fill_of,
+            slot_of_unique=None if empty else self._slot_of,
+        )
+        new = plan.newly_stored
+        if new.any():
+            self._keys[plan.buckets[new], plan.slots[new]] = \
+                plan.unique_keys[new]
+            np.add.at(self._fill, plan.buckets[new], 1)
+        self.absorbed += plan.n_absorbed
+        self.overflowed += n - plan.n_absorbed
+        return plan.absorbed
+
+    def window_batch(self, keys: np.ndarray):
+        """Whole-window fast path: admission plus drain in one plan.
+
+        Same contract as :meth:`BurstFilter.window_batch
+        <repro.core.burst_filter.BurstFilter.window_batch>`: requires an
+        empty filter (returns ``None`` otherwise), never touches bucket
+        storage, and returns the downstream sequence — overflow occurrences
+        in arrival order, then the stored keys in drain order.
+        """
+        if self._fill.any():
+            return None
+        keys = np.asarray(keys, dtype=np.uint64)
+        n = int(keys.size)
+        if not n:
+            return keys
+        self.hash_ops += n
+        self.compare_ops += n * self._vector_compares_per_scan
+        plan = plan_burst_admission(
+            keys,
+            lambda u: self._hash.index_batch(u, 0, self.n_buckets),
+            self.cells_per_bucket,
+        )
+        self.absorbed += plan.n_absorbed
+        self.overflowed += n - plan.n_absorbed
+        return window_downstream(keys, plan, self.cells_per_bucket)
+
+    def _fill_of(self, buckets: np.ndarray) -> np.ndarray:
+        """Current fill of each listed bucket (general-path helper)."""
+        return self._fill[buckets].astype(np.int64)
+
+    def _slot_of(self, keys: np.ndarray, buckets: np.ndarray) -> np.ndarray:
+        """Slot of each already-stored key, -1 where absent."""
+        rows = self._keys[buckets]
+        hit = (rows == keys[:, None]) & (
+            np.arange(self.cells_per_bucket)[None, :]
+            < self._fill[buckets][:, None]
+        )
+        found = hit.any(axis=1)
+        return np.where(found, hit.argmax(axis=1), -1).astype(np.int64)
+
     def contains(self, key: int) -> bool:
         """Whether ``key`` is currently stored."""
         self.hash_ops += 1
@@ -111,6 +188,16 @@ class VectorizedBurstFilter:
                 yield int(key)
         self._keys[occupied] = _EMPTY
         self._fill[occupied] = 0
+
+    def drain_array(self) -> np.ndarray:
+        """Columnar :meth:`drain`: stored IDs in bucket-major, slot-minor
+        order as one ``uint64`` array, clearing the filter."""
+        filled = (np.arange(self.cells_per_bucket)[None, :]
+                  < self._fill[:, None])
+        out = self._keys[filled]
+        self._keys[filled] = _EMPTY
+        self._fill.fill(0)
+        return out
 
     def clear(self) -> None:
         """Reset all state (keeps sizing)."""

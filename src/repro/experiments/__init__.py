@@ -1,6 +1,7 @@
 """Experiment harness, sweeps, and the per-figure experiment registry."""
 
 from .harness import (
+    BATCHED_ALGORITHMS,
     ESTIMATION_ALGORITHMS,
     FINDING_ALGORITHMS,
     RunResult,
@@ -10,6 +11,7 @@ from .harness import (
     repeat_median,
     run_algorithm,
     run_stream,
+    run_stream_batched,
     stage_distribution,
     time_queries,
 )
@@ -26,6 +28,7 @@ from .sweeps import (
 )
 
 __all__ = [
+    "BATCHED_ALGORITHMS",
     "ESTIMATION_ALGORITHMS",
     "EXPERIMENTS",
     "Experiment",
@@ -52,6 +55,7 @@ __all__ = [
     "run_algorithm",
     "run_experiment",
     "run_stream",
+    "run_stream_batched",
     "spread_figure",
     "stage_distribution",
     "time_queries",

@@ -11,7 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, List, Sequence, Tuple
 
+import numpy as np
+
 from ..common.errors import StreamError
+from ..common.hashing import canonical_keys
 
 
 @dataclass
@@ -71,6 +74,30 @@ class Trace:
                 end += 1
             yield wid, self.items[start:end]
             start = end
+
+    def window_arrays(self) -> List[np.ndarray]:
+        """Columnar per-window views: one ``uint64`` key array per window.
+
+        The batch-ingestion counterpart of :meth:`windows` — empty windows
+        yield empty arrays, record order is preserved, and the arrays are
+        slices of one contiguous canonicalized column, built once and
+        cached in ``meta`` (the trace is immutable by convention).  Feed
+        them to ``insert_window`` / ``run_stream_batched``.
+        """
+        cached = self.meta.get("_window_arrays")
+        if cached is not None:
+            return cached
+        column = canonical_keys(self.items)
+        bounds = np.searchsorted(
+            np.asarray(self.window_ids, dtype=np.int64),
+            np.arange(self.n_windows + 1, dtype=np.int64),
+            side="left",
+        )
+        arrays = [
+            column[bounds[w]:bounds[w + 1]] for w in range(self.n_windows)
+        ]
+        self.meta["_window_arrays"] = arrays
+        return arrays
 
     def slice_windows(self, first: int, last: int) -> "Trace":
         """Sub-trace covering windows ``[first, last)``, re-zeroed."""

@@ -98,3 +98,36 @@ class TestAccuracyAndBalance:
     def test_repr(self):
         sharded = ShardedSketch(hs_factory(), n_shards=2)
         assert "n_shards=2" in repr(sharded)
+
+
+class TestShardedBatchFeed:
+    def _feed_both(self, parallel):
+        trace = zipf_trace(6000, 12, skew=1.2, n_items=600, seed=21)
+        scalar = ShardedSketch(hs_factory(n_windows=12), n_shards=4)
+        batched = ShardedSketch(hs_factory(n_windows=12), n_shards=4)
+        for _, items in trace.windows():
+            for item in items:
+                scalar.insert(item)
+            scalar.end_window()
+        for keys in trace.window_arrays():
+            batched.insert_window(keys, parallel=parallel)
+        return trace, scalar, batched
+
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_batched_feed_matches_scalar(self, parallel):
+        trace, scalar, batched = self._feed_both(parallel)
+        assert batched.window == scalar.window == trace.n_windows
+        for key in set(trace.items):
+            assert scalar.query(key) == batched.query(key)
+        assert scalar.report(6) == batched.report(6)
+
+    def test_batched_feed_scalar_fallback_shards(self):
+        # shards without insert_window take the per-key fallback
+        trace = zipf_trace(2000, 8, skew=1.2, n_items=200, seed=22)
+        sharded = ShardedSketch(lambda i: ExactTracker(), n_shards=3)
+        truth = exact_persistence(trace)
+        for keys in trace.window_arrays():
+            sharded.insert_window(keys)
+        assert sharded.window == trace.n_windows
+        for key, p in truth.items():
+            assert sharded.query(key) == p
