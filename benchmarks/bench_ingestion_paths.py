@@ -103,6 +103,44 @@ def test_ingest_columnar_windows(benchmark, workload):
     assert sketch.window == len(windows)
 
 
+def _run_window_batch_with_registry(window_arrays, config):
+    from repro.obs import MetricsRegistry, bind_sketch
+
+    sketch = make_hypersistent_simd(config)
+    bind_sketch(MetricsRegistry(), sketch)
+    for keys in window_arrays:
+        sketch.insert_window(keys)
+    return sketch
+
+
+def test_ingest_columnar_with_registry(benchmark, workload):
+    """Columnar fast path with a bound (pull-only) metrics registry.
+
+    The registry reads stage counters only at collection time, so this
+    series must track ``test_ingest_columnar_windows`` within noise —
+    the <5% disabled-instrumentation overhead budget, gated in CI by
+    ``scripts/check_obs_overhead.py``.
+    """
+    windows, config, trace = workload
+    arrays = trace.window_arrays()
+    sketch = benchmark.pedantic(
+        _run_window_batch_with_registry, args=(arrays, config),
+        rounds=3, iterations=1,
+    )
+    assert sketch.window == len(windows)
+
+
+def test_bound_registry_does_not_change_results(workload):
+    """A bound registry leaves state, stats, and estimates untouched."""
+    windows, config, trace = workload
+    arrays = trace.window_arrays()
+    bare = _run_window_batch(arrays, config, simd=True)
+    bound = _run_window_batch_with_registry(arrays, config)
+    assert bare.stats() == bound.stats()
+    keys = {item for items in windows for item in items}
+    assert all(bare.query(k) == bound.query(k) for k in keys)
+
+
 def test_paths_agree_on_estimates(workload):
     windows, config, _ = workload
     scalar = _run_scalar(windows, config)

@@ -1,0 +1,139 @@
+"""Gate the observability layer's disabled-instrumentation overhead.
+
+Times the columnar batched ingest three ways on the ``caida_like``
+workload at bench scale:
+
+* ``bare``      — no observability at all;
+* ``bound``     — a :class:`~repro.obs.registry.MetricsRegistry` with
+  every catalog instrument bound pull-style (the "instrumentation
+  disabled" production default: nothing reads the counters until a
+  scrape, so the ingest path must be unaffected);
+* ``profiled``  — a :class:`~repro.obs.profiler.WindowProfiler` attached
+  (stage timing proxies live; informational, not gated).
+
+Fails (exit 1) when the ``bound`` median regresses more than
+``--max-overhead`` (default 5%, env ``REPRO_OBS_OVERHEAD_MAX``) over
+``bare``, and writes the measurements to ``--out`` for the CI artifact.
+Usage::
+
+    PYTHONPATH=src python scripts/check_obs_overhead.py [--out OBS_overhead.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import HSConfig, make_hypersistent_simd
+from repro.experiments.figures.common import bench_scale
+from repro.obs import MetricsRegistry, WindowProfiler, bind_sketch
+from repro.streams.traces import caida_like
+
+ROUNDS = 9
+
+
+def _one_round(arrays, config, prepare):
+    sketch = make_hypersistent_simd(config)
+    prepare(sketch)
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        for keys in arrays:
+            sketch.insert_window(keys)
+        return time.perf_counter() - started
+    finally:
+        gc.enable()
+
+
+def _time_variants(arrays, config, prepares):
+    """Best-of-ROUNDS per variant, interleaved with rotating order.
+
+    Timing each variant in its own contiguous block lets
+    CPU-frequency / allocator drift masquerade as overhead, and a fixed
+    within-round order gives the same variant the same neighbours every
+    time; interleaving with a per-round rotation exposes every variant
+    to the same conditions.  The minimum discards transient stalls
+    (context switches, page faults) that only ever inflate a
+    measurement, and GC is paused over each timed region.
+    """
+    best = [float("inf")] * len(prepares)
+    for round_no in range(ROUNDS + 1):
+        for offset in range(len(prepares)):
+            i = (round_no + offset) % len(prepares)
+            seconds = _one_round(arrays, config, prepares[i])
+            if round_no > 0:  # round 0 is warmup
+                best[i] = min(best[i], seconds)
+    return best
+
+
+def run(out_path: str, max_overhead: float) -> dict:
+    # 8x the figure-bench scale: a round must run tens of milliseconds,
+    # or scheduler/frequency jitter drowns the few-percent signal
+    scale = 8 * bench_scale()
+    n_windows = max(4, round(1500 * scale))
+    trace = caida_like(scale=scale, n_windows=n_windows, overlay=False)
+    config = HSConfig.for_estimation(
+        32 * 1024, n_windows,
+        window_distinct_hint=trace.mean_window_distinct(),
+    )
+    arrays = trace.window_arrays()
+
+    bare_s, bound_s, profiled_s = _time_variants(arrays, config, (
+        lambda sketch: None,
+        lambda sketch: bind_sketch(MetricsRegistry(), sketch),
+        lambda sketch: WindowProfiler().attach(sketch),
+    ))
+
+    overhead = bound_s / bare_s - 1.0
+    result = {
+        "workload": {
+            "trace": trace.name,
+            "records": trace.n_records,
+            "windows": trace.n_windows,
+            "rounds": ROUNDS,
+        },
+        "bare_seconds": round(bare_s, 5),
+        "bound_seconds": round(bound_s, 5),
+        "profiled_seconds": round(profiled_s, 5),
+        "bound_overhead": round(overhead, 4),
+        "profiled_overhead": round(profiled_s / bare_s - 1.0, 4),
+        "max_overhead": max_overhead,
+        "passed": overhead <= max_overhead,
+    }
+    Path(out_path).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"bare     : {bare_s * 1e3:8.2f}ms")
+    print(f"bound    : {bound_s * 1e3:8.2f}ms "
+          f"({overhead:+.1%} — budget {max_overhead:.0%})")
+    print(f"profiled : {profiled_s * 1e3:8.2f}ms "
+          f"({result['profiled_overhead']:+.1%}, informational)")
+    print(f"-> {out_path}")
+    return result
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="OBS_overhead.json")
+    parser.add_argument(
+        "--max-overhead", type=float,
+        default=float(os.environ.get("REPRO_OBS_OVERHEAD_MAX", "0.05")),
+        help="maximum tolerated bound-registry slowdown (fraction)",
+    )
+    args = parser.parse_args()
+    result = run(args.out, args.max_overhead)
+    if not result["passed"]:
+        print(f"FAIL: bound-registry overhead {result['bound_overhead']:+.1%}"
+              f" exceeds {args.max_overhead:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -23,6 +25,29 @@ from repro.experiments.figures.common import bench_scale
 from repro.streams.traces import caida_like
 
 ROUNDS = 3
+
+
+def provenance() -> dict:
+    """Where/when this record was measured, so the perf trajectory in
+    BENCH_ingest.json stays attributable across commits and machines."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, check=True,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        sha = "unknown"
+    import numpy
+    return {
+        "git_sha": sha,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": numpy.__version__,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
 
 
 def _median(values):
@@ -75,6 +100,7 @@ def run(out_path: str) -> dict:
         raise SystemExit("hash-op cost models diverged between paths")
 
     result = {
+        "provenance": provenance(),
         "workload": {
             "trace": trace.name,
             "records": n,

@@ -68,6 +68,7 @@ from .experiments import (
     run_stream,
     run_stream_batched,
 )
+from .obs import MetricsRegistry, WindowProfiler
 from .streams import (
     Trace,
     alpha_threshold,
@@ -95,6 +96,7 @@ __all__ = [
     "HashFamily",
     "HotPart",
     "HypersistentSketch",
+    "MetricsRegistry",
     "OnOffSketchV1",
     "OnOffSketchV2",
     "PIESketch",
@@ -109,6 +111,7 @@ __all__ = [
     "VectorizedBurstFilter",
     "WavingPersistenceSketch",
     "WavingSketch",
+    "WindowProfiler",
     "aae",
     "alpha_threshold",
     "are",

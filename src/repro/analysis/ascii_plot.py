@@ -93,3 +93,64 @@ def plot_figure(figure, height: int = 12, log_y: bool = True) -> str:
         log_y=log_y,
         title=f"[{figure.figure_id}] {figure.title}",
     )
+
+
+#: Density ramp for one-line sparklines (space = minimum, '@' = maximum).
+_SPARK_GLYPHS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Render a series as a one-line density sparkline.
+
+    Longer series are downsampled by bucket means to ``width`` columns;
+    a constant series renders at mid-ramp so it stays visible.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        per = len(values) / width
+        means = []
+        for i in range(width):
+            start = int(i * per)
+            stop = max(start + 1, int((i + 1) * per))
+            chunk = values[start:stop]
+            means.append(sum(chunk) / len(chunk))
+        values = means
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK_GLYPHS[len(_SPARK_GLYPHS) // 2] * len(values)
+    top = len(_SPARK_GLYPHS) - 1
+    return "".join(
+        _SPARK_GLYPHS[round((v - lo) / (hi - lo) * top)] for v in values
+    )
+
+
+def telemetry_panel(
+    records: Sequence[dict],
+    metrics: Sequence[str],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Render per-window telemetry records as a metric-per-line panel.
+
+    Each selected metric gets one row: a sparkline of its trajectory over
+    the records plus the latest value and observed range — the format the
+    live ``repro obs`` tail refreshes in place.  Metrics absent from every
+    record are skipped (a record stream may gain fields mid-run).
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{len(records)} windows")
+    name_width = max((len(m) for m in metrics), default=0)
+    for metric in metrics:
+        values = [r[metric] for r in records if metric in r]
+        if not values:
+            continue
+        lines.append(
+            f"{metric:<{name_width}} |{sparkline(values, width)}| "
+            f"last {values[-1]:g}  min {min(values):g}  "
+            f"max {max(values):g}"
+        )
+    return "\n".join(lines)

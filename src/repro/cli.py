@@ -7,23 +7,33 @@ Commands:
   (optionally as ASCII charts with ``--plot``).
 * ``generate-trace`` — write a synthetic workload to CSV/NPZ.
 * ``estimate`` — stream a saved trace through an algorithm and report
-  accuracy against the exact oracle.
+  accuracy against the exact oracle (``--profile`` adds a stage-latency
+  breakdown, ``--telemetry``/``--prom`` export run telemetry).
 * ``find`` — report persistent items from a saved trace.
+* ``obs`` — tail a run's JSON-lines telemetry as a live ASCII panel.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
-from .analysis.ascii_plot import plot_figure
+from .analysis.ascii_plot import plot_figure, telemetry_panel
 from .analysis.metrics import aae, are, classify, estimate_all
 from .experiments.harness import (
     BATCHED_ALGORITHMS,
     ESTIMATION_ALGORITHMS,
     FINDING_ALGORITHMS,
     run_algorithm,
+)
+from .obs import (
+    MetricsRegistry,
+    WindowProfiler,
+    bind_sketch,
+    read_jsonl,
+    to_prometheus,
 )
 
 #: Labels accepted by ``estimate``/``compare``: the estimation suite plus
@@ -117,9 +127,15 @@ def _cmd_generate_trace(args) -> int:
 
 def _cmd_estimate(args) -> int:
     trace = _load_trace(args.trace)
+    wants_obs = args.profile or args.telemetry or args.prom
+    registry = MetricsRegistry() if wants_obs else None
+    profiler = (
+        WindowProfiler(registry=registry, sink=args.telemetry)
+        if wants_obs else None
+    )
     result = run_algorithm(
         args.algorithm, trace, int(args.memory_kb * 1024),
-        task="estimation", seed=args.seed,
+        task="estimation", seed=args.seed, profiler=profiler,
     )
     truth = exact_persistence(trace)
     estimates = estimate_all(result.sketch.query, truth)
@@ -129,7 +145,60 @@ def _cmd_estimate(args) -> int:
           f"ARE {are(truth, estimates):.4f}")
     print(f"  insert {result.insert.mops:.2f} Mops, "
           f"{result.insert.hash_ops_per_operation:.2f} hash ops/insert")
+    if args.profile:
+        print()
+        print(profiler.report())
+    if args.prom:
+        bind_sketch(registry, result.sketch)
+        with open(args.prom, "w") as handle:
+            handle.write(to_prometheus(registry))
+        print(f"wrote Prometheus snapshot to {args.prom}")
+    if args.telemetry:
+        print(f"wrote {len(profiler.records)} telemetry records "
+              f"to {args.telemetry}")
     return 0
+
+
+#: Default metrics the ``obs`` panel tracks (when present in the records).
+_OBS_DEFAULT_METRICS = (
+    "seconds",
+    "hs_inserts_total",
+    "hs_burst_absorbed_total",
+    "hs_burst_overflowed_total",
+    "hs_cold_l1_hits_total",
+    "hs_cold_l2_hits_total",
+    "hs_cold_overflows_total",
+    "hs_hot_replacements_total",
+    "hs_hot_occupancy",
+)
+
+
+def _cmd_obs(args) -> int:
+    metrics = (args.metrics.split(",") if args.metrics
+               else list(_OBS_DEFAULT_METRICS))
+    refreshes = 0
+    while True:
+        records = read_jsonl(args.telemetry)
+        if args.last and len(records) > args.last:
+            records = records[-args.last:]
+        if not records:
+            print(f"no telemetry records in {args.telemetry} (yet)")
+        else:
+            if args.follow and sys.stdout.isatty():  # pragma: no cover
+                print("\x1b[2J\x1b[H", end="")
+            print(telemetry_panel(
+                records, metrics, width=args.width,
+                title=f"telemetry: {args.telemetry}",
+            ))
+        refreshes += 1
+        if not args.follow:
+            return 0
+        if args.refreshes and refreshes >= args.refreshes:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover
+            return 0
 
 
 def _cmd_find(args) -> int:
@@ -224,7 +293,32 @@ def build_parser() -> argparse.ArgumentParser:
                    default="HS")
     p.add_argument("--memory-kb", type=float, default=64)
     p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--profile", action="store_true",
+                   help="print a per-stage latency breakdown of the run")
+    p.add_argument("--telemetry", metavar="PATH",
+                   help="write per-window telemetry records (JSON lines)")
+    p.add_argument("--prom", metavar="PATH",
+                   help="write a Prometheus text-format metrics snapshot")
     p.set_defaults(func=_cmd_estimate)
+
+    p = sub.add_parser(
+        "obs", help="tail run telemetry as a live ASCII panel"
+    )
+    p.add_argument("telemetry", help="JSON-lines telemetry file to tail")
+    p.add_argument("--metrics",
+                   help="comma-separated record fields to chart "
+                        "(default: stage routing + latency)")
+    p.add_argument("--last", type=int, default=0,
+                   help="only show the most recent N windows")
+    p.add_argument("--width", type=int, default=40,
+                   help="sparkline width in columns")
+    p.add_argument("--follow", action="store_true",
+                   help="keep re-reading the file and refreshing")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="refresh period in seconds (with --follow)")
+    p.add_argument("--refreshes", type=int, default=0,
+                   help="stop after N refreshes (0 = until interrupted)")
+    p.set_defaults(func=_cmd_obs)
 
     p = sub.add_parser(
         "compare", help="compare algorithms' estimation accuracy"

@@ -20,6 +20,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..common.hashing import ItemKey, canonical_key, canonical_keys
+from ..obs.catalog import bind_sketch, legacy_sketch_stats, sketch_metrics
 from .burst_filter import BurstFilter
 from .cold_filter import ColdFilter
 from .config import HSConfig
@@ -223,24 +224,26 @@ class HypersistentSketch:
         return ops
 
     def stats(self) -> Dict[str, float]:
-        """Operational counters for the harness and the ablation benches."""
-        out: Dict[str, float] = {
-            "window": self.window,
-            "inserts": self.inserts,
-            "hash_ops": self.hash_ops,
-            "cold_l1_hits": self.cold.l1_hits,
-            "cold_l2_hits": self.cold.l2_hits,
-            "cold_overflows": self.cold.overflows,
-            "hot_occupancy": self.hot.occupancy(),
-            "hot_replacements": self.hot.replacements,
-        }
-        if self.burst is not None:
-            out.update(
-                burst_absorbed=self.burst.absorbed,
-                burst_overflowed=self.burst.overflowed,
-                burst_compare_ops=self.burst.compare_ops,
-            )
-        return out
+        """Operational counters for the harness and the ablation benches.
+
+        A thin view over the canonical instrument catalog
+        (:mod:`repro.obs.catalog`): the legacy keys rename catalog rows
+        that read the very same stage attributes the registry exporters
+        read, so ``stats()`` and exported telemetry cannot diverge.
+        """
+        return legacy_sketch_stats(self)
+
+    def metrics(self) -> Dict[str, float]:
+        """Canonical metric snapshot (``hs_*`` catalog names)."""
+        return sketch_metrics(self)
+
+    def bind(self, registry, labels: Optional[Dict[str, str]] = None):
+        """Register pull instruments for this sketch on ``registry``.
+
+        Zero ingest-path cost: instruments read the stage counters only
+        when the registry is collected.  Returns the bound instruments.
+        """
+        return bind_sketch(registry, self, labels=labels)
 
     def reset_stats(self) -> None:
         """Zero the instrumentation counters (state is untouched)."""

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..common.errors import ConfigError
 from ..common.hashing import HashFamily, ItemKey, canonical_key, canonical_keys
+from ..obs.catalog import bind_sharded
 
 
 class ShardedSketch:
@@ -135,6 +136,42 @@ class ShardedSketch:
     def shard_loads(self) -> List[int]:
         """Per-shard insert counts (routing balance diagnostic)."""
         return [getattr(s, "inserts", 0) for s in self.shards]
+
+    def stats(self) -> Dict[str, float]:
+        """Aggregated operational counters across all shards.
+
+        Counter keys sum; the ``hot_occupancy`` gauge averages (each shard
+        is an equal slice of the key space); ``window`` is the shared
+        clock, not a sum.  Shards without a ``stats()`` contribute nothing.
+        """
+        merged: Dict[str, float] = {"window": self.window}
+        occupancies: List[float] = []
+        for shard in self.shards:
+            if not hasattr(shard, "stats"):
+                continue
+            for key, value in shard.stats().items():
+                if key == "window":
+                    continue
+                if key == "hot_occupancy":
+                    occupancies.append(value)
+                    continue
+                merged[key] = merged.get(key, 0) + value
+        if occupancies:
+            merged["hot_occupancy"] = sum(occupancies) / len(occupancies)
+        return merged
+
+    def metrics(self) -> Dict[str, Dict[str, float]]:
+        """Per-shard canonical metric snapshots, keyed ``shard=<i>``."""
+        return {
+            f"shard={i}": shard.metrics()
+            for i, shard in enumerate(self.shards)
+            if hasattr(shard, "metrics")
+        }
+
+    def bind(self, registry):
+        """Register per-shard pull instrument series on ``registry``
+        (labelled ``shard=<i>``).  Returns the bound instruments."""
+        return bind_sharded(registry, self)
 
     def __repr__(self) -> str:
         return (f"ShardedSketch(n_shards={self.n_shards}, "

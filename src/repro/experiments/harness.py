@@ -113,6 +113,7 @@ class RunResult:
     trace_name: str
     insert: ThroughputRecord
     stats: Dict[str, float] = field(default_factory=dict)
+    profile: Optional[Dict[str, object]] = None
 
     def query_all(self, keys: Iterable[int]) -> Dict[int, int]:
         """Evaluate the sketch's query over a key set."""
@@ -124,7 +125,7 @@ def _hash_ops(sketch) -> int:
 
 
 def run_stream(
-    sketch, trace: Trace, batched: Optional[bool] = None
+    sketch, trace: Trace, batched: Optional[bool] = None, profiler=None
 ) -> RunResult:
     """Feed a trace through a sketch with window boundaries, timed.
 
@@ -137,6 +138,11 @@ def run_stream(
     wall clock improves.  Pass ``batched=False`` to force the
     record-at-a-time loop (the paper's measured insertion path) or
     ``batched=True`` to require the batch path.
+
+    ``profiler`` (a :class:`~repro.obs.profiler.WindowProfiler`) turns on
+    per-window telemetry: the harness attaches it, times every window's
+    feed, and reports each boundary; the aggregated summary lands in
+    ``RunResult.profile``.  Without one, the ingest loops are untouched.
     """
     has_window_api = hasattr(sketch, "insert_window")
     use_batched = has_window_api if batched is None else batched
@@ -144,30 +150,53 @@ def run_stream(
         raise ConfigError(
             f"{type(sketch).__name__} has no insert_window batch path"
         )
+    if profiler is not None and not profiler.attached:
+        profiler.attach(sketch)
     ops_before = _hash_ops(sketch)
     if use_batched:
         window_arrays = trace.window_arrays()
-        insert_window = sketch.insert_window
         started = time.perf_counter()
-        for window_keys in window_arrays:
-            insert_window(window_keys)
+        if profiler is not None:
+            for window_keys in window_arrays:
+                window_started = time.perf_counter()
+                sketch.insert_window(window_keys)
+                profiler.window_closed(
+                    time.perf_counter() - window_started
+                )
+        else:
+            insert_window = sketch.insert_window
+            for window_keys in window_arrays:
+                insert_window(window_keys)
         elapsed = time.perf_counter() - started
     else:
-        insert = sketch.insert
         started = time.perf_counter()
-        for _, window_items in trace.windows():
-            for item in window_items:
-                insert(item)
-            sketch.end_window()
+        if profiler is not None:
+            for _, window_items in trace.windows():
+                window_started = time.perf_counter()
+                for item in window_items:
+                    sketch.insert(item)
+                sketch.end_window()
+                profiler.window_closed(
+                    time.perf_counter() - window_started
+                )
+        else:
+            insert = sketch.insert
+            for _, window_items in trace.windows():
+                for item in window_items:
+                    insert(item)
+                sketch.end_window()
         elapsed = time.perf_counter() - started
     record = ThroughputRecord(
         operations=trace.n_records,
         seconds=elapsed,
         hash_ops=_hash_ops(sketch) - ops_before,
     )
+    if profiler is not None:
+        profiler.detach()
     stats = sketch.stats() if hasattr(sketch, "stats") else {}
     return RunResult(
-        sketch=sketch, trace_name=trace.name, insert=record, stats=stats
+        sketch=sketch, trace_name=trace.name, insert=record, stats=stats,
+        profile=profiler.profile() if profiler is not None else None,
     )
 
 
@@ -203,6 +232,7 @@ def run_algorithm(
     task: str = "estimation",
     seed: int = 42,
     batched: Optional[bool] = None,
+    profiler=None,
 ) -> RunResult:
     """Factory + streaming in one call (what the sweeps use).
 
@@ -222,7 +252,7 @@ def run_algorithm(
         raise ConfigError(f"unknown task: {task}")
     if batched is None:
         batched = name in BATCHED_ALGORITHMS
-    return run_stream(sketch, trace, batched=batched)
+    return run_stream(sketch, trace, batched=batched, profiler=profiler)
 
 
 def repeat_median(

@@ -1,0 +1,83 @@
+"""Observability layer: metrics registry, instrument catalog, exporters,
+and the per-window profiler.
+
+The subsystem has four parts, layered so that the sketch hot paths never
+pay for telemetry they do not use:
+
+* :mod:`~repro.obs.registry` — typed instruments (counters, gauges,
+  log-binned histograms) with push and pull (callback) flavours;
+* :mod:`~repro.obs.catalog` — the canonical instrument names over the
+  pipeline's operational counters, the ``bind_*`` helpers that register
+  pull instruments for live objects, and the legacy ``stats()`` views;
+* :mod:`~repro.obs.exporters` — Prometheus exposition text and JSON-lines
+  telemetry streams (plus parsers for round-trip tests and the live
+  ``repro obs`` panel);
+* :mod:`~repro.obs.profiler` — per-window stage wall-time, routed-item
+  deltas, and occupancy snapshots.
+
+Typical wiring::
+
+    from repro.obs import MetricsRegistry, WindowProfiler, bind_sketch
+    from repro.obs import to_prometheus
+
+    registry = MetricsRegistry()
+    bind_sketch(registry, sketch)          # pull: zero ingest-path cost
+    profiler = WindowProfiler(registry=registry, sink="run.jsonl")
+    profiler.attach(sketch)
+    ...                                    # ingest windows
+    print(profiler.report())
+    print(to_prometheus(registry))
+"""
+
+from .catalog import (
+    InstrumentSpec,
+    all_specs,
+    bind_driver,
+    bind_sharded,
+    bind_sketch,
+    legacy_driver_stats,
+    legacy_sketch_stats,
+    sketch_metrics,
+    stage_metrics,
+)
+from .exporters import (
+    parse_prometheus,
+    read_jsonl,
+    snapshot_values,
+    to_jsonl,
+    to_prometheus,
+    write_jsonl,
+)
+from .profiler import LATENCY_BIN_EDGES, WindowProfiler
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrument",
+    "InstrumentSpec",
+    "LATENCY_BIN_EDGES",
+    "MetricsRegistry",
+    "WindowProfiler",
+    "all_specs",
+    "bind_driver",
+    "bind_sharded",
+    "bind_sketch",
+    "legacy_driver_stats",
+    "legacy_sketch_stats",
+    "parse_prometheus",
+    "read_jsonl",
+    "sketch_metrics",
+    "snapshot_values",
+    "stage_metrics",
+    "to_jsonl",
+    "to_prometheus",
+    "write_jsonl",
+]

@@ -1,0 +1,252 @@
+"""Instrument catalog: canonical metric names over the sketch pipeline.
+
+Every operational counter the stages maintain (plain ``int`` attributes —
+the cheapest thing the interpreted hot path can increment) gets exactly
+one canonical metric name here, with its kind and reader.  Everything
+else derives from this table:
+
+* ``stats()`` on the stages and the composed sketch is a thin view that
+  renames catalog metrics to the legacy keys;
+* :func:`bind_sketch` / :func:`bind_sharded` / :func:`bind_driver`
+  register pull instruments on a :class:`~repro.obs.registry
+  .MetricsRegistry`, so exporters read the *same* source attributes the
+  legacy view reads — the two can never diverge;
+* docs list the catalog verbatim (``docs/OBSERVABILITY.md``).
+
+Naming follows Prometheus conventions: ``hs_`` prefix for the
+Hypersistent pipeline, ``stream_`` for the event-time driver,
+``_total`` suffix on counters, bare names for gauges.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Dict, List, NamedTuple, Optional
+
+from .registry import KIND_COUNTER, KIND_GAUGE, Instrument, MetricsRegistry
+
+
+class InstrumentSpec(NamedTuple):
+    """One catalog row: canonical name, kind, reader, help string."""
+
+    name: str
+    kind: str
+    read: Callable[[object], float]
+    help: str
+
+
+def _attr(name: str) -> Callable[[object], float]:
+    return operator.attrgetter(name)
+
+
+#: Stage 1 — Burst Filter (scalar and vectorized builds share the names).
+BURST_INSTRUMENTS = (
+    InstrumentSpec("hs_burst_hash_ops_total", KIND_COUNTER,
+                   _attr("hash_ops"),
+                   "Hash computations performed by the Burst Filter"),
+    InstrumentSpec("hs_burst_compare_ops_total", KIND_COUNTER,
+                   _attr("compare_ops"),
+                   "ID comparisons during bucket scans "
+                   "(vector compares on the SIMD build)"),
+    InstrumentSpec("hs_burst_absorbed_total", KIND_COUNTER,
+                   _attr("absorbed"),
+                   "Occurrences absorbed in-window by the Burst Filter"),
+    InstrumentSpec("hs_burst_overflowed_total", KIND_COUNTER,
+                   _attr("overflowed"),
+                   "Occurrences forwarded downstream on bucket overflow"),
+    InstrumentSpec("hs_burst_held_keys", KIND_GAUGE, len,
+                   "Distinct IDs currently held (drains to 0 at window end)"),
+    InstrumentSpec("hs_burst_load_factor", KIND_GAUGE,
+                   _attr("load_factor"),
+                   "Fraction of Burst Filter cells in use"),
+)
+
+#: Stage 2 — Cold Filter (two CU layers).
+COLD_INSTRUMENTS = (
+    InstrumentSpec("hs_cold_hash_ops_total", KIND_COUNTER,
+                   _attr("hash_ops"),
+                   "Hash computations performed by the Cold Filter"),
+    InstrumentSpec("hs_cold_l1_hits_total", KIND_COUNTER,
+                   _attr("l1_hits"),
+                   "Inserts resolved at the L1 layer"),
+    InstrumentSpec("hs_cold_l2_hits_total", KIND_COUNTER,
+                   _attr("l2_hits"),
+                   "Inserts escalated to and resolved at the L2 layer"),
+    InstrumentSpec("hs_cold_overflows_total", KIND_COUNTER,
+                   _attr("overflows"),
+                   "Inserts overflowing L2 (promotions to the Hot Part)"),
+)
+
+#: Stage 3 — Hot Part.
+HOT_INSTRUMENTS = (
+    InstrumentSpec("hs_hot_hash_ops_total", KIND_COUNTER,
+                   _attr("hash_ops"),
+                   "Hash computations performed by the Hot Part"),
+    InstrumentSpec("hs_hot_replacements_total", KIND_COUNTER,
+                   _attr("replacements"),
+                   "Minimum-persistence entries evicted by new items"),
+    InstrumentSpec("hs_hot_replacement_attempts_total", KIND_COUNTER,
+                   _attr("replacement_attempts"),
+                   "Bernoulli replacement trials on full buckets"),
+    InstrumentSpec("hs_hot_occupancy", KIND_GAUGE,
+                   lambda hot: hot.occupancy(),
+                   "Fraction of Hot Part entries in use"),
+)
+
+#: The composed sketch's own accounting.
+SKETCH_INSTRUMENTS = (
+    InstrumentSpec("hs_inserts_total", KIND_COUNTER, _attr("inserts"),
+                   "Occurrences inserted into the sketch"),
+    InstrumentSpec("hs_windows_total", KIND_COUNTER, _attr("window"),
+                   "Window boundaries closed"),
+    InstrumentSpec("hs_hash_ops_total", KIND_COUNTER, _attr("hash_ops"),
+                   "Hash computations across all three stages"),
+    InstrumentSpec("hs_memory_bytes", KIND_GAUGE, _attr("memory_bytes"),
+                   "Modeled memory footprint of all stages"),
+)
+
+#: The event-time stream driver.
+DRIVER_INSTRUMENTS = (
+    InstrumentSpec("stream_events_total", KIND_COUNTER, _attr("events"),
+                   "Events offered to the driver"),
+    InstrumentSpec("stream_late_events_total", KIND_COUNTER,
+                   _attr("late_events"),
+                   "Events arriving behind the open window"),
+    InstrumentSpec("stream_dropped_events_total", KIND_COUNTER,
+                   _attr("dropped_events"),
+                   "Late events discarded under the drop policy"),
+    InstrumentSpec("stream_windows_closed_total", KIND_COUNTER,
+                   _attr("windows_closed"),
+                   "Window boundaries fired by event time"),
+)
+
+#: Legacy ``stats()`` key -> canonical metric name, for the composed
+#: sketch.  The thin-view functions below and the parity tests both walk
+#: this table.
+LEGACY_SKETCH_KEYS = {
+    "window": "hs_windows_total",
+    "inserts": "hs_inserts_total",
+    "hash_ops": "hs_hash_ops_total",
+    "cold_l1_hits": "hs_cold_l1_hits_total",
+    "cold_l2_hits": "hs_cold_l2_hits_total",
+    "cold_overflows": "hs_cold_overflows_total",
+    "hot_occupancy": "hs_hot_occupancy",
+    "hot_replacements": "hs_hot_replacements_total",
+    "burst_absorbed": "hs_burst_absorbed_total",
+    "burst_overflowed": "hs_burst_overflowed_total",
+    "burst_compare_ops": "hs_burst_compare_ops_total",
+}
+
+#: Legacy keys that only exist when the sketch has a Burst Filter.
+_LEGACY_BURST_KEYS = (
+    "burst_absorbed", "burst_overflowed", "burst_compare_ops",
+)
+
+
+def stage_metrics(stage, specs) -> Dict[str, float]:
+    """Evaluate one stage's catalog rows into ``name -> value``."""
+    return {spec.name: spec.read(stage) for spec in specs}
+
+
+def sketch_metrics(sketch) -> Dict[str, float]:
+    """Canonical metric snapshot of a composed Hypersistent Sketch.
+
+    Burst Filter rows are omitted for burst-less builds (``burst=None``),
+    mirroring the legacy ``stats()`` shape.
+    """
+    out = stage_metrics(sketch, SKETCH_INSTRUMENTS)
+    if getattr(sketch, "burst", None) is not None:
+        out.update(stage_metrics(sketch.burst, BURST_INSTRUMENTS))
+    out.update(stage_metrics(sketch.cold, COLD_INSTRUMENTS))
+    out.update(stage_metrics(sketch.hot, HOT_INSTRUMENTS))
+    return out
+
+
+def legacy_sketch_stats(sketch) -> Dict[str, float]:
+    """The historical ``HypersistentSketch.stats()`` dict, as a view.
+
+    Same keys, same values, same types as the pre-catalog implementation
+    — derived from the identical attribute reads the registry exporters
+    use, so telemetry and ``stats()`` cannot diverge.
+    """
+    metrics = sketch_metrics(sketch)
+    keys = list(LEGACY_SKETCH_KEYS)
+    if getattr(sketch, "burst", None) is None:
+        keys = [k for k in keys if k not in _LEGACY_BURST_KEYS]
+    return {key: metrics[LEGACY_SKETCH_KEYS[key]] for key in keys}
+
+
+def _bind(registry: MetricsRegistry, source, specs,
+          labels: Optional[Dict[str, str]] = None) -> List[Instrument]:
+    bound = []
+    for spec in specs:
+        factory = (registry.counter if spec.kind == KIND_COUNTER
+                   else registry.gauge)
+        target = source  # bind loop variable per instrument
+        bound.append(factory(
+            spec.name, help=spec.help, labels=labels,
+            fn=(lambda read=spec.read, src=target: read(src)),
+        ))
+    return bound
+
+
+def bind_sketch(registry: MetricsRegistry, sketch,
+                labels: Optional[Dict[str, str]] = None) -> List[Instrument]:
+    """Register pull instruments for every catalog row of a sketch.
+
+    Works on any object exposing the Hypersistent stage attributes
+    (``burst``/``cold``/``hot``); objects without them (baselines) get
+    only the subset of sketch-level rows whose attributes exist.
+    Returns the bound instruments.
+    """
+    bound: List[Instrument] = []
+    if hasattr(sketch, "cold") and hasattr(sketch, "hot"):
+        bound += _bind(registry, sketch, SKETCH_INSTRUMENTS, labels)
+        if getattr(sketch, "burst", None) is not None:
+            bound += _bind(registry, sketch.burst, BURST_INSTRUMENTS, labels)
+        bound += _bind(registry, sketch.cold, COLD_INSTRUMENTS, labels)
+        bound += _bind(registry, sketch.hot, HOT_INSTRUMENTS, labels)
+        return bound
+    for spec in SKETCH_INSTRUMENTS:
+        attr = {"hs_inserts_total": "inserts", "hs_windows_total": "window",
+                "hs_hash_ops_total": "hash_ops",
+                "hs_memory_bytes": "memory_bytes"}[spec.name]
+        if hasattr(sketch, attr):
+            bound += _bind(registry, sketch, (spec,), labels)
+    return bound
+
+
+def bind_sharded(registry: MetricsRegistry, sharded) -> List[Instrument]:
+    """Register per-shard instrument series (labelled ``shard=<i>``)."""
+    bound: List[Instrument] = []
+    for i, shard in enumerate(sharded.shards):
+        bound += bind_sketch(registry, shard, labels={"shard": str(i)})
+    bound.append(registry.gauge(
+        "hs_shards", help="Number of key-space shards",
+        fn=lambda: sharded.n_shards,
+    ))
+    return bound
+
+
+def bind_driver(registry: MetricsRegistry, driver,
+                labels: Optional[Dict[str, str]] = None) -> List[Instrument]:
+    """Register pull instruments for a :class:`~repro.streams.runtime
+    .StreamDriver`."""
+    return _bind(registry, driver, DRIVER_INSTRUMENTS, labels)
+
+
+def legacy_driver_stats(driver) -> Dict[str, float]:
+    """Operational counters of a stream driver, catalog-named source."""
+    metrics = stage_metrics(driver, DRIVER_INSTRUMENTS)
+    return {
+        "events": metrics["stream_events_total"],
+        "late_events": metrics["stream_late_events_total"],
+        "dropped_events": metrics["stream_dropped_events_total"],
+        "windows_closed": metrics["stream_windows_closed_total"],
+    }
+
+
+def all_specs() -> List[InstrumentSpec]:
+    """Every catalog row (for docs and exhaustiveness tests)."""
+    return list(SKETCH_INSTRUMENTS + BURST_INSTRUMENTS + COLD_INSTRUMENTS
+                + HOT_INSTRUMENTS + DRIVER_INSTRUMENTS)

@@ -1,0 +1,169 @@
+"""Telemetry exporters: Prometheus text format and JSON-lines.
+
+Two formats cover the two consumption patterns:
+
+* :func:`to_prometheus` — a point-in-time scrape of a
+  :class:`~repro.obs.registry.MetricsRegistry` in the Prometheus
+  exposition text format (``# HELP`` / ``# TYPE`` preambles, labelled
+  series, cumulative histogram buckets).  :func:`parse_prometheus`
+  reads the format back for round-trip tests and snapshot diffing.
+* :func:`to_jsonl` / :func:`write_jsonl` / :func:`read_jsonl` — an
+  append-only stream of per-window telemetry records (one JSON object
+  per line), which is what the live ``repro obs`` panel tails.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .registry import Histogram, MetricsRegistry
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _format_labels(labels: Dict[str, str],
+                   extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = sorted(labels.items())
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _edge_text(edge: float) -> str:
+    if math.isinf(edge):
+        return "+Inf"
+    return str(int(edge)) if float(edge).is_integer() else repr(edge)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render a registry snapshot in Prometheus exposition text format."""
+    lines: List[str] = []
+    seen_preamble = set()
+    for instrument in registry.instruments():
+        name = instrument.name
+        if name not in seen_preamble:
+            seen_preamble.add(name)
+            if instrument.help:
+                lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+        if isinstance(instrument, Histogram):
+            for edge, cumulative in instrument.cumulative_buckets():
+                label_text = _format_labels(
+                    instrument.labels, ("le", _edge_text(edge))
+                )
+                lines.append(f"{name}_bucket{label_text} {cumulative}")
+            base = _format_labels(instrument.labels)
+            lines.append(f"{name}_sum{base} {_format_value(instrument.sum)}")
+            lines.append(f"{name}_count{base} {instrument.total}")
+        else:
+            label_text = _format_labels(instrument.labels)
+            lines.append(
+                f"{name}{label_text} {_format_value(instrument.value)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _parse_label_block(block: str) -> Tuple[Tuple[str, str], ...]:
+    block = block.strip()
+    if not block:
+        return ()
+    pairs = []
+    for part in block.split(","):
+        key, _, raw = part.partition("=")
+        pairs.append((key.strip(), raw.strip().strip('"')))
+    return tuple(sorted(pairs))
+
+
+def parse_prometheus(
+    text: str,
+) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]:
+    """Parse exposition text back into ``(name, labels) -> value``.
+
+    Inverse of :func:`to_prometheus` for the series it emits (comments
+    are skipped; histogram buckets appear as ``name_bucket`` entries with
+    their ``le`` label).  Exists so tests can assert lossless round
+    trips and CI can diff scrapes.
+    """
+    out: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            block, value_text = rest.rsplit("}", 1)
+            labels = _parse_label_block(block)
+        else:
+            name, _, value_text = line.partition(" ")
+            labels = ()
+        value_text = value_text.strip()
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        else:
+            value = float(value_text)
+        out[(name.strip(), labels)] = value
+    return out
+
+
+def snapshot_values(registry: MetricsRegistry) -> Dict[str, float]:
+    """Flat ``name -> value`` snapshot (labelled keys include labels)."""
+    return registry.as_dict()
+
+
+# ---------------------------------------------------------------------
+# JSON-lines telemetry records
+# ---------------------------------------------------------------------
+def to_jsonl(records: Iterable[Dict]) -> str:
+    """Serialize telemetry records, one compact JSON object per line."""
+    return "".join(
+        json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        for record in records
+    )
+
+
+def write_jsonl(path, records: Iterable[Dict], append: bool = False) -> int:
+    """Write (or append) records to a ``.jsonl`` file; returns the count."""
+    records = list(records)
+    text = to_jsonl(records)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a" if append else "w") as handle:
+        handle.write(text)
+    return len(records)
+
+
+def read_jsonl(path) -> List[Dict]:
+    """Read telemetry records back (missing file -> empty list).
+
+    Tolerates a truncated final line, which a live tail of a file being
+    written concurrently will routinely see.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: List[Dict] = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            break  # half-written tail record
+    return records

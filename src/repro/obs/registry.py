@@ -1,0 +1,343 @@
+"""Typed metrics registry: named counters, gauges, and histograms.
+
+The registry is the single naming authority for run telemetry.  Three
+instrument kinds cover the pipeline's needs:
+
+* :class:`Counter` — monotone event totals (``*_total`` names);
+* :class:`Gauge` — point-in-time levels (occupancy, load factor);
+* :class:`Histogram` — distributions over fixed log-scale bins
+  (latencies, batch sizes), exported Prometheus-style as cumulative
+  ``le`` buckets.
+
+Instruments are either **push** (the caller invokes ``inc``/``set``/
+``observe``) or **pull** (constructed with a ``fn`` callback that reads
+the source-of-truth attribute at collection time).  The sketch stages are
+wired pull-style through :mod:`repro.obs.catalog`, which is what keeps
+disabled instrumentation at literally zero ingest-path cost: nothing is
+read until someone collects.
+
+Disabled registries (:meth:`MetricsRegistry.disable`) turn every push
+operation into a single flag check, so even push-style hooks (the
+profiler's histograms) cost nothing measurable when switched off.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..common.errors import ConfigError
+
+#: Prometheus-compatible metric/label name rule.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Kind tags used by exporters.
+KIND_COUNTER = "counter"
+KIND_GAUGE = "gauge"
+KIND_HISTOGRAM = "histogram"
+
+#: Default histogram bin edges: powers of two from 1 to 2^24 (plus +inf),
+#: a fixed log-scale grid wide enough for microsecond latencies and
+#: per-window batch sizes alike.
+DEFAULT_BIN_EDGES: Tuple[float, ...] = tuple(
+    float(2 ** e) for e in range(25)
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name or ""):
+        raise ConfigError(f"invalid metric name: {name!r}")
+    return name
+
+
+def _label_key(labels: Optional[Dict[str, str]]) -> Tuple[Tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Switch:
+    """Shared on/off cell consulted by every push operation."""
+
+    __slots__ = ("on",)
+
+    def __init__(self, on: bool = True):
+        self.on = on
+
+
+class Instrument:
+    """Common base: a named, labelled, documented instrument."""
+
+    kind = "abstract"
+
+    __slots__ = ("name", "help", "labels", "_switch", "_fn")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Dict[str, str]] = None,
+        fn: Optional[Callable[[], float]] = None,
+        switch: Optional[_Switch] = None,
+    ):
+        self.name = _check_name(name)
+        self.help = help
+        self.labels = dict(labels) if labels else {}
+        self._switch = switch if switch is not None else _Switch()
+        self._fn = fn
+
+    @property
+    def pull(self) -> bool:
+        """Whether the value is read from a callback at collection time."""
+        return self._fn is not None
+
+    def _guard_push(self) -> None:
+        if self._fn is not None:
+            raise ConfigError(
+                f"{self.name} is a pull instrument (callback-backed); "
+                "it cannot be written to"
+            )
+
+
+class Counter(Instrument):
+    """Monotonically increasing event total."""
+
+    kind = KIND_COUNTER
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name, help="", labels=None, fn=None, switch=None):
+        super().__init__(name, help, labels, fn, switch)
+        self._value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        self._guard_push()
+        if not self._switch.on:
+            return
+        if amount < 0:
+            raise ConfigError(f"{self.name}: counters only go up")
+        self._value += amount
+
+    @property
+    def value(self):
+        """Current total (reads the callback for pull counters)."""
+        return self._fn() if self._fn is not None else self._value
+
+    def reset(self) -> None:
+        """Zero the stored total (no-op for pull counters)."""
+        self._value = 0
+
+
+class Gauge(Instrument):
+    """Point-in-time level that can go up or down."""
+
+    kind = KIND_GAUGE
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name, help="", labels=None, fn=None, switch=None):
+        super().__init__(name, help, labels, fn, switch)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self._guard_push()
+        if not self._switch.on:
+            return
+        self._value = value
+
+    def add(self, amount: float) -> None:
+        """Adjust the level by ``amount`` (either sign)."""
+        self._guard_push()
+        if not self._switch.on:
+            return
+        self._value += amount
+
+    @property
+    def value(self):
+        """Current level (reads the callback for pull gauges)."""
+        return self._fn() if self._fn is not None else self._value
+
+    def reset(self) -> None:
+        """Zero the stored level (no-op for pull gauges)."""
+        self._value = 0.0
+
+
+class Histogram(Instrument):
+    """Distribution over fixed log-scale bins.
+
+    ``bin_edges`` are the inclusive upper edges of the finite buckets (a
+    final +inf bucket is implicit); the default grid is powers of two.
+    Counts are kept per bucket (non-cumulative) and exported cumulatively.
+    """
+
+    kind = KIND_HISTOGRAM
+
+    __slots__ = ("bin_edges", "counts", "total", "sum")
+
+    def __init__(self, name, help="", labels=None, switch=None,
+                 bin_edges: Optional[Iterable[float]] = None):
+        super().__init__(name, help, labels, None, switch)
+        edges = tuple(bin_edges) if bin_edges is not None \
+            else DEFAULT_BIN_EDGES
+        if not edges or list(edges) != sorted(set(edges)):
+            raise ConfigError(
+                f"{name}: bin edges must be non-empty, sorted, unique"
+            )
+        self.bin_edges = edges
+        self.counts = [0] * (len(edges) + 1)  # final slot: +inf bucket
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        if not self._switch.on:
+            return
+        self.counts[bisect_left(self.bin_edges, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_edge, cumulative_count)`` pairs, ending at +inf."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for edge, count in zip(self.bin_edges, self.counts):
+            running += count
+            out.append((edge, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    @property
+    def value(self) -> float:
+        """Mean of observed samples (0.0 when empty)."""
+        return self.sum / self.total if self.total else 0.0
+
+    def reset(self) -> None:
+        """Drop all recorded samples."""
+        self.counts = [0] * (len(self.bin_edges) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+
+class MetricsRegistry:
+    """Named instrument store with get-or-create semantics.
+
+    Registering a name twice returns the existing instrument when the
+    kind (and labels) match, and raises :class:`~repro.common.errors
+    .ConfigError` on a kind conflict — so independent modules can share
+    instruments by name without coordination, but cannot silently corrupt
+    each other's series.
+
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("events_total").inc(3)
+    >>> reg.counter("events_total").value
+    3
+    """
+
+    def __init__(self, enabled: bool = True):
+        self._switch = _Switch(enabled)
+        self._instruments: Dict[
+            Tuple[str, Tuple[Tuple[str, str], ...]], Instrument
+        ] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether push operations currently record anything."""
+        return self._switch.on
+
+    def enable(self) -> None:
+        """Turn push instrumentation on."""
+        self._switch.on = True
+
+    def disable(self) -> None:
+        """Turn push instrumentation off (every push op early-returns)."""
+        self._switch.on = False
+
+    def reset(self) -> None:
+        """Zero every push instrument (pull callbacks are untouched)."""
+        for instrument in self._instruments.values():
+            if not getattr(instrument, "pull", False):
+                instrument.reset()
+
+    def unregister(self, name: str,
+                   labels: Optional[Dict[str, str]] = None) -> None:
+        """Remove one instrument (missing names are a no-op)."""
+        self._instruments.pop((name, _label_key(labels)), None)
+
+    # -- construction --------------------------------------------------
+    def _get_or_create(self, cls, name, help, labels, **kwargs):
+        key = (name, _label_key(labels))
+        existing = self._instruments.get(key)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ConfigError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {cls.kind}"
+                )
+            return existing
+        instrument = cls(name, help=help, labels=labels,
+                         switch=self._switch, **kwargs)
+        self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "",
+                labels: Optional[Dict[str, str]] = None,
+                fn: Optional[Callable[[], float]] = None) -> Counter:
+        """Get or create a counter (pass ``fn`` for a pull counter)."""
+        return self._get_or_create(Counter, name, help, labels, fn=fn)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Optional[Dict[str, str]] = None,
+              fn: Optional[Callable[[], float]] = None) -> Gauge:
+        """Get or create a gauge (pass ``fn`` for a pull gauge)."""
+        return self._get_or_create(Gauge, name, help, labels, fn=fn)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Optional[Dict[str, str]] = None,
+                  bin_edges: Optional[Iterable[float]] = None) -> Histogram:
+        """Get or create a log-binned histogram."""
+        return self._get_or_create(Histogram, name, help, labels,
+                                   bin_edges=bin_edges)
+
+    # -- collection ----------------------------------------------------
+    def instruments(self) -> List[Instrument]:
+        """All registered instruments in registration order."""
+        return list(self._instruments.values())
+
+    def get(self, name: str,
+            labels: Optional[Dict[str, str]] = None) -> Optional[Instrument]:
+        """Look up one instrument (None when absent)."""
+        return self._instruments.get((name, _label_key(labels)))
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat ``name -> value`` snapshot.
+
+        Labelled series append their label values to the key
+        (``name{shard=0}``); histograms flatten to ``name_count`` /
+        ``name_sum``.
+        """
+        out: Dict[str, float] = {}
+        for instrument in self._instruments.values():
+            key = instrument.name
+            if instrument.labels:
+                inner = ",".join(
+                    f"{k}={v}" for k, v in sorted(instrument.labels.items())
+                )
+                key = f"{key}{{{inner}}}"
+            if isinstance(instrument, Histogram):
+                out[key + "_count"] = instrument.total
+                out[key + "_sum"] = instrument.sum
+            else:
+                out[key] = instrument.value
+        return out
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (f"MetricsRegistry({len(self._instruments)} instruments, "
+                f"{state})")

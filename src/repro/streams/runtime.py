@@ -14,10 +14,11 @@ boundaries itself.  :class:`StreamDriver` owns that logic:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from ..common.errors import StreamError
 from ..common.hashing import ItemKey
+from ..obs.catalog import bind_driver, legacy_driver_stats
 
 #: Late-event policies.
 LATE_CURRENT = "current"   # fold into the current window (default)
@@ -43,6 +44,7 @@ class StreamDriver:
         window_duration: float,
         late_policy: str = LATE_CURRENT,
         max_catchup_windows: int = 100_000,
+        profiler=None,
     ):
         if window_duration <= 0:
             raise StreamError("window_duration must be positive")
@@ -54,6 +56,9 @@ class StreamDriver:
         self.window_duration = float(window_duration)
         self.late_policy = late_policy
         self.max_catchup_windows = max_catchup_windows
+        self.profiler = profiler
+        if profiler is not None and hasattr(sketch, "cold"):
+            profiler.attach(sketch)
         self._origin: Optional[float] = None
         self._current_window = 0
         self._flushed = False
@@ -91,17 +96,27 @@ class StreamDriver:
                 f"(> max_catchup_windows={self.max_catchup_windows})"
             )
         for _ in range(advance):
-            self.sketch.end_window()
-            self._current_window += 1
+            self._close_window()
         self.sketch.insert(item)
+
+    def _close_window(self) -> None:
+        """Fire one boundary; report it to the profiler when present.
+
+        The driver has no natural per-window wall clock (processing time
+        interleaves with event arrival), so the profiler falls back to
+        the stage time accrued since the previous boundary.
+        """
+        self.sketch.end_window()
+        self._current_window += 1
+        if self.profiler is not None and self.profiler.attached:
+            self.profiler.window_closed(None)
 
     def flush(self) -> None:
         """Close the final window (call once, when the stream ends)."""
         if self._flushed:
             return
         if self._origin is not None:
-            self.sketch.end_window()
-            self._current_window += 1
+            self._close_window()
         self._flushed = True
 
     # ------------------------------------------------------------------
@@ -120,3 +135,11 @@ class StreamDriver:
     def query(self, item: ItemKey) -> int:
         """Live persistence estimate (delegates to the sketch)."""
         return self.sketch.query(item)
+
+    def stats(self) -> Dict[str, float]:
+        """Operational counters (thin view over the instrument catalog)."""
+        return legacy_driver_stats(self)
+
+    def bind(self, registry, labels=None):
+        """Register this driver's pull instruments on ``registry``."""
+        return bind_driver(registry, self, labels=labels)

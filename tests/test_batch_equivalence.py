@@ -21,6 +21,14 @@ from repro.core.columnar import (
 )
 from repro.core.hot_part import HotPart
 from repro.core.simd import VectorizedBurstFilter
+from repro.obs import (
+    MetricsRegistry,
+    bind_sketch,
+    parse_prometheus,
+    sketch_metrics,
+    to_prometheus,
+)
+from repro.obs.catalog import LEGACY_SKETCH_KEYS
 
 # windowed streams: per window, a small list of item keys (dup-heavy so
 # burst absorption, CU escalation, and hot promotion all get exercised)
@@ -65,6 +73,30 @@ class TestSketchEquivalence:
         for key in all_keys(windows):
             assert scalar.query(key) == batched.query(key)
         assert scalar.report(1) == batched.report(1)
+
+    @given(windows=windows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_registry_counters_identical_across_paths(self, windows):
+        # the canonical telemetry view, not just the legacy stats() dict,
+        # must agree between record-at-a-time and columnar ingestion
+        config = HSConfig.for_estimation(2 * 1024, len(windows), seed=9)
+        scalar = scalar_feed(HypersistentSketch(config), windows)
+        batched = batched_feed(HypersistentSketch(config), windows)
+        assert sketch_metrics(scalar) == sketch_metrics(batched)
+
+    @given(windows=windows_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_prometheus_snapshot_matches_stats_on_both_paths(self, windows):
+        config = HSConfig.for_estimation(2 * 1024, len(windows), seed=9)
+        for feed in (scalar_feed, batched_feed):
+            sketch = feed(HypersistentSketch(config), windows)
+            registry = MetricsRegistry()
+            bind_sketch(registry, sketch)
+            parsed = parse_prometheus(to_prometheus(registry))
+            stats = sketch.stats()
+            for legacy_key, canonical in LEGACY_SKETCH_KEYS.items():
+                if legacy_key in stats:
+                    assert parsed[(canonical, ())] == stats[legacy_key]
 
     @given(windows=windows_strategy)
     @settings(max_examples=40, deadline=None)

@@ -1,0 +1,105 @@
+"""CLI observability: ``estimate --profile/--telemetry/--prom``, ``obs``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import parse_prometheus, read_jsonl, write_jsonl
+from repro.streams import zipf_trace
+from repro.streams.io import save_trace_npz
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    trace = zipf_trace(3000, 20, seed=17, n_items=400)
+    path = tmp_path / "t.npz"
+    save_trace_npz(trace, path)
+    return str(path)
+
+
+class TestEstimateProfile:
+    def test_profile_prints_stage_breakdown(self, trace_file, capsys):
+        assert main(["estimate", trace_file, "--algorithm", "HS",
+                     "--memory-kb", "16", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "stage-latency profile: 20 windows" in out
+        for stage in ("burst", "cold", "hot"):
+            assert stage in out
+
+    def test_batch_algorithm_profiles_too(self, trace_file, capsys):
+        assert main(["estimate", trace_file, "--algorithm", "HS-BATCH",
+                     "--memory-kb", "16", "--profile"]) == 0
+        assert "stage-latency profile" in capsys.readouterr().out
+
+    def test_telemetry_and_prom_exports(self, trace_file, tmp_path,
+                                        capsys):
+        telemetry = tmp_path / "run.jsonl"
+        prom = tmp_path / "run.prom"
+        assert main(["estimate", trace_file, "--memory-kb", "16",
+                     "--telemetry", str(telemetry),
+                     "--prom", str(prom)]) == 0
+        records = read_jsonl(telemetry)
+        assert len(records) == 20
+        assert all("hs_inserts_total" in r for r in records)
+        parsed = parse_prometheus(prom.read_text())
+        assert parsed[("hs_windows_total", ())] == 20
+        # exported counters equal the per-window deltas summed back up
+        assert parsed[("hs_inserts_total", ())] == sum(
+            r["hs_inserts_total"] for r in records
+        )
+
+
+class TestObsPanel:
+    RECORDS = [
+        {"window": w, "seconds": 0.01 * (w + 1),
+         "hs_inserts_total": 100 + w, "hs_hot_occupancy": 0.1 * w}
+        for w in range(6)
+    ]
+
+    def test_panel_renders_selected_metrics(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        write_jsonl(path, self.RECORDS)
+        assert main(["obs", str(path),
+                     "--metrics", "seconds,hs_inserts_total"]) == 0
+        out = capsys.readouterr().out
+        assert "6 windows" in out
+        assert "seconds" in out and "hs_inserts_total" in out
+        assert "last 105" in out  # newest hs_inserts_total value
+
+    def test_default_metrics_skip_absent_fields(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        write_jsonl(path, self.RECORDS)
+        assert main(["obs", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "hs_hot_occupancy" in out
+        assert "hs_cold_l1_hits_total" not in out  # not in the records
+
+    def test_last_limits_window_count(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        write_jsonl(path, self.RECORDS)
+        assert main(["obs", str(path), "--last", "3"]) == 0
+        assert "3 windows" in capsys.readouterr().out
+
+    def test_empty_file_reports_no_records(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["obs", str(path)]) == 0
+        assert "no telemetry records" in capsys.readouterr().out
+
+    def test_follow_stops_after_refresh_budget(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        write_jsonl(path, self.RECORDS)
+        assert main(["obs", str(path), "--follow", "--interval", "0.01",
+                     "--refreshes", "2"]) == 0
+        assert capsys.readouterr().out.count("6 windows") == 2
+
+    def test_live_tail_sees_appended_records(self, tmp_path, capsys):
+        # the sink appends; a later render must include the new windows
+        path = tmp_path / "run.jsonl"
+        write_jsonl(path, self.RECORDS[:3])
+        assert main(["obs", str(path)]) == 0
+        write_jsonl(path, self.RECORDS[3:], append=True)
+        assert main(["obs", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "3 windows" in out and "6 windows" in out

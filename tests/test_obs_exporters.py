@@ -1,0 +1,99 @@
+"""Exporter round-trips: Prometheus text and JSON-lines telemetry."""
+
+import math
+
+from repro.obs import (
+    MetricsRegistry,
+    parse_prometheus,
+    read_jsonl,
+    to_jsonl,
+    to_prometheus,
+    write_jsonl,
+)
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("hs_inserts_total", help="Occurrences inserted").inc(123)
+    reg.gauge("hs_hot_occupancy").set(0.25)
+    reg.counter("hs_inserts_total", labels={"shard": "0"}).inc(7)
+    reg.counter("hs_inserts_total", labels={"shard": "1"}).inc(8)
+    hist = reg.histogram("hs_window_seconds", bin_edges=[0.001, 0.01, 0.1])
+    for value in (0.0005, 0.004, 0.07, 2.5):
+        hist.observe(value)
+    return reg
+
+
+class TestPrometheus:
+    def test_preamble_once_per_name(self):
+        text = to_prometheus(populated_registry())
+        assert text.count("# TYPE hs_inserts_total counter") == 1
+        assert "# HELP hs_inserts_total Occurrences inserted" in text
+
+    def test_round_trip_values(self):
+        reg = populated_registry()
+        parsed = parse_prometheus(to_prometheus(reg))
+        assert parsed[("hs_inserts_total", ())] == 123
+        assert parsed[("hs_hot_occupancy", ())] == 0.25
+        assert parsed[("hs_inserts_total", (("shard", "0"),))] == 7
+        assert parsed[("hs_inserts_total", (("shard", "1"),))] == 8
+
+    def test_round_trip_histogram_buckets(self):
+        reg = populated_registry()
+        parsed = parse_prometheus(to_prometheus(reg))
+        assert parsed[("hs_window_seconds_bucket", (("le", "0.001"),))] == 1
+        assert parsed[("hs_window_seconds_bucket", (("le", "0.01"),))] == 2
+        assert parsed[("hs_window_seconds_bucket", (("le", "0.1"),))] == 3
+        assert parsed[("hs_window_seconds_bucket", (("le", "+Inf"),))] == 4
+        assert parsed[("hs_window_seconds_count", ())] == 4
+        assert parsed[("hs_window_seconds_sum", ())] == (
+            0.0005 + 0.004 + 0.07 + 2.5
+        )
+
+    def test_round_trip_matches_registry_snapshot(self):
+        # every non-histogram series parses back to exactly its live value
+        reg = populated_registry()
+        parsed = parse_prometheus(to_prometheus(reg))
+        for instrument in reg.instruments():
+            if instrument.kind == "histogram":
+                continue
+            labels = tuple(sorted(instrument.labels.items()))
+            assert parsed[(instrument.name, labels)] == instrument.value
+
+    def test_infinite_gauge_round_trips(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(math.inf)
+        parsed = parse_prometheus(to_prometheus(reg))
+        assert parsed[("g", ())] == math.inf
+
+
+class TestJsonl:
+    RECORDS = [
+        {"window": 0, "seconds": 0.01, "hs_inserts_total": 50},
+        {"window": 1, "seconds": 0.02, "hs_inserts_total": 60},
+    ]
+
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert write_jsonl(path, self.RECORDS) == 2
+        assert read_jsonl(path) == self.RECORDS
+
+    def test_append_mode(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_jsonl(path, self.RECORDS[:1])
+        write_jsonl(path, self.RECORDS[1:], append=True)
+        assert read_jsonl(path) == self.RECORDS
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_jsonl(tmp_path / "absent.jsonl") == []
+
+    def test_truncated_tail_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(to_jsonl(self.RECORDS) + '{"window": 2, "sec')
+        assert read_jsonl(path) == self.RECORDS
+
+    def test_one_compact_object_per_line(self):
+        text = to_jsonl(self.RECORDS)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert all(": " not in line for line in lines)

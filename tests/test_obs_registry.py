@@ -1,0 +1,160 @@
+"""Registry semantics: instrument kinds, lifecycle, and histogram binning."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.obs import MetricsRegistry
+from repro.obs.registry import DEFAULT_BIN_EDGES
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("events_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counters_only_go_up(self):
+        counter = MetricsRegistry().counter("events_total")
+        with pytest.raises(ConfigError):
+            counter.inc(-1)
+
+    def test_pull_counter_reads_callback(self):
+        source = {"n": 7}
+        counter = MetricsRegistry().counter("pull_total",
+                                            fn=lambda: source["n"])
+        assert counter.value == 7
+        source["n"] = 9
+        assert counter.value == 9
+
+    def test_pull_counter_rejects_push(self):
+        counter = MetricsRegistry().counter("pull_total", fn=lambda: 1)
+        with pytest.raises(ConfigError):
+            counter.inc()
+
+    def test_reset_zeroes_push_not_pull(self):
+        reg = MetricsRegistry()
+        push = reg.counter("push_total")
+        pull = reg.counter("pull_total", fn=lambda: 3)
+        push.inc(5)
+        reg.reset()
+        assert push.value == 0
+        assert pull.value == 3
+
+
+class TestGauges:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("level")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value == 7
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("name_total")
+        with pytest.raises(ConfigError):
+            reg.gauge("name_total")
+
+
+class TestRegistration:
+    def test_double_register_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x_total") is reg.counter("x_total")
+
+    def test_labels_distinguish_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", labels={"shard": "0"})
+        b = reg.counter("x_total", labels={"shard": "1"})
+        assert a is not b
+        a.inc(2)
+        assert b.value == 0
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ConfigError):
+            MetricsRegistry().counter("bad name!")
+
+    def test_unregister(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        reg.unregister("x_total")
+        assert reg.get("x_total") is None
+        assert len(reg) == 0
+
+    def test_as_dict_flattens_labels_and_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc(2)
+        reg.gauge("b", labels={"shard": "1"}).set(3)
+        hist = reg.histogram("h")
+        hist.observe(2.0)
+        snapshot = reg.as_dict()
+        assert snapshot["a_total"] == 2
+        assert snapshot["b{shard=1}"] == 3
+        assert snapshot["h_count"] == 1
+        assert snapshot["h_sum"] == 2.0
+
+
+class TestDisable:
+    def test_disabled_pushes_are_no_ops(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("x_total")
+        gauge = reg.gauge("g")
+        hist = reg.histogram("h")
+        reg.disable()
+        counter.inc()
+        gauge.set(5)
+        hist.observe(1.0)
+        assert counter.value == 0
+        assert gauge.value == 0.0
+        assert hist.total == 0
+        reg.enable()
+        counter.inc()
+        assert counter.value == 1
+
+    def test_disabled_registry_still_reads_pull(self):
+        reg = MetricsRegistry(enabled=False)
+        pull = reg.counter("pull_total", fn=lambda: 11)
+        assert pull.value == 11
+
+
+class TestHistograms:
+    def test_default_edges_are_log_scale(self):
+        assert DEFAULT_BIN_EDGES[0] == 1.0
+        ratios = {
+            DEFAULT_BIN_EDGES[i + 1] / DEFAULT_BIN_EDGES[i]
+            for i in range(len(DEFAULT_BIN_EDGES) - 1)
+        }
+        assert ratios == {2.0}
+
+    def test_binning_le_semantics(self):
+        # a sample equal to an edge belongs to that edge's bucket
+        hist = MetricsRegistry().histogram("h", bin_edges=[1, 4, 16])
+        for value in (0.5, 1.0, 3.0, 16.0, 99.0):
+            hist.observe(value)
+        assert hist.counts == [2, 1, 1, 1]  # le=1, le=4, le=16, +inf
+        buckets = dict(hist.cumulative_buckets())
+        assert buckets[1] == 2
+        assert buckets[4] == 3
+        assert buckets[16] == 4
+        assert buckets[math.inf] == 5
+        assert hist.total == 5
+        assert hist.value == pytest.approx((0.5 + 1 + 3 + 16 + 99) / 5)
+
+    def test_reset_drops_samples(self):
+        hist = MetricsRegistry().histogram("h", bin_edges=[1, 2])
+        hist.observe(1.5)
+        hist.reset()
+        assert hist.total == 0
+        assert hist.counts == [0, 0, 0]
+        assert hist.sum == 0.0
+
+    def test_bad_edges_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            reg.histogram("h1", bin_edges=[])
+        with pytest.raises(ConfigError):
+            reg.histogram("h2", bin_edges=[2, 1])
+        with pytest.raises(ConfigError):
+            reg.histogram("h3", bin_edges=[1, 1, 2])

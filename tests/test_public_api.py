@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.streams",
     "repro.analysis",
     "repro.experiments",
+    "repro.obs",
 ]
 
 
