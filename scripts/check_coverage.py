@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Dependency-free line-coverage measurement and regression gate.
+
+The container has no ``coverage``/``pytest-cov``, so this script measures
+line coverage with the standard library alone:
+
+* **denominator** — every executable line under ``src/repro``, read from
+  the compiled code objects' ``co_lines()`` tables (the same source of
+  truth coverage.py uses);
+* **numerator** — lines observed by a ``sys.settrace`` /
+  ``threading.settrace`` hook while the test suite runs in-process.
+
+Usage::
+
+    python scripts/check_coverage.py                         # measure
+    python scripts/check_coverage.py --report out.json       # + artifact
+    python scripts/check_coverage.py --baseline COVERAGE_baseline.json
+    python scripts/check_coverage.py --write-baseline        # reset gate
+
+With ``--baseline`` the script exits non-zero when overall coverage falls
+more than ``--tolerance`` points (default 1.0) below the recorded
+baseline — the CI coverage gate.  Extra arguments after ``--`` are passed
+to pytest (default: the tier-1 selection from pyproject.toml).
+
+Line counts depend on the bytecode compiler, so compare baselines only
+within one Python minor version (CI pins the gate job's interpreter).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+from types import CodeType
+from typing import Dict, Set
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+PACKAGE = os.path.join(SRC, "repro")
+
+
+def executable_lines(path: str) -> Set[int]:
+    """Line numbers the compiler can emit events for, per ``co_lines``."""
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    lines: Set[int] = set()
+    stack = [compile(source, path, "exec")]
+    while stack:
+        code = stack.pop()
+        for _, _, line in code.co_lines():
+            if line is not None:
+                lines.add(line)
+        for const in code.co_consts:
+            if isinstance(const, CodeType):
+                stack.append(const)
+    return lines
+
+
+def source_files() -> Dict[str, Set[int]]:
+    """All package modules mapped to their executable line sets."""
+    files: Dict[str, Set[int]] = {}
+    for dirpath, _, filenames in os.walk(PACKAGE):
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                path = os.path.join(dirpath, filename)
+                files[path] = executable_lines(path)
+    return files
+
+
+class LineTracer:
+    """settrace hook recording executed lines for files under a prefix."""
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self.executed: Dict[str, Set[int]] = {}
+        self._local_tracers: Dict[str, object] = {}
+
+    def _make_local(self, resolved: str):
+        add = self.executed.setdefault(resolved, set()).add
+
+        def local_trace(frame, event, arg):
+            if event == "line":
+                add(frame.f_lineno)
+            return local_trace
+
+        return local_trace
+
+    def global_trace(self, frame, event, arg):
+        filename = frame.f_code.co_filename
+        local = self._local_tracers.get(filename)
+        if local is None:
+            resolved = os.path.abspath(filename)
+            local = (
+                self._make_local(resolved)
+                if resolved.startswith(self.prefix)
+                and resolved.endswith(".py")
+                else False
+            )
+            self._local_tracers[filename] = local
+        if local is False:
+            return None
+        self.executed[os.path.abspath(filename)].add(frame.f_lineno)
+        return local
+
+    def install(self) -> None:
+        threading.settrace(self.global_trace)
+        sys.settrace(self.global_trace)
+
+    def uninstall(self) -> None:
+        sys.settrace(None)
+        threading.settrace(None)
+
+
+def measure(pytest_args) -> Dict[str, object]:
+    """Run the suite under the tracer; return the coverage report dict."""
+    sys.path.insert(0, SRC)
+    import pytest  # after the path insert: tests import repro from src/
+
+    # the tracer multiplies runtime, so wall-clock-gated tests are out
+    args = ["-m", "not slow and not fuzz and not timing"] \
+        + list(pytest_args)
+    tracer = LineTracer(PACKAGE)
+    tracer.install()
+    try:
+        exit_code = int(pytest.main(args))
+    finally:
+        tracer.uninstall()
+    if exit_code != 0:
+        print(f"pytest exited {exit_code}; coverage not evaluated",
+              file=sys.stderr)
+        sys.exit(exit_code)
+
+    files = source_files()
+    total_lines = 0
+    total_hit = 0
+    per_file = {}
+    for path, lines in sorted(files.items()):
+        hit = len(lines & tracer.executed.get(path, set()))
+        total_lines += len(lines)
+        total_hit += hit
+        rel = os.path.relpath(path, ROOT)
+        per_file[rel] = {
+            "lines": len(lines),
+            "covered": hit,
+            "percent": round(100.0 * hit / len(lines), 2)
+            if lines else 100.0,
+        }
+    percent = 100.0 * total_hit / total_lines if total_lines else 100.0
+    return {
+        "percent": round(percent, 2),
+        "lines": total_lines,
+        "covered": total_hit,
+        "python": f"{sys.version_info[0]}.{sys.version_info[1]}",
+        "files": per_file,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="gate against a recorded baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=1.0,
+                        help="allowed drop below the baseline, in points")
+    parser.add_argument("--report", metavar="PATH",
+                        help="write the full per-file report as JSON")
+    parser.add_argument("--write-baseline", metavar="PATH", nargs="?",
+                        const="COVERAGE_baseline.json", default=None,
+                        help="record the measured coverage as the new "
+                             "baseline (default: COVERAGE_baseline.json)")
+    parser.add_argument("pytest_args", nargs="*",
+                        help="arguments after -- go to pytest verbatim")
+    args = parser.parse_args()
+
+    report = measure(args.pytest_args)
+    worst = sorted(
+        (entry["percent"], rel) for rel, entry in report["files"].items()
+    )[:5]
+    print(f"coverage: {report['percent']:.2f}% "
+          f"({report['covered']}/{report['lines']} lines, "
+          f"python {report['python']})")
+    for percent, rel in worst:
+        print(f"  lowest: {rel} {percent:.1f}%")
+
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote report to {args.report}")
+    if args.write_baseline:
+        with open(args.write_baseline, "w") as handle:
+            json.dump({
+                "percent": report["percent"],
+                "python": report["python"],
+            }, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote baseline to {args.write_baseline}")
+        return 0
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        floor = baseline["percent"] - args.tolerance
+        if baseline.get("python") != report["python"]:
+            print(f"warning: baseline recorded on python "
+                  f"{baseline.get('python')}, measuring on "
+                  f"{report['python']}; line tables may differ",
+                  file=sys.stderr)
+        if report["percent"] < floor:
+            print(f"coverage gate FAILED: {report['percent']:.2f}% < "
+                  f"baseline {baseline['percent']:.2f}% - "
+                  f"{args.tolerance:.1f}", file=sys.stderr)
+            return 1
+        print(f"coverage gate ok: {report['percent']:.2f}% >= "
+              f"{floor:.2f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

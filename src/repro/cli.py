@@ -11,6 +11,11 @@ Commands:
   breakdown, ``--telemetry``/``--prom`` export run telemetry).
 * ``find`` — report persistent items from a saved trace.
 * ``obs`` — tail a run's JSON-lines telemetry as a live ASCII panel.
+* ``verify`` — run the invariant catalog and an oracle-differential
+  audit against a saved trace (or the default campaign suite).
+* ``fuzz`` — deterministic fuzz campaign: generated workloads, the full
+  invariant battery, failing cases shrunk and saved for replay.
+* ``replay`` — re-run one saved fuzz case spec and report violations.
 """
 
 from __future__ import annotations
@@ -225,6 +230,81 @@ def _cmd_find(args) -> int:
     return 0
 
 
+def _verify_config(args):
+    from .verify import VerifyConfig
+    return VerifyConfig(
+        memory_bytes=int(args.memory_kb * 1024), seed=args.seed
+    )
+
+
+def _print_violations(violations) -> None:
+    for violation in violations:
+        print(f"  {violation}")
+
+
+def _cmd_verify(args) -> int:
+    from .verify import (
+        check_trace,
+        list_invariants,
+        require_known,
+        run_campaign,
+    )
+    if args.list:
+        for row in list_invariants():
+            print(f"{row['name']:<28} {row['scope']:<7} "
+                  f"{row['description']}")
+        return 0
+    names = args.invariants.split(",") if args.invariants else None
+    require_known(names)
+    config = _verify_config(args)
+    if args.trace:
+        trace = _load_trace(args.trace)
+        violations = check_trace(trace, config, names)
+        print(f"verify {trace.name}: {len(violations)} violation(s)")
+        _print_violations(violations)
+        failed = bool(violations)
+    else:
+        report = run_campaign(seed=args.seed,
+                              memory_grid=(config.memory_bytes,))
+        print(report.summary())
+        if args.report:
+            report.save(args.report)
+            print(f"wrote campaign report to {args.report}")
+        failed = not report.ok
+    return 1 if failed else 0
+
+
+def _cmd_fuzz(args) -> int:
+    from .verify import require_known, run_fuzz
+    names = args.invariants.split(",") if args.invariants else None
+    require_known(names)
+
+    def progress(done: int, total: int) -> None:
+        if done % 100 == 0 or done == total:
+            print(f"  {done}/{total} cases", file=sys.stderr)
+
+    report = run_fuzz(
+        args.seed, args.cases,
+        config=_verify_config(args),
+        names=names,
+        out_dir=args.out,
+        max_failures=args.max_failures,
+        progress=progress if not args.quiet else None,
+    )
+    print(report.summary())
+    return 1 if report.failures else 0
+
+
+def _cmd_replay(args) -> int:
+    from .verify import replay_case, require_known
+    names = args.invariants.split(",") if args.invariants else None
+    require_known(names)
+    violations = replay_case(args.case, _verify_config(args), names)
+    print(f"replay {args.case}: {len(violations)} violation(s)")
+    _print_violations(violations)
+    return 1 if violations else 0
+
+
 def _cmd_compare(args) -> int:
     trace = _load_trace(args.trace)
     truth = exact_persistence(trace)
@@ -330,6 +410,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--memory-kb", type=float, default=16)
     p.add_argument("--seed", type=int, default=42)
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser(
+        "verify",
+        help="check invariants / differential accuracy on a trace",
+    )
+    p.add_argument("trace", nargs="?", default=None,
+                   help="trace file (.csv or .npz); omit to run the "
+                        "default differential campaign suite")
+    p.add_argument("--list", action="store_true",
+                   help="list the invariant catalog and exit")
+    p.add_argument("--invariants",
+                   help="comma-separated invariant names to check "
+                        "(default: all)")
+    p.add_argument("--memory-kb", type=float, default=8)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--report", metavar="PATH",
+                   help="write the campaign report as JSON")
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="deterministic fuzz campaign over generated workloads",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed; (seed, cases) fully determines "
+                        "the campaign")
+    p.add_argument("--cases", type=int, default=100,
+                   help="number of generated cases to check")
+    p.add_argument("--invariants",
+                   help="comma-separated invariant names to check "
+                        "(default: all)")
+    p.add_argument("--memory-kb", type=float, default=8)
+    p.add_argument("--out", default="results/fuzz",
+                   help="artifact directory for failing cases")
+    p.add_argument("--max-failures", type=int, default=10,
+                   help="stop the campaign after this many failures")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-100-case progress lines")
+    p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "replay", help="re-run a saved fuzz case spec"
+    )
+    p.add_argument("case", help="case spec JSON "
+                   "(results/fuzz/case-*/shrunk.json)")
+    p.add_argument("--invariants",
+                   help="comma-separated invariant names to check "
+                        "(default: all)")
+    p.add_argument("--memory-kb", type=float, default=8)
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=_cmd_replay)
 
     p = sub.add_parser("find", help="report persistent items")
     p.add_argument("trace", help="trace file (.csv or .npz)")

@@ -18,7 +18,7 @@ clears the filter.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -188,6 +188,36 @@ class BurstFilter:
         """Reset all state (keeps sizing)."""
         for bucket in self._buckets:
             bucket.clear()
+
+    def bucket_fills(self) -> Sequence[int]:
+        """Per-bucket cell occupancy (verification/occupancy diagnostics)."""
+        return [len(bucket) for bucket in self._buckets]
+
+    def verify_state(self) -> List[str]:
+        """Structural self-check; returns problem descriptions (empty = OK).
+
+        Checked: no bucket holds more than ``cells_per_bucket`` IDs, no ID
+        is stored twice in one bucket, and every stored ID hashes to the
+        bucket it sits in.  Hook point for :mod:`repro.verify`; does not
+        touch the instrumentation counters.
+        """
+        problems: List[str] = []
+        for b, bucket in enumerate(self._buckets):
+            if len(bucket) > self.cells_per_bucket:
+                problems.append(
+                    f"burst bucket {b} holds {len(bucket)} IDs "
+                    f"> capacity {self.cells_per_bucket}"
+                )
+            if len(set(bucket)) != len(bucket):
+                problems.append(f"burst bucket {b} stores a duplicate ID")
+            for key in bucket:
+                home = self._hash.index(key, 0, self.n_buckets)
+                if home != b:
+                    problems.append(
+                        f"burst key {key} sits in bucket {b}, hashes to "
+                        f"{home}"
+                    )
+        return problems
 
     def __len__(self) -> int:
         """Number of distinct IDs currently held."""

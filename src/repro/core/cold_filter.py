@@ -166,6 +166,23 @@ class _ColdLayer:
         for flags in self._flags:
             flags.reset()
 
+    def verify_state(self) -> List[str]:
+        """Structural self-check; returns problem descriptions (empty = OK).
+
+        A CU-updated cell only increments while it equals the row minimum
+        *and* that minimum is below the threshold, so no counter can ever
+        exceed the layer threshold.
+        """
+        problems: List[str] = []
+        for i, counters in enumerate(self._counters):
+            for j in range(self.width):
+                if counters[j] > self.threshold:
+                    problems.append(
+                        f"cold row {i} cell {j} holds {counters[j]} "
+                        f"> threshold {self.threshold}"
+                    )
+        return problems
+
     def clear(self) -> None:
         """Reset all state (keeps sizing)."""
         for counters in self._counters:
@@ -287,6 +304,21 @@ class ColdFilter:
         """Close the current window and open the next one."""
         self.l1.end_window()
         self.l2.end_window()
+
+    def verify_state(self) -> List[str]:
+        """Structural self-check over both layers (empty list = OK).
+
+        Also cross-checks the stage counters: every insert resolves at
+        exactly one of L1 / L2 / overflow.
+        """
+        problems = [f"L1: {p}" for p in self.l1.verify_state()]
+        problems += [f"L2: {p}" for p in self.l2.verify_state()]
+        if min(self.l1_hits, self.l2_hits, self.overflows) < 0:
+            problems.append(
+                f"negative stage counter: l1={self.l1_hits} "
+                f"l2={self.l2_hits} overflow={self.overflows}"
+            )
+        return problems
 
     def clear(self) -> None:
         """Reset all state (keeps sizing)."""

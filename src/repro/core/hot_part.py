@@ -167,6 +167,48 @@ class HotPart:
         )
         return used / (self.n_buckets * self.entries_per_bucket)
 
+    def verify_state(self) -> List[str]:
+        """Structural self-check; returns problem descriptions (empty = OK).
+
+        Checked: occupied entries carry a positive persistence, empty
+        entries carry none, no key is stored twice in one bucket, every
+        stored key hashes to the bucket it sits in, and no flag epoch runs
+        ahead of the window clock.
+        """
+        problems: List[str] = []
+        for b, bucket in enumerate(self._buckets):
+            seen = set()
+            for entry in bucket:
+                if entry.key is None:
+                    if entry.per != 0:
+                        problems.append(
+                            f"hot bucket {b}: empty entry holds per="
+                            f"{entry.per}"
+                        )
+                    continue
+                if entry.per < 1:
+                    problems.append(
+                        f"hot bucket {b}: key {entry.key} has per="
+                        f"{entry.per} < 1"
+                    )
+                if entry.key in seen:
+                    problems.append(
+                        f"hot bucket {b}: key {entry.key} stored twice"
+                    )
+                seen.add(entry.key)
+                home = self._hash.index(entry.key, 0, self.n_buckets)
+                if home != b:
+                    problems.append(
+                        f"hot key {entry.key} sits in bucket {b}, hashes "
+                        f"to {home}"
+                    )
+                if entry.off_epoch > self._epoch:
+                    problems.append(
+                        f"hot key {entry.key}: off_epoch {entry.off_epoch} "
+                        f"ahead of clock {self._epoch}"
+                    )
+        return problems
+
     def clear(self) -> None:
         """Reset all state (keeps sizing)."""
         for bucket in self._buckets:

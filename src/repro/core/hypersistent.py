@@ -15,7 +15,7 @@ item's persistence lives.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -245,6 +245,29 @@ class HypersistentSketch:
         """
         return bind_sketch(registry, self, labels=labels)
 
+    def verify_state(self) -> List[str]:
+        """Structural self-check across all three stages (empty list = OK).
+
+        The invariant hook point for :mod:`repro.verify`: delegates to each
+        stage's ``verify_state`` and cross-checks the stage-1 accounting
+        (every insert is either absorbed by the Burst Filter or forwarded
+        downstream — the two counters partition the insert count exactly).
+        Pure read: no counters move, no state changes.
+        """
+        problems = list(self.cold.verify_state())
+        problems += self.hot.verify_state()
+        if self.burst is not None:
+            problems += self.burst.verify_state()
+            handled = self.burst.absorbed + self.burst.overflowed
+            if handled != self.inserts:
+                problems.append(
+                    f"burst absorbed+overflowed = {handled} != inserts "
+                    f"{self.inserts}"
+                )
+        if self.window < 0:
+            problems.append(f"window clock is negative: {self.window}")
+        return problems
+
     def reset_stats(self) -> None:
         """Zero the instrumentation counters (state is untouched)."""
         self.inserts = 0
@@ -264,10 +287,18 @@ class HypersistentSketch:
         )
 
     def clear(self) -> None:
-        """Reset all state (counters, flags, stored IDs) but keep sizing."""
+        """Reset all state (counters, flags, stored IDs) but keep sizing.
+
+        Instrumentation counters reset too: a cleared sketch's accounting
+        (``inserts`` vs the Burst Filter's absorbed/overflowed split,
+        ``hot.replacements``) must describe its current incarnation, or
+        the structural cross-checks in :mod:`repro.verify` — and the
+        sliding panels' eviction-free condition — would read stale
+        history after every panel rotation.
+        """
         if self.burst is not None:
             self.burst.clear()
         self.cold.clear()
         self.hot.clear()
         self.window = 0
-        self.inserts = 0
+        self.reset_stats()

@@ -137,6 +137,25 @@ class ShardedSketch:
         """Per-shard insert counts (routing balance diagnostic)."""
         return [getattr(s, "inserts", 0) for s in self.shards]
 
+    def verify_state(self) -> List[str]:
+        """Structural self-check across all shards (empty list = OK).
+
+        Delegates to each shard's ``verify_state`` (prefixing the shard
+        index) and checks the shared window clock: every shard must sit on
+        the ensemble's window count.
+        """
+        problems: List[str] = []
+        for i, shard in enumerate(self.shards):
+            if hasattr(shard, "verify_state"):
+                problems += [f"shard {i}: {p}" for p in shard.verify_state()]
+            shard_window = getattr(shard, "window", None)
+            if shard_window is not None and shard_window != self.window:
+                problems.append(
+                    f"shard {i} window clock {shard_window} != ensemble "
+                    f"clock {self.window}"
+                )
+        return problems
+
     def stats(self) -> Dict[str, float]:
         """Aggregated operational counters across all shards.
 

@@ -204,6 +204,39 @@ class VectorizedBurstFilter:
         self._keys.fill(_EMPTY)
         self._fill.fill(0)
 
+    def bucket_fills(self):
+        """Per-bucket cell occupancy (verification/occupancy diagnostics)."""
+        return self._fill.tolist()
+
+    def verify_state(self):
+        """Structural self-check; returns problem descriptions (empty = OK).
+
+        Same contract as :meth:`BurstFilter.verify_state
+        <repro.core.burst_filter.BurstFilter.verify_state>`: bucket fills
+        within capacity, no duplicate ID inside a bucket, every stored ID
+        in its home bucket.
+        """
+        problems = []
+        for b in range(self.n_buckets):
+            fill = int(self._fill[b])
+            if not 0 <= fill <= self.cells_per_bucket:
+                problems.append(
+                    f"burst bucket {b} fill {fill} outside "
+                    f"[0, {self.cells_per_bucket}]"
+                )
+                continue
+            stored = self._keys[b, :fill].tolist()
+            if len(set(stored)) != len(stored):
+                problems.append(f"burst bucket {b} stores a duplicate ID")
+            for key in stored:
+                home = self._hash.index(key, 0, self.n_buckets)
+                if home != b:
+                    problems.append(
+                        f"burst key {key} sits in bucket {b}, hashes to "
+                        f"{home}"
+                    )
+        return problems
+
     def __len__(self) -> int:
         return int(self._fill.sum())
 

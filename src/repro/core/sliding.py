@@ -21,7 +21,7 @@ constant-size panels.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from ..common.errors import ConfigError
 from ..common.hashing import ItemKey
@@ -104,3 +104,51 @@ class SlidingHypersistentSketch:
     def memory_bytes(self) -> int:
         """Modeled memory footprint in bytes."""
         return self._young.memory_bytes + self._old.memory_bytes
+
+    def query_ceiling(self) -> int:
+        """Provable upper bound on any boundary-time query estimate.
+
+        Each panel's estimate is at most ``delta1 + delta2`` (a cold item
+        capped at the thresholds) plus its Hot Part's stored count, which
+        by induction never exceeds the panel's window clock plus its
+        replacement count.  The verification invariants check against
+        this — not against :attr:`coverage`, which the underlying
+        sketch's one-sided overestimation error may legitimately exceed.
+        """
+        return sum(
+            panel.cold.delta1 + panel.cold.delta2 + panel.window
+            + panel.hot.replacements
+            for panel in (self._young, self._old)
+        )
+
+    @property
+    def panel_replacements(self) -> int:
+        """Total Hot Part replacements across both panels.
+
+        When zero, neither panel has ever evicted an item, so the
+        jumping-window sandwich (coverage lower bound for an every-window
+        item, one-sided overestimation above it) holds exactly — the
+        condition the verification invariants key on.
+        """
+        return (self._young.hot.replacements + self._old.hot.replacements)
+
+    def verify_state(self) -> List[str]:
+        """Structural self-check over both panels (empty list = OK).
+
+        Delegates to the panels' ``verify_state`` and checks the rotation
+        bookkeeping: the in-progress half-range never reaches ``half``
+        (rotation fires exactly at the boundary) and the advertised
+        coverage stays within ``[0, horizon]``.
+        """
+        problems = [f"young: {p}" for p in self._young.verify_state()]
+        problems += [f"old: {p}" for p in self._old.verify_state()]
+        if not 0 <= self._windows_in_young < self.half:
+            problems.append(
+                f"windows_in_young {self._windows_in_young} outside "
+                f"[0, {self.half})"
+            )
+        if not 0 <= self.coverage <= self.horizon:
+            problems.append(
+                f"coverage {self.coverage} outside [0, {self.horizon}]"
+            )
+        return problems

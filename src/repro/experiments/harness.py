@@ -125,7 +125,8 @@ def _hash_ops(sketch) -> int:
 
 
 def run_stream(
-    sketch, trace: Trace, batched: Optional[bool] = None, profiler=None
+    sketch, trace: Trace, batched: Optional[bool] = None, profiler=None,
+    on_window: Optional[Callable[[int], None]] = None,
 ) -> RunResult:
     """Feed a trace through a sketch with window boundaries, timed.
 
@@ -143,6 +144,11 @@ def run_stream(
     per-window telemetry: the harness attaches it, times every window's
     feed, and reports each boundary; the aggregated summary lands in
     ``RunResult.profile``.  Without one, the ingest loops are untouched.
+
+    ``on_window(window_id)`` fires after every window boundary, once the
+    sketch has sealed that window — the hook point the verification
+    invariants use to audit state mid-stream.  Its runtime is inside the
+    measured span, so leave it ``None`` for throughput experiments.
     """
     has_window_api = hasattr(sketch, "insert_window")
     use_batched = has_window_api if batched is None else batched
@@ -156,13 +162,16 @@ def run_stream(
     if use_batched:
         window_arrays = trace.window_arrays()
         started = time.perf_counter()
-        if profiler is not None:
-            for window_keys in window_arrays:
+        if profiler is not None or on_window is not None:
+            for wid, window_keys in enumerate(window_arrays):
                 window_started = time.perf_counter()
                 sketch.insert_window(window_keys)
-                profiler.window_closed(
-                    time.perf_counter() - window_started
-                )
+                if profiler is not None:
+                    profiler.window_closed(
+                        time.perf_counter() - window_started
+                    )
+                if on_window is not None:
+                    on_window(wid)
         else:
             insert_window = sketch.insert_window
             for window_keys in window_arrays:
@@ -170,15 +179,18 @@ def run_stream(
         elapsed = time.perf_counter() - started
     else:
         started = time.perf_counter()
-        if profiler is not None:
-            for _, window_items in trace.windows():
+        if profiler is not None or on_window is not None:
+            for wid, window_items in trace.windows():
                 window_started = time.perf_counter()
                 for item in window_items:
                     sketch.insert(item)
                 sketch.end_window()
-                profiler.window_closed(
-                    time.perf_counter() - window_started
-                )
+                if profiler is not None:
+                    profiler.window_closed(
+                        time.perf_counter() - window_started
+                    )
+                if on_window is not None:
+                    on_window(wid)
         else:
             insert = sketch.insert
             for _, window_items in trace.windows():
@@ -233,6 +245,7 @@ def run_algorithm(
     seed: int = 42,
     batched: Optional[bool] = None,
     profiler=None,
+    on_window: Optional[Callable[[int], None]] = None,
 ) -> RunResult:
     """Factory + streaming in one call (what the sweeps use).
 
@@ -252,7 +265,8 @@ def run_algorithm(
         raise ConfigError(f"unknown task: {task}")
     if batched is None:
         batched = name in BATCHED_ALGORITHMS
-    return run_stream(sketch, trace, batched=batched, profiler=profiler)
+    return run_stream(sketch, trace, batched=batched, profiler=profiler,
+                      on_window=on_window)
 
 
 def repeat_median(

@@ -6,6 +6,14 @@ from .adversarial import (
     distinct_flood,
     single_item_flood,
 )
+from .cases import (
+    CASE_KINDS,
+    CaseSpec,
+    load_case,
+    sample_case,
+    save_case,
+    shrink_candidates,
+)
 from .ingest import flow_key, trace_from_csv_log, trace_from_events
 from .io import load_trace_csv, load_trace_npz, save_trace_csv, save_trace_npz
 from .model import Trace, merge_traces, trace_from_timestamps
@@ -35,6 +43,8 @@ from .traces import (
 )
 
 __all__ = [
+    "CASE_KINDS",
+    "CaseSpec",
     "Trace",
     "alpha_threshold",
     "big_caida_like",
@@ -48,6 +58,7 @@ __all__ = [
     "exact_persistence",
     "exponential_trace",
     "flow_key",
+    "load_case",
     "load_trace_csv",
     "load_trace_npz",
     "mawi_like",
@@ -56,7 +67,10 @@ __all__ = [
     "persistence_histogram",
     "persistent_items",
     "polygraph_like",
+    "sample_case",
     "sample_query_set",
+    "save_case",
+    "shrink_candidates",
     "single_item_flood",
     "StreamDriver",
     "save_trace_csv",

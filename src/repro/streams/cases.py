@@ -1,0 +1,284 @@
+"""Fuzz-case substrate: parameterized workload specs, sampling, shrinking.
+
+The verification subsystem (:mod:`repro.verify`) hunts for divergence
+between the sketches and the exact oracle over *generated* workloads.  This
+module owns the workload side of that loop:
+
+* :class:`CaseSpec` — a small, JSON-serializable description of one
+  synthetic workload (generator kind + shape parameters + seed).  Building
+  the same spec always yields the same :class:`~repro.streams.model.Trace`,
+  which is what makes every fuzz failure replayable from a few bytes.
+* :func:`sample_case` — deterministic spec sampling: case ``i`` of master
+  seed ``s`` mutates workload shape (skew, window count, burst patterns,
+  key-space churn, planted persistence bands) over the generators in
+  :mod:`repro.streams.synthetic` and :mod:`repro.streams.adversarial`.
+* :func:`shrink_candidates` — the shrinking lattice: given a failing spec,
+  propose strictly simpler specs (fewer records, fewer windows, fewer
+  items, features switched off) for the driver to re-test, largest
+  reduction first.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Union
+
+import numpy as np
+
+from ..common.errors import StreamError
+from ..common.hashing import derive_seed
+from .adversarial import boundary_spikes, churn_trace
+from .model import Trace
+from .synthetic import (
+    burst_trace,
+    persistence_trace,
+    uniform_trace,
+    zipf_trace,
+)
+
+PathLike = Union[str, Path]
+
+#: Workload families the fuzz driver mutates over.
+CASE_KINDS = ("zipf", "uniform", "bursty", "churn", "bands", "boundary")
+
+#: Sampling weights per kind (skewed Zipf traffic is the paper's main
+#: regime, the adversarial families stress specific mechanisms).
+_KIND_WEIGHTS = (0.35, 0.15, 0.15, 0.15, 0.10, 0.10)
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One reproducible synthetic workload, as data.
+
+    ``params`` holds the generator-specific shape knobs; everything is
+    plain JSON types so a spec round-trips through :meth:`to_dict` /
+    :meth:`from_dict` losslessly.
+    """
+
+    kind: str
+    seed: int
+    n_windows: int
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in CASE_KINDS:
+            raise StreamError(f"unknown case kind: {self.kind}")
+        if self.n_windows < 1:
+            raise StreamError("a case needs at least one window")
+
+    def build(self) -> Trace:
+        """Generate the trace this spec describes (deterministic)."""
+        p = self.params
+        if self.kind == "zipf":
+            return zipf_trace(
+                n_records=int(p.get("n_records", 500)),
+                n_windows=self.n_windows,
+                skew=float(p.get("skew", 1.5)),
+                n_items=int(p["n_items"]) if "n_items" in p else None,
+                seed=self.seed,
+                n_stealthy=int(p.get("n_stealthy", 0)),
+                within_window_repeats=float(p.get("repeats", 1.0)),
+            )
+        if self.kind == "uniform":
+            return uniform_trace(
+                n_records=int(p.get("n_records", 500)),
+                n_windows=self.n_windows,
+                n_items=int(p.get("n_items", 64)),
+                seed=self.seed,
+            )
+        if self.kind == "bursty":
+            return burst_trace(
+                n_records=int(p.get("n_records", 500)),
+                n_windows=self.n_windows,
+                n_items=int(p.get("n_items", 64)),
+                burst_fraction=float(p.get("burst_fraction", 0.3)),
+                seed=self.seed,
+            )
+        if self.kind == "churn":
+            return churn_trace(
+                n_items_per_phase=int(p.get("n_items_per_phase", 8)),
+                n_windows=self.n_windows,
+                phase=int(p.get("phase", 4)),
+                seed=self.seed,
+            )
+        if self.kind == "bands":
+            bands = [tuple(int(x) for x in band)
+                     for band in p.get("bands", [[4, 1, 4]])]
+            return persistence_trace(
+                bands,
+                n_windows=self.n_windows,
+                seed=self.seed,
+                occurrences_per_window=int(p.get("occurrences", 1)),
+            )
+        # "boundary"
+        return boundary_spikes(
+            n_items=int(p.get("n_items", 16)),
+            n_windows=self.n_windows,
+            seed=self.seed,
+        )
+
+    def size(self) -> int:
+        """Approximate record count — the shrinking order metric."""
+        p = self.params
+        if self.kind == "churn":
+            return int(p.get("n_items_per_phase", 8)) * self.n_windows
+        if self.kind == "bands":
+            return sum(int(band[0]) * int(band[2])
+                       for band in p.get("bands", [[4, 1, 4]])) \
+                * int(p.get("occurrences", 1))
+        if self.kind == "boundary":
+            return int(p.get("n_items", 16)) * ((self.n_windows + 1) // 2)
+        return int(p.get("n_records", 500))
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "n_windows": self.n_windows,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CaseSpec":
+        return cls(
+            kind=data["kind"],
+            seed=int(data["seed"]),
+            n_windows=int(data["n_windows"]),
+            params=dict(data.get("params", {})),
+        )
+
+    def describe(self) -> str:
+        knobs = " ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return (f"{self.kind}(seed={self.seed}, windows={self.n_windows}"
+                + (f", {knobs}" if knobs else "") + ")")
+
+
+def save_case(spec: CaseSpec, path: PathLike) -> None:
+    """Write a spec as JSON (the replayable fuzz-case format)."""
+    Path(path).write_text(json.dumps(spec.to_dict(), indent=2) + "\n")
+
+
+def load_case(path: PathLike) -> CaseSpec:
+    """Read a spec written by :func:`save_case`."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StreamError(f"cannot read case spec {path}: {exc}") from exc
+    return CaseSpec.from_dict(data)
+
+
+def sample_case(master_seed: int, index: int) -> CaseSpec:
+    """Deterministically sample fuzz case ``index`` of ``master_seed``.
+
+    Every random draw comes from one generator keyed on
+    ``(master_seed, index)``, so a campaign is fully described by its seed
+    and case count — case 371 of seed 0 is the same workload on every
+    machine and every run.
+    """
+    rng = np.random.default_rng(derive_seed(master_seed, index, 0xF022))
+    kind = CASE_KINDS[rng.choice(len(CASE_KINDS), p=_KIND_WEIGHTS)]
+    n_windows = int(rng.integers(1, 40))
+    n_records = int(round(10 ** rng.uniform(1.0, 3.3)))
+    case_seed = int(rng.integers(0, 2**31 - 1))
+    params: Dict[str, object] = {}
+    if kind == "zipf":
+        params = {
+            "n_records": n_records,
+            "skew": round(float(rng.uniform(0.3, 2.8)), 3),
+            "n_items": int(rng.integers(4, max(9, n_records // 2))),
+            "n_stealthy": int(rng.integers(0, 4)),
+            "repeats": float(rng.choice([1.0, 1.0, 2.0, 4.0])),
+        }
+    elif kind == "uniform":
+        params = {
+            "n_records": n_records,
+            "n_items": int(rng.integers(1, 400)),
+        }
+    elif kind == "bursty":
+        params = {
+            "n_records": n_records,
+            "n_items": int(rng.integers(2, 400)),
+            "burst_fraction": round(float(rng.uniform(0.0, 0.9)), 3),
+        }
+    elif kind == "churn":
+        per_phase = int(rng.integers(1, 60))
+        # bound the implied record count so campaigns stay fast
+        per_phase = max(1, min(per_phase, 3000 // n_windows))
+        params = {
+            "n_items_per_phase": per_phase,
+            "phase": int(rng.integers(1, 9)),
+        }
+    elif kind == "bands":
+        bands: List[List[int]] = []
+        for _ in range(int(rng.integers(1, 4))):
+            count = int(rng.integers(1, 20))
+            p_lo = int(rng.integers(1, n_windows + 1))
+            p_hi = int(rng.integers(p_lo, n_windows + 1))
+            bands.append([count, p_lo, p_hi])
+        params = {
+            "bands": bands,
+            "occurrences": int(rng.integers(1, 4)),
+        }
+    else:  # "boundary"
+        params = {"n_items": int(rng.integers(1, 200))}
+    return CaseSpec(kind=kind, seed=case_seed, n_windows=n_windows,
+                    params=params)
+
+
+def _with(spec: CaseSpec, n_windows: int = None, **param_updates) -> CaseSpec:
+    params = dict(spec.params)
+    params.update(param_updates)
+    return CaseSpec(
+        kind=spec.kind,
+        seed=spec.seed,
+        n_windows=spec.n_windows if n_windows is None else n_windows,
+        params=params,
+    )
+
+
+def shrink_candidates(spec: CaseSpec) -> Iterator[CaseSpec]:
+    """Strictly simpler variants of ``spec``, most aggressive first.
+
+    The fuzz driver re-tests each candidate and restarts from the first
+    one that still fails, so ordering halvings before feature knock-outs
+    converges in ``O(log size)`` rounds.  Every candidate keeps the spec's
+    seed: shrinking changes the workload's *shape*, never its randomness.
+    """
+    p = spec.params
+    # 1. halve the record volume
+    for key in ("n_records", "n_items_per_phase"):
+        if int(p.get(key, 0)) > 1:
+            yield _with(spec, **{key: max(1, int(p[key]) // 2)})
+    if spec.kind == "bands":
+        bands = [list(b) for b in p.get("bands", [])]
+        if len(bands) > 1:
+            yield _with(spec, bands=bands[:1])
+        halved = [[max(1, int(b[0]) // 2), int(b[1]), int(b[2])]
+                  for b in bands]
+        if halved != bands:
+            yield _with(spec, bands=halved)
+    if spec.kind == "boundary" and int(p.get("n_items", 0)) > 1:
+        yield _with(spec, n_items=max(1, int(p["n_items"]) // 2))
+    # 2. halve the window count
+    if spec.n_windows > 1:
+        yield _with(spec, n_windows=max(1, spec.n_windows // 2))
+    # 3. shrink the key universe
+    if spec.kind in ("zipf", "uniform", "bursty") \
+            and int(p.get("n_items", 0)) > 4:
+        yield _with(spec, n_items=max(4, int(p["n_items"]) // 2))
+    # 4. switch optional features off
+    if int(p.get("n_stealthy", 0)) > 0:
+        yield _with(spec, n_stealthy=0)
+    if float(p.get("repeats", 1.0)) > 1.0:
+        yield _with(spec, repeats=1.0)
+    if float(p.get("burst_fraction", 0.0)) > 0.0:
+        yield _with(spec, burst_fraction=0.0)
+    if int(p.get("phase", 1)) > 1:
+        yield _with(spec, phase=1)
+    if int(p.get("occurrences", 1)) > 1:
+        yield _with(spec, occurrences=1)
+    # 5. tame the skew (hot heads exercise fewer structures)
+    if float(p.get("skew", 0.0)) > 0.5:
+        yield _with(spec, skew=round(float(p["skew"]) / 2, 3))

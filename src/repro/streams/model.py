@@ -64,6 +64,15 @@ class Trace:
         """Iterate ``(item, window_id)`` pairs in stream order."""
         return zip(self.items, self.window_ids)
 
+    def _meta_copy(self) -> dict:
+        """Copy of ``meta`` without underscore-prefixed cache entries.
+
+        Derived traces (slices, rewindows, filters) must not inherit the
+        parent's cached ``_window_arrays`` / ``_mean_window_distinct`` —
+        those describe the parent's records, not the derivative's.
+        """
+        return {k: v for k, v in self.meta.items() if not k.startswith("_")}
+
     def windows(self) -> Iterator[Tuple[int, List[int]]]:
         """Iterate ``(window_id, items_in_window)`` including empty windows."""
         start = 0
@@ -114,7 +123,30 @@ class Trace:
             wids,
             last - first,
             name=f"{self.name}[{first}:{last}]",
-            meta=dict(self.meta),
+            meta=self._meta_copy(),
+        )
+
+    def filter_items(self, keep, name: str = "") -> "Trace":
+        """Sub-trace holding only the records of the ``keep`` item keys.
+
+        Window count and numbering are preserved (dropped records simply
+        vanish from their windows), so per-item persistence of the kept
+        items is unchanged — the property fuzz-case shrinking relies on
+        when it minimizes a failing trace key by key.
+        """
+        keep = set(keep)
+        items: List[int] = []
+        wids: List[int] = []
+        for item, wid in self.records():
+            if item in keep:
+                items.append(item)
+                wids.append(wid)
+        return Trace(
+            items,
+            wids,
+            self.n_windows,
+            name=name or f"{self.name}/filtered",
+            meta=self._meta_copy(),
         )
 
     def rewindowed(self, n_windows: int) -> "Trace":
@@ -129,14 +161,15 @@ class Trace:
             raise StreamError("n_windows must be >= 1")
         n = len(self.items)
         if n == 0:
-            return Trace([], [], n_windows, name=self.name, meta=dict(self.meta))
+            return Trace([], [], n_windows, name=self.name,
+                         meta=self._meta_copy())
         wids = [min(n_windows - 1, i * n_windows // n) for i in range(n)]
         return Trace(
             list(self.items),
             wids,
             n_windows,
             name=f"{self.name}/w{n_windows}",
-            meta=dict(self.meta),
+            meta=self._meta_copy(),
         )
 
     def mean_window_distinct(self) -> float:

@@ -1,0 +1,77 @@
+"""Verification subsystem: invariants, oracle differentials, fuzzing.
+
+Three layers, consumed by ``repro verify`` / ``repro fuzz`` /
+``repro replay`` and by the property-test suite:
+
+* :mod:`repro.verify.invariants` — the catalog of structural and
+  metamorphic properties (window / final / trace scope) as named,
+  replayable checks;
+* :mod:`repro.verify.differential` — per-item audits of any registered
+  sketch against the exact oracle, rolled into campaign reports;
+* :mod:`repro.verify.fuzz` — the deterministic, seed-replayable fuzz
+  driver with greedy spec shrinking.
+"""
+
+from .differential import (
+    GUARANTEED_ONE_SIDED,
+    CampaignReport,
+    DifferentialResult,
+    ItemAudit,
+    default_campaign_traces,
+    run_campaign,
+    run_differential,
+)
+from .fuzz import (
+    FuzzFailure,
+    FuzzReport,
+    replay_case,
+    run_case,
+    run_fuzz,
+    shrink_case,
+)
+from .invariants import (
+    CATALOG,
+    Invariant,
+    RunContext,
+    VerifyConfig,
+    Violation,
+    catalog_names,
+    register_invariant,
+    sample_keys,
+)
+from .runner import (
+    DEFAULT_ALGORITHMS,
+    check_trace,
+    list_invariants,
+    require_known,
+    windowed_invariant_run,
+)
+
+__all__ = [
+    "CATALOG",
+    "CampaignReport",
+    "DEFAULT_ALGORITHMS",
+    "DifferentialResult",
+    "FuzzFailure",
+    "FuzzReport",
+    "GUARANTEED_ONE_SIDED",
+    "Invariant",
+    "ItemAudit",
+    "RunContext",
+    "VerifyConfig",
+    "Violation",
+    "catalog_names",
+    "check_trace",
+    "default_campaign_traces",
+    "list_invariants",
+    "register_invariant",
+    "replay_case",
+    "require_known",
+    "run_campaign",
+    "run_case",
+    "run_differential",
+    "run_fuzz",
+    "sample_keys",
+    "shrink_case",
+    "windowed_invariant_run",
+]

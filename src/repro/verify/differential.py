@@ -1,0 +1,302 @@
+"""Oracle-differential testing: sketches vs exact ground truth, per item.
+
+A *differential run* streams one registered algorithm over a workload,
+queries it for **every** distinct item, and audits each estimate against
+the one-pass exact oracle (:func:`repro.streams.oracle.exact_persistence`).
+Beyond the usual aggregate error metrics it records error *direction*
+counts and the worst offenders, and converts guarantee breaches into
+:class:`~repro.verify.invariants.Violation` records:
+
+* every algorithm: final estimates must stay within ``[0, n_windows]``;
+* On-Off v1 (``OO``): may never underestimate, unconditionally;
+* Hypersistent (``HS``): may never underestimate while its Hot Part has
+  zero replacements (eviction is the only mechanism that loses count).
+
+The CM baseline carries **no** one-sided guarantee here: its per-window
+Bloom dedup can produce false positives that suppress counter increments,
+so underestimation is expected behaviour, not a bug.
+
+A *campaign* is a grid of runs (workloads x algorithms x memory budgets)
+rolled into one JSON-serializable report for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core import HypersistentSketch
+from ..experiments.harness import ESTIMATION_ALGORITHMS, run_algorithm
+from ..streams.adversarial import boundary_spikes, churn_trace
+from ..streams.model import Trace
+from ..streams.oracle import exact_persistence
+from ..streams.synthetic import (
+    burst_trace,
+    persistence_trace,
+    uniform_trace,
+    zipf_trace,
+)
+from .invariants import Violation
+
+PathLike = Union[str, Path]
+
+#: Algorithms whose final estimate may never fall below exact persistence,
+#: with no side condition.  (HS is one-sided too, but only until its Hot
+#: Part evicts — handled separately; CM is excluded by design, see module
+#: docstring.)
+GUARANTEED_ONE_SIDED = ("OO",)
+
+
+@dataclass
+class ItemAudit:
+    """One item's estimate vs truth (``error = estimate - truth``)."""
+
+    key: int
+    truth: int
+    estimate: int
+
+    @property
+    def error(self) -> int:
+        return self.estimate - self.truth
+
+    def to_dict(self) -> dict:
+        return {"key": self.key, "truth": self.truth,
+                "estimate": self.estimate, "error": self.error}
+
+
+@dataclass
+class DifferentialResult:
+    """One algorithm x workload oracle comparison."""
+
+    algorithm: str
+    trace_name: str
+    memory_bytes: int
+    seed: int
+    n_windows: int
+    n_records: int
+    n_distinct: int
+    aae: float
+    are: float
+    n_over: int
+    n_under: int
+    n_exact: int
+    max_over: int
+    max_under: int
+    worst: List[ItemAudit] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "trace": self.trace_name,
+            "memory_bytes": self.memory_bytes,
+            "seed": self.seed,
+            "n_windows": self.n_windows,
+            "n_records": self.n_records,
+            "n_distinct": self.n_distinct,
+            "aae": self.aae,
+            "are": self.are,
+            "n_over": self.n_over,
+            "n_under": self.n_under,
+            "n_exact": self.n_exact,
+            "max_over": self.max_over,
+            "max_under": self.max_under,
+            "worst": [audit.to_dict() for audit in self.worst],
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def run_differential(
+    algorithm: str,
+    trace: Trace,
+    memory_bytes: int = 8 * 1024,
+    seed: int = 42,
+    top_k: int = 10,
+) -> DifferentialResult:
+    """Stream ``algorithm`` over ``trace`` and audit every item vs truth."""
+    result = run_algorithm(algorithm, trace, memory_bytes, seed=seed)
+    sketch = result.sketch
+    truth = exact_persistence(trace)
+    audits = [
+        ItemAudit(key=key, truth=p, estimate=sketch.query(key))
+        for key, p in sorted(truth.items())
+    ]
+    n = len(audits)
+    abs_errors = [abs(audit.error) for audit in audits]
+    aae = sum(abs_errors) / n if n else 0.0
+    are = (
+        sum(abs(audit.error) / audit.truth for audit in audits) / n
+        if n else 0.0
+    )
+    overs = [audit.error for audit in audits if audit.error > 0]
+    unders = [-audit.error for audit in audits if audit.error < 0]
+    violations = _guarantee_violations(algorithm, sketch, trace, audits)
+    worst = sorted(audits, key=lambda a: (-abs(a.error), a.key))[:top_k]
+    return DifferentialResult(
+        algorithm=algorithm,
+        trace_name=trace.name,
+        memory_bytes=memory_bytes,
+        seed=seed,
+        n_windows=trace.n_windows,
+        n_records=trace.n_records,
+        n_distinct=n,
+        aae=aae,
+        are=are,
+        n_over=len(overs),
+        n_under=len(unders),
+        n_exact=n - len(overs) - len(unders),
+        max_over=max(overs, default=0),
+        max_under=max(unders, default=0),
+        worst=worst,
+        violations=violations,
+    )
+
+
+def _final_ceiling(algorithm: str, sketch, trace: Trace) -> Optional[int]:
+    """Provable final-estimate upper bound, or None if none is claimed.
+
+    On-Off v1 counters move at most once per window (tight bound).  HS
+    additionally carries the ``delta1 + delta2`` promotion base plus one
+    per Hot Part replacement (see
+    :mod:`repro.verify.invariants`).  WS/CM/PIE make no such claim here.
+    """
+    if isinstance(sketch, HypersistentSketch):
+        return (sketch.cold.delta1 + sketch.cold.delta2 + trace.n_windows
+                + sketch.hot.replacements)
+    if algorithm == "OO":
+        return trace.n_windows
+    return None
+
+
+def _guarantee_violations(
+    algorithm: str,
+    sketch,
+    trace: Trace,
+    audits: List[ItemAudit],
+) -> List[Violation]:
+    violations: List[Violation] = []
+    ceiling = _final_ceiling(algorithm, sketch, trace)
+    for audit in audits:
+        if audit.estimate < 0 or (
+            ceiling is not None and audit.estimate > ceiling
+        ):
+            violations.append(Violation(
+                "estimate-final-bound",
+                f"key {audit.key}: estimate {audit.estimate} outside "
+                f"[0, {ceiling}]",
+                key=audit.key,
+                details={"algorithm": algorithm,
+                         "estimate": audit.estimate,
+                         "ceiling": ceiling,
+                         "n_windows": trace.n_windows},
+            ))
+    one_sided = algorithm in GUARANTEED_ONE_SIDED or (
+        isinstance(sketch, HypersistentSketch)
+        and sketch.hot.replacements == 0
+    )
+    if one_sided:
+        for audit in audits:
+            if audit.error < 0:
+                violations.append(Violation(
+                    "one-sided-error",
+                    f"key {audit.key} underestimated: {audit.estimate} "
+                    f"< exact {audit.truth}",
+                    key=audit.key,
+                    details={"algorithm": algorithm,
+                             "estimate": audit.estimate,
+                             "truth": audit.truth},
+                ))
+    return violations
+
+
+@dataclass
+class CampaignReport:
+    """All differential runs of one campaign, plus roll-up counters."""
+
+    seed: int
+    runs: List[DifferentialResult] = field(default_factory=list)
+
+    @property
+    def n_violations(self) -> int:
+        return sum(len(run.violations) for run in self.runs)
+
+    @property
+    def ok(self) -> bool:
+        return self.n_violations == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "n_runs": len(self.runs),
+            "n_violations": self.n_violations,
+            "ok": self.ok,
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+    def save(self, path: PathLike) -> None:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    def summary(self) -> str:
+        lines = [
+            f"differential campaign: {len(self.runs)} runs, "
+            f"{self.n_violations} violations"
+        ]
+        for run in self.runs:
+            flag = "ok " if run.ok else "FAIL"
+            lines.append(
+                f"  [{flag}] {run.algorithm:8s} {run.trace_name:24s} "
+                f"mem={run.memory_bytes // 1024}KB "
+                f"aae={run.aae:.3f} over/under/exact="
+                f"{run.n_over}/{run.n_under}/{run.n_exact}"
+            )
+        return "\n".join(lines)
+
+
+def default_campaign_traces(seed: int = 42) -> List[Trace]:
+    """The standing workload suite a campaign covers by default.
+
+    One representative per fuzz-case family (:data:`~repro.streams.cases
+    .CASE_KINDS`), sized to keep a full campaign in CI seconds.
+    """
+    return [
+        zipf_trace(n_records=4000, n_windows=24, skew=1.2, seed=seed,
+                   n_stealthy=2, within_window_repeats=2.0),
+        uniform_trace(n_records=3000, n_windows=24, n_items=300,
+                      seed=seed + 1),
+        burst_trace(n_records=3000, n_windows=24, n_items=200,
+                    burst_fraction=0.5, seed=seed + 2),
+        churn_trace(n_items_per_phase=40, n_windows=24, phase=4,
+                    seed=seed + 3),
+        persistence_trace([(12, 20, 24), (30, 8, 16), (60, 1, 6)],
+                          n_windows=24, seed=seed + 4,
+                          occurrences_per_window=2),
+        boundary_spikes(n_items=80, n_windows=24, seed=seed + 5),
+    ]
+
+
+def run_campaign(
+    traces: Optional[Sequence[Trace]] = None,
+    algorithms: Sequence[str] = ESTIMATION_ALGORITHMS,
+    memory_grid: Sequence[int] = (8 * 1024, 32 * 1024),
+    seed: int = 42,
+    top_k: int = 10,
+) -> CampaignReport:
+    """Differential-test an algorithm x workload x memory grid."""
+    traces = list(traces) if traces is not None \
+        else default_campaign_traces(seed)
+    report = CampaignReport(seed=seed)
+    for trace in traces:
+        for algorithm in algorithms:
+            for memory_bytes in memory_grid:
+                report.runs.append(run_differential(
+                    algorithm, trace, memory_bytes, seed=seed, top_k=top_k,
+                ))
+    return report

@@ -1,0 +1,249 @@
+"""Deterministic fuzz driver: generate, check, shrink, persist.
+
+The loop behind ``repro fuzz --seed N --cases K``:
+
+1. **Generate** — case ``i`` is :func:`repro.streams.cases.sample_case`
+   ``(seed, i)``: a small JSON-able spec whose ``build()`` is a pure
+   function of its contents.  No global RNG anywhere, so a campaign is
+   fully identified by ``(seed, cases)`` and any failure replays from its
+   spec alone.
+2. **Check** — the case's trace goes through the full invariant battery
+   (:func:`repro.verify.runner.check_trace`): windowed structural checks,
+   oracle-final checks, and the metamorphic trace properties.
+3. **Shrink** — on failure, walk :func:`repro.streams.cases
+   .shrink_candidates` greedily: accept the first strictly smaller spec
+   that still trips *the same invariant*, restart from it, stop when no
+   candidate fails.  Greedy-restart over a halving lattice converges in
+   ``O(log size)`` rounds.
+4. **Persist** — the original spec, the minimal spec, its trace (CSV) and
+   the violation report land under ``results/fuzz/case-s<seed>-i<index>/``
+   for replay via ``repro replay``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from ..streams.cases import CaseSpec, sample_case, save_case, shrink_candidates
+from ..streams.io import save_trace_csv
+from .invariants import VerifyConfig, Violation
+from .runner import DEFAULT_ALGORITHMS, check_trace
+
+PathLike = Union[str, Path]
+
+#: Shrink-loop budget: each round re-checks at most every candidate once;
+#: the lattice halves sizes, so real cases converge far below this.
+MAX_SHRINK_ROUNDS = 64
+
+
+@dataclass
+class FuzzFailure:
+    """One failing fuzz case, before and after shrinking."""
+
+    index: int
+    spec: CaseSpec
+    violations: List[Violation]
+    shrunk_spec: CaseSpec
+    shrunk_violations: List[Violation]
+    shrink_rounds: int
+    artifact_dir: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "case": self.spec.to_dict(),
+            "violations": [v.to_dict() for v in self.violations],
+            "shrunk_case": self.shrunk_spec.to_dict(),
+            "shrunk_violations": [
+                v.to_dict() for v in self.shrunk_violations
+            ],
+            "shrink_rounds": self.shrink_rounds,
+            "artifact_dir": self.artifact_dir,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz campaign (JSON-able, saved as a CI artifact)."""
+
+    master_seed: int
+    n_cases: int
+    elapsed_s: float = 0.0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    invariants: List[str] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "master_seed": self.master_seed,
+            "n_cases": self.n_cases,
+            "n_failed": self.n_failed,
+            "ok": self.ok,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "stopped_early": self.stopped_early,
+            "invariants": list(self.invariants),
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+    def save(self, path: PathLike) -> None:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz campaign seed={self.master_seed}: "
+            f"{self.n_cases} cases, {self.n_failed} failed, "
+            f"{self.elapsed_s:.1f}s"
+        ]
+        for failure in self.failures:
+            names = sorted({v.invariant for v in failure.shrunk_violations})
+            lines.append(
+                f"  case {failure.index}: {failure.spec.describe()} -> "
+                f"shrunk to {failure.shrunk_spec.describe()} "
+                f"({failure.shrink_rounds} rounds) "
+                f"tripping {', '.join(names)}"
+            )
+            if failure.artifact_dir:
+                lines.append(f"    artifacts: {failure.artifact_dir}")
+        return "\n".join(lines)
+
+
+def run_case(
+    spec: CaseSpec,
+    config: Optional[VerifyConfig] = None,
+    names: Optional[Sequence[str]] = None,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+) -> List[Violation]:
+    """Build one case's trace and run the invariant battery over it."""
+    return check_trace(spec.build(), config, names, algorithms=algorithms)
+
+
+def shrink_case(
+    spec: CaseSpec,
+    original: List[Violation],
+    config: Optional[VerifyConfig] = None,
+    names: Optional[Sequence[str]] = None,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    max_rounds: int = MAX_SHRINK_ROUNDS,
+) -> Tuple[CaseSpec, List[Violation], int]:
+    """Minimize a failing spec while it keeps tripping the same invariant.
+
+    A candidate only counts as "still failing" if its violations share an
+    invariant name with the original failure — shrinking must not wander
+    onto a different bug and minimize that instead.
+    """
+    target = {v.invariant for v in original}
+    current, current_violations = spec, original
+    rounds = 0
+    for _ in range(max_rounds):
+        for candidate in shrink_candidates(current):
+            violations = run_case(candidate, config, names, algorithms)
+            if target & {v.invariant for v in violations}:
+                current, current_violations = candidate, violations
+                break
+        else:
+            break  # no simpler spec still fails: minimal
+        rounds += 1
+    return current, current_violations, rounds
+
+
+def save_failure_artifacts(
+    failure: FuzzFailure, master_seed: int, out_dir: PathLike
+) -> Path:
+    """Write one failure's replay bundle; returns its directory.
+
+    Layout: ``case.json`` (original spec), ``shrunk.json`` (minimal spec,
+    the one ``repro replay`` wants), ``trace.csv`` (the minimal trace,
+    viewable without the generator), ``violations.json`` (both reports).
+    """
+    case_dir = Path(out_dir) / f"case-s{master_seed}-i{failure.index}"
+    case_dir.mkdir(parents=True, exist_ok=True)
+    save_case(failure.spec, case_dir / "case.json")
+    save_case(failure.shrunk_spec, case_dir / "shrunk.json")
+    save_trace_csv(failure.shrunk_spec.build(), case_dir / "trace.csv")
+    (case_dir / "violations.json").write_text(json.dumps({
+        "original": [v.to_dict() for v in failure.violations],
+        "shrunk": [v.to_dict() for v in failure.shrunk_violations],
+        "shrink_rounds": failure.shrink_rounds,
+    }, indent=2) + "\n")
+    return case_dir
+
+
+def run_fuzz(
+    master_seed: int,
+    n_cases: int,
+    config: Optional[VerifyConfig] = None,
+    names: Optional[Sequence[str]] = None,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    out_dir: Optional[PathLike] = "results/fuzz",
+    max_failures: int = 10,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> FuzzReport:
+    """Run a fuzz campaign: ``n_cases`` generated cases under one seed.
+
+    Failures are shrunk and (when ``out_dir`` is set) persisted as replay
+    bundles.  The campaign stops early after ``max_failures`` distinct
+    failing cases — by then the bug is not getting more reproducible.
+    ``progress(done, total)`` fires every case for CLI feedback.
+    """
+    config = config or VerifyConfig()
+    from .invariants import CATALOG  # local: avoid import-order surprises
+    report = FuzzReport(
+        master_seed=master_seed,
+        n_cases=n_cases,
+        invariants=list(CATALOG) if names is None else list(names),
+    )
+    started = time.perf_counter()
+    for index in range(n_cases):
+        spec = sample_case(master_seed, index)
+        violations = run_case(spec, config, names, algorithms)
+        if violations:
+            shrunk, shrunk_violations, rounds = shrink_case(
+                spec, violations, config, names, algorithms
+            )
+            failure = FuzzFailure(
+                index=index,
+                spec=spec,
+                violations=violations,
+                shrunk_spec=shrunk,
+                shrunk_violations=shrunk_violations,
+                shrink_rounds=rounds,
+            )
+            if out_dir is not None:
+                failure.artifact_dir = str(save_failure_artifacts(
+                    failure, master_seed, out_dir
+                ))
+            report.failures.append(failure)
+            if len(report.failures) >= max_failures:
+                report.stopped_early = True
+                break
+        if progress is not None:
+            progress(index + 1, n_cases)
+    report.elapsed_s = time.perf_counter() - started
+    if out_dir is not None:
+        report.save(Path(out_dir) / f"fuzz-s{master_seed}.json")
+    return report
+
+
+def replay_case(
+    path: PathLike,
+    config: Optional[VerifyConfig] = None,
+    names: Optional[Sequence[str]] = None,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+) -> List[Violation]:
+    """Re-run a saved case spec (``case.json`` / ``shrunk.json``)."""
+    from ..streams.cases import load_case
+    return run_case(load_case(path), config, names, algorithms)

@@ -1,0 +1,624 @@
+"""The invariant catalog: structural and metamorphic properties, as data.
+
+Every property the verification subsystem can check is a named
+:class:`Invariant` registered here, in one of three scopes:
+
+* ``window`` — checked after every window boundary of a streaming run
+  (monotone estimates, burst-filter occupancy, clock consistency, ...);
+* ``final`` — checked once per run against the exact oracle (one-sided
+  error directions, report/query consistency, global bounds);
+* ``trace`` — self-contained metamorphic properties that build their own
+  sketches from a trace (scalar ≡ batched ≡ sharded-merge equivalence,
+  snapshot round-trips, sliding-window coverage bounds).
+
+The catalog is consumed three ways: the fuzz driver runs every applicable
+entry per generated case, ``repro verify`` runs them against a saved trace,
+and the hypothesis property tests replay individual entries on shrunken
+inputs.  Keeping the properties *here* — not inline in tests — is what lets
+a failure found by any of the three be replayed by the others.
+
+Error-direction notes (why some checks are conditional): the Hypersistent
+Sketch never underestimates **until** its Hot Part evicts an item (the
+evicted item's estimate falls back to ``delta1 + delta2``), so one-sided
+and monotonicity checks key on the ``replacements`` counter.  On-Off v1 is
+unconditionally one-sided; the CM baseline is not (Bloom false positives
+suppress increments), so no one-sided invariant applies to it.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..baselines import OnOffSketchV1
+from ..core import (
+    HSConfig,
+    HypersistentSketch,
+    ShardedSketch,
+    SlidingHypersistentSketch,
+    load_sketch,
+    make_hypersistent_simd,
+    save_sketch,
+)
+from ..streams.model import Trace
+from ..streams.oracle import exact_persistence
+
+#: Cap on per-boundary tracked keys and equivalence query sweeps.
+DEFAULT_KEY_SAMPLE = 64
+_EQUIVALENCE_KEY_CAP = 2048
+
+
+@dataclass
+class VerifyConfig:
+    """Knobs shared by every invariant check in one campaign."""
+
+    memory_bytes: int = 8 * 1024
+    seed: int = 42
+    key_sample: int = DEFAULT_KEY_SAMPLE
+    n_shards: int = 4
+
+    def to_dict(self) -> dict:
+        return {
+            "memory_bytes": self.memory_bytes,
+            "seed": self.seed,
+            "key_sample": self.key_sample,
+            "n_shards": self.n_shards,
+        }
+
+
+@dataclass
+class Violation:
+    """One observed breach of a named invariant (machine-readable)."""
+
+    invariant: str
+    message: str
+    window: Optional[int] = None
+    key: Optional[int] = None
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        out: Dict[str, object] = {
+            "invariant": self.invariant,
+            "message": self.message,
+        }
+        if self.window is not None:
+            out["window"] = self.window
+        if self.key is not None:
+            out["key"] = self.key
+        if self.details:
+            out["details"] = dict(self.details)
+        return out
+
+    def __str__(self) -> str:
+        where = f" @window {self.window}" if self.window is not None else ""
+        return f"[{self.invariant}]{where} {self.message}"
+
+
+class RunContext:
+    """Mutable bookkeeping handed to window/final-scope checks.
+
+    ``estimates`` holds the tracked keys' estimates at the boundary being
+    checked; ``prev_estimates`` the previous boundary's snapshot — the pair
+    is what monotonicity checks compare.  ``truth`` is populated (from the
+    exact oracle) before final-scope checks only.
+    """
+
+    def __init__(self, sketch, trace: Trace, tracked: List[int]):
+        self.sketch = sketch
+        self.trace = trace
+        self.tracked = tracked
+        self.windows_closed = 0
+        self.estimates: Dict[int, int] = {}
+        self.prev_estimates: Dict[int, int] = {}
+        self.prev_replacements = 0
+        self.truth: Optional[Dict[int, int]] = None
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One registered property: metadata plus its check function."""
+
+    name: str
+    scope: str  # "window" | "final" | "trace"
+    description: str
+    check: Callable
+    applies: Callable = lambda sketch: True
+
+
+#: The catalog, in registration order.
+CATALOG: Dict[str, Invariant] = {}
+
+
+def register_invariant(
+    name: str, scope: str, description: str, applies: Callable = None
+):
+    """Class decorator-style registration of an invariant check."""
+    if scope not in ("window", "final", "trace"):
+        raise ValueError(f"unknown invariant scope: {scope}")
+
+    def wrap(fn: Callable) -> Callable:
+        CATALOG[name] = Invariant(
+            name=name,
+            scope=scope,
+            description=description,
+            check=fn,
+            applies=applies or (lambda sketch: True),
+        )
+        return fn
+
+    return wrap
+
+
+def catalog_names(scope: Optional[str] = None) -> List[str]:
+    """Registered invariant names, optionally filtered to one scope."""
+    return [
+        name for name, inv in CATALOG.items()
+        if scope is None or inv.scope == scope
+    ]
+
+
+def sample_keys(trace: Trace, cap: int) -> List[int]:
+    """A deterministic, evenly spread sample of the trace's distinct keys."""
+    keys = sorted(set(trace.items))
+    if len(keys) <= cap:
+        return keys
+    step = len(keys) / cap
+    return [keys[int(i * step)] for i in range(cap)]
+
+
+def _is_hs(sketch) -> bool:
+    return isinstance(sketch, HypersistentSketch)
+
+
+def _bounded_estimator(sketch) -> bool:
+    # sketches whose estimates provably stay within the elapsed windows
+    return isinstance(sketch, (HypersistentSketch, OnOffSketchV1))
+
+
+# ----------------------------------------------------------------------
+# window scope
+# ----------------------------------------------------------------------
+@register_invariant(
+    "structural-state", "window",
+    "Every stage's verify_state() self-check passes at each boundary",
+    applies=lambda sketch: hasattr(sketch, "verify_state"),
+)
+def _check_structural(ctx: RunContext) -> List[Violation]:
+    return [
+        Violation("structural-state", problem, window=ctx.windows_closed - 1)
+        for problem in ctx.sketch.verify_state()
+    ]
+
+
+@register_invariant(
+    "burst-empty-at-boundary", "window",
+    "The Burst Filter drains completely at every window boundary",
+    applies=lambda sketch: _is_hs(sketch) and sketch.burst is not None,
+)
+def _check_burst_empty(ctx: RunContext) -> List[Violation]:
+    held = len(ctx.sketch.burst)
+    if held:
+        return [Violation(
+            "burst-empty-at-boundary",
+            f"burst filter still holds {held} IDs after end_window",
+            window=ctx.windows_closed - 1,
+            details={"held": held},
+        )]
+    return []
+
+
+@register_invariant(
+    "burst-occupancy-bounds", "window",
+    "Burst Filter bucket fills never exceed gamma cells per bucket",
+    applies=lambda sketch: _is_hs(sketch) and sketch.burst is not None
+    and hasattr(sketch.burst, "bucket_fills"),
+)
+def _check_burst_occupancy(ctx: RunContext) -> List[Violation]:
+    burst = ctx.sketch.burst
+    out = []
+    for b, fill in enumerate(burst.bucket_fills()):
+        if fill > burst.cells_per_bucket:
+            out.append(Violation(
+                "burst-occupancy-bounds",
+                f"bucket {b} fill {fill} > gamma "
+                f"{burst.cells_per_bucket}",
+                window=ctx.windows_closed - 1,
+                details={"bucket": b, "fill": int(fill)},
+            ))
+    return out
+
+
+@register_invariant(
+    "window-clock", "window",
+    "The sketch's window counter tracks the number of closed windows",
+    applies=lambda sketch: hasattr(sketch, "window"),
+)
+def _check_window_clock(ctx: RunContext) -> List[Violation]:
+    if ctx.sketch.window != ctx.windows_closed:
+        return [Violation(
+            "window-clock",
+            f"sketch window clock {ctx.sketch.window} != closed windows "
+            f"{ctx.windows_closed}",
+            window=ctx.windows_closed - 1,
+        )]
+    return []
+
+
+def _estimate_ceiling(sketch, windows: int) -> int:
+    """The sketch's provable estimate upper bound after ``windows`` windows.
+
+    On-Off v1 increments each counter at most once per window, so the
+    tight ``windows`` bound holds.  HS is looser: cold-stage collisions
+    can saturate the thresholds early, promoting an item with base
+    ``delta1 + delta2`` ahead of its true count, and each Hot Part
+    replacement can add one more (``per = min_per + 1``).  By induction
+    the Hot Part's stored ``per`` never exceeds ``windows +
+    replacements``, giving ``delta1 + delta2 + windows + replacements``.
+    """
+    if _is_hs(sketch):
+        return (sketch.cold.delta1 + sketch.cold.delta2 + windows
+                + sketch.hot.replacements)
+    return windows
+
+
+@register_invariant(
+    "estimate-window-bound", "window",
+    "Estimates stay within the sketch's provable ceiling (windows closed "
+    "for On-Off; plus delta1+delta2 and replacement slack for HS) at "
+    "every boundary",
+    applies=_bounded_estimator,
+)
+def _check_estimate_window_bound(ctx: RunContext) -> List[Violation]:
+    ceiling = _estimate_ceiling(ctx.sketch, ctx.windows_closed)
+    out = []
+    for key, estimate in ctx.estimates.items():
+        if not 0 <= estimate <= ceiling:
+            out.append(Violation(
+                "estimate-window-bound",
+                f"estimate {estimate} for key {key} outside "
+                f"[0, {ceiling}] after {ctx.windows_closed} windows",
+                window=ctx.windows_closed - 1,
+                key=key,
+                details={"estimate": estimate, "ceiling": ceiling,
+                         "windows": ctx.windows_closed},
+            ))
+    return out
+
+
+@register_invariant(
+    "monotone-unless-evicted", "window",
+    "Estimates never decrease across a boundary unless the Hot Part "
+    "evicted an item that window",
+    applies=_is_hs,
+)
+def _check_monotone(ctx: RunContext) -> List[Violation]:
+    replacements = ctx.sketch.hot.replacements
+    if replacements != ctx.prev_replacements:
+        return []  # an eviction legitimately lowers the victim's estimate
+    out = []
+    for key, estimate in ctx.estimates.items():
+        before = ctx.prev_estimates.get(key)
+        if before is not None and estimate < before:
+            out.append(Violation(
+                "monotone-unless-evicted",
+                f"estimate for key {key} fell {before} -> {estimate} "
+                f"with no hot eviction",
+                window=ctx.windows_closed - 1,
+                key=key,
+                details={"before": before, "after": estimate},
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# final scope
+# ----------------------------------------------------------------------
+@register_invariant(
+    "one-sided-error", "final",
+    "Estimates never fall below exact persistence (On-Off always; HS "
+    "whenever its Hot Part never evicted)",
+    applies=_bounded_estimator,
+)
+def _check_one_sided(ctx: RunContext) -> List[Violation]:
+    sketch = ctx.sketch
+    if _is_hs(sketch) and sketch.hot.replacements > 0:
+        return []  # eviction voids the guarantee; nothing to check
+    out = []
+    for key, p in ctx.truth.items():
+        estimate = sketch.query(key)
+        if estimate < p:
+            out.append(Violation(
+                "one-sided-error",
+                f"key {key} underestimated: {estimate} < exact {p}",
+                key=key,
+                details={"estimate": estimate, "truth": p},
+            ))
+    return out
+
+
+@register_invariant(
+    "estimate-final-bound", "final",
+    "No final estimate exceeds the sketch's provable ceiling for the "
+    "trace's window count",
+    applies=_bounded_estimator,
+)
+def _check_final_bound(ctx: RunContext) -> List[Violation]:
+    ceiling = _estimate_ceiling(ctx.sketch, ctx.trace.n_windows)
+    out = []
+    for key in ctx.truth:
+        estimate = ctx.sketch.query(key)
+        if not 0 <= estimate <= ceiling:
+            out.append(Violation(
+                "estimate-final-bound",
+                f"final estimate {estimate} for key {key} outside "
+                f"[0, {ceiling}]",
+                key=key,
+                details={"estimate": estimate, "ceiling": ceiling,
+                         "n_windows": ctx.trace.n_windows},
+            ))
+    return out
+
+
+@register_invariant(
+    "report-query-consistency", "final",
+    "report() values match query() for every reported item, and raising "
+    "the threshold only shrinks the report",
+    applies=_is_hs,
+)
+def _check_report_consistency(ctx: RunContext) -> List[Violation]:
+    sketch = ctx.sketch
+    out = []
+    full = sketch.report(1)
+    for key, value in full.items():
+        if value < 1:
+            out.append(Violation(
+                "report-query-consistency",
+                f"report(1) lists key {key} below threshold: {value}",
+                key=key,
+            ))
+        estimate = sketch.query(key)
+        if estimate != value:
+            out.append(Violation(
+                "report-query-consistency",
+                f"key {key}: report says {value}, query says {estimate}",
+                key=key,
+                details={"report": value, "query": estimate},
+            ))
+    t_mid = max(1, ctx.trace.n_windows // 2)
+    mid = sketch.report(t_mid)
+    for key, value in mid.items():
+        if value < t_mid or full.get(key) != value:
+            out.append(Violation(
+                "report-query-consistency",
+                f"report({t_mid}) entry {key}={value} inconsistent with "
+                f"report(1)={full.get(key)}",
+                key=key,
+                details={"threshold": t_mid, "value": value,
+                         "full_value": full.get(key)},
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# trace scope (metamorphic: build sketches, compare paths)
+# ----------------------------------------------------------------------
+def _estimation_config(trace: Trace, config: VerifyConfig) -> HSConfig:
+    return HSConfig.for_estimation(
+        config.memory_bytes, trace.n_windows, seed=config.seed,
+        window_distinct_hint=trace.mean_window_distinct(),
+    )
+
+
+def _scalar_feed(sketch, trace: Trace):
+    for _, items in trace.windows():
+        for item in items:
+            sketch.insert(item)
+        sketch.end_window()
+    return sketch
+
+
+def _batched_feed(sketch, trace: Trace):
+    for window_keys in trace.window_arrays():
+        sketch.insert_window(window_keys)
+    return sketch
+
+
+def _diff_keyed(name, reference, candidate, keys, label_a, label_b):
+    """Violations for query disagreements between two sketches."""
+    out = []
+    for key in keys:
+        a, b = reference.query(key), candidate.query(key)
+        if a != b:
+            out.append(Violation(
+                name,
+                f"key {key}: {label_a} estimate {a} != {label_b} "
+                f"estimate {b}",
+                key=key,
+                details={label_a: a, label_b: b},
+            ))
+    return out
+
+
+@register_invariant(
+    "batch-equivalence", "trace",
+    "Record-at-a-time, insert_window, and SIMD-build ingestion produce "
+    "bit-identical estimates, reports, and counters",
+)
+def _check_batch_equivalence(
+    trace: Trace, config: VerifyConfig
+) -> List[Violation]:
+    hs_config = _estimation_config(trace, config)
+    scalar = _scalar_feed(HypersistentSketch(hs_config), trace)
+    batched = _batched_feed(HypersistentSketch(hs_config), trace)
+    simd = _batched_feed(make_hypersistent_simd(hs_config), trace)
+    out = []
+    # stats first: queries below move the hash-op counters, and they hit
+    # the scalar sketch once per comparison (twice in total)
+    if scalar.stats() != batched.stats():
+        out.append(Violation(
+            "batch-equivalence",
+            "scalar and batched stats() diverge",
+            details={"scalar": scalar.stats(), "batched": batched.stats()},
+        ))
+    keys = sample_keys(trace, _EQUIVALENCE_KEY_CAP)
+    out += _diff_keyed("batch-equivalence", scalar, batched, keys,
+                       "scalar", "batched")
+    out += _diff_keyed("batch-equivalence", scalar, simd, keys,
+                       "scalar", "simd")
+    if scalar.report(1) != batched.report(1):
+        out.append(Violation(
+            "batch-equivalence",
+            "scalar and batched report(1) diverge",
+        ))
+    return out
+
+
+@register_invariant(
+    "sharded-merge-equivalence", "trace",
+    "Sharded ingestion (scalar, batched, parallel) agrees with itself and "
+    "its report is the disjoint union of the shards' reports",
+)
+def _check_sharded_equivalence(
+    trace: Trace, config: VerifyConfig
+) -> List[Violation]:
+    per_shard = max(1024, config.memory_bytes // config.n_shards)
+
+    def build() -> ShardedSketch:
+        return ShardedSketch(
+            lambda i: HypersistentSketch(HSConfig.for_estimation(
+                per_shard, trace.n_windows, seed=config.seed + 100 * i,
+                window_distinct_hint=trace.mean_window_distinct(),
+            )),
+            n_shards=config.n_shards,
+            seed=config.seed,
+        )
+
+    scalar = _scalar_feed(build(), trace)
+    batched = build()
+    parallel = build()
+    for window_keys in trace.window_arrays():
+        batched.insert_window(window_keys)
+        parallel.insert_window(window_keys, parallel=True)
+    keys = sample_keys(trace, _EQUIVALENCE_KEY_CAP)
+    out = _diff_keyed("sharded-merge-equivalence", scalar, batched, keys,
+                      "scalar", "batched")
+    out += _diff_keyed("sharded-merge-equivalence", scalar, parallel, keys,
+                       "scalar", "parallel")
+    merged = scalar.report(1)
+    shard_reports = [shard.report(1) for shard in scalar.shards]
+    if sum(len(r) for r in shard_reports) != len(merged):
+        out.append(Violation(
+            "sharded-merge-equivalence",
+            "shard reports overlap: routing should partition the key space",
+            details={"merged": len(merged),
+                     "shards": [len(r) for r in shard_reports]},
+        ))
+    for shard_report in shard_reports:
+        for key, value in shard_report.items():
+            if merged.get(key) != value:
+                out.append(Violation(
+                    "sharded-merge-equivalence",
+                    f"merged report drops or rewrites key {key}",
+                    key=key,
+                    details={"shard": value, "merged": merged.get(key)},
+                ))
+    return out
+
+
+@register_invariant(
+    "snapshot-roundtrip", "trace",
+    "A mid-stream save/load is invisible: the restored sketch finishes the "
+    "stream with bit-identical estimates and reports",
+)
+def _check_snapshot_roundtrip(
+    trace: Trace, config: VerifyConfig
+) -> List[Violation]:
+    hs_config = _estimation_config(trace, config)
+    original = HypersistentSketch(hs_config)
+    arrays = trace.window_arrays()
+    mid = trace.n_windows // 2
+    for window_keys in arrays[:mid]:
+        original.insert_window(window_keys)
+    fd, path = tempfile.mkstemp(suffix=".sketch")
+    os.close(fd)
+    try:
+        save_sketch(original, path)
+        restored = load_sketch(path, HypersistentSketch)
+    finally:
+        os.unlink(path)
+    keys = sample_keys(trace, _EQUIVALENCE_KEY_CAP)
+    out = _diff_keyed("snapshot-roundtrip", original, restored, keys,
+                      "original", "restored")  # restore is lossless
+    for window_keys in arrays[mid:]:
+        original.insert_window(window_keys)
+        restored.insert_window(window_keys)
+    out += _diff_keyed("snapshot-roundtrip", original, restored, keys,
+                       "original", "restored-resumed")
+    if original.report(1) != restored.report(1):
+        out.append(Violation(
+            "snapshot-roundtrip",
+            "reports diverge after resuming from a snapshot",
+        ))
+    if original.stats() != restored.stats():
+        out.append(Violation(
+            "snapshot-roundtrip",
+            "stats() diverge after resuming from a snapshot",
+        ))
+    return out
+
+
+@register_invariant(
+    "sliding-coverage-bounds", "trace",
+    "Sliding-window estimates never exceed the panels' provable ceiling, "
+    "and (absent evictions) an every-window item is never estimated "
+    "below the advertised coverage",
+)
+def _check_sliding_bounds(
+    trace: Trace, config: VerifyConfig
+) -> List[Violation]:
+    if trace.n_windows < 2:
+        return []
+    horizon = min(8, trace.n_windows) if trace.n_windows >= 2 else 2
+    horizon = max(2, horizon)
+    sw = SlidingHypersistentSketch(
+        config.memory_bytes, horizon=horizon, seed=config.seed
+    )
+    keys = sample_keys(trace, config.key_sample)
+    out = []
+    for wid, items in trace.windows():
+        for item in items:
+            sw.insert(item)
+        sw.end_window()
+        for problem in sw.verify_state():
+            out.append(Violation(
+                "sliding-coverage-bounds", problem, window=wid
+            ))
+        ceiling = sw.query_ceiling()
+        for key in keys:
+            estimate = sw.query(key)
+            if not 0 <= estimate <= ceiling:
+                out.append(Violation(
+                    "sliding-coverage-bounds",
+                    f"key {key}: estimate {estimate} outside the panels' "
+                    f"ceiling [0, {ceiling}]",
+                    window=wid,
+                    key=key,
+                    details={"estimate": estimate, "ceiling": ceiling},
+                ))
+    if sw.window >= horizon and sw.panel_replacements == 0:
+        truth = exact_persistence(trace)
+        for key, p in truth.items():
+            if p == trace.n_windows:  # appears in *every* window
+                estimate = sw.query(key)
+                if estimate < sw.coverage:
+                    out.append(Violation(
+                        "sliding-coverage-bounds",
+                        f"every-window key {key}: estimate {estimate} "
+                        f"below coverage {sw.coverage} with no evictions",
+                        key=key,
+                        details={"estimate": estimate,
+                                 "coverage": sw.coverage},
+                    ))
+    return out

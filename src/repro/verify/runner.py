@@ -1,0 +1,143 @@
+"""Drive invariant checks over a trace: the verification run loop.
+
+Two entry points:
+
+* :func:`windowed_invariant_run` — stream one algorithm over a trace via
+  the experiment harness, evaluating every applicable *window*-scope
+  invariant at each boundary and every *final*-scope invariant against the
+  exact oracle at the end.
+* :func:`check_trace` — the full battery for one trace: windowed runs for
+  each requested algorithm plus all *trace*-scope metamorphic properties
+  (batch/sharded equivalence, snapshot round-trips, sliding bounds).
+
+Both return a flat list of :class:`~repro.verify.invariants.Violation`;
+an empty list means the trace passed.  The fuzz driver, the ``repro
+verify`` CLI command, and the property tests all funnel through here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..common.errors import ConfigError
+from ..experiments.harness import make_estimator, run_stream
+from ..streams.model import Trace
+from ..streams.oracle import exact_persistence
+from .invariants import (
+    CATALOG,
+    RunContext,
+    VerifyConfig,
+    Violation,
+    sample_keys,
+)
+
+#: Algorithms a default verification campaign streams with invariants on.
+#: HS is the system under test; On-Off v1 carries the unconditional
+#: one-sided-error guarantee, so it keeps that catalog entry honest.
+DEFAULT_ALGORITHMS = ("HS", "OO")
+
+
+def _selected(scope: str, names: Optional[Sequence[str]]):
+    chosen = []
+    for name, inv in CATALOG.items():
+        if inv.scope != scope:
+            continue
+        if names is not None and name not in names:
+            continue
+        chosen.append(inv)
+    return chosen
+
+
+def windowed_invariant_run(
+    algorithm: str,
+    trace: Trace,
+    config: Optional[VerifyConfig] = None,
+    names: Optional[Sequence[str]] = None,
+) -> List[Violation]:
+    """Stream ``algorithm`` over ``trace``, auditing state at every window.
+
+    ``names`` restricts the catalog (None = every applicable invariant).
+    The run itself goes through :func:`repro.experiments.harness.run_stream`
+    with the scalar path, so the audited loop is the same one experiments
+    measure.
+    """
+    config = config or VerifyConfig()
+    sketch = make_estimator(
+        algorithm, config.memory_bytes, n_windows=trace.n_windows,
+        seed=config.seed,
+        window_distinct_hint=trace.mean_window_distinct(),
+    )
+    ctx = RunContext(sketch, trace, sample_keys(trace, config.key_sample))
+    window_checks = [
+        inv for inv in _selected("window", names) if inv.applies(sketch)
+    ]
+    final_checks = [
+        inv for inv in _selected("final", names) if inv.applies(sketch)
+    ]
+    violations: List[Violation] = []
+
+    def audit(window_id: int) -> None:
+        ctx.windows_closed = window_id + 1
+        ctx.estimates = {key: sketch.query(key) for key in ctx.tracked}
+        for inv in window_checks:
+            violations.extend(inv.check(ctx))
+        ctx.prev_estimates = ctx.estimates
+        if hasattr(sketch, "hot"):
+            ctx.prev_replacements = sketch.hot.replacements
+
+    run_stream(
+        sketch, trace, batched=False,
+        on_window=audit if window_checks else None,
+    )
+    if final_checks:
+        ctx.windows_closed = trace.n_windows
+        ctx.truth = exact_persistence(trace)
+        for inv in final_checks:
+            violations.extend(inv.check(ctx))
+    return violations
+
+
+def check_trace(
+    trace: Trace,
+    config: Optional[VerifyConfig] = None,
+    names: Optional[Sequence[str]] = None,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+) -> List[Violation]:
+    """Run the full invariant battery against one trace.
+
+    Windowed runs (per algorithm) plus every trace-scope metamorphic
+    property.  Violations from algorithm runs are tagged with the
+    algorithm label in ``details`` so a report stays attributable.
+    """
+    config = config or VerifyConfig()
+    violations: List[Violation] = []
+    for algorithm in algorithms:
+        for violation in windowed_invariant_run(
+            algorithm, trace, config, names
+        ):
+            violation.details.setdefault("algorithm", algorithm)
+            violations.append(violation)
+    for inv in _selected("trace", names):
+        violations.extend(inv.check(trace, config))
+    return violations
+
+
+def list_invariants() -> List[dict]:
+    """Catalog metadata for docs and the CLI (``repro verify --list``)."""
+    return [
+        {"name": inv.name, "scope": inv.scope,
+         "description": inv.description}
+        for inv in CATALOG.values()
+    ]
+
+
+def require_known(names: Optional[Sequence[str]]) -> None:
+    """Raise :class:`ConfigError` for invariant names not in the catalog."""
+    if names is None:
+        return
+    unknown = [name for name in names if name not in CATALOG]
+    if unknown:
+        raise ConfigError(
+            f"unknown invariant(s): {', '.join(unknown)}; "
+            f"known: {', '.join(CATALOG)}"
+        )

@@ -1,0 +1,115 @@
+"""Fuzz-case substrate tests: spec round-trips, sampling, shrinking."""
+
+import pytest
+
+from repro.common.errors import StreamError
+from repro.streams import (
+    CASE_KINDS,
+    CaseSpec,
+    load_case,
+    sample_case,
+    save_case,
+    shrink_candidates,
+)
+from repro.streams.oracle import exact_persistence
+from repro.streams.synthetic import zipf_trace
+
+
+class TestCaseSpec:
+    def test_build_is_deterministic(self):
+        spec = CaseSpec("zipf", seed=9, n_windows=6,
+                        params={"n_records": 120, "skew": 1.4})
+        a, b = spec.build(), spec.build()
+        assert a.items == b.items
+        assert a.window_ids == b.window_ids
+
+    def test_round_trip_through_json(self, tmp_path):
+        spec = sample_case(3, 17)
+        path = tmp_path / "case.json"
+        save_case(spec, path)
+        assert load_case(path) == spec
+
+    def test_every_kind_builds(self):
+        for i, kind in enumerate(CASE_KINDS):
+            spec = CaseSpec(kind, seed=5 + i, n_windows=4)
+            trace = spec.build()
+            assert trace.n_windows == 4
+            assert trace.n_records >= 0
+
+    def test_rejects_unknown_kind_and_zero_windows(self):
+        with pytest.raises(StreamError):
+            CaseSpec("martian", seed=1, n_windows=3)
+        with pytest.raises(StreamError):
+            CaseSpec("zipf", seed=1, n_windows=0)
+
+    def test_load_case_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(StreamError):
+            load_case(path)
+
+
+class TestSampling:
+    def test_same_seed_index_same_spec(self):
+        assert sample_case(0, 371) == sample_case(0, 371)
+
+    def test_different_indices_vary(self):
+        specs = {sample_case(0, i).describe() for i in range(30)}
+        assert len(specs) > 20
+
+    def test_all_kinds_reachable(self):
+        kinds = {sample_case(1, i).kind for i in range(200)}
+        assert kinds == set(CASE_KINDS)
+
+    def test_sampled_specs_build(self):
+        for i in range(10):
+            trace = sample_case(7, i).build()
+            assert trace.n_records <= 10_000
+
+
+class TestShrinking:
+    def test_candidates_never_grow(self):
+        for i in range(25):
+            spec = sample_case(2, i)
+            for candidate in shrink_candidates(spec):
+                assert candidate.size() <= spec.size()
+                assert candidate.n_windows <= spec.n_windows
+                assert candidate.seed == spec.seed
+
+    def test_candidates_all_build(self):
+        for i in range(10):
+            for candidate in shrink_candidates(sample_case(4, i)):
+                candidate.build()
+
+    def test_minimal_spec_yields_nothing_much(self):
+        spec = CaseSpec("uniform", seed=1, n_windows=1,
+                        params={"n_records": 1, "n_items": 4})
+        assert list(shrink_candidates(spec)) == []
+
+
+class TestTraceDerivatives:
+    def test_filter_items_preserves_persistence(self):
+        trace = zipf_trace(n_records=400, n_windows=8, seed=3, n_items=40)
+        truth = exact_persistence(trace)
+        keep = sorted(truth)[:5]
+        filtered = trace.filter_items(keep)
+        assert filtered.n_windows == trace.n_windows
+        filtered_truth = exact_persistence(filtered)
+        assert filtered_truth == {k: truth[k] for k in keep
+                                  if truth[k] > 0}
+
+    def test_derived_traces_do_not_inherit_cached_arrays(self):
+        trace = zipf_trace(n_records=300, n_windows=6, seed=5, n_items=30)
+        parent_arrays = trace.window_arrays()  # populate the cache
+        sliced = trace.slice_windows(0, 3)
+        assert "_window_arrays" not in sliced.meta
+        sliced_arrays = sliced.window_arrays()
+        assert len(sliced_arrays) == 3
+        assert sum(a.size for a in sliced_arrays) == sliced.n_records
+        assert sum(a.size for a in parent_arrays) == trace.n_records
+
+    def test_filtered_trace_windows_arrays_consistent(self):
+        trace = zipf_trace(n_records=200, n_windows=5, seed=6, n_items=20)
+        trace.mean_window_distinct()  # populate the scalar cache
+        filtered = trace.filter_items(sorted(set(trace.items))[:3])
+        assert "_mean_window_distinct" not in filtered.meta

@@ -68,8 +68,13 @@ class TestEmptyAndSingleWindow:
         assert all(sketch.query(item) >= 1 for item in range(50))
 
 
+@pytest.mark.timing
 class TestManyWindowsNoTraffic:
-    """Flag resets across thousands of empty windows must stay O(1)."""
+    """Flag resets across thousands of empty windows must stay O(1).
+
+    Marked ``timing``: the wall-clock assertions are meaningless under
+    the coverage tracer, which deselects this marker.
+    """
 
     def test_hs_many_empty_windows_fast(self):
         import time

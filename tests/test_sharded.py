@@ -117,7 +117,7 @@ class TestShardedBatchFeed:
     def test_batched_feed_matches_scalar(self, parallel):
         trace, scalar, batched = self._feed_both(parallel)
         assert batched.window == scalar.window == trace.n_windows
-        for key in set(trace.items):
+        for key in sorted(set(trace.items)):
             assert scalar.query(key) == batched.query(key)
         assert scalar.report(6) == batched.report(6)
 

@@ -120,5 +120,5 @@ class TestSimdSketchFactory:
                 simd.insert(item)
             scalar.end_window()
             simd.end_window()
-        for key in set(trace.items):
+        for key in sorted(set(trace.items)):
             assert scalar.query(key) == simd.query(key)

@@ -1,0 +1,98 @@
+"""Hypothesis properties driven through the fuzz invariant catalog.
+
+Satellite of the verification subsystem: the snapshot round-trip and
+sliding-window coverage properties are *catalog entries*
+(:data:`repro.verify.CATALOG`), and these tests replay exactly those
+entries over hypothesis-generated workloads.  A failure here is therefore
+replayable through ``repro replay`` with the printed case spec, and a
+failure found by ``repro fuzz`` is reproducible here by pasting its spec
+— one property, three drivers.
+"""
+
+import os
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.bitmem import KB
+from repro.core import SlidingHypersistentSketch, load_sketch, save_sketch
+from repro.core.hypersistent import HypersistentSketch
+from repro.streams import sample_case
+from repro.verify import CATALOG, VerifyConfig
+
+CONFIG = VerifyConfig(memory_bytes=8 * KB, seed=7)
+
+# one shared master seed: hypothesis explores the case index, so every
+# drawn workload is one of the same specs `repro fuzz --seed 99` covers
+case_specs = st.integers(min_value=0, max_value=5_000).map(
+    lambda index: sample_case(99, index)
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=case_specs)
+def test_snapshot_roundtrip_invariant_holds(spec):
+    violations = CATALOG["snapshot-roundtrip"].check(spec.build(), CONFIG)
+    assert violations == [], [str(v) for v in violations]
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=case_specs)
+def test_sliding_coverage_invariant_holds(spec):
+    violations = CATALOG["sliding-coverage-bounds"].check(
+        spec.build(), CONFIG
+    )
+    assert violations == [], [str(v) for v in violations]
+
+
+@settings(max_examples=15, deadline=None)
+@given(spec=case_specs, cut=st.floats(min_value=0.1, max_value=0.9))
+def test_snapshot_roundtrip_at_any_cut_point(spec, cut):
+    """Direct property: save/load is lossless at *any* window boundary,
+    not just the midpoint the catalog entry uses."""
+    trace = spec.build()
+    sketch = HypersistentSketch(memory_bytes=8 * KB)
+    arrays = trace.window_arrays()
+    mid = max(0, min(trace.n_windows - 1, int(trace.n_windows * cut)))
+    for window_keys in arrays[:mid]:
+        sketch.insert_window(window_keys)
+    fd, path = tempfile.mkstemp(suffix=".sketch")
+    os.close(fd)
+    try:
+        save_sketch(sketch, path)
+        clone = load_sketch(path, HypersistentSketch)
+    finally:
+        os.unlink(path)
+    for window_keys in arrays[mid:]:
+        sketch.insert_window(window_keys)
+        clone.insert_window(window_keys)
+    keys = sorted(set(trace.items))[:100]
+    assert [sketch.query(k) for k in keys] \
+        == [clone.query(k) for k in keys]
+    assert sketch.report(1) == clone.report(1)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_windows=st.integers(min_value=2, max_value=30),
+    horizon=st.integers(min_value=2, max_value=12),
+    gap=st.integers(min_value=1, max_value=4),
+)
+def test_sliding_every_kth_window_bounds(n_windows, horizon, gap):
+    """An item seen every ``gap`` windows stays within the panel bounds:
+    never above the query ceiling, and never above the covered range's
+    true appearance count plus the sketch's one-sided error."""
+    sw = SlidingHypersistentSketch(
+        memory_bytes=8 * KB, horizon=horizon, seed=7
+    )
+    for w in range(n_windows):
+        if w % gap == 0:
+            sw.insert("item")
+        sw.end_window()
+        estimate = sw.query("item")
+        assert 0 <= estimate <= sw.query_ceiling()
+        assert sw.coverage <= sw.horizon
+        if gap == 1 and sw.panel_replacements == 0 \
+                and sw.window >= sw.horizon:
+            assert estimate >= sw.coverage
