@@ -17,7 +17,7 @@ import csv
 import tempfile
 from pathlib import Path
 
-from repro import HSConfig, HypersistentSketch, load_sketch, save_sketch
+from repro import HSConfig, HypersistentSketch
 from repro.baselines import ExactTracker
 from repro.streams import zipf_trace
 from repro.streams.runtime import StreamDriver
@@ -62,15 +62,13 @@ def drive(path: Path, checkpoint: Path) -> HypersistentSketch:
     for row in rows[:half]:
         driver.process(row["flow"], float(row["ts"]))
         oracle.process(row["flow"], float(row["ts"]))
-    save_sketch(driver.sketch, checkpoint)
+    driver.checkpoint(checkpoint)
     print(f"checkpointed after {half} events "
           f"({driver.windows_closed} windows closed)")
 
-    restored = load_sketch(checkpoint, expected_class=HypersistentSketch)
-    resumed = StreamDriver(restored, window_duration=WINDOW_SECONDS)
-    # resume event time where we left off
-    resumed._origin = driver._origin
-    resumed._current_window = driver._current_window
+    # process restart: the restored driver carries its event-time clock,
+    # so it picks up exactly where the dead one stopped
+    resumed = StreamDriver.restore(checkpoint)
     for row in rows[half:]:
         resumed.process(row["flow"], float(row["ts"]))
         oracle.process(row["flow"], float(row["ts"]))
@@ -78,10 +76,10 @@ def drive(path: Path, checkpoint: Path) -> HypersistentSketch:
     oracle.flush()
 
     beacon_true = oracle.sketch.query("flow-beacon")
-    beacon_est = restored.query("flow-beacon")
+    beacon_est = resumed.query("flow-beacon")
     print(f"beacon persistence: exact {beacon_true}, "
           f"estimated {beacon_est}")
-    return restored
+    return resumed.sketch
 
 
 def main() -> None:

@@ -16,6 +16,10 @@ Commands:
 * ``fuzz`` — deterministic fuzz campaign: generated workloads, the full
   invariant battery, failing cases shrunk and saved for replay.
 * ``replay`` — re-run one saved fuzz case spec and report violations.
+* ``checkpoint`` — stream a trace with a checkpoint-every-K-windows
+  policy (optionally stopping early to simulate a crash).
+* ``resume`` — restore a checkpoint, replay the remaining windows, and
+  optionally prove the result bit-equal to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -305,6 +309,100 @@ def _cmd_replay(args) -> int:
     return 1 if violations else 0
 
 
+def _cmd_checkpoint(args) -> int:
+    from .experiments.harness import make_estimator
+    from .persist import CheckpointPolicy
+
+    trace = _load_trace(args.trace)
+    stop_after = args.stop_after or trace.n_windows
+    if not 1 <= stop_after <= trace.n_windows:
+        print(f"--stop-after must be in [1, {trace.n_windows}]",
+              file=sys.stderr)
+        return 2
+    hint = trace.mean_window_distinct()
+    sketch = make_estimator(
+        args.algorithm, int(args.memory_kb * 1024),
+        n_windows=trace.n_windows, seed=args.seed,
+        window_distinct_hint=hint,
+    )
+    policy = CheckpointPolicy(args.out, every=args.every, meta={
+        "algorithm": args.algorithm,
+        "memory_bytes": int(args.memory_kb * 1024),
+        "seed": args.seed,
+        "window_distinct_hint": hint,
+    })
+    window_arrays = trace.window_arrays()
+    batched = hasattr(sketch, "insert_window")
+    for wid in range(stop_after):
+        if batched:
+            sketch.insert_window(window_arrays[wid])
+        else:
+            for key in window_arrays[wid].tolist():
+                sketch.insert(key)
+            sketch.end_window()
+        policy.window_closed(sketch, wid + 1, trace=trace)
+    if stop_after % args.every:
+        # the run stopped between interval marks: checkpoint the final
+        # boundary directly so resume loses no completed window
+        from .persist import save_run_checkpoint
+
+        save_run_checkpoint(sketch, args.out, stop_after, trace=trace,
+                            meta=policy.meta)
+        policy.writes += 1
+    print(f"streamed {stop_after}/{trace.n_windows} windows of "
+          f"{trace.name}; {policy.writes} checkpoint(s) to {args.out}")
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    from .common.errors import SnapshotError
+    from .experiments.harness import make_estimator, run_stream
+    from .persist import read_run_checkpoint
+    from .persist import resume as resume_run
+
+    trace = _load_trace(args.trace)
+    try:
+        payload = read_run_checkpoint(args.checkpoint)
+        sketch = resume_run(args.checkpoint, trace, strict=not args.force)
+    except SnapshotError as exc:
+        print(f"cannot resume: {exc}", file=sys.stderr)
+        return 2
+    windows_done = int(payload["windows_done"])
+    print(f"resumed {type(sketch).__name__} at window {windows_done}, "
+          f"replayed {trace.n_windows - windows_done} remaining window(s)")
+    truth = exact_persistence(trace)
+    estimates = estimate_all(sketch.query, truth)
+    print(f"  AAE {aae(truth, estimates):.4f}   "
+          f"ARE {are(truth, estimates):.4f}")
+    if args.check_full:
+        meta = payload.get("meta") or {}
+        try:
+            reference = make_estimator(
+                meta["algorithm"], int(meta["memory_bytes"]),
+                n_windows=trace.n_windows, seed=int(meta["seed"]),
+                window_distinct_hint=meta.get("window_distinct_hint"),
+            )
+        except KeyError as exc:
+            print(f"checkpoint meta lacks {exc}; cannot rebuild the "
+                  f"reference run", file=sys.stderr)
+            return 2
+        run_stream(reference, trace)
+        mismatches = [
+            key for key in truth
+            if reference.query(key) != sketch.query(key)
+        ]
+        if hasattr(sketch, "report") and hasattr(reference, "report"):
+            if sketch.report(1) != reference.report(1):
+                mismatches.append("report(1)")
+        if mismatches:
+            print(f"  NOT bit-equal to the uninterrupted run: "
+                  f"{len(mismatches)} mismatch(es), first: {mismatches[0]}")
+            return 1
+        print("  bit-equal to an uninterrupted run "
+              f"({len(truth)} keys + report)")
+    return 0
+
+
 def _cmd_compare(args) -> int:
     trace = _load_trace(args.trace)
     truth = exact_persistence(trace)
@@ -461,6 +559,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--memory-kb", type=float, default=8)
     p.add_argument("--seed", type=int, default=42)
     p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser(
+        "checkpoint",
+        help="stream a trace with checkpoint-every-K-windows persistence",
+    )
+    p.add_argument("trace", help="trace file (.csv or .npz)")
+    p.add_argument("--algorithm", choices=_ESTIMATE_CHOICES, default="HS")
+    p.add_argument("--memory-kb", type=float, default=64)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--every", type=int, default=10,
+                   help="checkpoint every K closed windows")
+    p.add_argument("--out", default="results/checkpoint.bin",
+                   help="checkpoint file path (atomically overwritten)")
+    p.add_argument("--stop-after", type=int, default=0, metavar="W",
+                   help="stop after W windows (simulate a crash; "
+                        "0 = stream the whole trace)")
+    p.set_defaults(func=_cmd_checkpoint)
+
+    p = sub.add_parser(
+        "resume",
+        help="restore a checkpoint and replay the remaining windows",
+    )
+    p.add_argument("checkpoint", help="checkpoint file written by "
+                   "'repro checkpoint' (or run_stream's policy)")
+    p.add_argument("trace", help="the same trace the checkpoint was "
+                   "taken against (.csv or .npz)")
+    p.add_argument("--force", action="store_true",
+                   help="skip the trace-identity check")
+    p.add_argument("--check-full", action="store_true",
+                   help="also rebuild the sketch from the checkpoint's "
+                        "meta, run it uninterrupted, and verify the "
+                        "resumed estimates are bit-equal")
+    p.set_defaults(func=_cmd_resume)
 
     p = sub.add_parser("find", help="report persistent items")
     p.add_argument("trace", help="trace file (.csv or .npz)")

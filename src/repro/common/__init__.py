@@ -9,7 +9,13 @@ from .bitmem import (
     counter_bits_for,
     split_budget,
 )
-from .errors import BudgetError, ConfigError, ReproError, StreamError
+from .errors import (
+    BudgetError,
+    ConfigError,
+    ReproError,
+    SnapshotError,
+    StreamError,
+)
 from .hashing import (
     HASH_VERSION,
     MASK64,
@@ -39,6 +45,7 @@ __all__ = [
     "PersistentItemFinder",
     "ReproError",
     "SaturatingCounterArray",
+    "SnapshotError",
     "StreamError",
     "canonical_key",
     "canonical_keys",

@@ -135,6 +135,17 @@ class SaturatingCounterArray:
         """Modeled memory footprint in bits."""
         return len(self._values) * self.bits
 
+    def state_dict(self) -> dict:
+        """Exact state as plain values (see :mod:`repro.persist`)."""
+        return {"bits": self.bits, "values": self._values.copy()}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SaturatingCounterArray":
+        """Rebuild an array bit-identical to the one that was saved."""
+        obj = cls(size=len(state["values"]), bits=int(state["bits"]))
+        obj._values[:] = np.asarray(state["values"], dtype=np.int64)
+        return obj
+
 
 class FlagArray:
     """A dense array of 1-bit on/off flags with O(1) bulk reset.
@@ -180,3 +191,15 @@ class FlagArray:
     def modeled_bits(self) -> int:
         """Modeled memory footprint in bits."""
         return len(self._off_epoch)
+
+    def state_dict(self) -> dict:
+        """Exact state as plain values (see :mod:`repro.persist`)."""
+        return {"epoch": self._epoch, "off_epoch": self._off_epoch.copy()}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FlagArray":
+        """Rebuild a flag array bit-identical to the one that was saved."""
+        obj = cls(size=len(state["off_epoch"]))
+        obj._epoch = int(state["epoch"])
+        obj._off_epoch[:] = np.asarray(state["off_epoch"], dtype=np.int64)
+        return obj

@@ -17,3 +17,14 @@ class BudgetError(ConfigError):
 
 class StreamError(ReproError, ValueError):
     """A trace or stream violates the data-stream model (e.g. bad window ids)."""
+
+
+class SnapshotError(ReproError):
+    """A snapshot/checkpoint file is missing, corrupt, or incompatible.
+
+    Every failure mode of the persistence layer funnels into this type:
+    truncated or bit-flipped files, foreign formats, version mismatches,
+    and state trees the codec cannot represent.  Callers can therefore
+    ``except SnapshotError`` around any save/load and be certain a bad
+    file can never surface as a silently wrong estimate.
+    """

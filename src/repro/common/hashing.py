@@ -202,6 +202,25 @@ class HashFamily:
             out[i] = (mix_array(keys, seed) % width_u).astype(np.int64)
         return out
 
+    def state_dict(self) -> dict:
+        """Exact state as plain values (see :mod:`repro.persist`).
+
+        The *derived* seeds are stored (not the constructor seed), so a
+        restored family hashes identically even if the derivation formula
+        ever changes between versions.
+        """
+        return {"count": self.count, "seeds": list(self.seeds)}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "HashFamily":
+        """Rebuild a family with the exact saved per-function seeds."""
+        obj = cls.__new__(cls)
+        obj.count = int(state["count"])
+        obj.seeds = [int(s) for s in state["seeds"]]
+        if len(obj.seeds) != obj.count or obj.count < 1:
+            raise ValueError("hash family state is inconsistent")
+        return obj
+
 
 def derive_seed(base: int, *salts: int) -> int:
     """Derive a child seed from a base seed and integer salts.

@@ -244,3 +244,49 @@ class BurstFilter:
         self.compare_ops = 0
         self.absorbed = 0
         self.overflowed = 0
+
+    def state_dict(self) -> dict:
+        """Exact state as plain values (see :mod:`repro.persist`).
+
+        Bucket contents are flattened to one concatenated key array plus
+        per-bucket fills, preserving slot order — the order :meth:`drain`
+        yields, which downstream determinism depends on.
+        """
+        return {
+            "n_buckets": self.n_buckets,
+            "cells_per_bucket": self.cells_per_bucket,
+            "hash": self._hash.state_dict(),
+            "keys": np.array(
+                [key for bucket in self._buckets for key in bucket],
+                dtype=np.uint64,
+            ),
+            "fills": np.array(
+                [len(bucket) for bucket in self._buckets], dtype=np.int64
+            ),
+            "hash_ops": self.hash_ops,
+            "compare_ops": self.compare_ops,
+            "absorbed": self.absorbed,
+            "overflowed": self.overflowed,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "BurstFilter":
+        """Rebuild a filter bit-identical to the one that was saved."""
+        obj = cls.__new__(cls)
+        obj.n_buckets = int(state["n_buckets"])
+        obj.cells_per_bucket = int(state["cells_per_bucket"])
+        obj._hash = HashFamily.from_state(state["hash"])
+        keys = np.asarray(state["keys"], dtype=np.uint64).tolist()
+        fills = np.asarray(state["fills"], dtype=np.int64).tolist()
+        obj._buckets = []
+        cursor = 0
+        for fill in fills:
+            obj._buckets.append(keys[cursor:cursor + fill])
+            cursor += fill
+        if len(obj._buckets) != obj.n_buckets or cursor != len(keys):
+            raise ValueError("burst filter state is inconsistent")
+        obj.hash_ops = int(state["hash_ops"])
+        obj.compare_ops = int(state["compare_ops"])
+        obj.absorbed = int(state["absorbed"])
+        obj.overflowed = int(state["overflowed"])
+        return obj

@@ -208,6 +208,33 @@ class _ColdLayer:
         )
         return full / total
 
+    def state_dict(self) -> dict:
+        """Exact state as plain values (see :mod:`repro.persist`)."""
+        return {
+            "rows": self.rows,
+            "width": self.width,
+            "threshold": self.threshold,
+            "hash": self._hash.state_dict(),
+            "counters": [c.state_dict() for c in self._counters],
+            "flags": [f.state_dict() for f in self._flags],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "_ColdLayer":
+        """Rebuild a layer bit-identical to the one that was saved."""
+        obj = cls.__new__(cls)
+        obj.rows = int(state["rows"])
+        obj.width = int(state["width"])
+        obj.threshold = int(state["threshold"])
+        obj._hash = HashFamily.from_state(state["hash"])
+        obj._counters = [
+            SaturatingCounterArray.from_state(s) for s in state["counters"]
+        ]
+        obj._flags = [FlagArray.from_state(s) for s in state["flags"]]
+        if len(obj._counters) != obj.rows or len(obj._flags) != obj.rows:
+            raise ValueError("cold layer state is inconsistent")
+        return obj
+
 
 class ColdFilter:
     """The two-layer Cold Filter with staged insert/query.
@@ -350,3 +377,26 @@ class ColdFilter:
             self.l2_hits / total,
             self.overflows / total,
         )
+
+    def state_dict(self) -> dict:
+        """Exact state as plain values (see :mod:`repro.persist`)."""
+        return {
+            "l1": self.l1.state_dict(),
+            "l2": self.l2.state_dict(),
+            "hash_ops": self.hash_ops,
+            "l1_hits": self.l1_hits,
+            "l2_hits": self.l2_hits,
+            "overflows": self.overflows,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ColdFilter":
+        """Rebuild a filter bit-identical to the one that was saved."""
+        obj = cls.__new__(cls)
+        obj.l1 = _ColdLayer.from_state(state["l1"])
+        obj.l2 = _ColdLayer.from_state(state["l2"])
+        obj.hash_ops = int(state["hash_ops"])
+        obj.l1_hits = int(state["l1_hits"])
+        obj.l2_hits = int(state["l2_hits"])
+        obj.overflows = int(state["overflows"])
+        return obj

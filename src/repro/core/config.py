@@ -153,6 +153,30 @@ class HSConfig:
         """A copy of this config under a different master seed."""
         return replace(self, seed=seed)
 
+    def state_dict(self) -> dict:
+        """All fields as plain values (see :mod:`repro.persist`)."""
+        return {
+            "memory_bytes": self.memory_bytes,
+            "hot_fraction": self.hot_fraction,
+            "cold_l1_weight": self.cold_l1_weight,
+            "cold_l2_weight": self.cold_l2_weight,
+            "burst_bytes": self.burst_bytes,
+            "delta1": self.delta1,
+            "delta2": self.delta2,
+            "d1": self.d1,
+            "d2": self.d2,
+            "burst_cells_per_bucket": self.burst_cells_per_bucket,
+            "hot_entries_per_bucket": self.hot_entries_per_bucket,
+            "replacement": self.replacement,
+            "seed": self.seed,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "HSConfig":
+        """Rebuild a config from :meth:`state_dict` (validates as usual)."""
+        return cls(**state)
+
     # ------------------------------------------------------------------
     # derived sizing
     # ------------------------------------------------------------------

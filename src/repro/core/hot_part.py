@@ -229,3 +229,91 @@ class HotPart:
         self.hash_ops = 0
         self.replacements = 0
         self.replacement_attempts = 0
+
+    def state_dict(self) -> dict:
+        """Exact state as plain values (see :mod:`repro.persist`).
+
+        Entries flatten to four parallel arrays (occupied mask, key,
+        persistence, flag epoch) in bucket-major, slot-minor order.  The
+        Mersenne-Twister state of the ``random`` replacement policy is
+        captured in full so a restored sketch draws the *same* future
+        random sequence as the original — the requirement behind the
+        kill-and-resume bit-equality guarantee.
+        """
+        flat = [entry for bucket in self._buckets for entry in bucket]
+        rng_version, rng_state, rng_gauss = self._rng.getstate()
+        return {
+            "n_buckets": self.n_buckets,
+            "entries_per_bucket": self.entries_per_bucket,
+            "replacement": self.replacement,
+            "seed": self._seed,
+            "hash": self._hash.state_dict(),
+            "occupied": np.array(
+                [entry.key is not None for entry in flat], dtype=bool
+            ),
+            "keys": np.array(
+                [entry.key or 0 for entry in flat], dtype=np.uint64
+            ),
+            "per": np.array([entry.per for entry in flat], dtype=np.int64),
+            "off_epoch": np.array(
+                [entry.off_epoch for entry in flat], dtype=np.int64
+            ),
+            "epoch": self._epoch,
+            "window_salt": self._window_salt,
+            "rng": {
+                "version": rng_version,
+                "state": list(rng_state),
+                "gauss": rng_gauss,
+            },
+            "hash_ops": self.hash_ops,
+            "replacements": self.replacements,
+            "replacement_attempts": self.replacement_attempts,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "HotPart":
+        """Rebuild a Hot Part bit-identical to the one that was saved."""
+        obj = cls.__new__(cls)
+        obj.n_buckets = int(state["n_buckets"])
+        obj.entries_per_bucket = int(state["entries_per_bucket"])
+        obj.replacement = str(state["replacement"])
+        if obj.replacement not in (REPLACE_HASH, REPLACE_RANDOM):
+            raise ValueError(
+                f"unknown replacement policy: {obj.replacement}"
+            )
+        obj._seed = int(state["seed"])
+        obj._hash = HashFamily.from_state(state["hash"])
+        occupied = np.asarray(state["occupied"], dtype=bool).tolist()
+        keys = np.asarray(state["keys"], dtype=np.uint64).tolist()
+        per = np.asarray(state["per"], dtype=np.int64).tolist()
+        off_epoch = np.asarray(state["off_epoch"], dtype=np.int64).tolist()
+        expected = obj.n_buckets * obj.entries_per_bucket
+        if not (len(occupied) == len(keys) == len(per) == len(off_epoch)
+                == expected):
+            raise ValueError("hot part state is inconsistent")
+        obj._buckets = []
+        cursor = 0
+        for _ in range(obj.n_buckets):
+            bucket = []
+            for _ in range(obj.entries_per_bucket):
+                entry = _Entry()
+                if occupied[cursor]:
+                    entry.key = keys[cursor]
+                entry.per = per[cursor]
+                entry.off_epoch = off_epoch[cursor]
+                bucket.append(entry)
+                cursor += 1
+            obj._buckets.append(bucket)
+        obj._epoch = int(state["epoch"])
+        obj._window_salt = int(state["window_salt"])
+        rng = state["rng"]
+        obj._rng = random.Random()
+        obj._rng.setstate((
+            int(rng["version"]),
+            tuple(int(v) for v in rng["state"]),
+            rng["gauss"],
+        ))
+        obj.hash_ops = int(state["hash_ops"])
+        obj.replacements = int(state["replacements"])
+        obj.replacement_attempts = int(state["replacement_attempts"])
+        return obj

@@ -302,3 +302,51 @@ class HypersistentSketch:
         self.hot.clear()
         self.window = 0
         self.reset_stats()
+
+    # ------------------------------------------------------------------
+    # persistence (see repro.persist)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Exact state as plain values (see :mod:`repro.persist`).
+
+        The stage-1 entry is tagged with the burst variant (``scalar`` for
+        :class:`BurstFilter`, ``simd`` for the vectorized drop-in) so a
+        restore rebuilds the same ingestion path.
+        """
+        if self.burst is None:
+            burst_kind, burst_state = "none", None
+        elif isinstance(self.burst, BurstFilter):
+            burst_kind, burst_state = "scalar", self.burst.state_dict()
+        else:
+            burst_kind, burst_state = "simd", self.burst.state_dict()
+        return {
+            "config": self.config.state_dict(),
+            "burst_kind": burst_kind,
+            "burst": burst_state,
+            "cold": self.cold.state_dict(),
+            "hot": self.hot.state_dict(),
+            "window": self.window,
+            "inserts": self.inserts,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "HypersistentSketch":
+        """Rebuild a sketch bit-identical to the one that was saved."""
+        obj = cls.__new__(cls)
+        obj.config = HSConfig.from_state(state["config"])
+        kind = state["burst_kind"]
+        if kind == "none":
+            obj.burst = None
+        elif kind == "scalar":
+            obj.burst = BurstFilter.from_state(state["burst"])
+        elif kind == "simd":
+            from .simd import VectorizedBurstFilter  # local: avoid cycle
+
+            obj.burst = VectorizedBurstFilter.from_state(state["burst"])
+        else:
+            raise ValueError(f"unknown burst filter kind: {kind!r}")
+        obj.cold = ColdFilter.from_state(state["cold"])
+        obj.hot = HotPart.from_state(state["hot"])
+        obj.window = int(state["window"])
+        obj.inserts = int(state["inserts"])
+        return obj

@@ -192,6 +192,36 @@ class ShardedSketch:
         (labelled ``shard=<i>``).  Returns the bound instruments."""
         return bind_sharded(registry, self)
 
+    def state_dict(self) -> Dict:
+        """Exact state as plain values (see :mod:`repro.persist`).
+
+        Each shard is stored as a class-tagged state tree, so restore can
+        rebuild heterogeneous ensembles without the original
+        ``shard_factory``; every shard must implement ``state_dict``.
+        """
+        from ..persist.state import tagged_state  # local: avoid cycle
+
+        return {
+            "n_shards": self.n_shards,
+            "router": self._router.state_dict(),
+            "window": self.window,
+            "shards": [tagged_state(shard) for shard in self.shards],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "ShardedSketch":
+        """Rebuild an ensemble bit-identical to the one that was saved."""
+        from ..persist.state import restore_tagged  # local: avoid cycle
+
+        obj = cls.__new__(cls)
+        obj.n_shards = int(state["n_shards"])
+        obj._router = HashFamily.from_state(state["router"])
+        obj.window = int(state["window"])
+        obj.shards = [restore_tagged(tagged) for tagged in state["shards"]]
+        if len(obj.shards) != obj.n_shards or obj.n_shards < 1:
+            raise ValueError("sharded sketch state is inconsistent")
+        return obj
+
     def __repr__(self) -> str:
         return (f"ShardedSketch(n_shards={self.n_shards}, "
                 f"window={self.window})")

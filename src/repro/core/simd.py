@@ -262,6 +262,40 @@ class VectorizedBurstFilter:
         self.absorbed = 0
         self.overflowed = 0
 
+    def state_dict(self) -> dict:
+        """Exact state as plain values (see :mod:`repro.persist`)."""
+        return {
+            "n_buckets": self.n_buckets,
+            "cells_per_bucket": self.cells_per_bucket,
+            "hash": self._hash.state_dict(),
+            "keys": self._keys.copy(),
+            "fill": self._fill.copy(),
+            "hash_ops": self.hash_ops,
+            "compare_ops": self.compare_ops,
+            "absorbed": self.absorbed,
+            "overflowed": self.overflowed,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "VectorizedBurstFilter":
+        """Rebuild a filter bit-identical to the one that was saved."""
+        obj = cls.__new__(cls)
+        obj.n_buckets = int(state["n_buckets"])
+        obj.cells_per_bucket = int(state["cells_per_bucket"])
+        obj._hash = HashFamily.from_state(state["hash"])
+        obj._keys = np.asarray(state["keys"], dtype=np.uint64).reshape(
+            obj.n_buckets, obj.cells_per_bucket
+        ).copy()
+        obj._fill = np.asarray(state["fill"], dtype=np.int32).copy()
+        if obj._fill.shape != (obj.n_buckets,):
+            raise ValueError("vectorized burst filter state is inconsistent")
+        obj._vector_compares_per_scan = simd_scan_cost(obj.cells_per_bucket)
+        obj.hash_ops = int(state["hash_ops"])
+        obj.compare_ops = int(state["compare_ops"])
+        obj.absorbed = int(state["absorbed"])
+        obj.overflowed = int(state["overflowed"])
+        return obj
+
 
 class BatchWindowProcessor:
     """Whole-window vectorized ingestion for a Hypersistent Sketch.

@@ -49,7 +49,11 @@ class SlidingHypersistentSketch:
         if memory_bytes < 2:
             raise ConfigError("memory_bytes must be >= 2")
         self.horizon = horizon
-        self.half = max(1, horizon // 2)
+        # Ceiling split: with floor(horizon / 2) an odd horizon's maximum
+        # coverage would top out at 2*half - 1 = horizon - 2, below the
+        # documented sandwich.  Ceiling panels cover [ceil(W/2), 2*half - 1]
+        # windows, whose upper end equals W for odd W (and W - 1 for even).
+        self.half = max(1, (horizon + 1) // 2)
         panel_config = HSConfig.for_estimation(
             memory_bytes // 2, n_windows=horizon, seed=seed
         )
@@ -77,7 +81,7 @@ class SlidingHypersistentSketch:
         """Estimated appearances within the covered recent range.
 
         The covered range spans the last ``half + windows_in_young``
-        windows (between ``horizon/2`` and ``horizon``); see
+        windows (between ``ceil(horizon/2)`` and ``horizon``); see
         :attr:`coverage` for its current exact length.
         """
         return self._young.query(item) + self._old.query(item)
@@ -90,15 +94,22 @@ class SlidingHypersistentSketch:
     def report(self, threshold: int) -> Dict[int, int]:
         """Items whose recent-range persistence estimate >= ``threshold``.
 
-        Sums the panels' reportable (Hot Part) populations; items hot in
-        only one panel are reported with that panel's contribution.
+        Candidates are the union of both panels' Hot Part populations
+        (the only items either panel can name), and each candidate is
+        scored through the same staged path :meth:`query` uses — so
+        ``report(t)`` and ``query(e) >= t`` always agree on the same item,
+        mirroring the flat sketch's report/query consistency invariant.
+        An item hot in one panel and still cold in the other therefore
+        picks up the cold panel's partial estimate too, instead of only
+        its Hot Part contributions.
         """
-        young = self._young.report(1)
-        old = self._old.report(1)
-        combined: Dict[int, int] = dict(old)
-        for key, per in young.items():
-            combined[key] = combined.get(key, 0) + per
-        return {k: v for k, v in combined.items() if v >= threshold}
+        candidates = set(self._young.hot.items()) | set(self._old.hot.items())
+        out: Dict[int, int] = {}
+        for key in candidates:
+            estimate = self.query(key)
+            if estimate >= threshold:
+                out[key] = estimate
+        return out
 
     @property
     def memory_bytes(self) -> int:
@@ -137,8 +148,10 @@ class SlidingHypersistentSketch:
 
         Delegates to the panels' ``verify_state`` and checks the rotation
         bookkeeping: the in-progress half-range never reaches ``half``
-        (rotation fires exactly at the boundary) and the advertised
-        coverage stays within ``[0, horizon]``.
+        (rotation fires exactly at the boundary), the panel split is the
+        ceiling of ``horizon / 2`` (the sizing that lets coverage reach an
+        odd horizon), and the advertised coverage stays within
+        ``[0, horizon]``.
         """
         problems = [f"young: {p}" for p in self._young.verify_state()]
         problems += [f"old: {p}" for p in self._old.verify_state()]
@@ -147,8 +160,35 @@ class SlidingHypersistentSketch:
                 f"windows_in_young {self._windows_in_young} outside "
                 f"[0, {self.half})"
             )
+        if self.half != max(1, (self.horizon + 1) // 2):
+            problems.append(
+                f"panel split {self.half} != ceil({self.horizon} / 2)"
+            )
         if not 0 <= self.coverage <= self.horizon:
             problems.append(
                 f"coverage {self.coverage} outside [0, {self.horizon}]"
             )
         return problems
+
+    def state_dict(self) -> Dict:
+        """Exact state as plain values (see :mod:`repro.persist`)."""
+        return {
+            "horizon": self.horizon,
+            "half": self.half,
+            "young": self._young.state_dict(),
+            "old": self._old.state_dict(),
+            "windows_in_young": self._windows_in_young,
+            "window": self.window,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "SlidingHypersistentSketch":
+        """Rebuild a sliding sketch bit-identical to the saved one."""
+        obj = cls.__new__(cls)
+        obj.horizon = int(state["horizon"])
+        obj.half = int(state["half"])
+        obj._young = HypersistentSketch.from_state(state["young"])
+        obj._old = HypersistentSketch.from_state(state["old"])
+        obj._windows_in_young = int(state["windows_in_young"])
+        obj.window = int(state["window"])
+        return obj

@@ -1,12 +1,21 @@
 """Sketch checkpointing: save/restore a sketch mid-stream.
 
 Long-running monitors need to survive restarts without losing accumulated
-persistence state.  Sketches here are plain Python object graphs (slots,
-lists, numpy arrays, seeded RNGs), so a pickle snapshot restores them
-bit-for-bit: estimates after restore equal estimates without the restart.
+persistence state.  This module is the stable entry point; the heavy
+lifting lives in :mod:`repro.persist`:
 
-The format carries a header with the library version and the sketch class
-so mismatched restores fail loudly instead of silently mis-estimating.
+* sketches that implement ``state_dict()`` / ``from_state()`` (all the
+  sketch types this package ships) are saved through the pickle-free,
+  CRC32-checked binary codec and written atomically — a crash mid-save
+  leaves the previous snapshot intact, and any corruption of the file
+  raises :class:`SnapshotError` instead of loading a wrong sketch;
+* arbitrary objects (baseline sketches without a state contract) can
+  still round-trip through pickle, but only behind an explicit
+  ``allow_pickle=True`` opt-in on *both* ends, because unpickling
+  executes code from the file.  The legacy path writes atomically too.
+
+Estimates after a restore equal estimates without the restart, bit for
+bit — including the Hot Part's replacement RNG stream.
 """
 
 from __future__ import annotations
@@ -15,33 +24,78 @@ import pickle
 from pathlib import Path
 from typing import Union
 
-from ..common.errors import ReproError
+from ..common.errors import SnapshotError
+from ..persist.codec import MAGIC as _CODEC_MAGIC
+from ..persist.codec import atomic_write_bytes
+from ..persist.state import load_state as _load_state
+from ..persist.state import save_state as _save_state
+
+__all__ = ["SnapshotError", "save_sketch", "load_sketch"]
 
 PathLike = Union[str, Path]
 
-_MAGIC = "repro-sketch-snapshot"
-_FORMAT_VERSION = 1
+_PICKLE_MAGIC = "repro-sketch-snapshot"
+_PICKLE_FORMAT_VERSION = 1
+
+#: Exception types unpickling corrupt or foreign payloads is known to
+#: raise *besides* UnpicklingError: attribute/import errors from stale or
+#: hostile class paths, IndexError/ValueError/TypeError from truncated
+#: opcode streams, UnicodeDecodeError from mangled string opcodes,
+#: MemoryError from absurd length claims.
+_PICKLE_FAILURES = (
+    OSError,
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,  # ModuleNotFoundError is its subclass
+    IndexError,
+    KeyError,
+    TypeError,
+    ValueError,
+    UnicodeDecodeError,
+    MemoryError,
+)
 
 
-class SnapshotError(ReproError):
-    """A snapshot file is missing, corrupt, or from a different format."""
+def save_sketch(sketch, path: PathLike, allow_pickle: bool = False) -> None:
+    """Write a restorable snapshot of a sketch, atomically.
 
-
-def save_sketch(sketch, path: PathLike) -> None:
-    """Write a restorable snapshot of any sketch object."""
+    Sketches with a ``state_dict()`` go through the versioned binary
+    codec (:mod:`repro.persist`).  Anything else needs
+    ``allow_pickle=True`` and is pickled — a legacy escape hatch for
+    baseline sketches; such files can only be loaded back with the same
+    opt-in.  Either way the bytes land in a temporary file first and
+    replace the target in one ``os.replace``, so a crash can never leave
+    a truncated snapshot where a good one was.
+    """
+    if hasattr(sketch, "state_dict"):
+        _save_state(sketch, path)
+        return
+    if not allow_pickle:
+        raise SnapshotError(
+            f"{type(sketch).__name__} has no state_dict(); pass "
+            f"allow_pickle=True to save it through the legacy pickle path"
+        )
     payload = {
-        "magic": _MAGIC,
-        "format": _FORMAT_VERSION,
+        "magic": _PICKLE_MAGIC,
+        "format": _PICKLE_FORMAT_VERSION,
         "class": type(sketch).__qualname__,
         "sketch": sketch,
     }
-    path = Path(path)
-    with path.open("wb") as fh:
-        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    atomic_write_bytes(
+        path, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    )
 
 
-def load_sketch(path: PathLike, expected_class: type = None):
+def load_sketch(path: PathLike, expected_class: type = None,
+                allow_pickle: bool = False):
     """Restore a sketch saved with :func:`save_sketch`.
+
+    Codec-format snapshots load without executing anything; legacy pickle
+    snapshots require ``allow_pickle=True`` (unpickling runs code from
+    the file — only enable it for files you wrote yourself).  Every
+    failure mode — missing file, truncation, bit flip, foreign bytes,
+    version drift — raises :class:`SnapshotError`.
 
     ``expected_class`` (optional) guards against restoring the wrong kind
     of sketch into a pipeline.
@@ -49,15 +103,26 @@ def load_sketch(path: PathLike, expected_class: type = None):
     path = Path(path)
     try:
         with path.open("rb") as fh:
-            payload = pickle.load(fh)
-    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+            head = fh.read(len(_CODEC_MAGIC))
+    except OSError as exc:
         raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
-    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+    if head == _CODEC_MAGIC:
+        return _load_state(path, expected_class=expected_class)
+    if not allow_pickle:
+        raise SnapshotError(
+            f"{path} is not a codec-format snapshot; if it is a legacy "
+            f"pickle snapshot, pass allow_pickle=True to load it"
+        )
+    try:
+        payload = pickle.loads(path.read_bytes())
+    except _PICKLE_FAILURES as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("magic") != _PICKLE_MAGIC:
         raise SnapshotError(f"{path} is not a repro sketch snapshot")
-    if payload.get("format") != _FORMAT_VERSION:
+    if payload.get("format") != _PICKLE_FORMAT_VERSION:
         raise SnapshotError(
             f"{path}: snapshot format {payload.get('format')} "
-            f"!= supported {_FORMAT_VERSION}"
+            f"!= supported {_PICKLE_FORMAT_VERSION}"
         )
     sketch = payload["sketch"]
     if expected_class is not None and not isinstance(sketch, expected_class):

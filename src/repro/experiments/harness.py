@@ -127,6 +127,7 @@ def _hash_ops(sketch) -> int:
 def run_stream(
     sketch, trace: Trace, batched: Optional[bool] = None, profiler=None,
     on_window: Optional[Callable[[int], None]] = None,
+    checkpoint=None,
 ) -> RunResult:
     """Feed a trace through a sketch with window boundaries, timed.
 
@@ -149,6 +150,12 @@ def run_stream(
     sketch has sealed that window — the hook point the verification
     invariants use to audit state mid-stream.  Its runtime is inside the
     measured span, so leave it ``None`` for throughput experiments.
+
+    ``checkpoint`` (a :class:`~repro.persist.CheckpointPolicy`) persists
+    the sketch atomically every K closed windows; a crashed run restarts
+    from the last checkpoint via :func:`repro.persist.resume` and ends
+    bit-identical to an uninterrupted one.  Checkpoint writes happen
+    inside the measured span — keep it ``None`` for throughput runs.
     """
     has_window_api = hasattr(sketch, "insert_window")
     use_batched = has_window_api if batched is None else batched
@@ -158,11 +165,13 @@ def run_stream(
         )
     if profiler is not None and not profiler.attached:
         profiler.attach(sketch)
+    slow_path = (profiler is not None or on_window is not None
+                 or checkpoint is not None)
     ops_before = _hash_ops(sketch)
     if use_batched:
         window_arrays = trace.window_arrays()
         started = time.perf_counter()
-        if profiler is not None or on_window is not None:
+        if slow_path:
             for wid, window_keys in enumerate(window_arrays):
                 window_started = time.perf_counter()
                 sketch.insert_window(window_keys)
@@ -172,6 +181,8 @@ def run_stream(
                     )
                 if on_window is not None:
                     on_window(wid)
+                if checkpoint is not None:
+                    checkpoint.window_closed(sketch, wid + 1, trace=trace)
         else:
             insert_window = sketch.insert_window
             for window_keys in window_arrays:
@@ -179,7 +190,7 @@ def run_stream(
         elapsed = time.perf_counter() - started
     else:
         started = time.perf_counter()
-        if profiler is not None or on_window is not None:
+        if slow_path:
             for wid, window_items in trace.windows():
                 window_started = time.perf_counter()
                 for item in window_items:
@@ -191,6 +202,8 @@ def run_stream(
                     )
                 if on_window is not None:
                     on_window(wid)
+                if checkpoint is not None:
+                    checkpoint.window_closed(sketch, wid + 1, trace=trace)
         else:
             insert = sketch.insert
             for _, window_items in trace.windows():
@@ -246,6 +259,7 @@ def run_algorithm(
     batched: Optional[bool] = None,
     profiler=None,
     on_window: Optional[Callable[[int], None]] = None,
+    checkpoint=None,
 ) -> RunResult:
     """Factory + streaming in one call (what the sweeps use).
 
@@ -266,7 +280,7 @@ def run_algorithm(
     if batched is None:
         batched = name in BATCHED_ALGORITHMS
     return run_stream(sketch, trace, batched=batched, profiler=profiler,
-                      on_window=on_window)
+                      on_window=on_window, checkpoint=checkpoint)
 
 
 def repeat_median(

@@ -1,0 +1,63 @@
+"""Pickle-free, versioned checkpoint and recovery for sketches.
+
+Three layers:
+
+* :mod:`~repro.persist.codec` — a CRC32-checked, magic+version-framed
+  binary format for plain state trees, written atomically;
+* :mod:`~repro.persist.state` — class-tagged trees over an explicit
+  allowlist of sketch types (``state_dict()`` / ``from_state()``);
+* :mod:`~repro.persist.checkpoint` — checkpoint-every-K-windows policy
+  and resume-from-window recovery with bit-identical replay.
+
+Every failure mode — truncation, torn write, bit flip, foreign file,
+version drift — raises :class:`~repro.common.errors.SnapshotError`; a
+corrupt checkpoint can never load into a silently wrong sketch.
+"""
+
+from ..common.errors import SnapshotError
+from .checkpoint import (
+    CheckpointPolicy,
+    load_run_checkpoint,
+    read_run_checkpoint,
+    replay_tail,
+    resume,
+    save_run_checkpoint,
+)
+from .codec import (
+    FORMAT_VERSION,
+    MAGIC,
+    atomic_write_bytes,
+    decode_state,
+    encode_state,
+    read_frame,
+    write_frame,
+)
+from .state import (
+    load_state,
+    register_class,
+    restore_tagged,
+    save_state,
+    tagged_state,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "CheckpointPolicy",
+    "SnapshotError",
+    "atomic_write_bytes",
+    "decode_state",
+    "encode_state",
+    "load_run_checkpoint",
+    "load_state",
+    "read_frame",
+    "read_run_checkpoint",
+    "register_class",
+    "replay_tail",
+    "restore_tagged",
+    "resume",
+    "save_run_checkpoint",
+    "save_state",
+    "tagged_state",
+    "write_frame",
+]

@@ -1,0 +1,352 @@
+"""Pickle-free binary codec for sketch state trees.
+
+Checkpoints must survive two things pickle does not defend against:
+
+* **corruption** — a torn write, a truncated disk, a flipped bit must be
+  *detected*, never decoded into a sketch that silently mis-estimates;
+* **hostile or foreign bytes** — loading a checkpoint must never execute
+  code or import modules, so the on-disk format only describes *data*.
+
+The format is a type-tagged tree of plain values (None, bool, int, float,
+str, bytes, list, dict, numpy ndarray) framed as::
+
+    magic (8 bytes) | version u32 | payload length u64 | CRC32 u32 | payload
+
+Everything is little-endian.  The CRC covers the payload; the header
+fields are each validated before any payload byte is interpreted, and the
+decoder bounds-checks every length field against the remaining buffer, so
+any corruption surfaces as :class:`~repro.common.errors.SnapshotError`.
+
+Writes are atomic: the frame is written to a temporary file in the target
+directory, flushed and fsynced, then moved over the destination with
+``os.replace``.  A crash at any instant leaves either the old complete
+file or the new complete file — never a torn hybrid.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import tempfile
+import zlib
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..common.errors import SnapshotError
+
+PathLike = Union[str, Path]
+
+#: File magic: identifies a repro persist frame (any version).
+MAGIC = b"RPRCKPT1"
+
+#: Current frame version.  Bump on any incompatible payload change; the
+#: reader rejects unknown versions loudly instead of guessing.
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<8sIQI")  # magic, version, payload len, crc32
+
+# value tags -------------------------------------------------------------
+_T_NONE = b"N"
+_T_TRUE = b"T"
+_T_FALSE = b"F"
+_T_INT = b"I"
+_T_FLOAT = b"f"
+_T_STR = b"s"
+_T_BYTES = b"y"
+_T_LIST = b"l"
+_T_DICT = b"d"
+_T_NDARRAY = b"a"
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_F64 = struct.Struct("<d")
+
+#: Decoder safety rail: no single length field may claim more bytes than
+#: this many GiB (prevents pathological allocations on corrupt frames
+#: before the buffer bound check even runs).
+_MAX_LEN = 1 << 34
+
+
+def encode_state(tree) -> bytes:
+    """Serialize a state tree to the framed, CRC-protected byte string."""
+    chunks: list = []
+    _encode_value(tree, chunks)
+    payload = b"".join(chunks)
+    header = _HEADER.pack(
+        MAGIC, FORMAT_VERSION, len(payload), zlib.crc32(payload) & 0xFFFFFFFF
+    )
+    return header + payload
+
+
+def decode_state(data: bytes):
+    """Parse a framed byte string back into a state tree.
+
+    Raises :class:`SnapshotError` on any structural problem: wrong magic,
+    unknown version, length mismatch, CRC mismatch, unknown tag, or a
+    payload that ends mid-value.
+    """
+    if len(data) < _HEADER.size:
+        raise SnapshotError(
+            f"checkpoint truncated: {len(data)} bytes < "
+            f"{_HEADER.size}-byte header"
+        )
+    magic, version, length, crc = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise SnapshotError("not a repro checkpoint (bad magic)")
+    if version != FORMAT_VERSION:
+        raise SnapshotError(
+            f"checkpoint format v{version} != supported v{FORMAT_VERSION}"
+        )
+    payload = data[_HEADER.size:]
+    if len(payload) != length:
+        raise SnapshotError(
+            f"checkpoint torn: header claims {length} payload bytes, "
+            f"file holds {len(payload)}"
+        )
+    if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+        raise SnapshotError("checkpoint corrupt: CRC32 mismatch")
+    value, offset = _decode_value(payload, 0)
+    if offset != len(payload):
+        raise SnapshotError(
+            f"checkpoint corrupt: {len(payload) - offset} trailing bytes"
+        )
+    return value
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def _encode_value(value, out: list) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif isinstance(value, int):
+        raw = value.to_bytes(
+            (value.bit_length() + 8) // 8 or 1, "little", signed=True
+        )
+        out.append(_T_INT)
+        out.append(_U32.pack(len(raw)))
+        out.append(raw)
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out.append(_F64.pack(value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        out.append(_U32.pack(len(raw)))
+        out.append(raw)
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(_T_BYTES)
+        out.append(_U64.pack(len(value)))
+        out.append(bytes(value))
+    elif isinstance(value, np.ndarray):
+        dtype = value.dtype.str.encode("ascii")  # endianness-qualified
+        contiguous = np.ascontiguousarray(value)
+        raw = contiguous.tobytes()
+        out.append(_T_NDARRAY)
+        out.append(_U32.pack(len(dtype)))
+        out.append(dtype)
+        out.append(_U32.pack(value.ndim))
+        for dim in value.shape:
+            out.append(_U64.pack(dim))
+        out.append(_U64.pack(len(raw)))
+        out.append(raw)
+    elif isinstance(value, (list, tuple)):
+        out.append(_T_LIST)
+        out.append(_U32.pack(len(value)))
+        for item in value:
+            _encode_value(item, out)
+    elif isinstance(value, dict):
+        out.append(_T_DICT)
+        out.append(_U32.pack(len(value)))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SnapshotError(
+                    f"state dict keys must be str, got {type(key).__name__}"
+                )
+            raw = key.encode("utf-8")
+            out.append(_U32.pack(len(raw)))
+            out.append(raw)
+            _encode_value(item, out)
+    elif isinstance(value, (np.integer,)):
+        _encode_value(int(value), out)
+    elif isinstance(value, (np.floating,)):
+        _encode_value(float(value), out)
+    elif isinstance(value, (np.bool_,)):
+        _encode_value(bool(value), out)
+    else:
+        raise SnapshotError(
+            f"state trees cannot hold {type(value).__name__} values"
+        )
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+def _take(data: bytes, offset: int, count: int) -> int:
+    """Bounds-check a claimed length; returns the end offset."""
+    if count < 0 or count > _MAX_LEN:
+        raise SnapshotError(f"checkpoint corrupt: absurd length {count}")
+    end = offset + count
+    if end > len(data):
+        raise SnapshotError(
+            f"checkpoint corrupt: value at offset {offset} claims "
+            f"{count} bytes, only {len(data) - offset} remain"
+        )
+    return end
+
+
+def _read_u32(data: bytes, offset: int):
+    end = _take(data, offset, _U32.size)
+    return _U32.unpack_from(data, offset)[0], end
+
+
+def _read_u64(data: bytes, offset: int):
+    end = _take(data, offset, _U64.size)
+    return _U64.unpack_from(data, offset)[0], end
+
+
+def _decode_value(data: bytes, offset: int):
+    end = _take(data, offset, 1)
+    tag = data[offset:end]
+    offset = end
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_TRUE:
+        return True, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag == _T_INT:
+        length, offset = _read_u32(data, offset)
+        end = _take(data, offset, length)
+        return int.from_bytes(data[offset:end], "little", signed=True), end
+    if tag == _T_FLOAT:
+        end = _take(data, offset, _F64.size)
+        return _F64.unpack_from(data, offset)[0], end
+    if tag == _T_STR:
+        length, offset = _read_u32(data, offset)
+        end = _take(data, offset, length)
+        try:
+            return data[offset:end].decode("utf-8"), end
+        except UnicodeDecodeError as exc:
+            raise SnapshotError(
+                f"checkpoint corrupt: invalid UTF-8 string ({exc})"
+            ) from exc
+    if tag == _T_BYTES:
+        length, offset = _read_u64(data, offset)
+        end = _take(data, offset, length)
+        return data[offset:end], end
+    if tag == _T_NDARRAY:
+        return _decode_ndarray(data, offset)
+    if tag == _T_LIST:
+        count, offset = _read_u32(data, offset)
+        _take(data, offset, count)  # each item is >= 1 byte
+        items = []
+        for _ in range(count):
+            item, offset = _decode_value(data, offset)
+            items.append(item)
+        return items, offset
+    if tag == _T_DICT:
+        count, offset = _read_u32(data, offset)
+        _take(data, offset, count)
+        tree = {}
+        for _ in range(count):
+            length, offset = _read_u32(data, offset)
+            end = _take(data, offset, length)
+            try:
+                key = data[offset:end].decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise SnapshotError(
+                    f"checkpoint corrupt: invalid dict key ({exc})"
+                ) from exc
+            offset = end
+            tree[key], offset = _decode_value(data, offset)
+        return tree, offset
+    raise SnapshotError(f"checkpoint corrupt: unknown value tag {tag!r}")
+
+
+def _decode_ndarray(data: bytes, offset: int):
+    length, offset = _read_u32(data, offset)
+    end = _take(data, offset, length)
+    try:
+        dtype = np.dtype(data[offset:end].decode("ascii"))
+    except (UnicodeDecodeError, TypeError, ValueError) as exc:
+        raise SnapshotError(
+            f"checkpoint corrupt: bad ndarray dtype ({exc})"
+        ) from exc
+    if dtype.hasobject:
+        raise SnapshotError("checkpoint corrupt: object dtypes are illegal")
+    offset = end
+    ndim, offset = _read_u32(data, offset)
+    if ndim > 32:
+        raise SnapshotError(f"checkpoint corrupt: ndarray ndim {ndim}")
+    shape = []
+    for _ in range(ndim):
+        dim, offset = _read_u64(data, offset)
+        shape.append(dim)
+    nbytes, offset = _read_u64(data, offset)
+    end = _take(data, offset, nbytes)
+    count = 1
+    for dim in shape:
+        count *= dim
+    if dtype.itemsize == 0 or count * dtype.itemsize != nbytes:
+        raise SnapshotError(
+            f"checkpoint corrupt: ndarray shape {tuple(shape)} x "
+            f"{dtype} disagrees with {nbytes} buffer bytes"
+        )
+    array = np.frombuffer(
+        data[offset:end], dtype=dtype
+    ).reshape(shape).copy()  # copy: state must be writable
+    return array, end
+
+
+# ----------------------------------------------------------------------
+# atomic file I/O
+# ----------------------------------------------------------------------
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` so a crash can never leave a torn file.
+
+    The bytes land in a temporary sibling first (same directory, so the
+    final ``os.replace`` is a same-filesystem atomic rename), are flushed
+    and fsynced, and only then replace the destination.  On any failure
+    the temporary file is removed and the old destination is untouched.
+    """
+    path = Path(path)
+    directory = path.parent if str(path.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def write_frame(path: PathLike, tree) -> None:
+    """Encode a state tree and atomically write it to ``path``."""
+    atomic_write_bytes(path, encode_state(tree))
+
+
+def read_frame(path: PathLike):
+    """Read and decode a framed state tree from ``path``.
+
+    All I/O and parse failures surface as :class:`SnapshotError`.
+    """
+    try:
+        data = Path(path).read_bytes()
+    except OSError as exc:
+        raise SnapshotError(f"cannot read checkpoint {path}: {exc}") from exc
+    return decode_state(data)

@@ -1,0 +1,119 @@
+"""Class-tagged state trees: save/restore any registered sketch.
+
+The codec (:mod:`repro.persist.codec`) moves *data*; this module moves
+*objects*.  A sketch that implements ``state_dict()`` / ``from_state()``
+is wrapped as ``{"class": <registered name>, "state": <tree>}`` and the
+name — not an arbitrary import path, as pickle would use — selects the
+restoring class from an explicit allowlist.  Loading a checkpoint can
+therefore only ever construct the handful of sketch types this package
+ships, no matter what the file claims.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Type, Union
+
+from ..common.errors import SnapshotError
+from .codec import read_frame, write_frame
+
+PathLike = Union[str, Path]
+
+#: Allowlist of restorable classes, populated lazily (importing the core
+#: modules at module load would cycle back into ``repro.core``).
+_REGISTRY: Dict[str, Type] = {}
+
+
+def _registry() -> Dict[str, Type]:
+    if not _REGISTRY:
+        from ..core.burst_filter import BurstFilter
+        from ..core.cold_filter import ColdFilter
+        from ..core.hot_part import HotPart
+        from ..core.hypersistent import HypersistentSketch
+        from ..core.sharded import ShardedSketch
+        from ..core.simd import VectorizedBurstFilter
+        from ..core.sliding import SlidingHypersistentSketch
+
+        for klass in (
+            BurstFilter,
+            VectorizedBurstFilter,
+            ColdFilter,
+            HotPart,
+            HypersistentSketch,
+            ShardedSketch,
+            SlidingHypersistentSketch,
+        ):
+            _REGISTRY[klass.__name__] = klass
+    return _REGISTRY
+
+
+def register_class(klass: Type) -> Type:
+    """Add a class to the restore allowlist (usable as a decorator).
+
+    The class must implement ``state_dict()`` and ``from_state()``;
+    third-party shard types plugged into :class:`~repro.core.sharded
+    .ShardedSketch` register here to become checkpointable.
+    """
+    if not hasattr(klass, "state_dict") or not hasattr(klass, "from_state"):
+        raise TypeError(
+            f"{klass.__name__} must implement state_dict() and from_state()"
+        )
+    _registry()[klass.__name__] = klass
+    return klass
+
+
+def tagged_state(obj) -> dict:
+    """Wrap an object's state tree with its registered class name."""
+    name = type(obj).__name__
+    if name not in _registry():
+        raise SnapshotError(
+            f"{name} is not registered for persistence "
+            f"(see repro.persist.register_class)"
+        )
+    return {"class": name, "state": obj.state_dict()}
+
+
+def restore_tagged(tagged):
+    """Rebuild an object from a class-tagged state tree.
+
+    Structural problems — a non-dict, an unknown class name, a state the
+    class rejects — all raise :class:`SnapshotError`.
+    """
+    if not isinstance(tagged, dict) or "class" not in tagged \
+            or "state" not in tagged:
+        raise SnapshotError("checkpoint payload is not a tagged state tree")
+    name = tagged["class"]
+    klass = _registry().get(name)
+    if klass is None:
+        raise SnapshotError(
+            f"checkpoint names unknown class {name!r}; only registered "
+            f"sketch types can be restored"
+        )
+    try:
+        return klass.from_state(tagged["state"])
+    except SnapshotError:
+        raise
+    except Exception as exc:
+        raise SnapshotError(
+            f"checkpoint state for {name} is invalid: {exc}"
+        ) from exc
+
+
+def save_state(obj, path: PathLike) -> None:
+    """Atomically write ``obj``'s tagged state tree to ``path``."""
+    write_frame(path, tagged_state(obj))
+
+
+def load_state(path: PathLike, expected_class: Optional[type] = None):
+    """Load and rebuild an object saved with :func:`save_state`.
+
+    When ``expected_class`` is given, a checkpoint holding any other type
+    is rejected (guards callers that hand the file to type-specific code).
+    """
+    obj = restore_tagged(read_frame(path))
+    if expected_class is not None and not isinstance(obj, expected_class):
+        raise SnapshotError(
+            f"checkpoint holds {type(obj).__name__}, "
+            f"expected {expected_class.__name__}"
+        )
+    return obj

@@ -570,6 +570,131 @@ def _check_snapshot_roundtrip(
 
 
 @register_invariant(
+    "snapshot-roundtrip-wrappers", "trace",
+    "Sharded and sliding wrappers survive a mid-stream codec round-trip: "
+    "the restored wrapper finishes the stream bit-identical to the original",
+)
+def _check_wrapper_roundtrip(
+    trace: Trace, config: VerifyConfig
+) -> List[Violation]:
+    from ..persist import decode_state, encode_state, restore_tagged, \
+        tagged_state
+
+    if trace.n_windows < 2:
+        return []
+    per_shard = max(1024, config.memory_bytes // config.n_shards)
+    sharded = ShardedSketch(
+        lambda i: HypersistentSketch(HSConfig.for_estimation(
+            per_shard, trace.n_windows, seed=config.seed + 100 * i,
+            window_distinct_hint=trace.mean_window_distinct(),
+        )),
+        n_shards=config.n_shards,
+        seed=config.seed,
+    )
+    horizon = max(2, min(8, trace.n_windows))
+    sliding = SlidingHypersistentSketch(
+        config.memory_bytes, horizon=horizon, seed=config.seed
+    )
+    arrays = trace.window_arrays()
+    window_items = dict(trace.windows())
+    mid = trace.n_windows // 2
+    for wid in range(mid):
+        sharded.insert_window(arrays[wid])
+        for item in window_items[wid]:
+            sliding.insert(item)
+        sliding.end_window()
+    # the same encode -> decode path the checkpoint files go through,
+    # minus the filesystem
+    pairs = [
+        ("sharded", sharded,
+         restore_tagged(decode_state(encode_state(tagged_state(sharded))))),
+        ("sliding", sliding,
+         restore_tagged(decode_state(encode_state(tagged_state(sliding))))),
+    ]
+    keys = sample_keys(trace, _EQUIVALENCE_KEY_CAP)
+    out = []
+    for label, original, restored in pairs:
+        for wid in range(mid, trace.n_windows):
+            if label == "sharded":
+                original.insert_window(arrays[wid])
+                restored.insert_window(arrays[wid])
+            else:
+                for item in window_items[wid]:
+                    original.insert(item)
+                    restored.insert(item)
+                original.end_window()
+                restored.end_window()
+        out += _diff_keyed(
+            "snapshot-roundtrip-wrappers", original, restored, keys,
+            label, f"{label}-restored",
+        )
+        if original.report(1) != restored.report(1):
+            out.append(Violation(
+                "snapshot-roundtrip-wrappers",
+                f"{label} reports diverge after a codec round-trip",
+            ))
+    return out
+
+
+@register_invariant(
+    "checkpoint-resume", "trace",
+    "Resuming from an on-disk checkpoint replays the tail to estimates "
+    "bit-identical to an uninterrupted run, and any corrupted checkpoint "
+    "raises SnapshotError instead of restoring garbage",
+)
+def _check_checkpoint_resume(
+    trace: Trace, config: VerifyConfig
+) -> List[Violation]:
+    from ..common.errors import SnapshotError
+    from ..persist import resume, save_run_checkpoint
+
+    if trace.n_windows < 2:
+        return []
+    hs_config = _estimation_config(trace, config)
+    original = _batched_feed(HypersistentSketch(hs_config), trace)
+    partial = HypersistentSketch(hs_config)
+    arrays = trace.window_arrays()
+    mid = trace.n_windows // 2
+    for window_keys in arrays[:mid]:
+        partial.insert_window(window_keys)
+    fd, path = tempfile.mkstemp(suffix=".ckpt")
+    os.close(fd)
+    out = []
+    try:
+        save_run_checkpoint(partial, path, mid, trace=trace)
+        resumed = resume(path, trace)
+        keys = sample_keys(trace, _EQUIVALENCE_KEY_CAP)
+        out += _diff_keyed("checkpoint-resume", original, resumed, keys,
+                           "uninterrupted", "resumed")
+        if original.report(1) != resumed.report(1):
+            out.append(Violation(
+                "checkpoint-resume",
+                "reports diverge after resuming from a checkpoint",
+            ))
+        # corruption must fail loudly, never restore a wrong sketch
+        with open(path, "rb") as fh:
+            good = fh.read()
+        flipped = bytearray(good)
+        flipped[len(flipped) // 2] ^= 0x40
+        for tag, bad in (("truncated", good[:len(good) // 2]),
+                         ("bit-flipped", bytes(flipped))):
+            with open(path, "wb") as fh:
+                fh.write(bad)
+            try:
+                resume(path, trace)
+            except SnapshotError:
+                pass
+            else:
+                out.append(Violation(
+                    "checkpoint-resume",
+                    f"{tag} checkpoint restored without SnapshotError",
+                ))
+    finally:
+        os.unlink(path)
+    return out
+
+
+@register_invariant(
     "sliding-coverage-bounds", "trace",
     "Sliding-window estimates never exceed the panels' provable ceiling, "
     "and (absent evictions) an every-window item is never estimated "
@@ -621,4 +746,13 @@ def _check_sliding_bounds(
                         details={"estimate": estimate,
                                  "coverage": sw.coverage},
                     ))
+    for key, reported in sw.report(1).items():
+        if reported != sw.query(key):
+            out.append(Violation(
+                "sliding-coverage-bounds",
+                f"reported key {key}: report value {reported} != "
+                f"query estimate {sw.query(key)}",
+                key=key,
+                details={"report": reported, "query": sw.query(key)},
+            ))
     return out

@@ -59,6 +59,45 @@ class TestExpiry:
         assert sw.query("x") == 3
 
 
+class TestOddHorizon:
+    def test_panel_split_is_ceiling(self):
+        assert SlidingHypersistentSketch(32 * 1024, horizon=7).half == 4
+        assert SlidingHypersistentSketch(32 * 1024, horizon=8).half == 4
+        assert SlidingHypersistentSketch(32 * 1024, horizon=2).half == 1
+
+    @pytest.mark.parametrize("horizon", [3, 5, 7, 9, 11])
+    def test_coverage_reaches_odd_horizon(self, horizon):
+        # regression: floor(horizon/2) panels capped coverage at
+        # horizon - 2 for odd horizons, below the documented sandwich
+        sw = SlidingHypersistentSketch(32 * 1024, horizon=horizon)
+        best = 0
+        for _ in range(4 * horizon):
+            sw.insert("x")
+            sw.end_window()
+            best = max(best, sw.coverage)
+        assert best == horizon
+
+    @pytest.mark.parametrize("horizon", [3, 5, 7, 9])
+    def test_always_present_item_within_odd_horizon_bounds(self, horizon):
+        sw = SlidingHypersistentSketch(32 * 1024, horizon=horizon)
+        run_pattern(sw, [["x"]] * (5 * horizon))
+        assert (horizon + 1) // 2 <= sw.query("x") <= horizon
+
+    @pytest.mark.parametrize("horizon", [3, 5, 7, 9, 12])
+    def test_verify_state_clean_at_every_boundary(self, horizon):
+        sw = SlidingHypersistentSketch(32 * 1024, horizon=horizon)
+        for _ in range(3 * horizon):
+            sw.insert("x")
+            sw.end_window()
+            assert sw.verify_state() == []
+
+    def test_expiry_still_bounded_by_odd_horizon(self):
+        sw = SlidingHypersistentSketch(32 * 1024, horizon=7)
+        run_pattern(sw, [["old"]] * 14)
+        run_pattern(sw, [["other"]] * 14)   # absent for 2x horizon
+        assert sw.query("old") == 0
+
+
 class TestReport:
     def test_reports_currently_persistent(self):
         sw = SlidingHypersistentSketch(memory_bytes=64 * 1024, horizon=400)
@@ -77,3 +116,35 @@ class TestReport:
             sw.end_window()
         assert all(v >= 10_000 for v in sw.report(10_000).values()) or \
             sw.report(10_000) == {}
+
+    def test_report_agrees_with_query(self):
+        # regression: report used to sum only the panels' Hot Part
+        # contributions while query sums full cold+hot estimates, so the
+        # two could disagree about the same item
+        sw = SlidingHypersistentSketch(memory_bytes=64 * 1024, horizon=400,
+                                       seed=11)
+        for w in range(260):
+            sw.insert("hot")
+            if w % 2 == 0:
+                sw.insert("warm")
+            sw.insert(w)  # churn
+            sw.end_window()
+        for threshold in (1, 50, 100, 150):
+            reported = sw.report(threshold)
+            for key, estimate in reported.items():
+                assert estimate == sw.query(key)
+                assert estimate >= threshold
+
+    def test_reported_value_includes_cold_panel_share(self):
+        # an item hot in one panel but still below the other panel's cold
+        # thresholds must be reported with its full query estimate, not
+        # just the hot contribution
+        sw = SlidingHypersistentSketch(memory_bytes=64 * 1024, horizon=400,
+                                       seed=11)
+        for _ in range(260):
+            sw.insert("hot")
+            sw.end_window()
+        reported = sw.report(1)
+        from repro.common.hashing import canonical_key
+        key = canonical_key("hot")
+        assert reported[key] == sw.query("hot")

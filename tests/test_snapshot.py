@@ -55,14 +55,37 @@ class TestRoundTrip:
         assert restored.query(trace.items[0]) == sketch.query(trace.items[0])
 
     def test_baseline_roundtrip(self, trace, tmp_path):
+        # baselines have no state_dict, so they ride the explicit
+        # pickle opt-in on both the save and the load side
         oo = OnOffSketchV1(4096)
         _stream(oo, trace)
-        save_sketch(oo, tmp_path / "oo.pkl")
+        save_sketch(oo, tmp_path / "oo.pkl", allow_pickle=True)
         restored = load_sketch(tmp_path / "oo.pkl",
-                               expected_class=OnOffSketchV1)
+                               expected_class=OnOffSketchV1,
+                               allow_pickle=True)
         truth = exact_persistence(trace)
         sample = list(truth)[:50]
         assert all(restored.query(k) == oo.query(k) for k in sample)
+
+
+class TestPickleGate:
+    def test_save_without_state_dict_requires_opt_in(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            save_sketch(OnOffSketchV1(4096), tmp_path / "oo.pkl")
+
+    def test_load_pickle_file_requires_opt_in(self, tmp_path):
+        oo = OnOffSketchV1(4096)
+        save_sketch(oo, tmp_path / "oo.pkl", allow_pickle=True)
+        with pytest.raises(SnapshotError):
+            load_sketch(tmp_path / "oo.pkl")
+
+    def test_codec_sketches_never_pickle(self, tmp_path):
+        sketch = HypersistentSketch(HSConfig.for_estimation(8 * 1024, 10))
+        save_sketch(sketch, tmp_path / "hs.bin")
+        data = (tmp_path / "hs.bin").read_bytes()
+        assert data.startswith(b"RPRCKPT1")
+        # codec files load without the pickle opt-in
+        load_sketch(tmp_path / "hs.bin")
 
 
 class TestFailureModes:
@@ -76,17 +99,51 @@ class TestFailureModes:
         with pytest.raises(SnapshotError):
             load_sketch(path)
 
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            b"not a pickle at all",
+            b"\x80\x04\x95\x00",                     # truncated frame opcode
+            b"\x80\x04cnonexistent_module\nX\n.",    # unknown module (ImportError)
+            b"\x80\x04crepro.core\nNoSuchClass\n.",  # stale attribute path
+            b"(lp0\nI1\n",                           # truncated protocol-0 list
+            b"\x80\x04\x8c\x04\xff\xfe\xfd\xfc\x94.",  # mangled utf-8 short str
+            bytes(range(256)),                       # arbitrary binary noise
+        ],
+    )
+    def test_garbage_bytes_raise_snapshot_error(self, tmp_path, garbage):
+        # regression: corrupt/foreign pickles raise AttributeError,
+        # ImportError, IndexError, UnicodeDecodeError... — every one must
+        # surface as SnapshotError, even with the pickle opt-in
+        path = tmp_path / "junk.pkl"
+        path.write_bytes(garbage)
+        with pytest.raises(SnapshotError):
+            load_sketch(path, allow_pickle=True)
+
     def test_wrong_payload(self, tmp_path):
         import pickle
 
         path = tmp_path / "other.pkl"
         path.write_bytes(pickle.dumps({"something": "else"}))
         with pytest.raises(SnapshotError):
-            load_sketch(path)
+            load_sketch(path, allow_pickle=True)
 
     def test_class_guard(self, trace, tmp_path):
         oo = OnOffSketchV1(4096)
-        save_sketch(oo, tmp_path / "oo.pkl")
+        save_sketch(oo, tmp_path / "oo.pkl", allow_pickle=True)
         with pytest.raises(SnapshotError):
             load_sketch(tmp_path / "oo.pkl",
-                        expected_class=HypersistentSketch)
+                        expected_class=HypersistentSketch,
+                        allow_pickle=True)
+
+    def test_failed_save_preserves_existing_snapshot(self, tmp_path):
+        path = tmp_path / "ckpt.bin"
+        sketch = HypersistentSketch(HSConfig.for_estimation(8 * 1024, 10))
+        for _ in range(3):
+            sketch.insert("x")
+            sketch.end_window()
+        save_sketch(sketch, path)
+        good = path.read_bytes()
+        with pytest.raises(SnapshotError):
+            save_sketch(object(), path)  # no state_dict, no opt-in
+        assert path.read_bytes() == good
