@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Static-analysis CI gate: sketch-specific lint rules + optional mypy.
+
+Runs the dependency-free AST linter (:mod:`repro.staticcheck`) over the
+whole tree and fails on any finding not grandfathered in
+``LINT_baseline.json``.  Usage::
+
+    python scripts/check_lint.py                     # gate
+    python scripts/check_lint.py --json report.json  # + artifact
+    python scripts/check_lint.py --write-baseline    # grandfather all
+    python scripts/check_lint.py --root /some/tree   # gate another tree
+
+When ``mypy`` is importable, the gate also type-checks the two packages
+scoped in ``pyproject.toml`` (``repro.common`` + ``repro.persist``);
+when it is not installed the step is skipped with a notice — the lint
+gate itself never needs anything beyond the standard library and the
+package's own dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_NAME = "LINT_baseline.json"
+
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.staticcheck import (  # noqa: E402  (after the path insert)
+    apply_baseline,
+    entries_from_findings,
+    load_baseline,
+    render_human,
+    report_dict,
+    run_lint,
+    save_baseline,
+)
+
+
+def run_mypy(root: str) -> int:
+    """Type-check the annotated packages; 0 also when mypy is absent."""
+    if importlib.util.find_spec("mypy") is None:
+        print("mypy not installed; skipping the type-check step "
+              "(pip install mypy, or the 'dev' extra)")
+        return 0
+    command = [
+        sys.executable, "-m", "mypy",
+        "--config-file", os.path.join(root, "pyproject.toml"),
+        os.path.join(root, "src", "repro", "common"),
+        os.path.join(root, "src", "repro", "persist"),
+    ]
+    print("running:", " ".join(command))
+    return subprocess.run(command, cwd=root).returncode
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=ROOT,
+                        help="tree to lint (default: this repository)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help=f"baseline JSON (default: "
+                             f"<root>/{BASELINE_NAME})")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the full findings report as JSON")
+    parser.add_argument("--write-baseline", metavar="PATH", nargs="?",
+                        const=BASELINE_NAME, default=None,
+                        help="record current findings as the new baseline "
+                             f"(default: {BASELINE_NAME}); justifications "
+                             "must then be filled in by hand")
+    parser.add_argument("--no-mypy", action="store_true",
+                        help="skip the optional mypy step even if "
+                             "installed")
+    args = parser.parse_args(argv)
+
+    findings = run_lint(args.root)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report_dict(findings), handle, indent=2)
+        print(f"wrote report to {args.json}")
+    if args.write_baseline:
+        path = os.path.join(args.root, args.write_baseline) \
+            if not os.path.isabs(args.write_baseline) else \
+            args.write_baseline
+        save_baseline(path, entries_from_findings(
+            findings, justification="TODO: justify or fix"
+        ))
+        print(f"wrote baseline with {len(findings)} entr(y/ies) to "
+              f"{path}")
+        return 0
+
+    baseline_path = args.baseline or os.path.join(args.root, BASELINE_NAME)
+    entries = load_baseline(baseline_path)
+    new, stale = apply_baseline(findings, entries)
+    grandfathered = len(findings) - len(new)
+    if grandfathered:
+        print(f"{grandfathered} finding(s) grandfathered by "
+              f"{os.path.basename(baseline_path)}")
+    for entry in stale:
+        print(f"note: stale baseline entry {entry.rule} {entry.path} "
+              f"(matched nothing — delete it)")
+    print(render_human(new))
+    if new:
+        print(f"lint gate FAILED: {len(new)} non-baselined finding(s)",
+              file=sys.stderr)
+        return 1
+
+    if not args.no_mypy:
+        mypy_status = run_mypy(args.root)
+        if mypy_status != 0:
+            print(f"lint gate FAILED: mypy exited {mypy_status}",
+                  file=sys.stderr)
+            return 1
+    print("lint gate ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

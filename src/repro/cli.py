@@ -20,6 +20,8 @@ Commands:
   policy (optionally stopping early to simulate a crash).
 * ``resume`` — restore a checkpoint, replay the remaining windows, and
   optionally prove the result bit-equal to an uninterrupted run.
+* ``lint`` — run the sketch-specific static analyzer
+  (:mod:`repro.staticcheck`) over the tree and report findings.
 """
 
 from __future__ import annotations
@@ -403,6 +405,45 @@ def _cmd_resume(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .staticcheck import (
+        apply_baseline,
+        default_registry,
+        load_baseline,
+        render_human,
+        render_json,
+        run_lint,
+    )
+    if args.list:
+        for rule in default_registry():
+            print(f"{rule.rule_id:<12} {rule.severity:<8} "
+                  f"{rule.description}")
+        return 0
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    try:
+        findings = run_lint(
+            args.root, paths=args.paths or None,
+            select=select, ignore=ignore,
+        )
+    except ValueError as exc:  # unknown rule id in --select/--ignore
+        print(exc, file=sys.stderr)
+        return 2
+    stale = []
+    if args.baseline:
+        findings, stale = apply_baseline(
+            findings, load_baseline(args.baseline)
+        )
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_human(findings))
+        for entry in stale:
+            print(f"note: stale baseline entry {entry.rule} "
+                  f"{entry.path} (matched nothing)", file=sys.stderr)
+    return 1 if findings else 0
+
+
 def _cmd_compare(args) -> int:
     trace = _load_trace(args.trace)
     truth = exact_persistence(trace)
@@ -592,6 +633,27 @@ def build_parser() -> argparse.ArgumentParser:
                         "meta, run it uninterrupted, and verify the "
                         "resumed estimates are bit-equal")
     p.set_defaults(func=_cmd_resume)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the sketch-specific static analyzer (repro.staticcheck)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="directories or .py files to lint, relative to "
+                        "--root (default: src/repro, scripts, examples, "
+                        "benchmarks)")
+    p.add_argument("--root", default=".",
+                   help="repository root paths are resolved against")
+    p.add_argument("--format", choices=("human", "json"), default="human")
+    p.add_argument("--select", help="comma-separated rule IDs to run")
+    p.add_argument("--ignore", help="comma-separated rule IDs to skip")
+    p.add_argument("--baseline", metavar="PATH",
+                   help="suppress findings matched by this baseline JSON "
+                        "(LINT_baseline.json format or a prior JSON "
+                        "report)")
+    p.add_argument("--list", action="store_true",
+                   help="list the rule catalog and exit")
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("find", help="report persistent items")
     p.add_argument("trace", help="trace file (.csv or .npz)")

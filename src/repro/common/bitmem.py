@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Any, Dict, List
 
 import numpy as np
 
@@ -34,7 +35,7 @@ def cells_for_budget(budget_bytes: int, bits_per_cell: int, minimum: int = 1) ->
     return max(minimum, (budget_bytes * 8) // bits_per_cell)
 
 
-def split_budget(budget_bytes: int, *weights: float) -> list:
+def split_budget(budget_bytes: int, *weights: float) -> List[int]:
     """Split a byte budget proportionally to ``weights`` (sums preserved).
 
     >>> split_budget(100, 3, 2)
@@ -54,7 +55,7 @@ def split_budget(budget_bytes: int, *weights: float) -> list:
 class MemoryReport:
     """Breakdown of a sketch's modeled memory, in bits, by component."""
 
-    components: dict
+    components: Dict[str, int]
 
     @property
     def total_bits(self) -> int:
@@ -135,12 +136,12 @@ class SaturatingCounterArray:
         """Modeled memory footprint in bits."""
         return len(self._values) * self.bits
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> Dict[str, Any]:
         """Exact state as plain values (see :mod:`repro.persist`)."""
         return {"bits": self.bits, "values": self._values.copy()}
 
     @classmethod
-    def from_state(cls, state: dict) -> "SaturatingCounterArray":
+    def from_state(cls, state: Dict[str, Any]) -> "SaturatingCounterArray":
         """Rebuild an array bit-identical to the one that was saved."""
         obj = cls(size=len(state["values"]), bits=int(state["bits"]))
         obj._values[:] = np.asarray(state["values"], dtype=np.int64)
@@ -192,12 +193,12 @@ class FlagArray:
         """Modeled memory footprint in bits."""
         return len(self._off_epoch)
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> Dict[str, Any]:
         """Exact state as plain values (see :mod:`repro.persist`)."""
         return {"epoch": self._epoch, "off_epoch": self._off_epoch.copy()}
 
     @classmethod
-    def from_state(cls, state: dict) -> "FlagArray":
+    def from_state(cls, state: Dict[str, Any]) -> "FlagArray":
         """Rebuild a flag array bit-identical to the one that was saved."""
         obj = cls(size=len(state["off_epoch"]))
         obj._epoch = int(state["epoch"])

@@ -20,7 +20,7 @@ Two call styles are supported everywhere:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Union
+from typing import Any, Dict, Iterable, List, Sequence, Union
 
 import numpy as np
 
@@ -91,7 +91,9 @@ def canonical_key(item: ItemKey) -> int:
     raise TypeError(f"unsupported item key type: {type(item).__name__}")
 
 
-def canonical_keys(items) -> np.ndarray:
+def canonical_keys(
+    items: Union[Sequence[ItemKey], np.ndarray],
+) -> np.ndarray:
     """Canonicalize a whole batch of item identifiers to ``uint64``.
 
     The columnar counterpart of :func:`canonical_key`: integer sequences
@@ -202,7 +204,7 @@ class HashFamily:
             out[i] = (mix_array(keys, seed) % width_u).astype(np.int64)
         return out
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> Dict[str, Any]:
         """Exact state as plain values (see :mod:`repro.persist`).
 
         The *derived* seeds are stored (not the constructor seed), so a
@@ -212,7 +214,7 @@ class HashFamily:
         return {"count": self.count, "seeds": list(self.seeds)}
 
     @classmethod
-    def from_state(cls, state: dict) -> "HashFamily":
+    def from_state(cls, state: Dict[str, Any]) -> "HashFamily":
         """Rebuild a family with the exact saved per-function seeds."""
         obj = cls.__new__(cls)
         obj.count = int(state["count"])

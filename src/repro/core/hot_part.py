@@ -307,7 +307,9 @@ class HotPart:
         obj._epoch = int(state["epoch"])
         obj._window_salt = int(state["window_salt"])
         rng = state["rng"]
-        obj._rng = random.Random()
+        # seedless on purpose: setstate() below overwrites the state
+        # with the saved Mersenne stream
+        obj._rng = random.Random()  # staticcheck: ignore[SC-DET]
         obj._rng.setstate((
             int(rng["version"]),
             tuple(int(v) for v in rng["state"]),

@@ -73,6 +73,8 @@ class VectorizedBurstFilter:
             (n_buckets, cells_per_bucket), _EMPTY, dtype=np.uint64
         )
         self._fill = np.zeros(n_buckets, dtype=np.int32)
+        # derived cost constant, absent from state_dict() on purpose
+        # staticcheck: ignore[SC-PERSIST] from_state() recomputes it
         self._vector_compares_per_scan = simd_scan_cost(cells_per_bucket)
         self.hash_ops = 0
         self.compare_ops = 0

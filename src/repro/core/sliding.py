@@ -105,7 +105,7 @@ class SlidingHypersistentSketch:
         """
         candidates = set(self._young.hot.items()) | set(self._old.hot.items())
         out: Dict[int, int] = {}
-        for key in candidates:
+        for key in sorted(candidates):
             estimate = self.query(key)
             if estimate >= threshold:
                 out[key] = estimate

@@ -17,7 +17,7 @@ was never interrupted.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 from ..common.errors import SnapshotError
 from .codec import read_frame, write_frame
@@ -42,7 +42,7 @@ class CheckpointPolicy:
     """
 
     def __init__(self, path: PathLike, every: int = 1,
-                 meta: Optional[dict] = None):
+                 meta: Optional[Dict[str, Any]] = None):
         if every < 1:
             raise SnapshotError("checkpoint interval must be >= 1 window")
         self.path = Path(path)
@@ -50,7 +50,8 @@ class CheckpointPolicy:
         self.meta = dict(meta) if meta else {}
         self.writes = 0
 
-    def window_closed(self, sketch, windows_done: int, trace=None) -> None:
+    def window_closed(self, sketch: Any, windows_done: int,
+                      trace: Any = None) -> None:
         """Checkpoint if ``windows_done`` hits the interval."""
         if windows_done % self.every == 0:
             save_run_checkpoint(sketch, self.path, windows_done,
@@ -58,7 +59,7 @@ class CheckpointPolicy:
             self.writes += 1
 
 
-def _trace_identity(trace) -> dict:
+def _trace_identity(trace: Any) -> Dict[str, Any]:
     return {
         "name": str(getattr(trace, "name", "")),
         "n_records": int(trace.n_records),
@@ -67,8 +68,8 @@ def _trace_identity(trace) -> dict:
 
 
 def save_run_checkpoint(
-    sketch, path: PathLike, windows_done: int, trace=None,
-    meta: Optional[dict] = None,
+    sketch: Any, path: PathLike, windows_done: int, trace: Any = None,
+    meta: Optional[Dict[str, Any]] = None,
 ) -> None:
     """Atomically persist a mid-replay sketch at a window boundary.
 
@@ -90,7 +91,7 @@ def save_run_checkpoint(
     write_frame(path, payload)
 
 
-def read_run_checkpoint(path: PathLike) -> dict:
+def read_run_checkpoint(path: PathLike) -> Dict[str, Any]:
     """Read a trace-run checkpoint payload (validated, sketch untouched)."""
     payload = read_frame(path)
     if not isinstance(payload, dict) or payload.get("kind") != KIND_TRACE_RUN:
@@ -104,7 +105,9 @@ def read_run_checkpoint(path: PathLike) -> dict:
     return payload
 
 
-def load_run_checkpoint(path: PathLike) -> Tuple[object, int, dict]:
+def load_run_checkpoint(
+    path: PathLike,
+) -> Tuple[Any, int, Dict[str, Any]]:
     """Restore ``(sketch, windows_done, payload)`` from a checkpoint."""
     payload = read_run_checkpoint(path)
     sketch = restore_tagged(payload["sketch"])
@@ -116,8 +119,8 @@ def load_run_checkpoint(path: PathLike) -> Tuple[object, int, dict]:
     return sketch, windows_done, payload
 
 
-def resume(path: PathLike, trace, batched: Optional[bool] = None,
-           strict: bool = True):
+def resume(path: PathLike, trace: Any, batched: Optional[bool] = None,
+           strict: bool = True) -> Any:
     """Restore a checkpointed run and replay only the remaining windows.
 
     Returns the finished sketch, bit-identical (for the deterministic
@@ -152,7 +155,7 @@ def resume(path: PathLike, trace, batched: Optional[bool] = None,
     return sketch
 
 
-def replay_tail(sketch, trace, windows_done: int,
+def replay_tail(sketch: Any, trace: Any, windows_done: int,
                 batched: Optional[bool] = None) -> int:
     """Feed windows ``[windows_done, n_windows)`` of ``trace`` into
     ``sketch``; returns how many windows were replayed."""

@@ -30,7 +30,7 @@ import struct
 import tempfile
 import zlib
 from pathlib import Path
-from typing import Union
+from typing import Any, List, Tuple, Union
 
 import numpy as np
 
@@ -69,9 +69,9 @@ _F64 = struct.Struct("<d")
 _MAX_LEN = 1 << 34
 
 
-def encode_state(tree) -> bytes:
+def encode_state(tree: Any) -> bytes:
     """Serialize a state tree to the framed, CRC-protected byte string."""
-    chunks: list = []
+    chunks: List[bytes] = []
     _encode_value(tree, chunks)
     payload = b"".join(chunks)
     header = _HEADER.pack(
@@ -80,7 +80,7 @@ def encode_state(tree) -> bytes:
     return header + payload
 
 
-def decode_state(data: bytes):
+def decode_state(data: bytes) -> Any:
     """Parse a framed byte string back into a state tree.
 
     Raises :class:`SnapshotError` on any structural problem: wrong magic,
@@ -118,7 +118,7 @@ def decode_state(data: bytes):
 # ----------------------------------------------------------------------
 # encoding
 # ----------------------------------------------------------------------
-def _encode_value(value, out: list) -> None:
+def _encode_value(value: Any, out: List[bytes]) -> None:
     if value is None:
         out.append(_T_NONE)
     elif value is True:
@@ -201,17 +201,17 @@ def _take(data: bytes, offset: int, count: int) -> int:
     return end
 
 
-def _read_u32(data: bytes, offset: int):
+def _read_u32(data: bytes, offset: int) -> Tuple[int, int]:
     end = _take(data, offset, _U32.size)
     return _U32.unpack_from(data, offset)[0], end
 
 
-def _read_u64(data: bytes, offset: int):
+def _read_u64(data: bytes, offset: int) -> Tuple[int, int]:
     end = _take(data, offset, _U64.size)
     return _U64.unpack_from(data, offset)[0], end
 
 
-def _decode_value(data: bytes, offset: int):
+def _decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
     end = _take(data, offset, 1)
     tag = data[offset:end]
     offset = end
@@ -270,7 +270,9 @@ def _decode_value(data: bytes, offset: int):
     raise SnapshotError(f"checkpoint corrupt: unknown value tag {tag!r}")
 
 
-def _decode_ndarray(data: bytes, offset: int):
+def _decode_ndarray(
+    data: bytes, offset: int,
+) -> Tuple[np.ndarray, int]:
     length, offset = _read_u32(data, offset)
     end = _take(data, offset, length)
     try:
@@ -335,12 +337,12 @@ def atomic_write_bytes(path: PathLike, data: bytes) -> None:
         raise
 
 
-def write_frame(path: PathLike, tree) -> None:
+def write_frame(path: PathLike, tree: Any) -> None:
     """Encode a state tree and atomically write it to ``path``."""
     atomic_write_bytes(path, encode_state(tree))
 
 
-def read_frame(path: PathLike):
+def read_frame(path: PathLike) -> Any:
     """Read and decode a framed state tree from ``path``.
 
     All I/O and parse failures surface as :class:`SnapshotError`.

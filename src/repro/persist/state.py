@@ -11,8 +11,9 @@ ships, no matter what the file claims.
 
 from __future__ import annotations
 
+import inspect
 from pathlib import Path
-from typing import Dict, Optional, Type, Union
+from typing import Any, Dict, Optional, Type, Union
 
 from ..common.errors import SnapshotError
 from .codec import read_frame, write_frame
@@ -50,19 +51,57 @@ def _registry() -> Dict[str, Type]:
 def register_class(klass: Type) -> Type:
     """Add a class to the restore allowlist (usable as a decorator).
 
-    The class must implement ``state_dict()`` and ``from_state()``;
-    third-party shard types plugged into :class:`~repro.core.sharded
-    .ShardedSketch` register here to become checkpointable.
+    The class must implement the persistence contract *with the right
+    method kinds*, not merely carry the attribute names:
+
+    * ``state_dict`` — a plain method, callable on instances (it
+      captures ``self``'s state);
+    * ``from_state`` — a ``classmethod`` or ``staticmethod``
+      (:func:`restore_tagged` calls it on the class, with no instance in
+      existence yet).
+
+    A ``hasattr`` check alone would accept e.g. an instance-method
+    ``from_state`` and only blow up later, deep inside a checkpoint
+    load; failing here keeps the error next to its cause.  Third-party
+    shard types plugged into :class:`~repro.core.sharded.ShardedSketch`
+    register here to become checkpointable.
     """
-    if not hasattr(klass, "state_dict") or not hasattr(klass, "from_state"):
+    if not inspect.isclass(klass):
         raise TypeError(
-            f"{klass.__name__} must implement state_dict() and from_state()"
+            f"register_class expects a class, got "
+            f"{type(klass).__name__}"
+        )
+    state_dict = inspect.getattr_static(klass, "state_dict", None)
+    if state_dict is None or not callable(
+            getattr(klass, "state_dict", None)):
+        raise TypeError(
+            f"{klass.__name__} must implement state_dict() "
+            f"(a plain method returning the state tree)"
+        )
+    if isinstance(state_dict, (classmethod, staticmethod)):
+        raise TypeError(
+            f"{klass.__name__}.state_dict must be a plain method "
+            f"callable on instances, not a "
+            f"{type(state_dict).__name__}; it captures per-instance "
+            f"state"
+        )
+    from_state = inspect.getattr_static(klass, "from_state", None)
+    if from_state is None:
+        raise TypeError(
+            f"{klass.__name__} must implement from_state() "
+            f"(a classmethod rebuilding an instance from a state tree)"
+        )
+    if not isinstance(from_state, (classmethod, staticmethod)):
+        raise TypeError(
+            f"{klass.__name__}.from_state must be a classmethod or "
+            f"staticmethod — restore calls it on the class before any "
+            f"instance exists"
         )
     _registry()[klass.__name__] = klass
     return klass
 
 
-def tagged_state(obj) -> dict:
+def tagged_state(obj: Any) -> Dict[str, Any]:
     """Wrap an object's state tree with its registered class name."""
     name = type(obj).__name__
     if name not in _registry():
@@ -73,7 +112,7 @@ def tagged_state(obj) -> dict:
     return {"class": name, "state": obj.state_dict()}
 
 
-def restore_tagged(tagged):
+def restore_tagged(tagged: Any) -> Any:
     """Rebuild an object from a class-tagged state tree.
 
     Structural problems — a non-dict, an unknown class name, a state the
@@ -99,12 +138,12 @@ def restore_tagged(tagged):
         ) from exc
 
 
-def save_state(obj, path: PathLike) -> None:
+def save_state(obj: Any, path: PathLike) -> None:
     """Atomically write ``obj``'s tagged state tree to ``path``."""
     write_frame(path, tagged_state(obj))
 
 
-def load_state(path: PathLike, expected_class: Optional[type] = None):
+def load_state(path: PathLike, expected_class: Optional[type] = None) -> Any:
     """Load and rebuild an object saved with :func:`save_state`.
 
     When ``expected_class`` is given, a checkpoint holding any other type

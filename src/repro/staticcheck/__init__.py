@@ -1,0 +1,54 @@
+"""Dependency-free AST lint engine with sketch-specific correctness rules.
+
+Every rule encodes a bug class this repository has shipped and fixed:
+nondeterministic iteration breaking replay (SC-DET), ``state_dict()``
+omissions breaking bit-identical resume (SC-PERSIST), unpickling outside
+the audited opt-in (SC-PICKLE), broad handlers swallowing decode errors
+(SC-EXC), float arithmetic feeding integer counters (SC-INT), and shared
+mutable defaults (SC-MUTDEF).  ``repro lint`` runs the engine from the
+CLI; ``scripts/check_lint.py`` is the CI gate with the
+``LINT_baseline.json`` grandfathering workflow.
+
+The engine is stdlib-only (``ast`` + ``tokenize``) and never imports the
+code under analysis, so it can lint a tree too broken to import.
+"""
+
+from .baseline import (
+    BaselineEntry,
+    apply_baseline,
+    entries_from_findings,
+    load_baseline,
+    parse_baseline,
+    save_baseline,
+)
+from .engine import (
+    DEFAULT_TARGETS,
+    Project,
+    default_registry,
+    run_lint,
+)
+from .model import ERROR, SEVERITIES, WARNING, Finding, Rule, RuleRegistry
+from .report import parse_report, render_human, render_json, report_dict
+
+__all__ = [
+    "DEFAULT_TARGETS",
+    "ERROR",
+    "SEVERITIES",
+    "WARNING",
+    "BaselineEntry",
+    "Finding",
+    "Project",
+    "Rule",
+    "RuleRegistry",
+    "apply_baseline",
+    "default_registry",
+    "entries_from_findings",
+    "load_baseline",
+    "parse_baseline",
+    "parse_report",
+    "render_human",
+    "render_json",
+    "report_dict",
+    "run_lint",
+    "save_baseline",
+]

@@ -1,0 +1,143 @@
+"""Grandfathered findings: the ``LINT_baseline.json`` workflow.
+
+The CI gate fails on any finding that is not in the committed baseline.
+The baseline starts (and should stay) empty or near-empty; each entry
+carries a ``justification`` field explaining why the finding is accepted
+rather than fixed.  Entries that no longer match anything are reported as
+stale so the baseline shrinks as debt is paid down.
+
+The loader also accepts the JSON *report* format emitted by
+``repro lint --format json`` directly, so a report can be round-tripped
+into a baseline with no hand-editing::
+
+    repro lint --format json > LINT_baseline.json   # grandfather all
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from .model import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding.
+
+    Matching is by rule ID and path, plus an optional ``match`` substring
+    tested against the finding message.  Line numbers are deliberately
+    *not* part of the match — they drift with every unrelated edit, and a
+    baseline that rots on drift trains people to regenerate it blindly.
+    """
+
+    rule: str
+    path: str
+    match: str = ""
+    justification: str = ""
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            finding.rule_id == self.rule
+            and finding.path == self.path
+            and (not self.match or self.match in finding.message)
+        )
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "match": self.match,
+            "justification": self.justification,
+        }
+
+
+def entries_from_findings(
+    findings: Iterable[Finding], justification: str = "",
+) -> List[BaselineEntry]:
+    """Turn findings into baseline entries (message becomes the match)."""
+    out: List[BaselineEntry] = []
+    seen = set()
+    for finding in findings:
+        entry = BaselineEntry(
+            rule=finding.rule_id, path=finding.path,
+            match=finding.message, justification=justification,
+        )
+        if (entry.rule, entry.path, entry.match) not in seen:
+            seen.add((entry.rule, entry.path, entry.match))
+            out.append(entry)
+    return out
+
+
+def parse_baseline(raw: Union[str, Dict]) -> List[BaselineEntry]:
+    """Parse baseline JSON; also accepts the lint-report JSON format."""
+    data = json.loads(raw) if isinstance(raw, str) else raw
+    if not isinstance(data, dict):
+        raise ValueError("baseline must be a JSON object")
+    if "entries" in data:
+        rows = data["entries"]
+        return [
+            BaselineEntry(
+                rule=str(row["rule"]),
+                path=str(row["path"]),
+                match=str(row.get("match", "")),
+                justification=str(row.get("justification", "")),
+            )
+            for row in rows
+        ]
+    if "findings" in data:  # a ``repro lint --format json`` report
+        return entries_from_findings(
+            Finding.from_dict(row) for row in data["findings"]
+        )
+    raise ValueError(
+        "baseline JSON needs an 'entries' (baseline) or 'findings' "
+        "(lint report) list"
+    )
+
+
+def load_baseline(path: Union[str, Path]) -> List[BaselineEntry]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    return parse_baseline(path.read_text(encoding="utf-8"))
+
+
+def save_baseline(
+    path: Union[str, Path], entries: Sequence[BaselineEntry]
+) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [entry.to_dict() for entry in entries],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> Tuple[List[Finding], List[BaselineEntry]]:
+    """Split findings into (new, _) and report stale baseline entries.
+
+    Returns ``(new_findings, stale_entries)``: findings no entry matches,
+    and entries that matched nothing (candidates for deletion).
+    """
+    new: List[Finding] = []
+    used = [False] * len(entries)
+    for finding in findings:
+        matched = False
+        for index, entry in enumerate(entries):
+            if entry.matches(finding):
+                used[index] = True
+                matched = True
+        if not matched:
+            new.append(finding)
+    stale = [
+        entry for index, entry in enumerate(entries) if not used[index]
+    ]
+    return new, stale

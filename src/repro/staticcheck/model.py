@@ -1,0 +1,164 @@
+"""Data model of the lint engine: findings, severities, the Rule protocol.
+
+A *rule* inspects parsed source and yields :class:`Finding` records; the
+engine (:mod:`repro.staticcheck.engine`) owns file discovery, suppression
+comments, and ordering.  Rules come in two shapes:
+
+* **file rules** override :meth:`Rule.check_file` and see one module at a
+  time — enough for syntactic properties (unseeded RNG, mutable default
+  arguments, broad ``except``);
+* **project rules** override :meth:`Rule.check_project` and see the whole
+  tree through a :class:`~repro.staticcheck.engine.Project` — needed for
+  cross-file contracts such as SC-PERSIST, which compares each registered
+  sketch class against the allowlist in ``repro/persist/state.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .engine import Project
+
+#: Severity levels, ordered from most to least serious.  The CI gate fails
+#: on any non-baselined finding regardless of severity; the levels exist so
+#: reports can rank output and future rules can ship as advisory first.
+ERROR = "error"
+WARNING = "warning"
+SEVERITIES = (ERROR, WARNING)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is always repo-relative with forward slashes, so findings
+    compare equal across machines and survive the JSON round trip into
+    ``LINT_baseline.json``.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form used by the JSON reporter and the baseline."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "Finding":
+        """Inverse of :meth:`to_dict` (strict about required keys)."""
+        return cls(
+            path=str(raw["path"]),
+            line=int(raw["line"]),  # type: ignore[arg-type]
+            col=int(raw.get("col", 0)),  # type: ignore[arg-type]
+            rule_id=str(raw["rule"]),
+            severity=str(raw.get("severity", ERROR)),
+            message=str(raw["message"]),
+        )
+
+
+class Rule:
+    """Base class every lint rule derives from.
+
+    Subclasses set the class attributes and override exactly one of
+    :meth:`check_file` / :meth:`check_project`.  ``scope_prefixes`` limits
+    a rule to parts of the tree (empty tuple = everywhere); the engine
+    consults it through :meth:`applies_to` before parsing is wasted.
+    """
+
+    rule_id: str = "SC-???"
+    severity: str = ERROR
+    description: str = ""
+    #: Repo-relative path prefixes the rule is limited to ('' = all files).
+    scope_prefixes: tuple = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        """Whether ``relpath`` is inside this rule's scope."""
+        if not self.scope_prefixes:
+            return True
+        return relpath.startswith(self.scope_prefixes)
+
+    def check_file(
+        self, relpath: str, tree: ast.AST, source: str
+    ) -> Iterable[Finding]:
+        """Yield findings for one parsed module (file rules override)."""
+        return ()
+
+    def check_project(self, project: "Project") -> Iterable[Finding]:
+        """Yield findings needing whole-tree context (project rules)."""
+        return ()
+
+    def finding(
+        self, relpath: str, node_or_line, message: str,
+        col: Optional[int] = None,
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at an AST node or line number."""
+        if isinstance(node_or_line, int):
+            line, column = node_or_line, 0 if col is None else col
+        else:
+            line = getattr(node_or_line, "lineno", 1)
+            column = getattr(node_or_line, "col_offset", 0) \
+                if col is None else col
+        return Finding(
+            path=relpath, line=line, col=column,
+            rule_id=self.rule_id, severity=self.severity, message=message,
+        )
+
+
+@dataclass
+class RuleRegistry:
+    """Ordered collection of rule instances, addressable by ID."""
+
+    rules: List[Rule] = field(default_factory=list)
+
+    def add(self, rule: Rule) -> Rule:
+        if any(r.rule_id == rule.rule_id for r in self.rules):
+            raise ValueError(f"duplicate rule id {rule.rule_id}")
+        self.rules.append(rule)
+        return rule
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def ids(self) -> List[str]:
+        return [rule.rule_id for rule in self.rules]
+
+    def select(
+        self,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+    ) -> List[Rule]:
+        """Resolve ``--select`` / ``--ignore`` ID lists to rule instances.
+
+        Unknown IDs raise ``ValueError`` (a typo in a CI invocation must
+        fail loudly, not silently lint nothing).
+        """
+        known = set(self.ids())
+        chosen = set(known if select is None else select)
+        dropped = set() if ignore is None else set(ignore)
+        for requested in chosen | dropped:
+            if requested not in known:
+                raise ValueError(
+                    f"unknown rule id {requested!r}; known: "
+                    f"{', '.join(sorted(known))}"
+                )
+        return [
+            rule for rule in self.rules
+            if rule.rule_id in chosen and rule.rule_id not in dropped
+        ]

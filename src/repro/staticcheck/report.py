@@ -1,0 +1,62 @@
+"""Human and JSON renderers for lint findings.
+
+The JSON format is the interchange point of the subsystem: it is what
+``repro lint --format json`` prints, what :func:`parse_report` reads
+back, and what the baseline loader accepts verbatim (see
+:mod:`repro.staticcheck.baseline`).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from .model import Finding
+
+REPORT_VERSION = 1
+
+
+def render_human(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: RULE severity: message`` line per finding."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule_id} {f.severity}: {f.message}"
+        for f in findings
+    ]
+    if not findings:
+        lines.append("staticcheck: no findings")
+    else:
+        by_rule = Counter(f.rule_id for f in findings)
+        summary = ", ".join(
+            f"{rule} x{count}" for rule, count in sorted(by_rule.items())
+        )
+        lines.append(
+            f"staticcheck: {len(findings)} finding(s) ({summary})"
+        )
+    return "\n".join(lines)
+
+
+def report_dict(findings: Sequence[Finding]) -> Dict[str, object]:
+    """The report as a plain dict (for embedding in other artifacts)."""
+    return {
+        "version": REPORT_VERSION,
+        "findings": [f.to_dict() for f in findings],
+    }
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    return json.dumps(report_dict(findings), indent=2)
+
+
+def parse_report(text: str) -> List[Finding]:
+    """Inverse of :func:`render_json` (strict on version and shape)."""
+    data = json.loads(text)
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError("not a staticcheck report: missing 'findings'")
+    version = data.get("version", REPORT_VERSION)
+    if version != REPORT_VERSION:
+        raise ValueError(
+            f"staticcheck report version {version} != supported "
+            f"{REPORT_VERSION}"
+        )
+    return [Finding.from_dict(row) for row in data["findings"]]

@@ -1,0 +1,454 @@
+"""Single-file rules: determinism, pickle, exceptions, counters, defaults.
+
+Each rule here encodes a bug class this repository has actually shipped
+and fixed (see ``docs/STATIC_ANALYSIS.md`` for the history); the linter
+exists so those fixes stay fixed as the codebase grows.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from .model import ERROR, WARNING, Finding, Rule
+
+#: Module-level draws from the process-global ``random`` generator.  The
+#: seeded-instance style (``random.Random(seed)``) is what the codebase
+#: uses instead; ``random.seed`` is excluded because calling it *is* the
+#: act of seeding.
+_GLOBAL_RANDOM_FUNCS = frozenset({
+    "random", "randint", "randrange", "getrandbits", "choice", "choices",
+    "shuffle", "sample", "uniform", "triangular", "gauss", "normalvariate",
+    "expovariate", "betavariate", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "lognormvariate", "randbytes",
+})
+
+#: Draws from numpy's process-global RNG; ``default_rng(seed)`` is the
+#: sanctioned replacement (and is itself flagged when called seedless).
+_GLOBAL_NP_RANDOM_FUNCS = frozenset({
+    "random", "rand", "randn", "randint", "random_sample", "choice",
+    "shuffle", "permutation", "uniform", "normal", "zipf", "poisson",
+    "exponential", "bytes",
+})
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+})
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted name of an attribute chain (``np.random.rand``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _iteration_sites(tree: ast.AST) -> Iterator[ast.expr]:
+    """Every expression whose iteration order escapes into behaviour."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for generator in node.generators:
+                yield generator.iter
+
+
+def _function_scopes(tree: ast.AST) -> Iterator[ast.AST]:
+    """The module plus every (async) function body, as separate scopes."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+class _SetTracker:
+    """Conservative, order-free inference of set-typed local names.
+
+    A name counts as a set only when *every* assignment to it in the scope
+    is set-producing — names that are sometimes lists are never flagged.
+    """
+
+    def __init__(self, scope: ast.AST):
+        # every value ever bound to a name; None marks an opaque binding
+        # (a function parameter), which permanently vetoes the name
+        assigned: Dict[str, List[object]] = {}
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        assigned.setdefault(target.id, []).append(
+                            node.value
+                        )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.Lambda)):
+                for arg in ast.walk(node.args):
+                    if isinstance(arg, ast.arg):
+                        assigned.setdefault(arg.arg, []).append(None)
+        # fixed point so aliases (``b = a`` with set-typed ``a``) and
+        # unions of aliases are tracked; terminates because names only
+        # ever get added
+        names: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            frozen = frozenset(names)
+            for name, values in assigned.items():
+                if name in names:
+                    continue
+                if values and all(
+                    isinstance(value, ast.AST)
+                    and self._is_set_expr(value, frozen)
+                    for value in values
+                ):
+                    names.add(name)
+                    changed = True
+        self.set_names = frozenset(names)
+
+    @classmethod
+    def _is_set_expr(cls, node: ast.AST, set_names: frozenset) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in set_names
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+                return cls._is_set_expr(func.value, set_names)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            return (cls._is_set_expr(node.left, set_names)
+                    or cls._is_set_expr(node.right, set_names))
+        return False
+
+    def is_set_expr(self, node: ast.AST) -> bool:
+        return self._is_set_expr(node, self.set_names)
+
+
+class DeterminismRule(Rule):
+    """SC-DET: nondeterminism in measured/replayed paths.
+
+    Flags (a) draws from the process-global ``random`` / ``np.random``
+    generators anywhere in the tree, (b) ``time.time()`` inside the
+    deterministic core (wall clock in a measured path — use
+    ``time.perf_counter`` in profiling code, outside ``core``), and
+    (c) iteration over sets (or ``dict.keys()`` calls) without
+    ``sorted()`` in ``core``/``streams``/``verify``, where iteration
+    order reaches estimates, reports, and replay logs.
+    """
+
+    rule_id = "SC-DET"
+    severity = ERROR
+    description = ("unseeded RNG, wall-clock reads, or unsorted set "
+                   "iteration in deterministic paths")
+
+    #: Paths where (b) and (c) apply; (a) applies everywhere.
+    core_prefixes = (
+        "src/repro/core/", "src/repro/streams/", "src/repro/verify/",
+    )
+
+    def check_file(
+        self, relpath: str, tree: ast.AST, source: str
+    ) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        in_core = relpath.startswith(self.core_prefixes)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(relpath, node, in_core))
+        if in_core:
+            for scope in _function_scopes(tree):
+                tracker = _SetTracker(scope)
+                for site in self._own_iteration_sites(scope):
+                    findings.extend(
+                        self._check_iteration(relpath, site, tracker)
+                    )
+        return findings
+
+    @staticmethod
+    def _own_iteration_sites(scope: ast.AST) -> Iterator[ast.expr]:
+        """Iteration sites of ``scope`` excluding nested function bodies."""
+        nested: Set[int] = set()
+        for node in ast.walk(scope):
+            if node is scope:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.update(id(sub) for sub in ast.walk(node))
+        for site in _iteration_sites(scope):
+            if id(site) not in nested:
+                yield site
+
+    def _check_call(
+        self, relpath: str, node: ast.Call, in_core: bool
+    ) -> Iterator[Finding]:
+        name = _dotted(node.func)
+        base, _, leaf = name.rpartition(".")
+        if base == "random" and leaf in _GLOBAL_RANDOM_FUNCS:
+            yield self.finding(
+                relpath, node,
+                f"draw from the process-global RNG ({name}()); use a "
+                f"seeded random.Random(derive_seed(...)) instance",
+            )
+        elif name == "random.Random" and not node.args and not node.keywords:
+            yield self.finding(
+                relpath, node,
+                "random.Random() without a seed is nondeterministic; "
+                "pass a derived seed",
+            )
+        elif base in ("np.random", "numpy.random"):
+            if leaf in _GLOBAL_NP_RANDOM_FUNCS:
+                yield self.finding(
+                    relpath, node,
+                    f"draw from numpy's global RNG ({name}()); use "
+                    f"np.random.default_rng(derive_seed(...))",
+                )
+            elif leaf == "default_rng" and not node.args \
+                    and not node.keywords:
+                yield self.finding(
+                    relpath, node,
+                    "np.random.default_rng() without a seed is "
+                    "nondeterministic; pass a derived seed",
+                )
+        elif in_core and name == "time.time":
+            yield self.finding(
+                relpath, node,
+                "time.time() in a measured path; wall clock belongs in "
+                "profiling code (time.perf_counter) outside core",
+            )
+
+    def _check_iteration(
+        self, relpath: str, site: ast.expr, tracker: _SetTracker
+    ) -> Iterator[Finding]:
+        if isinstance(site, ast.Call):
+            func = site.func
+            if isinstance(func, ast.Name) and func.id in (
+                    "sorted", "range", "enumerate", "len"):
+                return
+            if isinstance(func, ast.Attribute) and func.attr == "keys":
+                yield self.finding(
+                    relpath, site,
+                    "iteration over dict.keys(); iterate "
+                    "sorted(d) when order can reach output, or the dict "
+                    "itself",
+                )
+                return
+        if tracker.is_set_expr(site):
+            yield self.finding(
+                relpath, site,
+                "iteration over an unsorted set; wrap the iterable in "
+                "sorted(...) so replay order is deterministic",
+            )
+
+
+class PickleRule(Rule):
+    """SC-PICKLE: unpickling outside the one audited opt-in site.
+
+    Unpickling executes code from the file being read.  The only place
+    allowed to do it is the ``allow_pickle=True`` legacy path in
+    ``core/snapshot.py``, which gates both ends behind an explicit opt-in
+    and converts every failure mode to ``SnapshotError``.
+    """
+
+    rule_id = "SC-PICKLE"
+    severity = ERROR
+    description = "pickle.load/loads outside core/snapshot.py"
+
+    allowed_files = ("src/repro/core/snapshot.py",)
+    _banned_attrs = frozenset({"load", "loads", "Unpickler"})
+
+    def check_file(
+        self, relpath: str, tree: ast.AST, source: str
+    ) -> Iterable[Finding]:
+        if relpath in self.allowed_files:
+            return ()
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) \
+                    and node.attr in self._banned_attrs \
+                    and _dotted(node) == f"pickle.{node.attr}":
+                findings.append(self.finding(
+                    relpath, node,
+                    f"pickle.{node.attr} outside core/snapshot.py; "
+                    f"unpickling executes code from the file — use "
+                    f"repro.persist (codec) or route through "
+                    f"load_sketch(allow_pickle=True)",
+                ))
+            elif isinstance(node, ast.ImportFrom) \
+                    and node.module == "pickle":
+                bad = sorted(
+                    alias.name for alias in node.names
+                    if alias.name in self._banned_attrs
+                )
+                if bad:
+                    findings.append(self.finding(
+                        relpath, node,
+                        f"importing {', '.join(bad)} from pickle outside "
+                        f"core/snapshot.py",
+                    ))
+        return findings
+
+
+class BroadExceptRule(Rule):
+    """SC-EXC: broad except that swallows decode errors in persist paths.
+
+    Every failure of the persistence layer must surface as
+    ``SnapshotError`` (see ``repro/common/errors.py``); a bare or
+    ``except Exception`` handler with no ``raise`` in its body converts a
+    corrupt checkpoint into a silently wrong sketch.
+    """
+
+    rule_id = "SC-EXC"
+    severity = ERROR
+    description = ("broad except without re-raise in persist/snapshot "
+                   "paths")
+    scope_prefixes = (
+        "src/repro/persist/", "src/repro/core/snapshot.py",
+    )
+
+    _broad = frozenset({"Exception", "BaseException"})
+
+    def _is_broad(self, annotation: ast.expr) -> bool:
+        if annotation is None:
+            return True
+        if isinstance(annotation, ast.Name):
+            return annotation.id in self._broad
+        if isinstance(annotation, ast.Tuple):
+            return any(self._is_broad(element)
+                       for element in annotation.elts)
+        return False
+
+    def check_file(
+        self, relpath: str, tree: ast.AST, source: str
+    ) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if any(isinstance(sub, ast.Raise) for sub in ast.walk(node)):
+                continue
+            label = "bare except" if node.type is None else \
+                f"except {ast.unparse(node.type)}"
+            findings.append(self.finding(
+                relpath, node,
+                f"{label} swallows the error; re-raise as SnapshotError "
+                f"so corruption can never load silently",
+            ))
+        return findings
+
+
+class IntegerCounterRule(Rule):
+    """SC-INT: float arithmetic feeding integer sketch counters.
+
+    Sketch counters are saturating *integers* (``SaturatingCounterArray``);
+    a float literal or true division in an ``increment``/``increment_at``
+    argument (or in the array's sizing) truncates silently on store and
+    drifts estimates.  Use ``//`` or explicit ``int(...)``.
+    """
+
+    rule_id = "SC-INT"
+    severity = ERROR
+    description = ("float literals or true division feeding counter "
+                   "increments")
+    scope_prefixes = ("src/repro/",)
+
+    _counter_methods = frozenset({"increment", "increment_at"})
+
+    @staticmethod
+    def _float_taint(node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value,
+                                                            float):
+                return True
+            if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+                return True
+        return False
+
+    def check_file(
+        self, relpath: str, tree: ast.AST, source: str
+    ) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_counter_call = (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._counter_methods
+            )
+            is_ctor = (
+                (isinstance(func, ast.Name)
+                 and func.id == "SaturatingCounterArray")
+                or (isinstance(func, ast.Attribute)
+                    and func.attr == "SaturatingCounterArray")
+            )
+            if not (is_counter_call or is_ctor):
+                continue
+            tainted = [
+                arg for arg in list(node.args)
+                + [kw.value for kw in node.keywords]
+                if self._float_taint(arg)
+            ]
+            for arg in tainted:
+                what = (f"{func.attr}()" if isinstance(func, ast.Attribute)
+                        else "SaturatingCounterArray(...)")
+                findings.append(self.finding(
+                    relpath, arg,
+                    f"float-valued expression feeds {what}; counters are "
+                    f"integers — use // or int(...)",
+                ))
+        return findings
+
+
+class MutableDefaultRule(Rule):
+    """SC-MUTDEF: mutable default argument values.
+
+    A ``def f(x=[])`` default is created once and shared across calls;
+    state leaks between invocations.  Default to ``None`` and build the
+    container inside the function.
+    """
+
+    rule_id = "SC-MUTDEF"
+    severity = WARNING
+    description = "mutable default argument (list/dict/set literal)"
+
+    _mutable_ctors = frozenset({"list", "dict", "set", "bytearray"})
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._mutable_ctors
+            and not node.args and not node.keywords
+        )
+
+    def check_file(
+        self, relpath: str, tree: ast.AST, source: str
+    ) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    findings.append(self.finding(
+                        relpath, default,
+                        f"mutable default in {name}(); the object is "
+                        f"shared across calls — default to None",
+                    ))
+        return findings

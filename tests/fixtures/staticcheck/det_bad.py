@@ -1,0 +1,42 @@
+"""SC-DET fixture: every statement below should be flagged when this
+file is treated as living under ``src/repro/core/``."""
+
+import random
+import time
+
+import numpy as np
+
+
+def draw():
+    return random.random()          # global RNG: unseeded
+
+
+def shuffle(items):
+    random.shuffle(items)           # global RNG: unseeded
+
+
+def fresh_rng():
+    return random.Random()          # seedless instance
+
+
+def fresh_generator():
+    return np.random.default_rng()  # seedless numpy Generator
+
+
+def wall_clock():
+    return time.time()              # wall clock in a measured path
+
+
+def iterate(keys):
+    bucket = set(keys)
+    out = []
+    for key in bucket:              # unsorted set iteration
+        out.append(key)
+    return out
+
+
+def iterate_dict(table):
+    out = []
+    for key in table.keys():        # unsorted .keys() iteration
+        out.append(key)
+    return out

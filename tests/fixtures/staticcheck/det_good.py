@@ -1,0 +1,38 @@
+"""SC-DET fixture: deterministic counterparts — zero findings even
+under ``src/repro/core/``."""
+
+import random
+
+import numpy as np
+
+
+def draw(seed):
+    return random.Random(seed).random()
+
+
+def fresh_generator(seed):
+    return np.random.default_rng(seed)
+
+
+def logical_clock(window_id):
+    return window_id  # window ids, not wall time
+
+
+def iterate(keys):
+    bucket = set(keys)
+    out = []
+    for key in sorted(bucket):
+        out.append(key)
+    return out
+
+
+def iterate_dict(table):
+    out = []
+    for key in sorted(table.keys()):
+        out.append(key)
+    return out
+
+
+def membership_only(keys, probe):
+    bucket = set(keys)
+    return probe in bucket  # set used for membership, never iterated

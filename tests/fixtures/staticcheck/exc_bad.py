@@ -1,0 +1,23 @@
+"""SC-EXC fixture: broad handlers that swallow errors in persist
+paths, leaving a half-restored sketch behind."""
+
+
+def load_quietly(path, decode):
+    try:
+        return decode(path)
+    except Exception:       # swallowed: caller sees None, not a failure
+        return None
+
+
+def load_bare(path, decode):
+    try:
+        return decode(path)
+    except:                 # noqa: E722  bare except, no re-raise
+        pass
+
+
+def load_tuple(path, decode):
+    try:
+        return decode(path)
+    except (ValueError, BaseException):  # tuple hiding BaseException
+        return {}

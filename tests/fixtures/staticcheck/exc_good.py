@@ -1,0 +1,20 @@
+"""SC-EXC fixture: broad handlers are fine when they re-raise (e.g. as
+SnapshotError), and narrow handlers are always fine."""
+
+
+class SnapshotError(Exception):
+    pass
+
+
+def load_wrapped(path, decode):
+    try:
+        return decode(path)
+    except Exception as exc:
+        raise SnapshotError(f"{path} is corrupt: {exc}") from exc
+
+
+def load_narrow(path, decode):
+    try:
+        return decode(path)
+    except ValueError:  # specific exception may be handled silently
+        return None

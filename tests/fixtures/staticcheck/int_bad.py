@@ -1,0 +1,20 @@
+"""SC-INT fixture: float arithmetic feeding saturating integer
+counters truncates silently."""
+
+from repro.common.bitmem import SaturatingCounterArray
+
+
+def bump(counters: SaturatingCounterArray, idx):
+    counters.increment(idx, 1.5)            # float literal delta
+
+
+def bump_half(counters: SaturatingCounterArray, idx, weight):
+    counters.increment(idx, weight / 2)     # true division -> float
+
+
+def bump_at(counters, idx):
+    counters.increment_at(idx, 0.25)        # float via increment_at
+
+
+def build(n):
+    return SaturatingCounterArray(n, 4.0)   # float width argument

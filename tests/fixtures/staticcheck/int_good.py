@@ -1,0 +1,20 @@
+"""SC-INT fixture: integer deltas and floor division keep the
+saturating counters exact."""
+
+from repro.common.bitmem import SaturatingCounterArray
+
+
+def bump(counters: SaturatingCounterArray, idx):
+    counters.increment(idx, 1)
+
+
+def bump_half(counters: SaturatingCounterArray, idx, weight):
+    counters.increment(idx, weight // 2)  # floor division stays integral
+
+
+def build(n):
+    return SaturatingCounterArray(n, 4)
+
+
+def unrelated_float():
+    return 1.5  # floats outside counter calls are fine

@@ -1,0 +1,22 @@
+"""SC-MUTDEF fixture: mutable default arguments shared across calls."""
+
+
+def collect(item, seen=[]):             # list literal default
+    seen.append(item)
+    return seen
+
+
+def index(key, table={}):               # dict literal default
+    return table.setdefault(key, len(table))
+
+
+def dedupe(items, cache=set()):         # zero-arg set() default
+    cache.update(items)
+    return cache
+
+
+def keyword_only(*, acc=list()):        # kw-only zero-arg list()
+    return acc
+
+
+grab = lambda x, out=[]: out.append(x)  # noqa: E731  lambda default

@@ -1,0 +1,17 @@
+"""SC-MUTDEF fixture: the None-sentinel idiom and immutable defaults."""
+
+
+def collect(item, seen=None):
+    if seen is None:
+        seen = []
+    seen.append(item)
+    return seen
+
+
+def index(key, table=None):
+    table = {} if table is None else table
+    return table.setdefault(key, len(table))
+
+
+def window(size=64, label="w", factor=1.5, tags=()):
+    return (size, label, factor, tags)  # immutables are fine

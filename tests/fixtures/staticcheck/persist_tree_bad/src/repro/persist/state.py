@@ -1,0 +1,12 @@
+"""Minimal allowlist module mirroring repro/persist/state.py's shape."""
+
+_REGISTRY = {}
+
+
+def _registry():
+    if not _REGISTRY:
+        from ..core.widget import Widget
+
+        for klass in (Widget,):
+            _REGISTRY[klass.__name__] = klass
+    return _REGISTRY

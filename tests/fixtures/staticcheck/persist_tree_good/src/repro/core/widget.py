@@ -1,0 +1,25 @@
+"""Allowlisted class satisfying the SC-PERSIST contract.
+
+``_scale`` is derived: state_dict() reads it while building the state
+tree, which counts as coverage (the flattened-representation case).
+"""
+
+
+class Widget:
+    def __init__(self, size, salt):
+        self.size = size
+        self.salt = salt
+        self._scale = size * 2
+
+    def state_dict(self):
+        return {
+            "size": self.size,
+            "salt": self.salt,
+            "scale_hint": self._scale // 2,
+        }
+
+    @classmethod
+    def from_state(cls, state):
+        obj = cls(state["size"], state["salt"])
+        obj._scale = state.get("scale_hint", obj.size) * 2
+        return obj

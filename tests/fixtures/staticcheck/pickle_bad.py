@@ -1,0 +1,18 @@
+"""SC-PICKLE fixture: pickle deserialisation outside the snapshot
+compatibility shim."""
+
+import pickle
+from pickle import loads
+
+
+def read_checkpoint(path):
+    with open(path, "rb") as handle:
+        return pickle.load(handle)      # arbitrary code execution
+
+
+def decode_blob(blob):
+    return loads(blob)                  # imported alias, same hazard
+
+
+def lazy_reader(handle):
+    return pickle.Unpickler(handle)     # deferred, still pickle

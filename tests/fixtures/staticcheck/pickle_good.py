@@ -1,0 +1,15 @@
+"""SC-PICKLE fixture: serialisation is fine, and *writing* pickles is
+not flagged — only loading them is."""
+
+import json
+import pickle
+
+
+def write_legacy(path, payload):
+    with open(path, "wb") as handle:
+        pickle.dump(payload, handle)  # dumping is not a load hazard
+
+
+def read_checkpoint(path):
+    with open(path, "r") as handle:
+        return json.load(handle)

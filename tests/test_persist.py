@@ -472,3 +472,105 @@ class TestStreamDriverRecovery:
         with pytest.raises(StreamError):
             StreamDriver(HypersistentSketch(small_config()),
                          window_duration=1.0, checkpoint_every=0)
+
+
+class TestRegisterClassContract:
+    """register_class must reject contract violations at registration
+    time, not deep inside a later checkpoint load."""
+
+    def _fresh_registry(self, monkeypatch):
+        from repro.persist import state as state_mod
+        registry = dict(state_mod._registry())
+        monkeypatch.setattr(state_mod, "_REGISTRY", registry)
+        return registry
+
+    def test_valid_class_registers(self, monkeypatch):
+        from repro.persist import register_class
+
+        registry = self._fresh_registry(monkeypatch)
+
+        class Good:
+            def __init__(self, x=1):
+                self.x = x
+
+            def state_dict(self):
+                return {"x": self.x}
+
+            @classmethod
+            def from_state(cls, state):
+                return cls(state["x"])
+
+        assert register_class(Good) is Good
+        assert registry["Good"] is Good
+        restored = restore_tagged(tagged_state(Good(7)))
+        assert isinstance(restored, Good) and restored.x == 7
+
+    def test_staticmethod_from_state_accepted(self, monkeypatch):
+        from repro.persist import register_class
+
+        self._fresh_registry(monkeypatch)
+
+        class GoodStatic:
+            def state_dict(self):
+                return {}
+
+            @staticmethod
+            def from_state(state):
+                return GoodStatic()
+
+        assert register_class(GoodStatic) is GoodStatic
+
+    def test_non_class_rejected(self):
+        from repro.persist import register_class
+
+        with pytest.raises(TypeError, match="expects a class"):
+            register_class(lambda: None)
+
+    def test_missing_state_dict_rejected(self):
+        from repro.persist import register_class
+
+        class NoStateDict:
+            @classmethod
+            def from_state(cls, state):
+                return cls()
+
+        with pytest.raises(TypeError, match="state_dict"):
+            register_class(NoStateDict)
+
+    def test_classmethod_state_dict_rejected(self):
+        from repro.persist import register_class
+
+        class ClassmethodStateDict:
+            @classmethod
+            def state_dict(cls):
+                return {}
+
+            @classmethod
+            def from_state(cls, state):
+                return cls()
+
+        with pytest.raises(TypeError, match="plain method"):
+            register_class(ClassmethodStateDict)
+
+    def test_missing_from_state_rejected(self):
+        from repro.persist import register_class
+
+        class NoFromState:
+            def state_dict(self):
+                return {}
+
+        with pytest.raises(TypeError, match="from_state"):
+            register_class(NoFromState)
+
+    def test_instance_method_from_state_rejected(self):
+        from repro.persist import register_class
+
+        class InstanceFromState:
+            def state_dict(self):
+                return {}
+
+            def from_state(self, state):  # wrong kind: needs an instance
+                return self
+
+        with pytest.raises(TypeError, match="classmethod or"):
+            register_class(InstanceFromState)

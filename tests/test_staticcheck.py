@@ -1,0 +1,363 @@
+"""Tests for the dependency-free AST lint engine (:mod:`repro.staticcheck`).
+
+Three layers:
+
+* rule-level — each rule over its good/bad fixture pair in
+  ``tests/fixtures/staticcheck/`` (bad must flag, good must be silent);
+* engine-level — suppression comments, select/ignore, JSON report and
+  baseline round-trips, the SC-PARSE pseudo-rule;
+* gate-level — ``scripts/check_lint.py`` run as a subprocess over a
+  mutated copy of ``src/repro`` must exit non-zero for each of the six
+  seeded bug patterns, and zero for the untouched copy.
+"""
+
+import ast
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import (
+    apply_baseline,
+    default_registry,
+    entries_from_findings,
+    load_baseline,
+    parse_report,
+    render_human,
+    render_json,
+    run_lint,
+)
+from repro.staticcheck.engine import PARSE_RULE_ID
+from repro.staticcheck.rules_ast import (
+    BroadExceptRule,
+    DeterminismRule,
+    IntegerCounterRule,
+    MutableDefaultRule,
+    PickleRule,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURES = REPO / "tests" / "fixtures" / "staticcheck"
+CHECK_LINT = REPO / "scripts" / "check_lint.py"
+
+
+def run_rule(rule, fixture, relpath):
+    source = (FIXTURES / fixture).read_text()
+    return list(rule.check_file(relpath, ast.parse(source), source))
+
+
+class TestRuleFixtures:
+    """Each rule flags its bad fixture and stays silent on the good one."""
+
+    CASES = [
+        # (rule factory, fixture stem, pretend in-tree path, bad findings)
+        (DeterminismRule, "det", "src/repro/core/{stem}.py", 7),
+        (PickleRule, "pickle", "src/repro/persist/{stem}.py", 3),
+        (BroadExceptRule, "exc", "src/repro/persist/{stem}.py", 3),
+        (IntegerCounterRule, "int", "src/repro/core/{stem}.py", 4),
+        (MutableDefaultRule, "mutdef", "src/repro/core/{stem}.py", 5),
+    ]
+
+    @pytest.mark.parametrize(
+        "factory,stem,template,expected",
+        CASES, ids=[c[1] for c in CASES],
+    )
+    def test_bad_fixture_flags(self, factory, stem, template, expected):
+        name = f"{stem}_bad"
+        findings = run_rule(factory(), f"{name}.py",
+                            template.format(stem=name))
+        assert len(findings) == expected
+        assert all(f.rule_id == factory.rule_id for f in findings)
+
+    @pytest.mark.parametrize(
+        "factory,stem,template,expected",
+        CASES, ids=[c[1] for c in CASES],
+    )
+    def test_good_fixture_clean(self, factory, stem, template, expected):
+        name = f"{stem}_good"
+        findings = run_rule(factory(), f"{name}.py",
+                            template.format(stem=name))
+        assert findings == []
+
+    def test_det_rule_scopes_wall_clock_to_core(self):
+        # time.time() is only a finding in measured paths; the same code
+        # under scripts/ is fine (profiling code needs wall clocks).
+        source = "import time\n\ndef now():\n    return time.time()\n"
+        tree = ast.parse(source)
+        rule = DeterminismRule()
+        core = rule.check_file("src/repro/core/x.py", tree, source)
+        assert any("time.time" in f.message for f in core)
+        assert rule.check_file("scripts/x.py", tree, source) == []
+
+
+class TestPersistContract:
+    """SC-PERSIST over the fixture mini-trees."""
+
+    def test_bad_tree_flags_all_three_properties(self):
+        findings = run_lint(FIXTURES / "persist_tree_bad",
+                            select=["SC-PERSIST"])
+        messages = "\n".join(f.message for f in findings)
+        assert len(findings) == 4
+        assert "consumes key 'seed'" in messages
+        assert "emits key 'extra'" in messages
+        assert "Widget.salt is never captured" in messages
+        assert "Widget._scale is never captured" in messages
+
+    def test_good_tree_clean(self):
+        assert run_lint(FIXTURES / "persist_tree_good",
+                        select=["SC-PERSIST"]) == []
+
+
+class TestSuppression:
+    def lint_snippet(self, tmp_path, source, select=("SC-MUTDEF",)):
+        target = tmp_path / "src" / "repro" / "core"
+        target.mkdir(parents=True)
+        (target / "snippet.py").write_text(source)
+        return run_lint(tmp_path, select=list(select))
+
+    def test_inline_comment_suppresses_its_line(self, tmp_path):
+        findings = self.lint_snippet(
+            tmp_path,
+            "def f(x=[]):  # staticcheck: ignore[SC-MUTDEF]\n"
+            "    return x\n",
+        )
+        assert findings == []
+
+    def test_comment_only_line_covers_next_line(self, tmp_path):
+        findings = self.lint_snippet(
+            tmp_path,
+            "# staticcheck: ignore[SC-MUTDEF] fixture, on purpose\n"
+            "def f(x=[]):\n"
+            "    return x\n",
+        )
+        assert findings == []
+
+    def test_bare_ignore_silences_every_rule(self, tmp_path):
+        findings = self.lint_snippet(
+            tmp_path,
+            "def f(x=[]):  # staticcheck: ignore\n    return x\n",
+        )
+        assert findings == []
+
+    def test_other_rule_id_does_not_suppress(self, tmp_path):
+        findings = self.lint_snippet(
+            tmp_path,
+            "def f(x=[]):  # staticcheck: ignore[SC-DET]\n    return x\n",
+        )
+        assert len(findings) == 1
+
+    def test_marker_inert_inside_string_literals(self, tmp_path):
+        findings = self.lint_snippet(
+            tmp_path,
+            'DOC = "# staticcheck: ignore[SC-MUTDEF]"\n'
+            "def f(x=[]):\n"
+            "    return x\n",
+        )
+        assert len(findings) == 1
+
+    def test_parse_errors_fail_and_cannot_be_suppressed(self, tmp_path):
+        findings = self.lint_snippet(
+            tmp_path,
+            "def broken(:  # staticcheck: ignore\n",
+        )
+        assert [f.rule_id for f in findings] == [PARSE_RULE_ID]
+
+
+class TestEngine:
+    def test_select_and_ignore(self):
+        registry = default_registry()
+        ids = [rule.rule_id for rule in registry.select(None, None)]
+        assert ids == ["SC-DET", "SC-PERSIST", "SC-PICKLE",
+                       "SC-EXC", "SC-INT", "SC-MUTDEF"]
+        only = registry.select(["SC-DET"], None)
+        assert [r.rule_id for r in only] == ["SC-DET"]
+        rest = registry.select(None, ["SC-DET", "SC-MUTDEF"])
+        assert "SC-DET" not in [r.rule_id for r in rest]
+
+    def test_unknown_rule_id_rejected(self):
+        registry = default_registry()
+        with pytest.raises(ValueError, match="SC-BOGUS"):
+            registry.select(["SC-BOGUS"], None)
+        with pytest.raises(ValueError, match="SC-BOGUS"):
+            registry.select(None, ["SC-BOGUS"])
+
+    def test_repo_tree_lints_clean(self):
+        findings = run_lint(REPO)
+        assert findings == [], render_human(findings)
+
+    def test_findings_sorted_and_deduped(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "core"
+        target.mkdir(parents=True)
+        (target / "b.py").write_text("def f(x=[]):\n    return x\n")
+        (target / "a.py").write_text("def g(y={}):\n    return y\n")
+        findings = run_lint(tmp_path, select=["SC-MUTDEF"])
+        assert [f.path for f in findings] == [
+            "src/repro/core/a.py", "src/repro/core/b.py",
+        ]
+
+
+class TestReportAndBaseline:
+    def fixture_findings(self):
+        return run_lint(FIXTURES / "persist_tree_bad",
+                        select=["SC-PERSIST"])
+
+    def test_json_report_round_trip(self):
+        findings = self.fixture_findings()
+        assert parse_report(render_json(findings)) == findings
+
+    def test_lint_json_output_feeds_baseline_loader(self, tmp_path):
+        # Acceptance criterion: `repro lint --format json` output
+        # round-trips through the baseline loader and, applied as a
+        # baseline, grandfathers every finding it was built from.
+        findings = self.fixture_findings()
+        report_path = tmp_path / "report.json"
+        report_path.write_text(render_json(findings))
+        entries = load_baseline(report_path)
+        assert len(entries) == len(findings)
+        new, stale = apply_baseline(findings, entries)
+        assert new == [] and stale == []
+
+    def test_stale_entries_reported(self):
+        findings = self.fixture_findings()
+        entries = entries_from_findings(findings)
+        new, stale = apply_baseline([], entries)
+        assert new == [] and len(stale) == len(entries)
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == []
+
+    def test_human_report_mentions_rule_and_location(self):
+        findings = self.fixture_findings()
+        text = render_human(findings)
+        assert "SC-PERSIST" in text
+        assert "src/repro/core/widget.py:" in text
+        assert f"{len(findings)} finding(s)" in text
+        assert render_human([]) == "staticcheck: no findings"
+
+
+def run_cli(args, cwd=REPO):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *args],
+        cwd=cwd, capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+class TestLintCLI:
+    def test_list_prints_catalog(self):
+        proc = run_cli(["--list"])
+        assert proc.returncode == 0
+        for rule_id in ("SC-DET", "SC-PERSIST", "SC-PICKLE",
+                        "SC-EXC", "SC-INT", "SC-MUTDEF"):
+            assert rule_id in proc.stdout
+
+    def test_clean_tree_exits_zero(self):
+        proc = run_cli(["--root", str(REPO)])
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "no findings" in proc.stdout
+
+    def test_findings_exit_one_and_json_round_trips(self):
+        root = FIXTURES / "persist_tree_bad"
+        proc = run_cli(["--root", str(root), "--select", "SC-PERSIST",
+                        "--format", "json"])
+        assert proc.returncode == 1
+        findings = parse_report(proc.stdout)
+        assert len(findings) == 4
+
+    def test_unknown_rule_id_exits_two(self):
+        proc = run_cli(["--select", "SC-BOGUS"])
+        assert proc.returncode == 2
+        assert "SC-BOGUS" in proc.stderr
+
+
+MUTATIONS = {
+    "SC-DET": (
+        "src/repro/core/_mut_det.py",
+        None,
+        "def drain(pending):\n"
+        "    out = []\n"
+        "    bucket = set(pending)\n"
+        "    for key in bucket:\n"
+        "        out.append(key)\n"
+        "    return out\n",
+    ),
+    "SC-PERSIST": (
+        "src/repro/core/hot_part.py",
+        '            "window_salt": self._window_salt,\n',
+        "",
+    ),
+    "SC-PICKLE": (
+        "src/repro/persist/_mut_pickle.py",
+        None,
+        "import pickle\n\n"
+        "def read(path):\n"
+        "    with open(path, 'rb') as handle:\n"
+        "        return pickle.load(handle)\n",
+    ),
+    "SC-EXC": (
+        "src/repro/persist/_mut_exc.py",
+        None,
+        "def load(path, decode):\n"
+        "    try:\n"
+        "        return decode(path)\n"
+        "    except Exception:\n"
+        "        return None\n",
+    ),
+    "SC-INT": (
+        "src/repro/core/_mut_int.py",
+        None,
+        "def bump(counters, idx):\n"
+        "    counters.increment(idx, 1.5)\n",
+    ),
+    "SC-MUTDEF": (
+        "src/repro/core/_mut_mutdef.py",
+        None,
+        "def collect(item, seen=[]):\n"
+        "    seen.append(item)\n"
+        "    return seen\n",
+    ),
+}
+
+
+class TestMutationSmoke:
+    """The gate must catch each seeded bug pattern in a copied tree.
+
+    Mutations either drop a known-good line (SC-PERSIST deletes the
+    ``window_salt`` entry from ``HotPart.state_dict()``) or add a small
+    file containing the bad pattern; ``scripts/check_lint.py --root``
+    then lints the copy and must exit non-zero.
+    """
+
+    @pytest.fixture()
+    def tree(self, tmp_path):
+        shutil.copytree(REPO / "src" / "repro",
+                        tmp_path / "src" / "repro")
+        return tmp_path
+
+    def gate(self, root):
+        return subprocess.run(
+            [sys.executable, str(CHECK_LINT), "--root", str(root),
+             "--no-mypy"],
+            capture_output=True, text=True,
+        )
+
+    def test_unmutated_copy_passes(self, tree):
+        proc = self.gate(tree)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    @pytest.mark.parametrize("rule_id", sorted(MUTATIONS))
+    def test_mutation_is_caught(self, tree, rule_id):
+        relpath, needle, replacement = MUTATIONS[rule_id]
+        path = tree / relpath
+        if needle is None:
+            path.write_text(replacement)
+        else:
+            original = path.read_text()
+            assert needle in original, f"mutation target gone: {needle!r}"
+            path.write_text(original.replace(needle, replacement))
+        proc = self.gate(tree)
+        assert proc.returncode != 0, proc.stdout + proc.stderr
+        assert rule_id in proc.stdout
