@@ -1,11 +1,14 @@
-"""Record the scalar-vs-batched ingestion benchmark to BENCH_ingest.json.
+"""Record the scalar / batched / kernel ingestion benchmark to BENCH_ingest.json.
 
 Times the record-at-a-time ``insert`` loop against the columnar
-``insert_window`` batch path on the ``caida_like`` workload at the
+``insert_window`` batch path and the fused structure-of-arrays kernel
+backend (``engine="kernel"``) on the ``caida_like`` workload at the
 default bench scale, and writes the measured Mops, hash-ops-per-insert,
-and speedup so CI and the README quote reproducible numbers.  Usage::
+speedups, and the kernel's per-stage time breakdown so CI and the README
+quote reproducible numbers.  Usage::
 
     PYTHONPATH=src python scripts/record_bench.py [--out BENCH_ingest.json]
+    PYTHONPATH=src python scripts/record_bench.py --quick   # CI smoke (1 round)
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core import HSConfig, HypersistentSketch, make_hypersistent_simd
+from repro.core.kernels import ingest_window
 from repro.experiments.figures.common import bench_scale
 from repro.streams.traces import caida_like
 
@@ -55,9 +59,9 @@ def _median(values):
     return values[len(values) // 2]
 
 
-def _time_rounds(build, feed):
+def _time_rounds(build, feed, rounds):
     seconds, sketch = [], None
-    for _ in range(ROUNDS):
+    for _ in range(rounds):
         sketch = build()
         started = time.perf_counter()
         feed(sketch)
@@ -65,11 +69,12 @@ def _time_rounds(build, feed):
     return _median(seconds), sketch
 
 
-def run(out_path: str) -> dict:
+def run(out_path: str, quick: bool = False) -> dict:
     # Scale the window count with the trace so the per-window record
     # density stays the paper's (~2.49M packets / 1500 windows ≈ 1660
     # records per window); scaling only the records would chop the trace
     # into unrealistically sparse windows.
+    rounds = 1 if quick else ROUNDS
     scale = bench_scale()
     n_windows = max(4, round(1500 * scale))
     trace = caida_like(scale=scale, n_windows=n_windows, overlay=False)
@@ -86,18 +91,41 @@ def run(out_path: str) -> dict:
                 sketch.insert(item)
             sketch.end_window()
 
-    def feed_batched(sketch):
+    def feed_windows(sketch):
         for keys in arrays:
             sketch.insert_window(keys)
 
     scalar_s, scalar = _time_rounds(
-        lambda: HypersistentSketch(config), feed_scalar
+        lambda: HypersistentSketch(config), feed_scalar, rounds
     )
     batched_s, batched = _time_rounds(
-        lambda: make_hypersistent_simd(config), feed_batched
+        lambda: make_hypersistent_simd(config), feed_windows, rounds
     )
-    if scalar.stats()["hash_ops"] != batched.stats()["hash_ops"]:
-        raise SystemExit("hash-op cost models diverged between paths")
+    kernel_s, kernel = _time_rounds(
+        lambda: make_hypersistent_simd(config, engine="kernel"),
+        feed_windows, rounds,
+    )
+    for other, label in ((batched, "batched"), (kernel, "kernel")):
+        if scalar.stats()["hash_ops"] != other.stats()["hash_ops"]:
+            raise SystemExit(
+                f"hash-op cost models diverged between scalar and {label}"
+            )
+
+    # Per-stage breakdown: one extra kernel pass accumulating wall-clock
+    # seconds per pipeline stage (window_arrays are already canonical, so
+    # ingest_window can be driven directly).
+    stage_sketch = make_hypersistent_simd(config, engine="kernel")
+    timings = {}
+    for keys in arrays:
+        ingest_window(stage_sketch, keys, timings)
+    stage_total = sum(timings.values()) or 1.0
+    stages = {
+        stage: {
+            "seconds": round(seconds, 4),
+            "share": round(seconds / stage_total, 4),
+        }
+        for stage, seconds in timings.items()
+    }
 
     result = {
         "provenance": provenance(),
@@ -107,7 +135,7 @@ def run(out_path: str) -> dict:
             "windows": trace.n_windows,
             "records_per_window": round(n / trace.n_windows, 1),
             "memory_kb": 32,
-            "rounds": ROUNDS,
+            "rounds": rounds,
         },
         "scalar": {
             "seconds": round(scalar_s, 4),
@@ -119,21 +147,39 @@ def run(out_path: str) -> dict:
             "mops": round(n / batched_s / 1e6, 4),
             "hash_ops_per_insert": round(batched.stats()["hash_ops"] / n, 4),
         },
+        "kernel": {
+            "seconds": round(kernel_s, 4),
+            "mops": round(n / kernel_s / 1e6, 4),
+            "hash_ops_per_insert": round(kernel.stats()["hash_ops"] / n, 4),
+            "stages": stages,
+        },
         "speedup": round(scalar_s / batched_s, 2),
+        "speedup_kernel": round(scalar_s / kernel_s, 2),
+        "speedup_kernel_over_batched": round(batched_s / kernel_s, 2),
     }
     Path(out_path).write_text(json.dumps(result, indent=2) + "\n")
     print(f"scalar  : {result['scalar']['mops']:.3f} Mops "
           f"({scalar_s:.3f}s)")
     print(f"batched : {result['batched']['mops']:.3f} Mops "
-          f"({batched_s:.3f}s)")
-    print(f"speedup : {result['speedup']:.2f}x -> {out_path}")
+          f"({batched_s:.3f}s, {result['speedup']:.2f}x scalar)")
+    print(f"kernel  : {result['kernel']['mops']:.3f} Mops "
+          f"({kernel_s:.3f}s, {result['speedup_kernel']:.2f}x scalar, "
+          f"{result['speedup_kernel_over_batched']:.2f}x batched)")
+    print("stages  : " + "  ".join(
+        f"{stage}={spec['share']:.0%}" for stage, spec in stages.items()))
+    print(f"-> {out_path}")
     return result
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_ingest.json")
-    run(parser.parse_args().out)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="single timing round (CI smoke; numbers are noisier)",
+    )
+    args = parser.parse_args()
+    run(args.out, quick=args.quick)
 
 
 if __name__ == "__main__":

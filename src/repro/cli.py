@@ -147,6 +147,7 @@ def _cmd_estimate(args) -> int:
     result = run_algorithm(
         args.algorithm, trace, int(args.memory_kb * 1024),
         task="estimation", seed=args.seed, profiler=profiler,
+        engine=args.engine,
     )
     truth = exact_persistence(trace)
     estimates = estimate_all(result.sketch.query, truth)
@@ -512,6 +513,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default="HS")
     p.add_argument("--memory-kb", type=float, default=64)
     p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--engine", choices=("scalar", "batched", "kernel"),
+                   default=None,
+                   help="force a batch ingestion backend on sketches that "
+                        "support one (bit-identical results; speed only)")
     p.add_argument("--profile", action="store_true",
                    help="print a per-stage latency breakdown of the run")
     p.add_argument("--telemetry", metavar="PATH",

@@ -129,6 +129,14 @@ def mix(key: int, seed: int) -> int:
     return splitmix64((key ^ seed) & MASK64)
 
 
+def _splitmix_rounds(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer rounds on pre-seeded ``uint64``."""
+    x = x + np.uint64(_SEED_STEP)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
 def mix_array(keys: np.ndarray, seed: int) -> np.ndarray:
     """Vectorized :func:`mix` over a ``uint64`` key array.
 
@@ -136,10 +144,7 @@ def mix_array(keys: np.ndarray, seed: int) -> np.ndarray:
     wraps modulo 2**64 exactly like the masked Python-int version), so
     ``mix_array(keys, s)[i] == mix(int(keys[i]), s)`` for every element.
     """
-    x = (keys ^ np.uint64(seed & MASK64)) + np.uint64(_SEED_STEP)
-    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
-    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
-    return x ^ (x >> np.uint64(31))
+    return _splitmix_rounds(keys ^ np.uint64(seed & MASK64))
 
 
 class HashFamily:
@@ -197,12 +202,12 @@ class HashFamily:
 
         Row ``i`` holds every key's bucket under the ``i``-th function —
         the columnar layout the Cold Filter's grouped gather/scatter wants.
+        All rows run through one fused splitmix pass on the ``(count, n)``
+        seeded matrix; elementwise it is exactly ``mix(key, seeds[i])``.
         """
-        width_u = np.uint64(width)
-        out = np.empty((self.count, keys.size), dtype=np.int64)
-        for i, seed in enumerate(self.seeds):
-            out[i] = (mix_array(keys, seed) % width_u).astype(np.int64)
-        return out
+        seeds = np.array(self.seeds, dtype=np.uint64)
+        mixed = _splitmix_rounds(keys[None, :] ^ seeds[:, None])
+        return (mixed % np.uint64(width)).astype(np.int64)
 
     def state_dict(self) -> Dict[str, Any]:
         """Exact state as plain values (see :mod:`repro.persist`).

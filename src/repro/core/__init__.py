@@ -5,6 +5,13 @@ from .cold_filter import ColdFilter
 from .config import HOT_COUNTER_BITS, REPLACE_HASH, REPLACE_RANDOM, HSConfig
 from .hot_part import HotPart
 from .hypersistent import HypersistentSketch
+from .kernels import (
+    ENGINE_BATCHED,
+    ENGINE_KERNEL,
+    ENGINE_SCALAR,
+    ENGINES,
+    ingest_window,
+)
 from .meta_filter import ColdFilteredSketch
 from .sharded import ShardedSketch
 from .sliding import SlidingHypersistentSketch
@@ -19,6 +26,10 @@ from .simd import (
 )
 
 __all__ = [
+    "ENGINES",
+    "ENGINE_BATCHED",
+    "ENGINE_KERNEL",
+    "ENGINE_SCALAR",
     "HOT_COUNTER_BITS",
     "REPLACE_HASH",
     "REPLACE_RANDOM",
@@ -34,6 +45,7 @@ __all__ = [
     "SlidingHypersistentSketch",
     "SnapshotError",
     "VectorizedBurstFilter",
+    "ingest_window",
     "load_sketch",
     "make_hypersistent_simd",
     "save_sketch",

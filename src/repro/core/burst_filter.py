@@ -14,6 +14,14 @@ Structure: ``w`` buckets of ``gamma`` ID cells.  Insert hashes to one bucket:
 
 At the window end :meth:`drain` yields every stored ID exactly once and
 clears the filter.
+
+Storage is structure-of-arrays: a contiguous ``(w, gamma)`` ``uint64`` key
+matrix plus a per-bucket fill vector (the layout
+:class:`~repro.core.simd.VectorizedBurstFilter` proved out), so the batch
+paths scatter whole plans with numpy fancy indexing and the membership
+probes are masked vector compares.  The instrumentation keeps the *scalar*
+cost model — ``compare_ops`` counts the sequential early-exit scan's ID
+comparisons — so the paper's hash-savings analysis is unchanged.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from ..common.bitmem import ID_BITS
 from ..common.errors import ConfigError
 from ..common.hashing import HashFamily
 from .columnar import plan_burst_admission, window_downstream
+from .kernels import burst_window_plan
 
 
 class BurstFilter:
@@ -37,7 +46,7 @@ class BurstFilter:
     without relying on wall-clock timing of interpreted code.
     """
 
-    __slots__ = ("n_buckets", "cells_per_bucket", "_hash", "_buckets",
+    __slots__ = ("n_buckets", "cells_per_bucket", "_hash", "_keys", "_fill",
                  "hash_ops", "compare_ops", "absorbed", "overflowed")
 
     def __init__(self, n_buckets: int, cells_per_bucket: int = 4,
@@ -49,9 +58,8 @@ class BurstFilter:
         self.n_buckets = n_buckets
         self.cells_per_bucket = cells_per_bucket
         self._hash = HashFamily(1, seed)
-        self._buckets: List[List[Optional[int]]] = [
-            [] for _ in range(n_buckets)
-        ]
+        self._keys = np.zeros((n_buckets, cells_per_bucket), dtype=np.uint64)
+        self._fill = np.zeros(n_buckets, dtype=np.int64)
         self.hash_ops = 0
         self.compare_ops = 0
         self.absorbed = 0
@@ -65,14 +73,19 @@ class BurstFilter:
         must forward the item downstream (case 3).
         """
         self.hash_ops += 1
-        bucket = self._buckets[self._hash.index(key, 0, self.n_buckets)]
-        for stored in bucket:
-            self.compare_ops += 1
-            if stored == key:
+        b = self._hash.index(key, 0, self.n_buckets)
+        fill = int(self._fill[b])
+        if fill:
+            hits = np.flatnonzero(self._keys[b, :fill] == np.uint64(key))
+            if hits.size:
+                # the sequential scan stops at the hit: slot s costs s + 1
+                self.compare_ops += int(hits[0]) + 1
                 self.absorbed += 1
                 return True
-        if len(bucket) < self.cells_per_bucket:
-            bucket.append(key)
+            self.compare_ops += fill
+        if fill < self.cells_per_bucket:
+            self._keys[b, fill] = key
+            self._fill[b] = fill + 1
             self.absorbed += 1
             return True
         self.overflowed += 1
@@ -95,7 +108,7 @@ class BurstFilter:
         if not n:
             return np.zeros(0, dtype=bool)
         self.hash_ops += n
-        empty = not len(self)
+        empty = not self._fill.any()
         plan = plan_burst_admission(
             keys,
             lambda u: self._hash.index_batch(u, 0, self.n_buckets),
@@ -103,10 +116,11 @@ class BurstFilter:
             fill_of_unique=None if empty else self._fill_of,
             slot_of_unique=None if empty else self._slot_of,
         )
-        buckets = self._buckets
-        for key, b in zip(plan.unique_keys[plan.newly_stored].tolist(),
-                          plan.buckets[plan.newly_stored].tolist()):
-            buckets[b].append(key)
+        new = plan.newly_stored
+        if new.any():
+            self._keys[plan.buckets[new], plan.slots[new]] = \
+                plan.unique_keys[new]
+            np.add.at(self._fill, plan.buckets[new], 1)
         self.compare_ops += plan.scan_compares
         self.absorbed += plan.n_absorbed
         self.overflowed += n - plan.n_absorbed
@@ -125,7 +139,7 @@ class BurstFilter:
         empty filter (the whole-window invariant); returns ``None`` when
         the filter holds keys so the caller can take the general path.
         """
-        if len(self):
+        if self._fill.any():
             return None
         keys = np.asarray(keys, dtype=np.uint64)
         n = int(keys.size)
@@ -142,56 +156,89 @@ class BurstFilter:
         self.overflowed += n - plan.n_absorbed
         return window_downstream(keys, plan, self.cells_per_bucket)
 
+    def window_kernel(self, keys: np.ndarray) -> Optional[np.ndarray]:
+        """Fused :meth:`window_batch` (the ``engine="kernel"`` stage-1 op).
+
+        Identical contract and counters; computed by
+        :func:`~repro.core.kernels.burst_window_plan` in one unique pass
+        plus one composite sort instead of the columnar plan's four sorts.
+        Returns ``None`` when the filter is non-empty (general path).
+        """
+        if self._fill.any():
+            return None
+        keys = np.asarray(keys, dtype=np.uint64)
+        n = int(keys.size)
+        if not n:
+            return keys
+        self.hash_ops += n
+        downstream, n_absorbed, scan_compares = burst_window_plan(
+            keys,
+            lambda u: self._hash.index_batch(u, 0, self.n_buckets),
+            self.cells_per_bucket,
+        )
+        self.compare_ops += scan_compares
+        self.absorbed += n_absorbed
+        self.overflowed += n - n_absorbed
+        return downstream
+
     def _fill_of(self, buckets: np.ndarray) -> np.ndarray:
         """Current fill of each listed bucket (general-path helper)."""
-        return np.fromiter(
-            (len(self._buckets[b]) for b in buckets.tolist()),
-            dtype=np.int64,
-            count=buckets.size,
-        )
+        return self._fill[buckets]
 
     def _slot_of(self, keys: np.ndarray, buckets: np.ndarray) -> np.ndarray:
-        """Slot of each already-stored key, -1 where absent."""
-        slots = np.full(keys.size, -1, dtype=np.int64)
-        for i, (key, b) in enumerate(zip(keys.tolist(), buckets.tolist())):
-            bucket = self._buckets[b]
-            if bucket:
-                try:
-                    slots[i] = bucket.index(key)
-                except ValueError:
-                    pass
-        return slots
+        """Slot of each already-stored key, -1 where absent.
+
+        One masked vector compare over the gathered bucket rows (cells at
+        or beyond a bucket's fill never match because the mask excludes
+        them) — no per-key probing.
+        """
+        rows = self._keys[buckets]
+        hit = (rows == keys[:, None]) & (
+            np.arange(self.cells_per_bucket)[None, :]
+            < self._fill[buckets][:, None]
+        )
+        found = hit.any(axis=1)
+        return np.where(found, hit.argmax(axis=1), -1).astype(np.int64)
 
     def contains(self, key: int) -> bool:
         """In-window membership probe (Algorithm 5's Burst Filter check)."""
         self.hash_ops += 1
-        bucket = self._buckets[self._hash.index(key, 0, self.n_buckets)]
-        self.compare_ops += len(bucket)
-        return key in bucket
+        b = self._hash.index(key, 0, self.n_buckets)
+        fill = int(self._fill[b])
+        self.compare_ops += fill
+        return fill > 0 and bool(
+            (self._keys[b, :fill] == np.uint64(key)).any()
+        )
 
     def drain(self) -> Iterator[int]:
         """Yield every stored ID once and clear the filter (window end)."""
-        for bucket in self._buckets:
-            for key in bucket:
-                yield key
-            bucket.clear()
+        for b in np.flatnonzero(self._fill):
+            fill = int(self._fill[b])
+            for key in self._keys[b, :fill]:
+                yield int(key)
+            self._fill[b] = 0
 
     def drain_array(self) -> np.ndarray:
         """Columnar :meth:`drain`: stored IDs in the same bucket-major,
         slot-minor order, as one ``uint64`` array, clearing the filter."""
-        out = [key for bucket in self._buckets for key in bucket]
-        for bucket in self._buckets:
-            bucket.clear()
-        return np.array(out, dtype=np.uint64)
+        filled = (np.arange(self.cells_per_bucket)[None, :]
+                  < self._fill[:, None])
+        out = self._keys[filled]
+        self._fill.fill(0)
+        return out
 
     def clear(self) -> None:
-        """Reset all state (keeps sizing)."""
-        for bucket in self._buckets:
-            bucket.clear()
+        """Reset all state (keeps sizing).
+
+        Only the fills are zeroed: cells at or beyond a bucket's fill are
+        never read (every scan masks by fill) and never serialized
+        (:meth:`state_dict` stores the occupied prefix only).
+        """
+        self._fill.fill(0)
 
     def bucket_fills(self) -> Sequence[int]:
         """Per-bucket cell occupancy (verification/occupancy diagnostics)."""
-        return [len(bucket) for bucket in self._buckets]
+        return self._fill.tolist()
 
     def verify_state(self) -> List[str]:
         """Structural self-check; returns problem descriptions (empty = OK).
@@ -202,15 +249,18 @@ class BurstFilter:
         touch the instrumentation counters.
         """
         problems: List[str] = []
-        for b, bucket in enumerate(self._buckets):
-            if len(bucket) > self.cells_per_bucket:
+        for b in range(self.n_buckets):
+            fill = int(self._fill[b])
+            if fill > self.cells_per_bucket:
                 problems.append(
-                    f"burst bucket {b} holds {len(bucket)} IDs "
+                    f"burst bucket {b} holds {fill} IDs "
                     f"> capacity {self.cells_per_bucket}"
                 )
-            if len(set(bucket)) != len(bucket):
+                continue
+            stored = [int(key) for key in self._keys[b, :fill]]
+            if len(set(stored)) != len(stored):
                 problems.append(f"burst bucket {b} stores a duplicate ID")
-            for key in bucket:
+            for key in stored:
                 home = self._hash.index(key, 0, self.n_buckets)
                 if home != b:
                     problems.append(
@@ -221,7 +271,7 @@ class BurstFilter:
 
     def __len__(self) -> int:
         """Number of distinct IDs currently held."""
-        return sum(len(b) for b in self._buckets)
+        return int(self._fill.sum())
 
     @property
     def capacity(self) -> int:
@@ -250,19 +300,18 @@ class BurstFilter:
 
         Bucket contents are flattened to one concatenated key array plus
         per-bucket fills, preserving slot order — the order :meth:`drain`
-        yields, which downstream determinism depends on.
+        yields, which downstream determinism depends on.  Only the occupied
+        prefix of each bucket is serialized, so garbage beyond the fill can
+        never leak into a snapshot.
         """
+        filled = (np.arange(self.cells_per_bucket)[None, :]
+                  < self._fill[:, None])
         return {
             "n_buckets": self.n_buckets,
             "cells_per_bucket": self.cells_per_bucket,
             "hash": self._hash.state_dict(),
-            "keys": np.array(
-                [key for bucket in self._buckets for key in bucket],
-                dtype=np.uint64,
-            ),
-            "fills": np.array(
-                [len(bucket) for bucket in self._buckets], dtype=np.int64
-            ),
+            "keys": self._keys[filled],
+            "fills": self._fill.copy(),
             "hash_ops": self.hash_ops,
             "compare_ops": self.compare_ops,
             "absorbed": self.absorbed,
@@ -276,15 +325,19 @@ class BurstFilter:
         obj.n_buckets = int(state["n_buckets"])
         obj.cells_per_bucket = int(state["cells_per_bucket"])
         obj._hash = HashFamily.from_state(state["hash"])
-        keys = np.asarray(state["keys"], dtype=np.uint64).tolist()
-        fills = np.asarray(state["fills"], dtype=np.int64).tolist()
-        obj._buckets = []
-        cursor = 0
-        for fill in fills:
-            obj._buckets.append(keys[cursor:cursor + fill])
-            cursor += fill
-        if len(obj._buckets) != obj.n_buckets or cursor != len(keys):
+        keys = np.asarray(state["keys"], dtype=np.uint64)
+        fills = np.asarray(state["fills"], dtype=np.int64)
+        if (fills.shape != (obj.n_buckets,)
+                or int(fills.sum()) != int(keys.size)
+                or (fills < 0).any()
+                or (fills > obj.cells_per_bucket).any()):
             raise ValueError("burst filter state is inconsistent")
+        obj._keys = np.zeros(
+            (obj.n_buckets, obj.cells_per_bucket), dtype=np.uint64
+        )
+        filled = (np.arange(obj.cells_per_bucket)[None, :] < fills[:, None])
+        obj._keys[filled] = keys
+        obj._fill = fills.copy()
         obj.hash_ops = int(state["hash_ops"])
         obj.compare_ops = int(state["compare_ops"])
         obj.absorbed = int(state["absorbed"])

@@ -15,6 +15,15 @@ caller promotes the item to the Hot Part.
 
 The staged query (Algorithm 5) is exposed via :meth:`query`: it returns the
 partial estimate plus whether the Hot Part must be consulted.
+
+Each layer's counters and flag epochs live in contiguous ``(rows, width)``
+arrays (flags use the epoch-stamp trick of
+:class:`~repro.common.bitmem.FlagArray`: a cell is "on" unless its stamp
+equals the row's current epoch, and resetting all flags is one epoch bump).
+The batch path (:func:`~repro.core.kernels.cold_layer_batch`) runs whole
+conflict-free waves with single gathers and scatters over the flattened
+layer — no per-item fallback of any kind — and the L1→L2 escalation is
+fused in :func:`~repro.core.kernels.cold_insert_batch`.
 """
 
 from __future__ import annotations
@@ -23,22 +32,17 @@ from typing import List, Tuple
 
 import numpy as np
 
-from ..common.bitmem import FlagArray, SaturatingCounterArray, counter_bits_for
+from ..common.bitmem import counter_bits_for
 from ..common.errors import ConfigError
 from ..common.hashing import HashFamily
-from .columnar import conflict_free_wave
-
-#: Below this many pending keys a vectorized wave costs more than the
-#: equivalent scalar loop; the batch path finishes the stragglers scalar
-#: (with precomputed indexes), which is exact by the same per-cell-order
-#: argument.
-_SCALAR_TAIL = 24
+from .kernels import cold_insert_batch, cold_layer_batch
 
 
 class _ColdLayer:
     """One CU-updated counter layer with on/off flags."""
 
-    __slots__ = ("rows", "width", "threshold", "_hash", "_counters", "_flags")
+    __slots__ = ("rows", "width", "threshold", "_hash", "_bits", "_cap",
+                 "_values", "_off", "_epochs")
 
     def __init__(self, rows: int, width: int, threshold: int, seed: int):
         if rows < 1 or width < 1:
@@ -49,16 +53,16 @@ class _ColdLayer:
         self.width = width
         self.threshold = threshold
         self._hash = HashFamily(rows, seed)
-        bits = counter_bits_for(threshold)
-        self._counters: List[SaturatingCounterArray] = [
-            SaturatingCounterArray(width, bits) for _ in range(rows)
-        ]
-        self._flags: List[FlagArray] = [FlagArray(width) for _ in range(rows)]
+        self._bits = counter_bits_for(threshold)
+        self._cap = (1 << self._bits) - 1
+        self._values = np.zeros((rows, width), dtype=np.int64)
+        self._off = np.zeros((rows, width), dtype=np.int64)
+        self._epochs = np.ones(rows, dtype=np.int64)
 
     def minimum(self, key: int) -> int:
         """Row-minimum counter value for ``key`` (the layer's estimate)."""
         return min(
-            self._counters[i][self._hash.index(key, i, self.width)]
+            int(self._values[i, self._hash.index(key, i, self.width)])
             for i in range(self.rows)
         )
 
@@ -75,96 +79,31 @@ class _ColdLayer:
 
     def _try_insert_at(self, idx) -> bool:
         """The CU-update step on precomputed per-row cell indexes."""
-        vmin = min(self._counters[i][j] for i, j in enumerate(idx))
+        vmin = min(int(self._values[i, j]) for i, j in enumerate(idx))
         if vmin >= self.threshold:
             return False
         for i, j in enumerate(idx):
-            if self._counters[i][j] == vmin and self._flags[i].is_on(j):
-                self._counters[i].increment(j)
-                self._flags[i].turn_off(j)
+            if int(self._values[i, j]) == vmin \
+                    and int(self._off[i, j]) != int(self._epochs[i]):
+                self._values[i, j] = min(self._cap, vmin + 1)
+                self._off[i, j] = self._epochs[i]
         return True
 
     def try_insert_batch(self, keys: np.ndarray) -> np.ndarray:
         """Columnar :meth:`try_insert` over an ordered key batch.
 
         Returns the per-key accepted mask.  Bit-for-bit equivalent to
-        calling ``try_insert`` on each key in order: keys are processed in
-        conflict-free waves (see :func:`~repro.core.columnar
-        .conflict_free_wave`) so that every cell sees its users in arrival
-        order, each wave doing one grouped gather / row-min / scatter; a
-        cell is incremented at most once per window (the on/off flag), so
-        the scatter never collides within a wave.
+        calling ``try_insert`` on each key in order — the whole batch runs
+        through the SoA wave engine
+        (:func:`~repro.core.kernels.cold_layer_batch`): conflict-free waves
+        keep every cell's users in arrival order, and the settled /
+        frozen-reject retirements collapse duplicate tails exactly.
         """
-        n = int(keys.size)
-        accepted = np.zeros(n, dtype=bool)
-        if not n:
-            return accepted
-        idx = self._hash.indexes_batch(keys, self.width)
-        pending = np.arange(n)
-        while pending.size:
-            if pending.size <= _SCALAR_TAIL:
-                for p in pending.tolist():
-                    accepted[p] = self._try_insert_at(idx[:, p].tolist())
-                break
-            selected = conflict_free_wave(idx[:, pending])
-            wave = pending[selected]
-            values = np.empty((self.rows, wave.size), dtype=np.int64)
-            for i in range(self.rows):
-                values[i] = self._counters[i].gather(idx[i, wave])
-            vmin = values.min(axis=0)
-            ok = vmin < self.threshold
-            accepted[wave] = ok
-            wave_ok = wave[ok]
-            vmin_ok = vmin[ok]
-            for i in range(self.rows):
-                cells = idx[i, wave_ok]
-                update = (values[i, ok] == vmin_ok) \
-                    & self._flags[i].is_on_batch(cells)
-                touched = cells[update]
-                self._counters[i].increment_at(touched)
-                self._flags[i].turn_off_at(touched)
-            pending = pending[~selected]
-            if pending.size > _SCALAR_TAIL:
-                pending = self._retire_settled(idx, pending, accepted)
-            if wave.size < _SCALAR_TAIL:
-                # low wave yield means the leftovers are repeat ranks of a
-                # few keys (duplicates conflict with themselves), and every
-                # later wave would retire at most as many — finish scalar
-                for p in pending.tolist():
-                    accepted[p] = self._try_insert_at(idx[:, p].tolist())
-                break
-        return accepted
-
-    def _retire_settled(
-        self, idx: np.ndarray, pending: np.ndarray, accepted: np.ndarray
-    ) -> np.ndarray:
-        """Bulk-retire pending occurrences whose cells are all flagged off.
-
-        A cell increments at most once per window (incrementing turns its
-        flag off until ``end_window``), so once every cell of a key is off
-        the key's minimum is frozen for the rest of the window: each of its
-        remaining occurrences is a state no-op whose accept decision is the
-        frozen ``vmin < threshold``, independent of processing order.
-        Retiring them here is therefore exact, and collapses the long
-        duplicate tails that burst-overflow occurrences produce.
-        """
-        on = self._flags[0].is_on_batch(idx[0, pending])
-        for i in range(1, self.rows):
-            on |= self._flags[i].is_on_batch(idx[i, pending])
-        if on.all():
-            return pending
-        spots = pending[~on]
-        vmin = self._counters[0].gather(idx[0, spots])
-        for i in range(1, self.rows):
-            np.minimum(vmin, self._counters[i].gather(idx[i, spots]),
-                       out=vmin)
-        accepted[spots] = vmin < self.threshold
-        return pending[on]
+        return cold_layer_batch(self, np.asarray(keys, dtype=np.uint64))
 
     def end_window(self) -> None:
         """Close the current window and open the next one."""
-        for flags in self._flags:
-            flags.reset()
+        self._epochs += 1
 
     def verify_state(self) -> List[str]:
         """Structural self-check; returns problem descriptions (empty = OK).
@@ -174,49 +113,51 @@ class _ColdLayer:
         exceed the layer threshold.
         """
         problems: List[str] = []
-        for i, counters in enumerate(self._counters):
-            for j in range(self.width):
-                if counters[j] > self.threshold:
-                    problems.append(
-                        f"cold row {i} cell {j} holds {counters[j]} "
-                        f"> threshold {self.threshold}"
-                    )
+        for i in range(self.rows):
+            row = self._values[i]
+            for j in np.flatnonzero(row > self.threshold):
+                problems.append(
+                    f"cold row {i} cell {int(j)} holds {int(row[j])} "
+                    f"> threshold {self.threshold}"
+                )
         return problems
 
     def clear(self) -> None:
         """Reset all state (keeps sizing)."""
-        for counters in self._counters:
-            counters.clear()
-        for flags in self._flags:
-            flags.reset()
+        self._values.fill(0)
+        self._off.fill(0)
+        self._epochs.fill(1)
 
     @property
     def modeled_bits(self) -> int:
         """Modeled memory footprint in bits."""
-        counter_bits = sum(c.modeled_bits for c in self._counters)
-        flag_bits = sum(f.modeled_bits for f in self._flags)
-        return counter_bits + flag_bits
+        cells = self.rows * self.width
+        return cells * self._bits + cells  # counters + 1-bit flags
 
     def saturated_fraction(self) -> float:
         """Fraction of cells at the threshold (diagnostic for sizing)."""
-        total = self.rows * self.width
-        full = sum(
-            1
-            for counters in self._counters
-            for i in range(self.width)
-            if counters[i] >= self.threshold
-        )
-        return full / total
+        return float((self._values >= self.threshold).mean())
 
     def state_dict(self) -> dict:
-        """Exact state as plain values (see :mod:`repro.persist`)."""
+        """Exact state as plain values (see :mod:`repro.persist`).
+
+        Keeps the historical per-row layout (one counter/flag record per
+        row) so snapshots interoperate across storage layouts.
+        """
         return {
             "rows": self.rows,
             "width": self.width,
             "threshold": self.threshold,
             "hash": self._hash.state_dict(),
-            "counters": [c.state_dict() for c in self._counters],
-            "flags": [f.state_dict() for f in self._flags],
+            "counters": [
+                {"bits": self._bits, "values": self._values[i].copy()}
+                for i in range(self.rows)
+            ],
+            "flags": [
+                {"epoch": int(self._epochs[i]),
+                 "off_epoch": self._off[i].copy()}
+                for i in range(self.rows)
+            ],
         }
 
     @classmethod
@@ -227,11 +168,30 @@ class _ColdLayer:
         obj.width = int(state["width"])
         obj.threshold = int(state["threshold"])
         obj._hash = HashFamily.from_state(state["hash"])
-        obj._counters = [
-            SaturatingCounterArray.from_state(s) for s in state["counters"]
-        ]
-        obj._flags = [FlagArray.from_state(s) for s in state["flags"]]
-        if len(obj._counters) != obj.rows or len(obj._flags) != obj.rows:
+        counters = state["counters"]
+        flags = state["flags"]
+        try:
+            bits = {int(c["bits"]) for c in counters}
+            if len(counters) != obj.rows or len(flags) != obj.rows \
+                    or len(bits) != 1:
+                raise ValueError
+            obj._bits = bits.pop()
+            obj._cap = (1 << obj._bits) - 1
+            obj._values = np.stack([
+                np.asarray(c["values"], dtype=np.int64) for c in counters
+            ])
+            obj._off = np.stack([
+                np.asarray(f["off_epoch"], dtype=np.int64) for f in flags
+            ])
+            obj._epochs = np.array(
+                [int(f["epoch"]) for f in flags], dtype=np.int64
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"cold layer state is inconsistent: {exc}"
+            ) from None
+        if obj._values.shape != (obj.rows, obj.width) \
+                or obj._off.shape != (obj.rows, obj.width):
             raise ValueError("cold layer state is inconsistent")
         return obj
 
@@ -289,26 +249,16 @@ class ColdFilter:
         """Columnar :meth:`insert` over an ordered key batch.
 
         Returns the per-key accepted mask (``False`` marks overflow: the
-        caller promotes those keys to the Hot Part, in order).  Equivalent
-        to the scalar loop because the two layers and the Hot Part are
-        disjoint structures: running all L1 steps before all L2 steps
-        preserves every per-structure arrival order.  ``hash_ops`` follows
-        the scalar cost model exactly (``d1`` per key plus ``d2`` per
-        L1-rejected key).
+        caller promotes those keys to the Hot Part, in order).  Delegates
+        to the fused two-layer kernel
+        (:func:`~repro.core.kernels.cold_insert_batch`): equivalent to the
+        scalar loop because the two layers and the Hot Part are disjoint
+        structures, so running all L1 steps before all L2 steps preserves
+        every per-structure arrival order.  ``hash_ops`` follows the scalar
+        cost model exactly (``d1`` per key plus ``d2`` per L1-rejected
+        key).
         """
-        keys = np.asarray(keys, dtype=np.uint64)
-        n = int(keys.size)
-        self.hash_ops += self.l1.rows * n
-        accepted = self.l1.try_insert_batch(keys)
-        self.l1_hits += int(accepted.sum())
-        rejected = np.flatnonzero(~accepted)
-        if rejected.size:
-            self.hash_ops += self.l2.rows * int(rejected.size)
-            l2_accepted = self.l2.try_insert_batch(keys[rejected])
-            self.l2_hits += int(l2_accepted.sum())
-            self.overflows += int(rejected.size) - int(l2_accepted.sum())
-            accepted[rejected[l2_accepted]] = True
-        return accepted
+        return cold_insert_batch(self, np.asarray(keys, dtype=np.uint64))
 
     def query(self, key: int) -> Tuple[int, bool]:
         """Staged query: ``(partial_estimate, needs_hot_part)``.

@@ -15,12 +15,18 @@ reporting.  Insertion:
 Replacement randomness: the paper's code uses ``H(e) % (per + 1) == 0`` and
 reseeds each window; we reproduce that with a per-window salt, and also offer
 a seeded-RNG policy (``replacement="random"``).
+
+Entries live in parallel ``(lambda, beta)`` arrays — keys, persistence,
+occupied mask, flag epoch — so the batch path
+(:func:`~repro.core.kernels.hot_insert_batch`) runs Algorithm 1's bucket
+walk as grouped gathers and conditional scatters over whole promotion
+batches, and the scalar walk is a handful of masked vector ops per record.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -28,23 +34,16 @@ from ..common.bitmem import ID_BITS
 from ..common.errors import ConfigError
 from ..common.hashing import HashFamily, derive_seed, mix
 from .config import HOT_COUNTER_BITS, REPLACE_HASH, REPLACE_RANDOM
-
-
-class _Entry:
-    __slots__ = ("key", "per", "off_epoch")
-
-    def __init__(self) -> None:
-        self.key: Optional[int] = None
-        self.per = 0
-        self.off_epoch = 0  # epoch at which the flag was last turned off
+from .kernels import hot_insert_batch
 
 
 class HotPart:
     """ID-keyed store for high-persistence items."""
 
     __slots__ = ("n_buckets", "entries_per_bucket", "replacement", "_hash",
-                 "_buckets", "_epoch", "_window_salt", "_rng", "_seed",
-                 "hash_ops", "replacements", "replacement_attempts")
+                 "_keys", "_per", "_occ", "_off", "_epoch", "_window_salt",
+                 "_rng", "_seed", "hash_ops", "replacements",
+                 "replacement_attempts")
 
     def __init__(
         self,
@@ -64,10 +63,11 @@ class HotPart:
         self.replacement = replacement
         self._seed = seed
         self._hash = HashFamily(1, seed ^ 0x407_0001)
-        self._buckets: List[List[_Entry]] = [
-            [_Entry() for _ in range(entries_per_bucket)]
-            for _ in range(n_buckets)
-        ]
+        shape = (n_buckets, entries_per_bucket)
+        self._keys = np.zeros(shape, dtype=np.uint64)
+        self._per = np.zeros(shape, dtype=np.int64)
+        self._occ = np.zeros(shape, dtype=bool)
+        self._off = np.zeros(shape, dtype=np.int64)
         self._epoch = 1
         self._window_salt = derive_seed(seed, 0xAB, 0)
         self._rng = random.Random(derive_seed(seed, 0xF00D))
@@ -91,57 +91,70 @@ class HotPart:
     def insert_batch(self, keys: np.ndarray) -> None:
         """Columnar :meth:`insert` over an ordered key batch.
 
-        Promotions are the rare tail of the pipeline, so only the hashing
-        is vectorized (one coalesced pass over the batch); bucket entries
-        update per key, in order, through the identical Algorithm 1 walk —
-        state, ``replacements`` and the deterministic replacement hashes
-        match the scalar loop bit for bit.
+        One coalesced hashing pass, then the vectorized round-scheduled
+        bucket walk (:func:`~repro.core.kernels.hot_insert_batch`) — state,
+        ``replacements`` and the deterministic replacement hashes match the
+        scalar loop bit for bit.  The seeded-RNG policy keeps the ordered
+        per-key walk: its Mersenne draws must happen in arrival order for
+        the replay (and kill-and-resume) bit-equality guarantees to hold.
         """
         keys = np.asarray(keys, dtype=np.uint64)
         if not keys.size:
             return
         self.hash_ops += int(keys.size)
         buckets = self._hash.index_batch(keys, 0, self.n_buckets)
-        for b, key in zip(buckets.tolist(), keys.tolist()):
-            self._insert_at(b, key)
+        if self.replacement == REPLACE_RANDOM:
+            # ordered RNG replay, intentionally per item
+            for b, key in zip(buckets.tolist(), keys.tolist()):  # staticcheck: ignore[SC-LOOP]
+                self._insert_at(b, key)
+            return
+        hot_insert_batch(self, buckets, keys)
 
     def _insert_at(self, bucket_index: int, key: int) -> None:
-        """Algorithm 1's bucket walk with the bucket already hashed."""
-        bucket = self._buckets[bucket_index]
-        replace: Optional[_Entry] = None
-        for entry in bucket:
-            if entry.key is None:
-                entry.key = key
-                entry.per = 1
-                entry.off_epoch = self._epoch
-                return
-            if entry.key == key:
-                if entry.off_epoch != self._epoch:  # flag is on
-                    entry.per += 1
-                    entry.off_epoch = self._epoch
-                return
-            if replace is None or entry.per < replace.per:
-                replace = entry
-        assert replace is not None
-        if self._replace_allowed(key, replace.per):
+        """Algorithm 1's bucket walk with the bucket already hashed.
+
+        The walk stops at the first empty or first matching slot; computing
+        both stopping points with masked vector ops reproduces it exactly,
+        for any occupancy layout a restored state might carry.
+        """
+        per_bucket = self.entries_per_bucket
+        occ = self._occ[bucket_index]
+        match = (self._keys[bucket_index] == np.uint64(key)) & occ
+        first_match = int(match.argmax()) if match.any() else per_bucket
+        first_empty = per_bucket if occ.all() else int((~occ).argmax())
+        if first_empty < first_match:
+            self._keys[bucket_index, first_empty] = key
+            self._per[bucket_index, first_empty] = 1
+            self._occ[bucket_index, first_empty] = True
+            self._off[bucket_index, first_empty] = self._epoch
+            return
+        if first_match < per_bucket:
+            if self._off[bucket_index, first_match] != self._epoch:  # on
+                self._per[bucket_index, first_match] += 1
+                self._off[bucket_index, first_match] = self._epoch
+            return
+        pers = self._per[bucket_index]
+        slot = int(pers.argmin())  # first minimum == earliest-min walk rule
+        min_per = int(pers[slot])
+        if self._replace_allowed(key, min_per):
             self.replacements += 1
-            replace.key = key
-            replace.per += 1
-            replace.off_epoch = self._epoch
+            self._keys[bucket_index, slot] = key
+            self._per[bucket_index, slot] = min_per + 1
+            self._off[bucket_index, slot] = self._epoch
 
     def query(self, key: int) -> int:
         """Stored persistence of ``key`` (0 when not present)."""
         self.hash_ops += 1
-        bucket = self._buckets[self._hash.index(key, 0, self.n_buckets)]
-        for entry in bucket:
-            if entry.key == key:
-                return entry.per
+        b = self._hash.index(key, 0, self.n_buckets)
+        match = (self._keys[b] == np.uint64(key)) & self._occ[b]
+        if match.any():
+            return int(self._per[b, int(match.argmax())])
         return 0
 
     def contains(self, key: int) -> bool:
         """Whether ``key`` is currently stored."""
-        bucket = self._buckets[self._hash.index(key, 0, self.n_buckets)]
-        return any(entry.key == key for entry in bucket)
+        b = self._hash.index(key, 0, self.n_buckets)
+        return bool(((self._keys[b] == np.uint64(key)) & self._occ[b]).any())
 
     def end_window(self) -> None:
         """Reset all flags and re-salt the replacement hash (per-window)."""
@@ -150,22 +163,18 @@ class HotPart:
 
     def items(self) -> Dict[int, int]:
         """All stored ``key -> persistence`` pairs."""
-        out: Dict[int, int] = {}
-        for bucket in self._buckets:
-            for entry in bucket:
-                if entry.key is not None:
-                    out[entry.key] = entry.per
-        return out
+        buckets, slots = np.nonzero(self._occ)  # bucket-major, slot-minor
+        return {
+            int(key): int(per)
+            for key, per in zip(
+                self._keys[buckets, slots], self._per[buckets, slots]
+            )
+        }
 
     def occupancy(self) -> float:
         """Fraction of entries in use."""
-        used = sum(
-            1
-            for bucket in self._buckets
-            for entry in bucket
-            if entry.key is not None
-        )
-        return used / (self.n_buckets * self.entries_per_bucket)
+        return int(self._occ.sum()) / (self.n_buckets
+                                       * self.entries_per_bucket)
 
     def verify_state(self) -> List[str]:
         """Structural self-check; returns problem descriptions (empty = OK).
@@ -176,46 +185,46 @@ class HotPart:
         ahead of the window clock.
         """
         problems: List[str] = []
-        for b, bucket in enumerate(self._buckets):
+        for b in range(self.n_buckets):
             seen = set()
-            for entry in bucket:
-                if entry.key is None:
-                    if entry.per != 0:
+            for s in range(self.entries_per_bucket):
+                if not self._occ[b, s]:
+                    if self._per[b, s] != 0:
                         problems.append(
                             f"hot bucket {b}: empty entry holds per="
-                            f"{entry.per}"
+                            f"{int(self._per[b, s])}"
                         )
                     continue
-                if entry.per < 1:
+                key = int(self._keys[b, s])
+                per = int(self._per[b, s])
+                if per < 1:
                     problems.append(
-                        f"hot bucket {b}: key {entry.key} has per="
-                        f"{entry.per} < 1"
+                        f"hot bucket {b}: key {key} has per={per} < 1"
                     )
-                if entry.key in seen:
+                if key in seen:
                     problems.append(
-                        f"hot bucket {b}: key {entry.key} stored twice"
+                        f"hot bucket {b}: key {key} stored twice"
                     )
-                seen.add(entry.key)
-                home = self._hash.index(entry.key, 0, self.n_buckets)
+                seen.add(key)
+                home = self._hash.index(key, 0, self.n_buckets)
                 if home != b:
                     problems.append(
-                        f"hot key {entry.key} sits in bucket {b}, hashes "
+                        f"hot key {key} sits in bucket {b}, hashes "
                         f"to {home}"
                     )
-                if entry.off_epoch > self._epoch:
+                if int(self._off[b, s]) > self._epoch:
                     problems.append(
-                        f"hot key {entry.key}: off_epoch {entry.off_epoch} "
+                        f"hot key {key}: off_epoch {int(self._off[b, s])} "
                         f"ahead of clock {self._epoch}"
                     )
         return problems
 
     def clear(self) -> None:
         """Reset all state (keeps sizing)."""
-        for bucket in self._buckets:
-            for entry in bucket:
-                entry.key = None
-                entry.per = 0
-                entry.off_epoch = 0
+        self._keys.fill(0)
+        self._per.fill(0)
+        self._occ.fill(False)
+        self._off.fill(0)
         self._epoch = 1
 
     @property
@@ -240,7 +249,6 @@ class HotPart:
         random sequence as the original — the requirement behind the
         kill-and-resume bit-equality guarantee.
         """
-        flat = [entry for bucket in self._buckets for entry in bucket]
         rng_version, rng_state, rng_gauss = self._rng.getstate()
         return {
             "n_buckets": self.n_buckets,
@@ -248,16 +256,11 @@ class HotPart:
             "replacement": self.replacement,
             "seed": self._seed,
             "hash": self._hash.state_dict(),
-            "occupied": np.array(
-                [entry.key is not None for entry in flat], dtype=bool
-            ),
-            "keys": np.array(
-                [entry.key or 0 for entry in flat], dtype=np.uint64
-            ),
-            "per": np.array([entry.per for entry in flat], dtype=np.int64),
-            "off_epoch": np.array(
-                [entry.off_epoch for entry in flat], dtype=np.int64
-            ),
+            "occupied": self._occ.ravel().copy(),
+            # keys of unoccupied slots serialize as 0 (canonical form)
+            "keys": np.where(self._occ, self._keys, np.uint64(0)).ravel(),
+            "per": self._per.ravel().copy(),
+            "off_epoch": self._off.ravel().copy(),
             "epoch": self._epoch,
             "window_salt": self._window_salt,
             "rng": {
@@ -283,27 +286,21 @@ class HotPart:
             )
         obj._seed = int(state["seed"])
         obj._hash = HashFamily.from_state(state["hash"])
-        occupied = np.asarray(state["occupied"], dtype=bool).tolist()
-        keys = np.asarray(state["keys"], dtype=np.uint64).tolist()
-        per = np.asarray(state["per"], dtype=np.int64).tolist()
-        off_epoch = np.asarray(state["off_epoch"], dtype=np.int64).tolist()
+        occupied = np.asarray(state["occupied"], dtype=bool)
+        keys = np.asarray(state["keys"], dtype=np.uint64)
+        per = np.asarray(state["per"], dtype=np.int64)
+        off_epoch = np.asarray(state["off_epoch"], dtype=np.int64)
         expected = obj.n_buckets * obj.entries_per_bucket
-        if not (len(occupied) == len(keys) == len(per) == len(off_epoch)
+        if not (occupied.size == keys.size == per.size == off_epoch.size
                 == expected):
             raise ValueError("hot part state is inconsistent")
-        obj._buckets = []
-        cursor = 0
-        for _ in range(obj.n_buckets):
-            bucket = []
-            for _ in range(obj.entries_per_bucket):
-                entry = _Entry()
-                if occupied[cursor]:
-                    entry.key = keys[cursor]
-                entry.per = per[cursor]
-                entry.off_epoch = off_epoch[cursor]
-                bucket.append(entry)
-                cursor += 1
-            obj._buckets.append(bucket)
+        shape = (obj.n_buckets, obj.entries_per_bucket)
+        obj._occ = occupied.reshape(shape).copy()
+        obj._keys = np.where(
+            obj._occ, keys.reshape(shape), np.uint64(0)
+        )
+        obj._per = per.reshape(shape).copy()
+        obj._off = off_epoch.reshape(shape).copy()
         obj._epoch = int(state["epoch"])
         obj._window_salt = int(state["window_salt"])
         rng = state["rng"]

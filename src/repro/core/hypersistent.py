@@ -19,12 +19,20 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..common.errors import ConfigError
 from ..common.hashing import ItemKey, canonical_key, canonical_keys
 from ..obs.catalog import bind_sketch, legacy_sketch_stats, sketch_metrics
 from .burst_filter import BurstFilter
 from .cold_filter import ColdFilter
 from .config import HSConfig
 from .hot_part import HotPart
+from .kernels import (
+    ENGINE_BATCHED,
+    ENGINE_KERNEL,
+    ENGINE_SCALAR,
+    ENGINES,
+    ingest_window,
+)
 
 
 class HypersistentSketch:
@@ -33,6 +41,20 @@ class HypersistentSketch:
     Implements both paper tasks: :meth:`query` for persistence estimation
     and :meth:`report` for finding persistent items (the Hot Part stores
     full IDs, so every reportable item is collision-free).
+
+    ``engine`` selects the batch ingestion backend (how
+    :meth:`insert_window` / :meth:`insert_batch` replay a window —
+    per-record :meth:`insert` calls are always scalar):
+
+    * ``"scalar"`` — per-record replay, the oracle the other backends are
+      checked against;
+    * ``"batched"`` — the columnar plans of :mod:`repro.core.columnar`
+      (default);
+    * ``"kernel"`` — the fused structure-of-arrays kernels of
+      :mod:`repro.core.kernels`, the fastest path.
+
+    All three are bit-for-bit equivalent — state, estimates, and counters —
+    so the engine is a runtime choice and never enters :meth:`state_dict`.
 
     >>> sketch = HypersistentSketch(HSConfig(memory_bytes=64 * 1024))
     >>> for window in range(3):
@@ -43,12 +65,16 @@ class HypersistentSketch:
     3
     """
 
-    def __init__(self, config: Optional[HSConfig] = None, **kwargs):
+    def __init__(self, config: Optional[HSConfig] = None,
+                 engine: str = ENGINE_BATCHED, **kwargs):
         if config is None:
             config = HSConfig(**kwargs)
         elif kwargs:
             raise TypeError("pass either a config object or keyword fields")
         self.config = config
+        # runtime-only backend choice, never serialized (all engines are
+        # bit-identical; from_state always restores as "batched")
+        self.engine = engine  # staticcheck: ignore[SC-PERSIST]
         seed = config.seed
         n_burst = config.burst_buckets()
         self.burst: Optional[BurstFilter] = (
@@ -74,6 +100,19 @@ class HypersistentSketch:
         )
         self.window = 0
         self.inserts = 0
+
+    @property
+    def engine(self) -> str:
+        """Active batch ingestion backend (``scalar``/``batched``/``kernel``)."""
+        return self._engine
+
+    @engine.setter
+    def engine(self, value: str) -> None:
+        if value not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {value!r}; choose from {ENGINES}"
+            )
+        self._engine = value
 
     # ------------------------------------------------------------------
     # insertion (Algorithm 4)
@@ -108,14 +147,23 @@ class HypersistentSketch:
         occurrences it could not absorb walk the Cold Filter / Hot Part in
         their original arrival order via the stages' batch paths.  The
         window stays open — call :meth:`end_window` (or use
-        :meth:`insert_window`) to close it.
+        :meth:`insert_window`) to close it.  Under ``engine="scalar"`` the
+        batch is replayed record-at-a-time instead (the oracle path).
         """
         keys = canonical_keys(items)
+        if self._engine == ENGINE_SCALAR:
+            self._scalar_replay(keys)
+            return
         self.inserts += int(keys.size)
         if self.burst is not None:
             absorbed = self.burst.insert_batch(keys)
             keys = keys[~absorbed]
         self._insert_downstream_batch(keys)
+
+    def _scalar_replay(self, keys: np.ndarray) -> None:
+        """The oracle path: feed canonical keys through scalar ``insert``."""
+        for key in keys.tolist():  # staticcheck: ignore[SC-LOOP]
+            self.insert(key)
 
     def _insert_downstream_batch(self, keys: np.ndarray) -> None:
         """Cold Filter, then Hot Part on overflow, for an ordered batch."""
@@ -135,8 +183,20 @@ class HypersistentSketch:
         sequence the scalar path produces.  Use it when the caller already
         holds the window's records as a batch (see
         :meth:`~repro.streams.model.Trace.window_arrays`).
+
+        Dispatches on :attr:`engine`: ``"kernel"`` runs the fused SoA
+        kernels (:func:`repro.core.kernels.ingest_window`), ``"scalar"``
+        replays the window record-at-a-time, ``"batched"`` uses the
+        columnar plans below.
         """
         keys = canonical_keys(items)
+        if self._engine == ENGINE_KERNEL:
+            ingest_window(self, keys)
+            return
+        if self._engine == ENGINE_SCALAR:
+            self._scalar_replay(keys)
+            self.end_window()
+            return
         self.inserts += int(keys.size)
         if self.burst is not None:
             # empty filter (the steady whole-window state): one fused plan
@@ -331,8 +391,14 @@ class HypersistentSketch:
 
     @classmethod
     def from_state(cls, state: Dict) -> "HypersistentSketch":
-        """Rebuild a sketch bit-identical to the one that was saved."""
+        """Rebuild a sketch bit-identical to the one that was saved.
+
+        The ingestion engine is a runtime choice, not state — snapshots are
+        bit-identical across backends — so a restored sketch starts on the
+        default engine; set :attr:`engine` afterwards to switch.
+        """
         obj = cls.__new__(cls)
+        obj._engine = ENGINE_BATCHED
         obj.config = HSConfig.from_state(state["config"])
         kind = state["burst_kind"]
         if kind == "none":

@@ -52,6 +52,7 @@ class ShardedSketch:
         shard_factory: Callable[[int], object],
         n_shards: int,
         seed: int = 42,
+        engine: Optional[str] = None,
     ):
         if n_shards < 1:
             raise ConfigError("need at least one shard")
@@ -59,6 +60,16 @@ class ShardedSketch:
         self.shards: List[object] = [
             shard_factory(i) for i in range(n_shards)
         ]
+        if engine is not None:
+            # propagate the batch ingestion backend to every shard; all
+            # backends are bit-equivalent, so this is a speed knob only
+            for i, shard in enumerate(self.shards):
+                if not hasattr(shard, "engine"):
+                    raise ConfigError(
+                        f"shard {i} ({type(shard).__name__}) has no engine "
+                        f"selector; cannot apply engine={engine!r}"
+                    )
+                shard.engine = engine
         self._router = HashFamily(1, seed ^ 0x5AAD)
         self.window = 0
 
@@ -89,9 +100,14 @@ class ShardedSketch:
             shard, shard_keys = pair
             if hasattr(shard, "insert_window"):
                 shard.insert_window(shard_keys)
+            elif hasattr(shard, "insert_batch"):
+                # columnar fallback: batch paths keep the scalar cost
+                # model, so counter parity with per-key inserts holds
+                shard.insert_batch(shard_keys)
+                shard.end_window()
             else:
-                for key in shard_keys.tolist():
-                    shard.insert(key)
+                for key in shard_keys:
+                    shard.insert(int(key))
                 shard.end_window()
 
         slices = [

@@ -28,13 +28,17 @@ from ..common.bitmem import ID_BITS
 from ..common.errors import ConfigError
 from ..common.hashing import HashFamily
 from .columnar import plan_burst_admission, window_downstream
+from .kernels import ENGINE_BATCHED, burst_window_plan
 
 #: 128-bit register / 32-bit IDs -> four comparisons per instruction.
 SIMD_LANES = 4
 
 #: Sentinel for an empty cell.  Cells at or beyond a bucket's fill are
-#: never consulted (every scan masks by fill), so the sentinel is cosmetic;
-#: uint64-max keeps the array dtype unsigned like the canonical key space.
+#: never consulted by scans (every scan masks by fill), but the sentinel is
+#: *not* cosmetic: ``state_dict`` serializes the full keys matrix, so
+#: cleared cells must hold a canonical value or snapshots of logically
+#: identical filters would differ byte-for-byte.  uint64-max keeps the
+#: array dtype unsigned like the canonical key space.
 _EMPTY = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
 
 
@@ -158,6 +162,34 @@ class VectorizedBurstFilter:
         self.absorbed += plan.n_absorbed
         self.overflowed += n - plan.n_absorbed
         return window_downstream(keys, plan, self.cells_per_bucket)
+
+    def window_kernel(self, keys: np.ndarray):
+        """Whole-window fused path (``engine="kernel"``).
+
+        Same contract as :meth:`window_batch` — empty filter only (returns
+        ``None`` otherwise), storage untouched, downstream sequence out —
+        but computed by the fused two-sort plan
+        (:func:`repro.core.kernels.burst_window_plan`).  ``compare_ops``
+        keeps this class's vector cost model (the fused plan's scalar
+        early-exit count is discarded).
+        """
+        if self._fill.any():
+            return None
+        keys = np.asarray(keys, dtype=np.uint64)
+        n = int(keys.size)
+        if not n:
+            return keys
+        self.hash_ops += n
+        self.compare_ops += n * self._vector_compares_per_scan
+        downstream, n_absorbed, _ = burst_window_plan(
+            keys,
+            lambda u: self._hash.index_batch(u, 0, self.n_buckets),
+            self.cells_per_bucket,
+            with_compares=False,  # vector cost model added above
+        )
+        self.absorbed += n_absorbed
+        self.overflowed += n - n_absorbed
+        return downstream
 
     def _fill_of(self, buckets: np.ndarray) -> np.ndarray:
         """Current fill of each listed bucket (general-path helper)."""
@@ -328,9 +360,8 @@ class BatchWindowProcessor:
         if keys.size:
             unique = np.unique(keys)
             self.distinct += int(unique.size)
-            downstream = sketch._insert_downstream
-            for key in unique.tolist():
-                downstream(key & ((1 << 64) - 1))
+            # int64 -> uint64 reinterpret == the old per-key `& (2**64 - 1)`
+            sketch._insert_downstream_batch(unique.astype(np.uint64))
         sketch.cold.end_window()
         sketch.hot.end_window()
         sketch.window += 1
@@ -341,11 +372,17 @@ class BatchWindowProcessor:
         return self.records / self.distinct if self.distinct else 0.0
 
 
-def make_hypersistent_simd(config) -> "HypersistentSketch":
-    """A :class:`HypersistentSketch` whose stage 1 uses the SIMD scan path."""
+def make_hypersistent_simd(
+    config, engine: str = ENGINE_BATCHED
+) -> "HypersistentSketch":
+    """A :class:`HypersistentSketch` whose stage 1 uses the SIMD scan path.
+
+    ``engine`` selects the batch ingestion backend, exactly as on
+    :class:`~repro.core.hypersistent.HypersistentSketch`.
+    """
     from .hypersistent import HypersistentSketch  # local: avoid import cycle
 
-    sketch = HypersistentSketch(config)
+    sketch = HypersistentSketch(config, engine=engine)
     n_burst = config.burst_buckets()
     if n_burst:
         sketch.burst = VectorizedBurstFilter(

@@ -34,8 +34,10 @@ ESTIMATION_ALGORITHMS = ("HS", "HS-SIMD", "OO", "WS", "CM", "PIE")
 #: Labels that stream through the columnar whole-window batch path (the
 #: library-level fast ingestion pipeline; identical estimates, coalesced
 #: hashing).  The classic labels keep the paper's record-at-a-time loop so
-#: the figure-19 per-record cost reproduction is undisturbed.
-BATCHED_ALGORITHMS = ("HS-BATCH",)
+#: the figure-19 per-record cost reproduction is undisturbed.  ``HS-BATCH``
+#: runs the columnar plans, ``HS-KERNEL`` the fused structure-of-arrays
+#: kernels (:mod:`repro.core.kernels`); both are bit-identical to ``HS``.
+BATCHED_ALGORITHMS = ("HS-BATCH", "HS-KERNEL")
 
 #: Algorithm labels for the finding-persistent-items task (figures 15-18).
 FINDING_ALGORITHMS = ("HS", "OO", "WS", "SS", "TS", "PS")
@@ -61,14 +63,15 @@ def make_estimator(
                 window_distinct_hint=window_distinct_hint,
             )
         )
-    if name in ("HS-SIMD", "HS-BATCH"):
-        # HS-BATCH shares the SIMD build: the vectorized Burst Filter is
-        # the fastest stage-1 under whole-window batches as well.
+    if name in ("HS-SIMD", "HS-BATCH", "HS-KERNEL"):
+        # HS-BATCH / HS-KERNEL share the SIMD build: the vectorized Burst
+        # Filter is the fastest stage-1 under whole-window batches as well.
         return make_hypersistent_simd(
             HSConfig.for_estimation(
                 memory_bytes, n_windows, seed=seed,
                 window_distinct_hint=window_distinct_hint,
-            )
+            ),
+            engine="kernel" if name == "HS-KERNEL" else "batched",
         )
     if name == "OO":
         return OnOffSketchV1(memory_bytes, depth=3, seed=seed)
@@ -127,7 +130,7 @@ def _hash_ops(sketch) -> int:
 def run_stream(
     sketch, trace: Trace, batched: Optional[bool] = None, profiler=None,
     on_window: Optional[Callable[[int], None]] = None,
-    checkpoint=None,
+    checkpoint=None, engine: Optional[str] = None,
 ) -> RunResult:
     """Feed a trace through a sketch with window boundaries, timed.
 
@@ -156,7 +159,19 @@ def run_stream(
     from the last checkpoint via :func:`repro.persist.resume` and ends
     bit-identical to an uninterrupted one.  Checkpoint writes happen
     inside the measured span — keep it ``None`` for throughput runs.
+
+    ``engine`` selects the sketch's batch ingestion backend
+    (``"scalar"``/``"batched"``/``"kernel"``) before streaming; all
+    backends are bit-identical, so this is a speed knob only.  Raises for
+    sketches without an engine selector rather than silently ignoring it.
     """
+    if engine is not None:
+        if not hasattr(sketch, "engine"):
+            raise ConfigError(
+                f"{type(sketch).__name__} has no engine selector; "
+                f"cannot apply engine={engine!r}"
+            )
+        sketch.engine = engine
     has_window_api = hasattr(sketch, "insert_window")
     use_batched = has_window_api if batched is None else batched
     if use_batched and not has_window_api:
@@ -260,12 +275,14 @@ def run_algorithm(
     profiler=None,
     on_window: Optional[Callable[[int], None]] = None,
     checkpoint=None,
+    engine: Optional[str] = None,
 ) -> RunResult:
     """Factory + streaming in one call (what the sweeps use).
 
     Classic paper labels stream record-at-a-time (their throughput series
     reproduce the paper's per-record cost); ``BATCHED_ALGORITHMS`` labels
-    stream through the columnar window path.  ``batched`` overrides.
+    stream through the columnar window path.  ``batched`` overrides, and
+    ``engine`` forces a specific batch backend (see :func:`run_stream`).
     """
     if task == "estimation":
         sketch = make_estimator(
@@ -280,7 +297,8 @@ def run_algorithm(
     if batched is None:
         batched = name in BATCHED_ALGORITHMS
     return run_stream(sketch, trace, batched=batched, profiler=profiler,
-                      on_window=on_window, checkpoint=checkpoint)
+                      on_window=on_window, checkpoint=checkpoint,
+                      engine=engine)
 
 
 def repeat_median(

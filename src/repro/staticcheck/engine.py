@@ -151,6 +151,7 @@ def default_registry() -> RuleRegistry:
         IntegerCounterRule,
         MutableDefaultRule,
         PickleRule,
+        ScalarLoopRule,
     )
     from .rules_persist import PersistContractRule
 
@@ -161,6 +162,7 @@ def default_registry() -> RuleRegistry:
     registry.add(BroadExceptRule())
     registry.add(IntegerCounterRule())
     registry.add(MutableDefaultRule())
+    registry.add(ScalarLoopRule())
     return registry
 
 

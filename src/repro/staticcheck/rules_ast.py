@@ -407,6 +407,51 @@ class IntegerCounterRule(Rule):
         return findings
 
 
+class ScalarLoopRule(Rule):
+    """SC-LOOP: per-record Python loops hiding in the columnar batch paths.
+
+    ``for x in arr.tolist():`` is the telltale of a scalar tail inside
+    ``repro/core`` — the whole-window kernel backend (PR 6) exists because
+    those loops dominated ingest time.  Every such loop must either be
+    vectorized (see :mod:`repro.core.kernels`) or carry an inline
+    ``# staticcheck: ignore[SC-LOOP]`` naming why order matters (e.g. the
+    ``REPLACE_RANDOM`` Hot Part policy draws Mersenne randomness in
+    arrival order, and scalar-oracle replay is *defined* as a loop).
+    Comprehensions are not flagged: a list/dict build over ``tolist()``
+    is a conversion, not a per-record sketch update.
+    """
+
+    rule_id = "SC-LOOP"
+    severity = WARNING
+    description = ("for-loop over .tolist() in a core batch path; "
+                   "vectorize or justify with a suppression")
+    scope_prefixes = ("src/repro/core/",)
+
+    @staticmethod
+    def _calls_tolist(site: ast.expr) -> bool:
+        return any(
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "tolist"
+            for sub in ast.walk(site)
+        )
+
+    def check_file(
+        self, relpath: str, tree: ast.AST, source: str
+    ) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) \
+                    and self._calls_tolist(node.iter):
+                findings.append(self.finding(
+                    relpath, node,
+                    "per-record loop over .tolist() in a batch path; "
+                    "vectorize via repro.core.kernels or justify with "
+                    "# staticcheck: ignore[SC-LOOP]",
+                ))
+        return findings
+
+
 class MutableDefaultRule(Rule):
     """SC-MUTDEF: mutable default argument values.
 

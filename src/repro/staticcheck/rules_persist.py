@@ -13,7 +13,8 @@ properties must hold or bit-identical resume silently breaks:
    assignments in ``__init__``) is *covered*: either a state key named
    after it (modulo leading underscores) exists, or ``state_dict()``
    reads the attribute while building a derived representation (e.g.
-   ``HotPart._buckets`` flattening into four parallel arrays).
+   ``HotPart`` serializing its four parallel SoA arrays — ``_keys``,
+   ``_per``, ``_occ``, ``_off`` — back into per-bucket entry dicts).
 
 Property 3 is what catches the historical bug class: a field added to
 ``__init__`` during a refactor but forgotten in ``state_dict()``, which

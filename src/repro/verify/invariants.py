@@ -42,6 +42,7 @@ from ..core import (
     make_hypersistent_simd,
     save_sketch,
 )
+from ..persist import encode_state
 from ..streams.model import Trace
 from ..streams.oracle import exact_persistence
 
@@ -471,6 +472,52 @@ def _check_batch_equivalence(
         out.append(Violation(
             "batch-equivalence",
             "scalar and batched report(1) diverge",
+        ))
+    return out
+
+
+@register_invariant(
+    "kernel-equivalence", "trace",
+    "The whole-window SoA kernel backend (engine=\"kernel\") matches the "
+    "scalar oracle bit-for-bit: counters, estimates, reports, and the "
+    "serialized snapshot bytes",
+)
+def _check_kernel_equivalence(
+    trace: Trace, config: VerifyConfig
+) -> List[Violation]:
+    hs_config = _estimation_config(trace, config)
+    scalar = _scalar_feed(HypersistentSketch(hs_config), trace)
+    kernel = _batched_feed(
+        HypersistentSketch(hs_config, engine="kernel"), trace)
+    simd_kernel = _batched_feed(
+        make_hypersistent_simd(hs_config, engine="kernel"), trace)
+    out = []
+    # stats first: queries below move the hash-op counters, and they hit
+    # the scalar sketch once per comparison (twice in total)
+    if scalar.stats() != kernel.stats():
+        out.append(Violation(
+            "kernel-equivalence",
+            "scalar and kernel stats() diverge",
+            details={"scalar": scalar.stats(), "kernel": kernel.stats()},
+        ))
+    # snapshot bytes: the engine is runtime-only, so the serialized state
+    # of a kernel-fed sketch must equal the scalar-fed sketch's byte for
+    # byte (this is the persistence acceptance bar for the backend)
+    if encode_state(scalar.state_dict()) != encode_state(
+            kernel.state_dict()):
+        out.append(Violation(
+            "kernel-equivalence",
+            "scalar and kernel snapshot bytes diverge",
+        ))
+    keys = sample_keys(trace, _EQUIVALENCE_KEY_CAP)
+    out += _diff_keyed("kernel-equivalence", scalar, kernel, keys,
+                       "scalar", "kernel")
+    out += _diff_keyed("kernel-equivalence", scalar, simd_kernel, keys,
+                       "scalar", "simd-kernel")
+    if scalar.report(1) != kernel.report(1):
+        out.append(Violation(
+            "kernel-equivalence",
+            "scalar and kernel report(1) diverge",
         ))
     return out
 

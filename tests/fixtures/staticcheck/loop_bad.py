@@ -1,0 +1,16 @@
+"""SC-LOOP fixture: per-record scalar tails in a batch path."""
+
+
+def insert_batch(sketch, keys):         # plain loop over .tolist()
+    for key in keys.tolist():
+        sketch.insert(key)
+
+
+def paired(sketch, buckets, keys):      # zip() of two .tolist() calls
+    for b, key in zip(buckets.tolist(), keys.tolist()):
+        sketch.insert_at(b, key)
+
+
+def enumerated(sketch, keys):           # .tolist() nested in enumerate()
+    for i, key in enumerate(keys.tolist()):
+        sketch.insert(key, i)

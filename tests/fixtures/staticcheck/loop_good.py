@@ -1,0 +1,27 @@
+"""SC-LOOP fixture: vectorized, conversion-only, or out-of-scope patterns.
+
+(Justified loops carry ``# staticcheck: ignore[SC-LOOP]``; suppression is
+an engine concern, exercised by the suppression tests, not a rule one.)
+"""
+
+import numpy as np
+
+
+def insert_batch(counters, idx, keys):  # vectorized: no per-record loop
+    np.add.at(counters, idx, 1)
+    return keys.size
+
+
+def as_payload(keys):                   # comprehension = conversion
+    return [int(key) for key in keys.tolist()]
+
+
+def keyed(keys, values):                # dict build, also a conversion
+    return {k: v for k, v in zip(keys.tolist(), values.tolist())}
+
+
+def plain_python_loop(items):           # no .tolist(): out of scope
+    total = 0
+    for item in items:
+        total += item
+    return total

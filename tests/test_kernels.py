@@ -1,0 +1,265 @@
+"""Property tests for the whole-window SoA kernel backend.
+
+:mod:`repro.core.kernels` claims the same contract the batched path
+already honours — bit-for-bit equivalence with the record-at-a-time
+scalar oracle — but delivers each stage's window update as a handful of
+array ops.  These tests pin the claim per stage (Burst window kernel,
+Cold wave engine, Hot rounds under both replacement policies) and for
+the composed sketch behind the ``engine`` selector, including the shapes
+the kernels special-case: empty windows, single-key windows, and
+all-duplicate windows.
+
+The same properties run as the ``kernel-equivalence`` entry of the
+verify catalog (``repro verify`` / ``repro fuzz``); keeping them here
+too gives hypothesis shrinking on failure.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.core import (
+    ENGINES,
+    HSConfig,
+    HypersistentSketch,
+    ShardedSketch,
+    make_hypersistent_simd,
+)
+from repro.core.cold_filter import ColdFilter
+from repro.core.config import REPLACE_HASH, REPLACE_RANDOM
+from repro.core.hot_part import HotPart
+from repro.core.kernels import ingest_window
+from repro.core.simd import VectorizedBurstFilter
+from repro.persist import encode_state
+
+# Windowed streams biased toward the kernel's edge shapes: some windows
+# empty, some a single key, some one key repeated, plus dup-heavy mixes.
+window_strategy = st.one_of(
+    st.just([]),                                            # empty window
+    st.lists(st.integers(0, 40), min_size=1, max_size=1),   # single key
+    st.integers(0, 40).flatmap(                             # all-duplicate
+        lambda k: st.lists(st.just(k), min_size=2, max_size=30)
+    ),
+    st.lists(st.integers(0, 40), min_size=0, max_size=60),  # general mix
+)
+
+windows_strategy = st.lists(window_strategy, min_size=1, max_size=20)
+
+batch_strategy = st.lists(
+    st.integers(min_value=0, max_value=25), min_size=0, max_size=80
+)
+
+
+def scalar_feed(sketch, windows):
+    for items in windows:
+        for item in items:
+            sketch.insert(item)
+        sketch.end_window()
+    return sketch
+
+
+def kernel_feed(sketch, windows):
+    for items in windows:
+        sketch.insert_window(np.array(items, dtype=np.uint64))
+    return sketch
+
+
+def all_keys(windows):
+    return sorted({item for items in windows for item in items})
+
+
+class TestBurstWindowKernel:
+    @given(windows=st.lists(batch_strategy, min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_window_kernel_matches_scalar_replay(self, windows):
+        scalar = VectorizedBurstFilter(4, 3, seed=7)
+        kernel = VectorizedBurstFilter(4, 3, seed=7)
+        for items in windows:
+            downstream = []
+            for key in items:
+                if not scalar.insert(key):
+                    downstream.append(key)
+            downstream.extend(int(k) for k in scalar.drain())
+            keys = np.array(items, dtype=np.uint64)
+            got = kernel.window_kernel(keys)
+            # buckets are empty at every window boundary, so the
+            # whole-window fast path must always engage
+            assert got is not None
+            assert sorted(got.tolist()) == sorted(downstream)
+            kernel.drain_array()  # flush stored keys like scalar drain
+        assert scalar.absorbed == kernel.absorbed
+        assert scalar.overflowed == kernel.overflowed
+        assert scalar.hash_ops == kernel.hash_ops
+        assert scalar.compare_ops == kernel.compare_ops
+
+    def test_window_kernel_declines_mid_window_state(self):
+        burst = VectorizedBurstFilter(4, 3, seed=7)
+        burst.insert(5)  # bucket now non-empty: fast path must bail
+        assert burst.window_kernel(np.array([5], dtype=np.uint64)) is None
+
+
+class TestColdKernel:
+    @given(batches=st.lists(batch_strategy, min_size=1, max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_insert_batch_matches_scalar(self, batches):
+        def build():
+            return ColdFilter(l1_width=16, l2_width=8, delta1=3, delta2=6,
+                              d1=2, d2=2, seed=11)
+
+        scalar, batched = build(), build()
+        for batch in batches:
+            expected = np.array(
+                [scalar.insert(k) for k in batch], dtype=bool
+            )
+            got = batched.insert_batch(np.array(batch, dtype=np.uint64))
+            assert np.array_equal(expected, got)
+            scalar.end_window()
+            batched.end_window()
+        assert encode_state(scalar.state_dict()) == \
+            encode_state(batched.state_dict())
+        assert scalar.hash_ops == batched.hash_ops
+        assert (scalar.l1_hits, scalar.l2_hits, scalar.overflows) == \
+            (batched.l1_hits, batched.l2_hits, batched.overflows)
+
+    @given(key=st.integers(0, 25), reps=st.integers(1, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_all_duplicate_window(self, key, reps):
+        # one key repeated: first occurrence decides, the rest must
+        # retire through the frozen-reject / stable-accept fast path
+        def build():
+            return ColdFilter(l1_width=4, l2_width=2, delta1=2, delta2=4,
+                              d1=2, d2=2, seed=5)
+
+        scalar, batched = build(), build()
+        batch = [key] * reps
+        expected = np.array([scalar.insert(k) for k in batch], dtype=bool)
+        got = batched.insert_batch(np.array(batch, dtype=np.uint64))
+        assert np.array_equal(expected, got)
+        assert scalar.hash_ops == batched.hash_ops
+
+
+class TestHotKernel:
+    @pytest.mark.parametrize("policy", [REPLACE_HASH, REPLACE_RANDOM])
+    def test_policies_covered(self, policy):
+        hot = HotPart(2, 2, replacement=policy, seed=13)
+        hot.insert_batch(np.arange(8, dtype=np.uint64))
+        hot.end_window()
+        assert sum(hot.items().values()) > 0
+
+    @given(batches=st.lists(batch_strategy, min_size=1, max_size=5),
+           policy=st.sampled_from([REPLACE_HASH, REPLACE_RANDOM]))
+    @settings(max_examples=60, deadline=None)
+    def test_insert_batch_matches_scalar(self, batches, policy):
+        scalar = HotPart(2, 2, replacement=policy, seed=13)
+        batched = HotPart(2, 2, replacement=policy, seed=13)
+        for batch in batches:
+            for key in batch:
+                scalar.insert(key)
+            batched.insert_batch(np.array(batch, dtype=np.uint64))
+            scalar.end_window()
+            batched.end_window()
+        assert scalar.items() == batched.items()
+        assert encode_state(scalar.state_dict()) == \
+            encode_state(batched.state_dict())
+        assert scalar.replacements == batched.replacements
+        assert scalar.replacement_attempts == batched.replacement_attempts
+        assert scalar.hash_ops == batched.hash_ops
+
+
+class TestEngineSelector:
+    def test_engine_validation(self):
+        config = HSConfig.for_estimation(2 * 1024, 4, seed=1)
+        with pytest.raises(ConfigError, match="unknown engine"):
+            HypersistentSketch(config, engine="turbo")
+        sketch = HypersistentSketch(config)
+        with pytest.raises(ConfigError, match="unknown engine"):
+            sketch.engine = "turbo"
+        assert set(ENGINES) == {"scalar", "batched", "kernel"}
+
+    @given(windows=windows_strategy, engine=st.sampled_from(
+        ["scalar", "batched", "kernel"]))
+    @settings(max_examples=40, deadline=None)
+    def test_every_engine_matches_scalar_oracle(self, windows, engine):
+        config = HSConfig.for_estimation(2 * 1024, len(windows), seed=9)
+        oracle = scalar_feed(HypersistentSketch(config), windows)
+        other = kernel_feed(
+            HypersistentSketch(config, engine=engine), windows)
+        assert oracle.stats() == other.stats()
+        for key in all_keys(windows):
+            assert oracle.query(key) == other.query(key)
+        assert oracle.report(1) == other.report(1)
+
+    @given(windows=windows_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_simd_build_kernel_engine_matches_oracle(self, windows):
+        config = HSConfig.for_estimation(2 * 1024, len(windows), seed=9)
+        oracle = scalar_feed(HypersistentSketch(config), windows)
+        simd = kernel_feed(
+            make_hypersistent_simd(config, engine="kernel"), windows)
+        for key in all_keys(windows):
+            assert oracle.query(key) == simd.query(key)
+        assert oracle.report(1) == simd.report(1)
+
+    @given(windows=windows_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_snapshot_bytes_identical_across_engines(self, windows):
+        # persist acceptance: the engine never leaks into the snapshot
+        config = HSConfig.for_estimation(2 * 1024, len(windows), seed=9)
+        blobs = [encode_state(
+            kernel_feed(HypersistentSketch(config, engine=e),
+                        windows).state_dict())
+            for e in ("scalar", "batched", "kernel")]
+        assert blobs[0] == blobs[1] == blobs[2]
+        restored = HypersistentSketch.from_state(
+            kernel_feed(HypersistentSketch(config, engine="kernel"),
+                        windows).state_dict())
+        assert restored.engine == "batched"  # runtime-only, not restored
+        assert encode_state(restored.state_dict()) == blobs[0]
+
+    @given(windows=windows_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_ingest_window_timings_cover_all_stages(self, windows):
+        config = HSConfig.for_estimation(2 * 1024, len(windows), seed=9)
+        sketch = HypersistentSketch(config)
+        timings = {}
+        for items in windows:
+            ingest_window(
+                sketch, np.array(items, dtype=np.uint64), timings)
+        assert set(timings) == {"burst", "cold", "hot", "end"}
+        assert all(v >= 0.0 for v in timings.values())
+        oracle = scalar_feed(HypersistentSketch(config), windows)
+        assert oracle.stats() == sketch.stats()
+
+
+class TestShardedEngine:
+    def _build(self, engine=None):
+        return ShardedSketch(
+            lambda i: HypersistentSketch(HSConfig.for_estimation(
+                2 * 1024, 8, seed=3 + 100 * i)),
+            n_shards=2, seed=3, engine=engine,
+        )
+
+    @given(windows=st.lists(
+        st.lists(st.integers(0, 60), max_size=40), min_size=1, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_kernel_engine_matches_default(self, windows):
+        default = self._build()
+        kernel = self._build(engine="kernel")
+        for items in windows:
+            keys = np.array(items, dtype=np.uint64)
+            default.insert_window(keys)
+            kernel.insert_window(keys)
+        for key in all_keys(windows):
+            assert default.query(key) == kernel.query(key)
+        assert default.report(1) == kernel.report(1)
+
+    def test_engine_rejects_shards_without_selector(self):
+        class Plain:
+            def insert(self, key):  # pragma: no cover - never called
+                pass
+
+        with pytest.raises(ConfigError, match="no engine selector"):
+            ShardedSketch(lambda i: Plain(), n_shards=2, seed=3,
+                          engine="kernel")

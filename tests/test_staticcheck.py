@@ -7,7 +7,7 @@ Three layers:
 * engine-level — suppression comments, select/ignore, JSON report and
   baseline round-trips, the SC-PARSE pseudo-rule;
 * gate-level — ``scripts/check_lint.py`` run as a subprocess over a
-  mutated copy of ``src/repro`` must exit non-zero for each of the six
+  mutated copy of ``src/repro`` must exit non-zero for each of the seven
   seeded bug patterns, and zero for the untouched copy.
 """
 
@@ -37,6 +37,7 @@ from repro.staticcheck.rules_ast import (
     IntegerCounterRule,
     MutableDefaultRule,
     PickleRule,
+    ScalarLoopRule,
 )
 
 REPO = Path(__file__).resolve().parent.parent
@@ -59,6 +60,7 @@ class TestRuleFixtures:
         (BroadExceptRule, "exc", "src/repro/persist/{stem}.py", 3),
         (IntegerCounterRule, "int", "src/repro/core/{stem}.py", 4),
         (MutableDefaultRule, "mutdef", "src/repro/core/{stem}.py", 5),
+        (ScalarLoopRule, "loop", "src/repro/core/{stem}.py", 3),
     ]
 
     @pytest.mark.parametrize(
@@ -171,7 +173,7 @@ class TestEngine:
         registry = default_registry()
         ids = [rule.rule_id for rule in registry.select(None, None)]
         assert ids == ["SC-DET", "SC-PERSIST", "SC-PICKLE",
-                       "SC-EXC", "SC-INT", "SC-MUTDEF"]
+                       "SC-EXC", "SC-INT", "SC-MUTDEF", "SC-LOOP"]
         only = registry.select(["SC-DET"], None)
         assert [r.rule_id for r in only] == ["SC-DET"]
         rest = registry.select(None, ["SC-DET", "SC-MUTDEF"])
@@ -251,7 +253,7 @@ class TestLintCLI:
         proc = run_cli(["--list"])
         assert proc.returncode == 0
         for rule_id in ("SC-DET", "SC-PERSIST", "SC-PICKLE",
-                        "SC-EXC", "SC-INT", "SC-MUTDEF"):
+                        "SC-EXC", "SC-INT", "SC-MUTDEF", "SC-LOOP"):
             assert rule_id in proc.stdout
 
     def test_clean_tree_exits_zero(self):
@@ -318,6 +320,13 @@ MUTATIONS = {
         "def collect(item, seen=[]):\n"
         "    seen.append(item)\n"
         "    return seen\n",
+    ),
+    "SC-LOOP": (
+        "src/repro/core/_mut_loop.py",
+        None,
+        "def feed(sketch, keys):\n"
+        "    for key in keys.tolist():\n"
+        "        sketch.insert(key)\n",
     ),
 }
 

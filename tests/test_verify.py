@@ -144,9 +144,12 @@ class TestFuzz:
 def _install_drain_bug(monkeypatch):
     """Make the Burst Filter silently lose one stored ID per drain."""
     def buggy_drain(self):
-        keys = [key for bucket in self._buckets for key in bucket]
-        for bucket in self._buckets:
-            bucket.clear()
+        keys = [
+            int(key)
+            for b in range(self.n_buckets)
+            for key in self._keys[b, : self._fill[b]]
+        ]
+        self._fill.fill(0)
         return iter(keys[:-1])  # drop the last stored ID
 
     monkeypatch.setattr(burst_filter.BurstFilter, "drain", buggy_drain)
