@@ -1,20 +1,23 @@
 """Gate the observability layer's disabled-instrumentation overhead.
 
-Times the columnar batched ingest three ways on the ``caida_like``
-workload at bench scale:
+Times whole-window ingest on the ``caida_like`` workload at bench scale,
+for **both** batch engines (``batched`` and ``kernel``), four ways each:
 
-* ``bare``      — no observability at all;
-* ``bound``     — a :class:`~repro.obs.registry.MetricsRegistry` with
+* ``bare``       — no observability at all;
+* ``bound``      — a :class:`~repro.obs.registry.MetricsRegistry` with
   every catalog instrument bound pull-style (the "instrumentation
   disabled" production default: nothing reads the counters until a
   scrape, so the ingest path must be unaffected);
-* ``profiled``  — a :class:`~repro.obs.profiler.WindowProfiler` attached
-  (stage timing proxies live; informational, not gated).
+* ``traced_off`` — a :class:`~repro.obs.trace.TraceRecorder` attached
+  but **disabled** (the flight-recorder default: every emission site is
+  behind an enabled-check, so the hot path must only pay that check);
+* ``profiled``   — a :class:`~repro.obs.profiler.WindowProfiler`
+  attached (stage timing proxies live; informational, not gated).
 
-Fails (exit 1) when the ``bound`` median regresses more than
-``--max-overhead`` (default 5%, env ``REPRO_OBS_OVERHEAD_MAX``) over
-``bare``, and writes the measurements to ``--out`` for the CI artifact.
-Usage::
+Fails (exit 1) when, for either engine, the ``bound`` or ``traced_off``
+median regresses more than ``--max-overhead`` (default 5%, env
+``REPRO_OBS_OVERHEAD_MAX``) over that engine's ``bare``, and writes the
+measurements to ``--out`` for the CI artifact.  Usage::
 
     PYTHONPATH=src python scripts/check_obs_overhead.py [--out OBS_overhead.json]
 """
@@ -33,14 +36,31 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core import HSConfig, make_hypersistent_simd
 from repro.experiments.figures.common import bench_scale
-from repro.obs import MetricsRegistry, WindowProfiler, bind_sketch
+from repro.obs import (
+    MetricsRegistry,
+    TraceRecorder,
+    WindowProfiler,
+    bind_sketch,
+)
 from repro.streams.traces import caida_like
 
 ROUNDS = 9
 
+#: Engines under the gate (the scalar path is not a batch ingest engine).
+ENGINES = ("batched", "kernel")
 
-def _one_round(arrays, config, prepare):
-    sketch = make_hypersistent_simd(config)
+#: Variant name -> (prepare hook, gated?).
+VARIANTS = (
+    ("bare", lambda sketch: None, False),
+    ("bound", lambda sketch: bind_sketch(MetricsRegistry(), sketch), True),
+    ("traced_off",
+     lambda sketch: TraceRecorder(enabled=False).attach(sketch), True),
+    ("profiled", lambda sketch: WindowProfiler().attach(sketch), False),
+)
+
+
+def _one_round(arrays, config, engine, prepare):
+    sketch = make_hypersistent_simd(config, engine=engine)
     prepare(sketch)
     gc.collect()
     gc.disable()
@@ -53,7 +73,7 @@ def _one_round(arrays, config, prepare):
         gc.enable()
 
 
-def _time_variants(arrays, config, prepares):
+def _time_variants(arrays, config, engine, prepares):
     """Best-of-ROUNDS per variant, interleaved with rotating order.
 
     Timing each variant in its own contiguous block lets
@@ -68,7 +88,7 @@ def _time_variants(arrays, config, prepares):
     for round_no in range(ROUNDS + 1):
         for offset in range(len(prepares)):
             i = (round_no + offset) % len(prepares)
-            seconds = _one_round(arrays, config, prepares[i])
+            seconds = _one_round(arrays, config, engine, prepares[i])
             if round_no > 0:  # round 0 is warmup
                 best[i] = min(best[i], seconds)
     return best
@@ -86,13 +106,7 @@ def run(out_path: str, max_overhead: float) -> dict:
     )
     arrays = trace.window_arrays()
 
-    bare_s, bound_s, profiled_s = _time_variants(arrays, config, (
-        lambda sketch: None,
-        lambda sketch: bind_sketch(MetricsRegistry(), sketch),
-        lambda sketch: WindowProfiler().attach(sketch),
-    ))
-
-    overhead = bound_s / bare_s - 1.0
+    prepares = tuple(prepare for _, prepare, _ in VARIANTS)
     result = {
         "workload": {
             "trace": trace.name,
@@ -100,20 +114,31 @@ def run(out_path: str, max_overhead: float) -> dict:
             "windows": trace.n_windows,
             "rounds": ROUNDS,
         },
-        "bare_seconds": round(bare_s, 5),
-        "bound_seconds": round(bound_s, 5),
-        "profiled_seconds": round(profiled_s, 5),
-        "bound_overhead": round(overhead, 4),
-        "profiled_overhead": round(profiled_s / bare_s - 1.0, 4),
         "max_overhead": max_overhead,
-        "passed": overhead <= max_overhead,
+        "engines": {},
+        "passed": True,
     }
+    for engine in ENGINES:
+        timings = _time_variants(arrays, config, engine, prepares)
+        bare_s = timings[0]
+        entry = {"bare_seconds": round(bare_s, 5)}
+        print(f"[{engine}]")
+        print(f"  bare       : {bare_s * 1e3:8.2f}ms")
+        for (name, _, gated), seconds in zip(VARIANTS[1:], timings[1:]):
+            overhead = seconds / bare_s - 1.0
+            entry[f"{name}_seconds"] = round(seconds, 5)
+            entry[f"{name}_overhead"] = round(overhead, 4)
+            if gated:
+                ok = overhead <= max_overhead
+                entry["passed"] = entry.get("passed", True) and ok
+                result["passed"] = result["passed"] and ok
+                note = f"budget {max_overhead:.0%}"
+            else:
+                note = "informational"
+            print(f"  {name:<11}: {seconds * 1e3:8.2f}ms "
+                  f"({overhead:+.1%} — {note})")
+        result["engines"][engine] = entry
     Path(out_path).write_text(json.dumps(result, indent=2) + "\n")
-    print(f"bare     : {bare_s * 1e3:8.2f}ms")
-    print(f"bound    : {bound_s * 1e3:8.2f}ms "
-          f"({overhead:+.1%} — budget {max_overhead:.0%})")
-    print(f"profiled : {profiled_s * 1e3:8.2f}ms "
-          f"({result['profiled_overhead']:+.1%}, informational)")
     print(f"-> {out_path}")
     return result
 
@@ -124,13 +149,19 @@ def main() -> int:
     parser.add_argument(
         "--max-overhead", type=float,
         default=float(os.environ.get("REPRO_OBS_OVERHEAD_MAX", "0.05")),
-        help="maximum tolerated bound-registry slowdown (fraction)",
+        help="maximum tolerated slowdown (fraction) for the gated "
+             "variants (bound registry, disabled trace recorder)",
     )
     args = parser.parse_args()
     result = run(args.out, args.max_overhead)
     if not result["passed"]:
-        print(f"FAIL: bound-registry overhead {result['bound_overhead']:+.1%}"
-              f" exceeds {args.max_overhead:.0%}", file=sys.stderr)
+        for engine, entry in result["engines"].items():
+            for name in ("bound", "traced_off"):
+                overhead = entry.get(f"{name}_overhead", 0.0)
+                if overhead > args.max_overhead:
+                    print(f"FAIL: {engine} {name} overhead {overhead:+.1%} "
+                          f"exceeds {args.max_overhead:.0%}",
+                          file=sys.stderr)
         return 1
     return 0
 

@@ -10,7 +10,14 @@ Commands:
   accuracy against the exact oracle (``--profile`` adds a stage-latency
   breakdown, ``--telemetry``/``--prom`` export run telemetry).
 * ``find`` — report persistent items from a saved trace.
-* ``obs`` — tail a run's JSON-lines telemetry as a live ASCII panel.
+* ``obs`` — tail a run's JSON-lines telemetry as a live ASCII panel
+  (with a sketch-health footer when health gauges are present).
+* ``trace`` — stream a trace with the flight recorder attached and
+  export the recorded stage events as JSONL or Chrome trace-event JSON
+  (viewable in Perfetto / ``chrome://tracing``).
+* ``explain`` — per-key decision audit: replay a trace with the
+  recorder attached and print where the key lives, every routing
+  decision it hit, and how its estimate decomposes.
 * ``verify`` — run the invariant catalog and an oracle-differential
   audit against a saved trace (or the default campaign suite).
 * ``fuzz`` — deterministic fuzz campaign: generated workloads, the full
@@ -40,16 +47,27 @@ from .experiments.harness import (
     run_algorithm,
 )
 from .obs import (
+    HEALTH_PANEL_METRICS,
+    HealthThresholds,
     MetricsRegistry,
+    TraceRecorder,
     WindowProfiler,
     bind_sketch,
     read_jsonl,
+    render_health,
+    to_chrome_trace,
     to_prometheus,
+    validate_chrome_trace,
+    write_events_jsonl,
 )
 
 #: Labels accepted by ``estimate``/``compare``: the estimation suite plus
 #: the batched-ingestion variants (same estimates, columnar insert path).
 _ESTIMATE_CHOICES = tuple(ESTIMATION_ALGORITHMS) + tuple(BATCHED_ALGORITHMS)
+
+#: Labels ``trace``/``explain`` accept: only the Hypersistent builds carry
+#: the flight-recorder wiring and the staged ``explain`` audit.
+_TRACEABLE_CHOICES = ("HS", "HS-SIMD", "HS-BATCH", "HS-KERNEL")
 from .experiments.registry import EXPERIMENTS, run_experiment
 from .streams.io import (
     load_trace_csv,
@@ -185,9 +203,27 @@ _OBS_DEFAULT_METRICS = (
 )
 
 
+def _health_thresholds(args) -> HealthThresholds:
+    """Build health thresholds from repeated ``--threshold NAME=VALUE``."""
+    overrides = {}
+    for pair in getattr(args, "threshold", None) or ():
+        name, sep, value = pair.partition("=")
+        if not sep:
+            raise ValueError(
+                f"--threshold expects NAME=VALUE, got {pair!r}"
+            )
+        overrides[name] = float(value)
+    return HealthThresholds().with_overrides(overrides)
+
+
 def _cmd_obs(args) -> int:
     metrics = (args.metrics.split(",") if args.metrics
                else list(_OBS_DEFAULT_METRICS))
+    try:
+        thresholds = _health_thresholds(args)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     refreshes = 0
     while True:
         records = read_jsonl(args.telemetry)
@@ -202,6 +238,11 @@ def _cmd_obs(args) -> int:
                 records, metrics, width=args.width,
                 title=f"telemetry: {args.telemetry}",
             ))
+            last = records[-1]
+            sample = {name: float(last[name])
+                      for name in HEALTH_PANEL_METRICS if name in last}
+            if sample:
+                print(render_health(sample, thresholds))
         refreshes += 1
         if not args.follow:
             return 0
@@ -211,6 +252,72 @@ def _cmd_obs(args) -> int:
             time.sleep(args.interval)
         except KeyboardInterrupt:  # pragma: no cover
             return 0
+
+
+def _parse_item(raw: str):
+    """CLI key argument: integers pass through, anything else is a label."""
+    try:
+        return int(raw)
+    except ValueError:
+        return raw
+
+
+def _traced_run(args):
+    """Stream ``args.trace`` with a flight recorder attached; return
+    ``(trace, recorder, sketch)``."""
+    trace = _load_trace(args.trace)
+    recorder = TraceRecorder(capacity=args.capacity)
+    result = run_algorithm(
+        args.algorithm, trace, int(args.memory_kb * 1024),
+        task="estimation", seed=args.seed, engine=args.engine,
+        # an explicit engine must actually run: route through the window
+        # path, where the engine dispatch lives (record-at-a-time
+        # streaming would silently ignore it for the classic labels)
+        batched=True if args.engine is not None else None,
+        trace_recorder=recorder,
+    )
+    return trace, recorder, result.sketch
+
+
+def _cmd_trace(args) -> int:
+    import json
+    from pathlib import Path
+
+    trace, recorder, sketch = _traced_run(args)
+    print(f"recorded {recorder.emitted} event(s) over {trace.n_windows} "
+          f"window(s): {len(recorder)} retained, {recorder.dropped} "
+          f"dropped, {len(recorder.spans)} span(s)")
+    out = Path(args.out) if args.out else None
+    if args.export == "chrome":
+        payload = to_chrome_trace(recorder)
+        problems = validate_chrome_trace(payload)
+        if problems:  # pragma: no cover - guards exporter regressions
+            for problem in problems:
+                print(f"  schema: {problem}", file=sys.stderr)
+            return 1
+        out = out or Path("trace_chrome.json")
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload))
+        print(f"wrote Chrome trace ({len(payload['traceEvents'])} "
+              f"trace events) to {out}; open in Perfetto or "
+              f"chrome://tracing")
+    else:
+        out = out or Path("trace_events.jsonl")
+        written = write_events_jsonl(recorder, out)
+        print(f"wrote {written} event record(s) to {out}")
+    for raw in args.explain or ():
+        print()
+        print(sketch.explain(_parse_item(raw)))
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    _, _, sketch = _traced_run(args)
+    for i, raw in enumerate(args.keys):
+        if i:
+            print()
+        print(sketch.explain(_parse_item(raw)))
+    return 0
 
 
 def _cmd_find(args) -> int:
@@ -542,7 +649,58 @@ def build_parser() -> argparse.ArgumentParser:
                    help="refresh period in seconds (with --follow)")
     p.add_argument("--refreshes", type=int, default=0,
                    help="stop after N refreshes (0 = until interrupted)")
+    p.add_argument("--threshold", action="append", metavar="NAME=VALUE",
+                   help="override a health alert threshold (repeatable; "
+                        "names are the hs_health_* gauge names plus "
+                        "hs_hot_occupancy)")
     p.set_defaults(func=_cmd_obs)
+
+    p = sub.add_parser(
+        "trace",
+        help="record stage events for a run and export them "
+             "(JSONL or Chrome trace-event JSON)",
+    )
+    p.add_argument("trace", help="trace file (.csv or .npz)")
+    p.add_argument("--algorithm", choices=_TRACEABLE_CHOICES, default="HS")
+    p.add_argument("--memory-kb", type=float, default=64)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--engine", choices=("scalar", "batched", "kernel"),
+                   default=None,
+                   help="force a batch ingestion backend (bit-identical "
+                        "results; changes which bulk events are emitted)")
+    p.add_argument("--capacity", type=int, default=65536,
+                   help="flight-recorder ring size (oldest events drop "
+                        "beyond this)")
+    p.add_argument("--export", choices=("jsonl", "chrome"),
+                   default="jsonl",
+                   help="output format: JSON-lines event records or "
+                        "Chrome trace-event JSON (Perfetto-compatible)")
+    p.add_argument("--out", metavar="PATH",
+                   help="output path (default: trace_events.jsonl / "
+                        "trace_chrome.json)")
+    p.add_argument("--explain", action="append", metavar="KEY",
+                   help="also print the decision audit for KEY "
+                        "(repeatable)")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "explain",
+        help="per-key decision audit: replay a trace and narrate one "
+             "key's routing and estimate decomposition",
+    )
+    p.add_argument("trace", help="trace file (.csv or .npz)")
+    p.add_argument("keys", nargs="+", metavar="KEY",
+                   help="item key(s) to audit (integers or labels)")
+    p.add_argument("--algorithm", choices=_TRACEABLE_CHOICES, default="HS")
+    p.add_argument("--memory-kb", type=float, default=64)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--engine", choices=("scalar", "batched", "kernel"),
+                   default=None,
+                   help="force a batch ingestion backend (bit-identical "
+                        "results; changes which bulk events are emitted)")
+    p.add_argument("--capacity", type=int, default=65536,
+                   help="flight-recorder ring size")
+    p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser(
         "compare", help="compare algorithms' estimation accuracy"

@@ -33,6 +33,7 @@ import numpy as np
 from ..common.bitmem import ID_BITS
 from ..common.errors import ConfigError
 from ..common.hashing import HashFamily
+from ..obs.events import BURST_ADMIT, BURST_DRAIN, BURST_OVERFLOW
 from .columnar import plan_burst_admission, window_downstream
 from .kernels import burst_window_plan
 
@@ -47,7 +48,7 @@ class BurstFilter:
     """
 
     __slots__ = ("n_buckets", "cells_per_bucket", "_hash", "_keys", "_fill",
-                 "hash_ops", "compare_ops", "absorbed", "overflowed")
+                 "hash_ops", "compare_ops", "absorbed", "overflowed", "trace")
 
     def __init__(self, n_buckets: int, cells_per_bucket: int = 4,
                  seed: int = 42):
@@ -64,6 +65,9 @@ class BurstFilter:
         self.compare_ops = 0
         self.absorbed = 0
         self.overflowed = 0
+        # flight-recorder hook; runtime wiring, never serialized
+        # staticcheck: ignore[SC-PERSIST]
+        self.trace = None
 
     def insert(self, key: int) -> bool:
         """Try to absorb one occurrence of ``key``.
@@ -83,12 +87,17 @@ class BurstFilter:
                 self.absorbed += 1
                 return True
             self.compare_ops += fill
+        tr = self.trace
         if fill < self.cells_per_bucket:
             self._keys[b, fill] = key
             self._fill[b] = fill + 1
             self.absorbed += 1
+            if tr is not None and tr.enabled:
+                tr.emit(BURST_ADMIT, key)
             return True
         self.overflowed += 1
+        if tr is not None and tr.enabled:
+            tr.emit(BURST_OVERFLOW, key)
         return False
 
     def insert_batch(self, keys: np.ndarray) -> np.ndarray:
@@ -124,6 +133,10 @@ class BurstFilter:
         self.compare_ops += plan.scan_compares
         self.absorbed += plan.n_absorbed
         self.overflowed += n - plan.n_absorbed
+        tr = self.trace
+        if tr is not None and tr.enabled:
+            tr.emit_bulk(BURST_ADMIT, plan.unique_keys[new])
+            tr.emit_bulk(BURST_OVERFLOW, keys[~plan.absorbed])
         return plan.absorbed
 
     def window_batch(self, keys: np.ndarray) -> Optional[np.ndarray]:
@@ -154,7 +167,9 @@ class BurstFilter:
         self.compare_ops += plan.scan_compares
         self.absorbed += plan.n_absorbed
         self.overflowed += n - plan.n_absorbed
-        return window_downstream(keys, plan, self.cells_per_bucket)
+        downstream = window_downstream(keys, plan, self.cells_per_bucket)
+        self._emit_window_bulks(downstream, n - plan.n_absorbed)
+        return downstream
 
     def window_kernel(self, keys: np.ndarray) -> Optional[np.ndarray]:
         """Fused :meth:`window_batch` (the ``engine="kernel"`` stage-1 op).
@@ -179,7 +194,23 @@ class BurstFilter:
         self.compare_ops += scan_compares
         self.absorbed += n_absorbed
         self.overflowed += n - n_absorbed
+        self._emit_window_bulks(downstream, n - n_absorbed)
         return downstream
+
+    def _emit_window_bulks(self, downstream: np.ndarray,
+                           n_overflow: int) -> None:
+        """Reconstruct the whole-window fast path's events in bulk.
+
+        ``downstream`` is overflow occurrences followed by the drained
+        distinct keys (the :func:`window_downstream` layout), so the two
+        slices are exactly the scalar window's OVERFLOW and ADMIT+DRAIN
+        emissions — no per-item work.
+        """
+        tr = self.trace
+        if tr is not None and tr.enabled:
+            tr.emit_bulk(BURST_OVERFLOW, downstream[:n_overflow])
+            tr.emit_bulk(BURST_ADMIT, downstream[n_overflow:])
+            tr.emit_bulk(BURST_DRAIN, downstream[n_overflow:])
 
     def _fill_of(self, buckets: np.ndarray) -> np.ndarray:
         """Current fill of each listed bucket (general-path helper)."""
@@ -209,6 +240,20 @@ class BurstFilter:
         return fill > 0 and bool(
             (self._keys[b, :fill] == np.uint64(key)).any()
         )
+
+    def peek(self, key: int) -> bool:
+        """Counter-free :meth:`contains` (the audit probe behind
+        ``sketch.explain``: observing must not move the cost model)."""
+        b = self._hash.index(key, 0, self.n_buckets)
+        fill = int(self._fill[b])
+        return fill > 0 and bool(
+            (self._keys[b, :fill] == np.uint64(key)).any()
+        )
+
+    def full_bucket_fraction(self) -> float:
+        """Fraction of buckets with no free cell (health gauge: a full
+        bucket overflows every new key straight downstream)."""
+        return float((self._fill >= self.cells_per_bucket).mean())
 
     def drain(self) -> Iterator[int]:
         """Yield every stored ID once and clear the filter (window end)."""
@@ -342,4 +387,5 @@ class BurstFilter:
         obj.compare_ops = int(state["compare_ops"])
         obj.absorbed = int(state["absorbed"])
         obj.overflowed = int(state["overflowed"])
+        obj.trace = None
         return obj

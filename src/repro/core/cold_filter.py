@@ -35,6 +35,7 @@ import numpy as np
 from ..common.bitmem import counter_bits_for
 from ..common.errors import ConfigError
 from ..common.hashing import HashFamily
+from ..obs.events import COLD_ESCALATE, COLD_L1_ACCEPT, COLD_OVERFLOW
 from .kernels import cold_insert_batch, cold_layer_batch
 
 
@@ -203,7 +204,8 @@ class ColdFilter:
     per L2 access), matching the cost model of Section III-D.
     """
 
-    __slots__ = ("l1", "l2", "hash_ops", "l1_hits", "l2_hits", "overflows")
+    __slots__ = ("l1", "l2", "hash_ops", "l1_hits", "l2_hits", "overflows",
+                 "trace")
 
     def __init__(
         self,
@@ -221,6 +223,9 @@ class ColdFilter:
         self.l1_hits = 0
         self.l2_hits = 0
         self.overflows = 0
+        # flight-recorder hook; runtime wiring, never serialized
+        # staticcheck: ignore[SC-PERSIST]
+        self.trace = None
 
     @property
     def delta1(self) -> int:
@@ -235,14 +240,21 @@ class ColdFilter:
     def insert(self, key: int) -> bool:
         """Algorithm 2: returns ``False`` on overflow (item is hot)."""
         self.hash_ops += self.l1.rows
+        tr = self.trace
         if self.l1.try_insert(key):
             self.l1_hits += 1
+            if tr is not None and tr.enabled:
+                tr.emit(COLD_L1_ACCEPT, key)
             return True
         self.hash_ops += self.l2.rows
         if self.l2.try_insert(key):
             self.l2_hits += 1
+            if tr is not None and tr.enabled:
+                tr.emit(COLD_ESCALATE, key)
             return True
         self.overflows += 1
+        if tr is not None and tr.enabled:
+            tr.emit(COLD_OVERFLOW, key)
         return False
 
     def insert_batch(self, keys: np.ndarray) -> np.ndarray:
@@ -272,6 +284,17 @@ class ColdFilter:
         if v1 < self.delta1:
             return v1, False
         self.hash_ops += self.l2.rows
+        v2 = self.l2.minimum(key)
+        if v2 < self.delta2:
+            return self.delta1 + v2, False
+        return self.delta1 + self.delta2, True
+
+    def peek(self, key: int) -> Tuple[int, bool]:
+        """Counter-free :meth:`query` (the audit probe behind
+        ``sketch.explain``: observing must not move the cost model)."""
+        v1 = self.l1.minimum(key)
+        if v1 < self.delta1:
+            return v1, False
         v2 = self.l2.minimum(key)
         if v2 < self.delta2:
             return self.delta1 + v2, False
@@ -349,4 +372,5 @@ class ColdFilter:
         obj.l1_hits = int(state["l1_hits"])
         obj.l2_hits = int(state["l2_hits"])
         obj.overflows = int(state["overflows"])
+        obj.trace = None
         return obj

@@ -33,6 +33,7 @@ import numpy as np
 from ..common.bitmem import ID_BITS
 from ..common.errors import ConfigError
 from ..common.hashing import HashFamily, derive_seed, mix
+from ..obs.events import HOT_HIT, HOT_INSERT, HOT_REJECT, HOT_REPLACE
 from .config import HOT_COUNTER_BITS, REPLACE_HASH, REPLACE_RANDOM
 from .kernels import hot_insert_batch
 
@@ -43,7 +44,7 @@ class HotPart:
     __slots__ = ("n_buckets", "entries_per_bucket", "replacement", "_hash",
                  "_keys", "_per", "_occ", "_off", "_epoch", "_window_salt",
                  "_rng", "_seed", "hash_ops", "replacements",
-                 "replacement_attempts")
+                 "replacement_attempts", "trace")
 
     def __init__(
         self,
@@ -74,6 +75,9 @@ class HotPart:
         self.hash_ops = 0
         self.replacements = 0
         self.replacement_attempts = 0
+        # flight-recorder hook; runtime wiring, never serialized
+        # staticcheck: ignore[SC-PERSIST]
+        self.trace = None
 
     # ------------------------------------------------------------------
     def _replace_allowed(self, key: int, min_per: int) -> bool:
@@ -122,25 +126,33 @@ class HotPart:
         match = (self._keys[bucket_index] == np.uint64(key)) & occ
         first_match = int(match.argmax()) if match.any() else per_bucket
         first_empty = per_bucket if occ.all() else int((~occ).argmax())
+        tr = self.trace
         if first_empty < first_match:
             self._keys[bucket_index, first_empty] = key
             self._per[bucket_index, first_empty] = 1
             self._occ[bucket_index, first_empty] = True
             self._off[bucket_index, first_empty] = self._epoch
+            if tr is not None and tr.enabled:
+                tr.emit(HOT_INSERT, key)
             return
         if first_match < per_bucket:
             if self._off[bucket_index, first_match] != self._epoch:  # on
                 self._per[bucket_index, first_match] += 1
                 self._off[bucket_index, first_match] = self._epoch
+            if tr is not None and tr.enabled:
+                tr.emit(HOT_HIT, key)
             return
         pers = self._per[bucket_index]
         slot = int(pers.argmin())  # first minimum == earliest-min walk rule
         min_per = int(pers[slot])
-        if self._replace_allowed(key, min_per):
+        allowed = self._replace_allowed(key, min_per)
+        if allowed:
             self.replacements += 1
             self._keys[bucket_index, slot] = key
             self._per[bucket_index, slot] = min_per + 1
             self._off[bucket_index, slot] = self._epoch
+        if tr is not None and tr.enabled:
+            tr.emit(HOT_REPLACE if allowed else HOT_REJECT, key)
 
     def query(self, key: int) -> int:
         """Stored persistence of ``key`` (0 when not present)."""
@@ -155,6 +167,16 @@ class HotPart:
         """Whether ``key`` is currently stored."""
         b = self._hash.index(key, 0, self.n_buckets)
         return bool(((self._keys[b] == np.uint64(key)) & self._occ[b]).any())
+
+    def peek(self, key: int):
+        """Counter-free :meth:`query` variant: the stored persistence of
+        ``key``, or ``None`` when not resident (the audit probe behind
+        ``sketch.explain``: observing must not move the cost model)."""
+        b = self._hash.index(key, 0, self.n_buckets)
+        match = (self._keys[b] == np.uint64(key)) & self._occ[b]
+        if match.any():
+            return int(self._per[b, int(match.argmax())])
+        return None
 
     def end_window(self) -> None:
         """Reset all flags and re-salt the replacement hash (per-window)."""
@@ -315,4 +337,5 @@ class HotPart:
         obj.hash_ops = int(state["hash_ops"])
         obj.replacements = int(state["replacements"])
         obj.replacement_attempts = int(state["replacement_attempts"])
+        obj.trace = None
         return obj

@@ -19,9 +19,12 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+import time
+
 from ..common.errors import ConfigError
 from ..common.hashing import ItemKey, canonical_key, canonical_keys
 from ..obs.catalog import bind_sketch, legacy_sketch_stats, sketch_metrics
+from ..obs.events import BURST_DRAIN
 from .burst_filter import BurstFilter
 from .cold_filter import ColdFilter
 from .config import HSConfig
@@ -100,6 +103,10 @@ class HypersistentSketch:
         )
         self.window = 0
         self.inserts = 0
+        # flight-recorder hook; runtime wiring via TraceRecorder.attach,
+        # never serialized
+        # staticcheck: ignore[SC-PERSIST]
+        self.trace = None
 
     @property
     def engine(self) -> str:
@@ -132,12 +139,23 @@ class HypersistentSketch:
 
     def end_window(self) -> None:
         """Flush the Burst Filter, then reset all window flags."""
+        tr = self.trace
         if self.burst is not None:
-            for key in self.burst.drain():
-                self._insert_downstream(key)
+            if tr is not None and tr.enabled:
+                # buffer the drain so it can be recorded as one bulk
+                # event before the downstream inserts emit theirs
+                drained = list(self.burst.drain())
+                tr.emit_bulk(BURST_DRAIN, drained)
+                for key in drained:
+                    self._insert_downstream(key)
+            else:
+                for key in self.burst.drain():
+                    self._insert_downstream(key)
         self.cold.end_window()
         self.hot.end_window()
         self.window += 1
+        if tr is not None and tr.enabled:
+            tr.rotate(self.window)
 
     def insert_batch(self, items) -> None:
         """Columnar :meth:`insert` of a batch of occurrences, in order.
@@ -198,6 +216,9 @@ class HypersistentSketch:
             self.end_window()
             return
         self.inserts += int(keys.size)
+        tr = self.trace
+        tracing = tr is not None and tr.enabled
+        window_started = time.perf_counter() if tracing else 0.0
         if self.burst is not None:
             # empty filter (the steady whole-window state): one fused plan
             # yields the downstream sequence without touching bucket storage
@@ -206,6 +227,8 @@ class HypersistentSketch:
                 absorbed = self.burst.insert_batch(keys)
                 overflow = keys[~absorbed]
                 drained = self.burst.drain_array()
+                if tr is not None and tr.enabled:
+                    tr.emit_bulk(BURST_DRAIN, drained)
                 downstream = (
                     np.concatenate((overflow, drained))
                     if overflow.size else drained
@@ -216,6 +239,9 @@ class HypersistentSketch:
         self.cold.end_window()
         self.hot.end_window()
         self.window += 1
+        if tracing:
+            tr.record_span("window", window_started, self.window - 1)
+            tr.rotate(self.window)
 
     # ------------------------------------------------------------------
     # query (Algorithm 5)
@@ -250,6 +276,72 @@ class HypersistentSketch:
         if self.cold.l2.minimum(key) < self.cold.delta2:
             return "l2"
         return "hot"
+
+    def explain(self, item: ItemKey):
+        """Per-key decision audit: where ``item`` lives, why, and how its
+        :meth:`query` estimate decomposes into burst/cold/hot terms.
+
+        Returns an :class:`~repro.obs.trace.Explanation` whose
+        ``estimate`` equals ``query(item)`` exactly and whose
+        ``narrative()`` renders the journey (including the recorded
+        routing events when a :class:`~repro.obs.trace.TraceRecorder` is
+        attached).  Counter-neutral: explaining never moves the
+        ``hash_ops`` / ``compare_ops`` cost model the registry exports.
+        """
+        from ..obs.trace import Explanation  # local: keep import light
+        key = canonical_key(item)
+        pending = 0
+        if self.burst is not None and len(self.burst) \
+                and self.burst.peek(key):
+            pending = 1
+        l1_min = self.cold.l1.minimum(key)
+        l2_min = self.cold.l2.minimum(key)
+        delta1, delta2 = self.cold.delta1, self.cold.delta2
+        if l1_min < delta1:
+            stage, cold_partial, needs_hot = "l1", l1_min, False
+        elif l2_min < delta2:
+            stage, cold_partial, needs_hot = "l2", delta1 + l2_min, False
+        else:
+            stage, cold_partial, needs_hot = "hot", delta1 + delta2, True
+        hot_value = self.hot.peek(key)
+        hot_resident = hot_value is not None
+        hot_contrib = hot_value if (needs_hot and hot_resident) else 0
+        events = (self.trace.events_for(key)
+                  if self.trace is not None else [])
+        return Explanation(
+            item=item,
+            key=key,
+            window=self.window,
+            engine=self._engine,
+            pending_burst=pending,
+            l1_min=l1_min,
+            l2_min=l2_min,
+            delta1=delta1,
+            delta2=delta2,
+            stage=stage,
+            cold_partial=cold_partial,
+            needs_hot=needs_hot,
+            hot_resident=hot_resident,
+            hot_value=hot_value if hot_resident else 0,
+            estimate=pending + cold_partial + hot_contrib,
+            events=events,
+        )
+
+    def _wire_trace(self, recorder) -> None:
+        """Attach (``TraceRecorder``) or detach (``None``) the flight
+        recorder on this sketch and all its stages.
+
+        Stages may be wrapped in profiler timing proxies
+        (:class:`~repro.obs.profiler.WindowProfiler`); wiring unwraps to
+        the real stage object so the hot paths see the recorder.
+        """
+        self.trace = recorder
+        for name in ("burst", "cold", "hot"):
+            stage = getattr(self, name)
+            if stage is None:
+                continue
+            inner = getattr(stage, "_inner", stage)
+            inner.trace = recorder
 
     def report(self, threshold: int) -> Dict[int, int]:
         """Items with estimated persistence >= ``threshold``.
@@ -415,4 +507,5 @@ class HypersistentSketch:
         obj.hot = HotPart.from_state(state["hot"])
         obj.window = int(state["window"])
         obj.inserts = int(state["inserts"])
+        obj.trace = None
         return obj

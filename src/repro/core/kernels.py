@@ -43,6 +43,16 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..common.hashing import mix_array
+from ..obs.events import (
+    BURST_DRAIN,
+    COLD_ESCALATE,
+    COLD_L1_ACCEPT,
+    COLD_OVERFLOW,
+    HOT_HIT,
+    HOT_INSERT,
+    HOT_REJECT,
+    HOT_REPLACE,
+)
 
 #: Ingestion engine names accepted by ``HypersistentSketch(engine=...)``.
 ENGINE_SCALAR = "scalar"
@@ -286,11 +296,19 @@ def cold_insert_batch(cold, keys: np.ndarray) -> np.ndarray:
     accepted = cold_layer_batch(cold.l1, keys)
     cold.l1_hits += int(accepted.sum())
     rejected = np.flatnonzero(~accepted)
+    # bulk event reconstruction straight from the wave masks; the L1
+    # slice must happen before the in-place escalation merge below
+    tr = getattr(cold, "trace", None)
+    if tr is not None and tr.enabled:
+        tr.emit_bulk(COLD_L1_ACCEPT, keys[accepted])
     if rejected.size:
         cold.hash_ops += cold.l2.rows * int(rejected.size)
         l2_accepted = cold_layer_batch(cold.l2, keys[rejected])
         cold.l2_hits += int(l2_accepted.sum())
         cold.overflows += int(rejected.size) - int(l2_accepted.sum())
+        if tr is not None and tr.enabled:
+            tr.emit_bulk(COLD_ESCALATE, keys[rejected[l2_accepted]])
+            tr.emit_bulk(COLD_OVERFLOW, keys[rejected[~l2_accepted]])
         accepted[rejected[l2_accepted]] = True
     return accepted
 
@@ -335,6 +353,7 @@ def _hot_round(hot, buckets: np.ndarray, keys: np.ndarray) -> None:
         hot._occ[ins_buckets, ins_slots] = True
         hot._off[ins_buckets, ins_slots] = hot._epoch
     replace = (~hit) & (first_empty == per_bucket)
+    tr = getattr(hot, "trace", None)
     if replace.any():
         rep_buckets = buckets[replace]
         rep_keys = keys[replace]
@@ -352,6 +371,13 @@ def _hot_round(hot, buckets: np.ndarray, keys: np.ndarray) -> None:
             hot._keys[win_buckets, win_slots] = rep_keys[allowed]
             hot._per[win_buckets, win_slots] = min_per[allowed] + 1
             hot._off[win_buckets, win_slots] = hot._epoch
+        if tr is not None and tr.enabled:
+            tr.emit_bulk(HOT_REPLACE, rep_keys[allowed])
+            tr.emit_bulk(HOT_REJECT, rep_keys[~allowed])
+    # bulk event reconstruction from the round's masks (loop-free)
+    if tr is not None and tr.enabled:
+        tr.emit_bulk(HOT_HIT, keys[hit])
+        tr.emit_bulk(HOT_INSERT, keys[inserts])
 
 
 def hot_insert_batch(hot, buckets: np.ndarray, keys: np.ndarray) -> None:
@@ -424,7 +450,12 @@ def hot_insert_batch(hot, buckets: np.ndarray, keys: np.ndarray) -> None:
         hits = first_match < first_empty
         slot_guard = np.minimum(first_match, hot.entries_per_bucket - 1)
         flag_off = hot._off[rest_buckets, slot_guard] == hot._epoch
-        pending = pending[~(hits & flag_off & eligible)]
+        retire = hits & flag_off & eligible
+        # the scalar walk still counts a retired occurrence as a hit
+        tr = getattr(hot, "trace", None)
+        if tr is not None and tr.enabled:
+            tr.emit_bulk(HOT_HIT, rest_keys[retire])
+        pending = pending[~retire]
 
 
 # ----------------------------------------------------------------------
@@ -441,11 +472,19 @@ def ingest_window(sketch, keys: np.ndarray, timings=None) -> None:
     accumulate per-stage wall-clock seconds (the benchmark's stage
     breakdown); when ``None`` the clock is never read.
     """
+    tr = getattr(sketch, "trace", None)
+    tracing = tr is not None and tr.enabled
+    caller_timings = timings
+    if tracing:
+        # spans need this window's stage durations in isolation; the
+        # caller's (cumulative) dict is folded back in at the end
+        timings = {}
     tick = time.perf_counter if timings is not None else None
     if timings is not None:
         for stage in ("burst", "cold", "hot", "end"):
             timings.setdefault(stage, 0.0)
     started = tick() if tick else 0.0
+    window_started = started
     n = int(keys.size)
     sketch.inserts += n
     burst = sketch.burst
@@ -457,6 +496,8 @@ def ingest_window(sketch, keys: np.ndarray, timings=None) -> None:
             absorbed = burst.insert_batch(keys)
             overflow = keys[~absorbed]
             drained = burst.drain_array()
+            if tr is not None and tr.enabled:
+                tr.emit_bulk(BURST_DRAIN, drained)
             downstream = (
                 np.concatenate((overflow, drained))
                 if overflow.size else drained
@@ -487,3 +528,11 @@ def ingest_window(sketch, keys: np.ndarray, timings=None) -> None:
     sketch.window += 1
     if tick:
         timings["end"] += tick() - started
+    if tracing:
+        tr.record_stage_spans(sketch.window - 1, timings, window_started)
+        tr.rotate(sketch.window)
+        if caller_timings is not None:
+            for stage, spent in timings.items():
+                caller_timings[stage] = (
+                    caller_timings.get(stage, 0.0) + spent
+                )

@@ -134,6 +134,30 @@ class ShardedSketch:
         key = canonical_key(item)
         return self._shard_of(key).query(key)
 
+    def explain(self, item: ItemKey):
+        """Per-key decision audit from the owning shard (see
+        :meth:`HypersistentSketch.explain
+        <repro.core.hypersistent.HypersistentSketch.explain>`); sharding
+        is exact, so the owning shard's audit is the ensemble's."""
+        key = canonical_key(item)
+        shard = self._shard_of(key)
+        explain = getattr(shard, "explain", None)
+        if explain is None:
+            raise ConfigError(
+                f"shard type {type(shard).__name__} does not support "
+                "explain()"
+            )
+        return explain(key)
+
+    def _wire_trace(self, recorder) -> None:
+        """Propagate a flight recorder to every shard that supports one
+        (all shards then share the recorder's ring; each shard emits its
+        own window-rotation events)."""
+        for shard in self.shards:
+            wire = getattr(shard, "_wire_trace", None)
+            if wire is not None:
+                wire(recorder)
+
     def report(self, threshold: int) -> Dict[int, int]:
         """Merged persistent-item report across all shards.
 

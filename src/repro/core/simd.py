@@ -27,6 +27,7 @@ import numpy as np
 from ..common.bitmem import ID_BITS
 from ..common.errors import ConfigError
 from ..common.hashing import HashFamily
+from ..obs.events import BURST_ADMIT, BURST_DRAIN, BURST_OVERFLOW
 from .columnar import plan_burst_admission, window_downstream
 from .kernels import ENGINE_BATCHED, burst_window_plan
 
@@ -62,7 +63,7 @@ class VectorizedBurstFilter:
 
     __slots__ = ("n_buckets", "cells_per_bucket", "_hash", "_keys", "_fill",
                  "hash_ops", "compare_ops", "absorbed", "overflowed",
-                 "_vector_compares_per_scan")
+                 "_vector_compares_per_scan", "trace")
 
     def __init__(self, n_buckets: int, cells_per_bucket: int = 4,
                  seed: int = 42):
@@ -84,6 +85,9 @@ class VectorizedBurstFilter:
         self.compare_ops = 0
         self.absorbed = 0
         self.overflowed = 0
+        # flight-recorder hook; runtime wiring, never serialized
+        # staticcheck: ignore[SC-PERSIST]
+        self.trace = None
 
     def insert(self, key: int) -> bool:
         """Absorb one occurrence; ``False`` when the bucket is full."""
@@ -95,12 +99,17 @@ class VectorizedBurstFilter:
         if fill and bool((row[:fill] == key).any()):
             self.absorbed += 1
             return True
+        tr = self.trace
         if fill < self.cells_per_bucket:
             row[fill] = key
             self._fill[b] = fill + 1
             self.absorbed += 1
+            if tr is not None and tr.enabled:
+                tr.emit(BURST_ADMIT, key)
             return True
         self.overflowed += 1
+        if tr is not None and tr.enabled:
+            tr.emit(BURST_OVERFLOW, key)
         return False
 
     def insert_batch(self, keys: np.ndarray) -> np.ndarray:
@@ -135,6 +144,10 @@ class VectorizedBurstFilter:
             np.add.at(self._fill, plan.buckets[new], 1)
         self.absorbed += plan.n_absorbed
         self.overflowed += n - plan.n_absorbed
+        tr = self.trace
+        if tr is not None and tr.enabled:
+            tr.emit_bulk(BURST_ADMIT, plan.unique_keys[new])
+            tr.emit_bulk(BURST_OVERFLOW, keys[~plan.absorbed])
         return plan.absorbed
 
     def window_batch(self, keys: np.ndarray):
@@ -161,7 +174,9 @@ class VectorizedBurstFilter:
         )
         self.absorbed += plan.n_absorbed
         self.overflowed += n - plan.n_absorbed
-        return window_downstream(keys, plan, self.cells_per_bucket)
+        downstream = window_downstream(keys, plan, self.cells_per_bucket)
+        self._emit_window_bulks(downstream, n - plan.n_absorbed)
+        return downstream
 
     def window_kernel(self, keys: np.ndarray):
         """Whole-window fused path (``engine="kernel"``).
@@ -189,7 +204,19 @@ class VectorizedBurstFilter:
         )
         self.absorbed += n_absorbed
         self.overflowed += n - n_absorbed
+        self._emit_window_bulks(downstream, n - n_absorbed)
         return downstream
+
+    def _emit_window_bulks(self, downstream: np.ndarray,
+                           n_overflow: int) -> None:
+        """Reconstruct the whole-window fast path's events in bulk (same
+        downstream layout as :meth:`BurstFilter._emit_window_bulks
+        <repro.core.burst_filter.BurstFilter._emit_window_bulks>`)."""
+        tr = self.trace
+        if tr is not None and tr.enabled:
+            tr.emit_bulk(BURST_OVERFLOW, downstream[:n_overflow])
+            tr.emit_bulk(BURST_ADMIT, downstream[n_overflow:])
+            tr.emit_bulk(BURST_DRAIN, downstream[n_overflow:])
 
     def _fill_of(self, buckets: np.ndarray) -> np.ndarray:
         """Current fill of each listed bucket (general-path helper)."""
@@ -212,6 +239,18 @@ class VectorizedBurstFilter:
         fill = int(self._fill[b])
         self.compare_ops += self._vector_compares_per_scan
         return fill > 0 and bool((self._keys[b, :fill] == key).any())
+
+    def peek(self, key: int) -> bool:
+        """Counter-free :meth:`contains` (the audit probe behind
+        ``sketch.explain``: observing must not move the cost model)."""
+        b = self._hash.index(key, 0, self.n_buckets)
+        fill = int(self._fill[b])
+        return fill > 0 and bool((self._keys[b, :fill] == key).any())
+
+    def full_bucket_fraction(self) -> float:
+        """Fraction of buckets with no free cell (health gauge: a full
+        bucket overflows every new key straight downstream)."""
+        return float((self._fill >= self.cells_per_bucket).mean())
 
     def drain(self) -> Iterator[int]:
         """Yield stored IDs once and clear (window boundary)."""
@@ -328,6 +367,7 @@ class VectorizedBurstFilter:
         obj.compare_ops = int(state["compare_ops"])
         obj.absorbed = int(state["absorbed"])
         obj.overflowed = int(state["overflowed"])
+        obj.trace = None
         return obj
 
 
@@ -365,6 +405,9 @@ class BatchWindowProcessor:
         sketch.cold.end_window()
         sketch.hot.end_window()
         sketch.window += 1
+        tr = getattr(sketch, "trace", None)
+        if tr is not None and tr.enabled:
+            tr.rotate(sketch.window)
 
     @property
     def dedup_ratio(self) -> float:

@@ -86,6 +86,26 @@ class SlidingHypersistentSketch:
         """
         return self._young.query(item) + self._old.query(item)
 
+    def explain(self, item: ItemKey) -> Dict[str, object]:
+        """Per-panel decision audit: ``{"young": ..., "old": ...}``.
+
+        Each value is an :class:`~repro.obs.trace.Explanation` (see
+        :meth:`HypersistentSketch.explain
+        <repro.core.hypersistent.HypersistentSketch.explain>`); the
+        sliding estimate is the sum of the two panels' ``estimate``
+        fields, covering the last :attr:`coverage` windows.
+        """
+        return {
+            "young": self._young.explain(item),
+            "old": self._old.explain(item),
+        }
+
+    def _wire_trace(self, recorder) -> None:
+        """Propagate a flight recorder to both panels (the panels swap
+        roles on rotation, so both must stay wired)."""
+        self._young._wire_trace(recorder)
+        self._old._wire_trace(recorder)
+
     @property
     def coverage(self) -> int:
         """How many recent windows the current estimate covers."""

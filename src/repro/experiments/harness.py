@@ -131,6 +131,7 @@ def run_stream(
     sketch, trace: Trace, batched: Optional[bool] = None, profiler=None,
     on_window: Optional[Callable[[int], None]] = None,
     checkpoint=None, engine: Optional[str] = None,
+    trace_recorder=None,
 ) -> RunResult:
     """Feed a trace through a sketch with window boundaries, timed.
 
@@ -164,6 +165,13 @@ def run_stream(
     (``"scalar"``/``"batched"``/``"kernel"``) before streaming; all
     backends are bit-identical, so this is a speed knob only.  Raises for
     sketches without an engine selector rather than silently ignoring it.
+
+    ``trace_recorder`` (a :class:`~repro.obs.trace.TraceRecorder`) wires
+    the flight recorder into the sketch's stages before streaming and
+    leaves it attached afterwards, so callers can export or ``explain``
+    against the finished run.  Raises for sketches without trace wiring.
+    Attachment order relative to ``profiler`` does not matter: trace
+    wiring reaches through the profiler's timing proxies.
     """
     if engine is not None:
         if not hasattr(sketch, "engine"):
@@ -180,6 +188,8 @@ def run_stream(
         )
     if profiler is not None and not profiler.attached:
         profiler.attach(sketch)
+    if trace_recorder is not None:
+        trace_recorder.attach(sketch)
     slow_path = (profiler is not None or on_window is not None
                  or checkpoint is not None)
     ops_before = _hash_ops(sketch)
@@ -276,6 +286,7 @@ def run_algorithm(
     on_window: Optional[Callable[[int], None]] = None,
     checkpoint=None,
     engine: Optional[str] = None,
+    trace_recorder=None,
 ) -> RunResult:
     """Factory + streaming in one call (what the sweeps use).
 
@@ -298,7 +309,7 @@ def run_algorithm(
         batched = name in BATCHED_ALGORITHMS
     return run_stream(sketch, trace, batched=batched, profiler=profiler,
                       on_window=on_window, checkpoint=checkpoint,
-                      engine=engine)
+                      engine=engine, trace_recorder=trace_recorder)
 
 
 def repeat_median(

@@ -1,8 +1,8 @@
 """Observability layer: metrics registry, instrument catalog, exporters,
-and the per-window profiler.
+the per-window profiler, structured stage tracing, and health monitors.
 
-The subsystem has four parts, layered so that the sketch hot paths never
-pay for telemetry they do not use:
+The subsystem has several parts, layered so that the sketch hot paths
+never pay for telemetry they do not use:
 
 * :mod:`~repro.obs.registry` — typed instruments (counters, gauges,
   log-binned histograms) with push and pull (callback) flavours;
@@ -13,20 +13,33 @@ pay for telemetry they do not use:
   telemetry streams (plus parsers for round-trip tests and the live
   ``repro obs`` panel);
 * :mod:`~repro.obs.profiler` — per-window stage wall-time, routed-item
-  deltas, and occupancy snapshots.
+  deltas, and occupancy snapshots;
+* :mod:`~repro.obs.events` / :mod:`~repro.obs.trace` — the bounded
+  flight recorder of typed stage events (burst admit/overflow/drain,
+  Cold Filter escalation, Hot Part promote/replace/reject, window
+  rotation), JSONL and Chrome trace-event exports, and the per-key
+  :class:`~repro.obs.trace.Explanation` decision audit;
+* :mod:`~repro.obs.health` — pull health gauges over the SoA planes
+  (counter saturation, burst backlog, replacement pressure) with
+  configurable alert thresholds.
 
 Typical wiring::
 
     from repro.obs import MetricsRegistry, WindowProfiler, bind_sketch
-    from repro.obs import to_prometheus
+    from repro.obs import TraceRecorder, HealthMonitor, to_prometheus
 
     registry = MetricsRegistry()
     bind_sketch(registry, sketch)          # pull: zero ingest-path cost
+    recorder = TraceRecorder().attach(sketch)   # flight recorder
+    health = HealthMonitor(sketch)
     profiler = WindowProfiler(registry=registry, sink="run.jsonl")
     profiler.attach(sketch)
     ...                                    # ingest windows
     print(profiler.report())
     print(to_prometheus(registry))
+    print(sketch.explain("flow-7"))        # per-key decision audit
+    for alert in health.check():
+        print(alert.describe())
 """
 
 from .catalog import (
@@ -40,6 +53,7 @@ from .catalog import (
     sketch_metrics,
     stage_metrics,
 )
+from .events import EVENT_KINDS, EVENT_STAGE, StageEvent
 from .exporters import (
     parse_prometheus,
     read_jsonl,
@@ -47,6 +61,14 @@ from .exporters import (
     to_jsonl,
     to_prometheus,
     write_jsonl,
+)
+from .health import (
+    HEALTH_PANEL_METRICS,
+    HealthAlert,
+    HealthMonitor,
+    HealthThresholds,
+    check_sample,
+    render_health,
 )
 from .profiler import LATENCY_BIN_EDGES, WindowProfiler
 from .registry import (
@@ -56,28 +78,53 @@ from .registry import (
     Instrument,
     MetricsRegistry,
 )
+from .trace import (
+    Explanation,
+    Span,
+    TraceRecorder,
+    events_to_records,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_events_jsonl,
+)
 
 __all__ = [
     "Counter",
+    "EVENT_KINDS",
+    "EVENT_STAGE",
+    "Explanation",
     "Gauge",
+    "HEALTH_PANEL_METRICS",
+    "HealthAlert",
+    "HealthMonitor",
+    "HealthThresholds",
     "Histogram",
     "Instrument",
     "InstrumentSpec",
     "LATENCY_BIN_EDGES",
     "MetricsRegistry",
+    "Span",
+    "StageEvent",
+    "TraceRecorder",
     "WindowProfiler",
     "all_specs",
     "bind_driver",
     "bind_sharded",
     "bind_sketch",
+    "check_sample",
+    "events_to_records",
     "legacy_driver_stats",
     "legacy_sketch_stats",
     "parse_prometheus",
     "read_jsonl",
+    "render_health",
     "sketch_metrics",
     "snapshot_values",
     "stage_metrics",
+    "to_chrome_trace",
     "to_jsonl",
     "to_prometheus",
+    "validate_chrome_trace",
+    "write_events_jsonl",
     "write_jsonl",
 ]

@@ -93,6 +93,33 @@ HOT_INSTRUMENTS = (
                    "Fraction of Hot Part entries in use"),
 )
 
+#: Health monitors (see :mod:`repro.obs.health`): saturation / pressure
+#: gauges over the composed sketch's SoA planes.  Counter-free pull
+#: probes — they read array summaries, never the ``hash_ops`` model.
+HEALTH_INSTRUMENTS = (
+    InstrumentSpec("hs_health_l1_saturation", KIND_GAUGE,
+                   lambda s: s.cold.l1.saturated_fraction(),
+                   "Fraction of Cold Filter L1 counters pinned at delta1"),
+    InstrumentSpec("hs_health_l2_saturation", KIND_GAUGE,
+                   lambda s: s.cold.l2.saturated_fraction(),
+                   "Fraction of Cold Filter L2 counters pinned at delta2"),
+    InstrumentSpec("hs_health_replacement_pressure", KIND_GAUGE,
+                   lambda s: s.hot.replacement_attempts
+                   / max(1, s.window),
+                   "Hot Part replacement trials per closed window"),
+)
+
+#: Health monitors that only exist when the sketch has a Burst Filter.
+HEALTH_BURST_INSTRUMENTS = (
+    InstrumentSpec("hs_health_burst_backlog", KIND_GAUGE,
+                   lambda s: float(len(s.burst)),
+                   "Keys stored in the Burst Filter awaiting the window "
+                   "drain"),
+    InstrumentSpec("hs_health_burst_full_buckets", KIND_GAUGE,
+                   lambda s: s.burst.full_bucket_fraction(),
+                   "Fraction of Burst Filter buckets with no free cell"),
+)
+
 #: The composed sketch's own accounting.
 SKETCH_INSTRUMENTS = (
     InstrumentSpec("hs_inserts_total", KIND_COUNTER, _attr("inserts"),
@@ -157,8 +184,10 @@ def sketch_metrics(sketch) -> Dict[str, float]:
     out = stage_metrics(sketch, SKETCH_INSTRUMENTS)
     if getattr(sketch, "burst", None) is not None:
         out.update(stage_metrics(sketch.burst, BURST_INSTRUMENTS))
+        out.update(stage_metrics(sketch, HEALTH_BURST_INSTRUMENTS))
     out.update(stage_metrics(sketch.cold, COLD_INSTRUMENTS))
     out.update(stage_metrics(sketch.hot, HOT_INSTRUMENTS))
+    out.update(stage_metrics(sketch, HEALTH_INSTRUMENTS))
     return out
 
 
@@ -204,8 +233,11 @@ def bind_sketch(registry: MetricsRegistry, sketch,
         bound += _bind(registry, sketch, SKETCH_INSTRUMENTS, labels)
         if getattr(sketch, "burst", None) is not None:
             bound += _bind(registry, sketch.burst, BURST_INSTRUMENTS, labels)
+            bound += _bind(registry, sketch, HEALTH_BURST_INSTRUMENTS,
+                           labels)
         bound += _bind(registry, sketch.cold, COLD_INSTRUMENTS, labels)
         bound += _bind(registry, sketch.hot, HOT_INSTRUMENTS, labels)
+        bound += _bind(registry, sketch, HEALTH_INSTRUMENTS, labels)
         return bound
     for spec in SKETCH_INSTRUMENTS:
         attr = {"hs_inserts_total": "inserts", "hs_windows_total": "window",
@@ -248,5 +280,6 @@ def legacy_driver_stats(driver) -> Dict[str, float]:
 
 def all_specs() -> List[InstrumentSpec]:
     """Every catalog row (for docs and exhaustiveness tests)."""
-    return list(SKETCH_INSTRUMENTS + BURST_INSTRUMENTS + COLD_INSTRUMENTS
-                + HOT_INSTRUMENTS + DRIVER_INSTRUMENTS)
+    return list(SKETCH_INSTRUMENTS + BURST_INSTRUMENTS
+                + HEALTH_BURST_INSTRUMENTS + COLD_INSTRUMENTS
+                + HOT_INSTRUMENTS + HEALTH_INSTRUMENTS + DRIVER_INSTRUMENTS)

@@ -1,0 +1,178 @@
+"""Sketch health monitors: saturation / pressure gauges with thresholds.
+
+The estimator degrades gracefully rather than failing loudly — a
+saturated Cold Filter silently pushes everything to its error ceiling,
+a thrashing Hot Part silently drops persistent keys.  These monitors
+turn that silence into signals an operator can alert on:
+
+* ``hs_health_l1_saturation`` / ``hs_health_l2_saturation`` — fraction
+  of Cold Filter counters pinned at their layer ceiling (delta1 /
+  delta2).  High values mean memory is undersized for the distinct rate
+  and estimates are approaching the delta1+delta2 upper bound.
+* ``hs_health_burst_backlog`` — keys stored in the Burst Filter awaiting
+  the window drain; ``hs_health_burst_full_buckets`` — fraction of burst
+  buckets with no free cell (new keys overflow straight downstream).
+* ``hs_health_replacement_pressure`` — Hot Part replacement trials per
+  closed window; sustained pressure means more persistent items than
+  cells and estimates for evicted keys fall back to the cold ceiling.
+
+All probes are *pull* gauges over existing SoA planes — zero ingest-path
+cost — registered through :func:`repro.obs.catalog.bind_sketch`, so they
+flow into the profiler's per-window records, the ``repro obs`` panel and
+the Prometheus export like every other instrument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, NamedTuple, Optional
+
+HEALTH_L1_SATURATION = "hs_health_l1_saturation"
+HEALTH_L2_SATURATION = "hs_health_l2_saturation"
+HEALTH_BURST_BACKLOG = "hs_health_burst_backlog"
+HEALTH_BURST_FULL_BUCKETS = "hs_health_burst_full_buckets"
+HEALTH_REPLACEMENT_PRESSURE = "hs_health_replacement_pressure"
+
+#: Gauges rendered (in this order) by :func:`render_health`; the hot
+#: occupancy gauge predates this module and keeps its catalog name.
+HEALTH_PANEL_METRICS = (
+    HEALTH_L1_SATURATION,
+    HEALTH_L2_SATURATION,
+    HEALTH_BURST_BACKLOG,
+    HEALTH_BURST_FULL_BUCKETS,
+    "hs_hot_occupancy",
+    HEALTH_REPLACEMENT_PRESSURE,
+)
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """Alert thresholds (inclusive upper bounds; a sample strictly above
+    its threshold raises an alert).  Defaults are conservative starting
+    points, not universal truths — tune per deployment via
+    ``with_overrides`` or ``repro obs --threshold NAME=VALUE``.
+    """
+
+    l1_saturation: float = 0.5
+    l2_saturation: float = 0.5
+    burst_full_buckets: float = 0.5
+    hot_occupancy: float = 0.98
+    #: Replacement trials per closed window; scale with Hot Part size.
+    replacement_pressure: float = 64.0
+
+    def as_metric_map(self) -> Dict[str, float]:
+        return {
+            HEALTH_L1_SATURATION: self.l1_saturation,
+            HEALTH_L2_SATURATION: self.l2_saturation,
+            HEALTH_BURST_FULL_BUCKETS: self.burst_full_buckets,
+            "hs_hot_occupancy": self.hot_occupancy,
+            HEALTH_REPLACEMENT_PRESSURE: self.replacement_pressure,
+        }
+
+    def with_overrides(self, overrides: Dict[str, float]
+                       ) -> "HealthThresholds":
+        """New thresholds with metric-name keyed overrides applied
+        (unknown names raise, so typos fail fast)."""
+        by_metric = {
+            HEALTH_L1_SATURATION: "l1_saturation",
+            HEALTH_L2_SATURATION: "l2_saturation",
+            HEALTH_BURST_FULL_BUCKETS: "burst_full_buckets",
+            "hs_hot_occupancy": "hot_occupancy",
+            HEALTH_REPLACEMENT_PRESSURE: "replacement_pressure",
+        }
+        updates = {}
+        for name, value in overrides.items():
+            if name not in by_metric:
+                raise ValueError(
+                    f"unknown health metric {name!r}; expected one of "
+                    f"{sorted(by_metric)}"
+                )
+            updates[by_metric[name]] = float(value)
+        import dataclasses
+        return dataclasses.replace(self, **updates)
+
+
+class HealthAlert(NamedTuple):
+    """One threshold breach: ``value`` exceeded ``threshold``."""
+
+    metric: str
+    value: float
+    threshold: float
+
+    def describe(self) -> str:
+        return (f"{self.metric} = {self.value:.4g} "
+                f"exceeds threshold {self.threshold:.4g}")
+
+
+class HealthMonitor:
+    """Pull-style health sampler over a (possibly burst-less) sketch.
+
+    ``sample()`` reads only counter-free probes over the SoA planes, so
+    polling it never moves the operational counters; ``check()`` applies
+    the thresholds to a fresh sample.
+    """
+
+    def __init__(self, sketch: Any,
+                 thresholds: Optional[HealthThresholds] = None) -> None:
+        self.sketch = sketch
+        self.thresholds = thresholds or HealthThresholds()
+
+    def sample(self) -> Dict[str, float]:
+        sketch = self.sketch
+        values = {
+            HEALTH_L1_SATURATION: sketch.cold.l1.saturated_fraction(),
+            HEALTH_L2_SATURATION: sketch.cold.l2.saturated_fraction(),
+            "hs_hot_occupancy": sketch.hot.occupancy(),
+            HEALTH_REPLACEMENT_PRESSURE:
+                sketch.hot.replacement_attempts / max(1, sketch.window),
+        }
+        if sketch.burst is not None:
+            values[HEALTH_BURST_BACKLOG] = float(len(sketch.burst))
+            values[HEALTH_BURST_FULL_BUCKETS] = (
+                sketch.burst.full_bucket_fraction())
+        return values
+
+    def check(self) -> List[HealthAlert]:
+        """Alerts for every gauge strictly above its threshold."""
+        return check_sample(self.sample(), self.thresholds)
+
+
+def check_sample(sample: Dict[str, float],
+                 thresholds: Optional[HealthThresholds] = None
+                 ) -> List[HealthAlert]:
+    """Apply thresholds to an already-collected sample (e.g. the last
+    telemetry record of a run)."""
+    limits = (thresholds or HealthThresholds()).as_metric_map()
+    alerts = []
+    for metric, limit in limits.items():
+        value = sample.get(metric)
+        if value is not None and value > limit:
+            alerts.append(HealthAlert(metric, float(value), limit))
+    return alerts
+
+
+def render_health(sample: Dict[str, float],
+                  thresholds: Optional[HealthThresholds] = None) -> str:
+    """ASCII health panel over a telemetry sample: one line per gauge,
+    ``ALERT`` rows first-class so a scrolling terminal still shows them."""
+    thresholds = thresholds or HealthThresholds()
+    limits = thresholds.as_metric_map()
+    lines = ["health:"]
+    shown = False
+    for metric in HEALTH_PANEL_METRICS:
+        value = sample.get(metric)
+        if value is None:
+            continue
+        shown = True
+        limit = limits.get(metric)
+        if limit is None:
+            lines.append(f"  ok    {metric:<32s} {value:10.4g}")
+        elif value > limit:
+            lines.append(f"  ALERT {metric:<32s} {value:10.4g} "
+                         f"(threshold {limit:g})")
+        else:
+            lines.append(f"  ok    {metric:<32s} {value:10.4g} "
+                         f"(threshold {limit:g})")
+    if not shown:
+        return "health: no health gauges in sample"
+    return "\n".join(lines)

@@ -150,6 +150,7 @@ def default_registry() -> RuleRegistry:
         DeterminismRule,
         IntegerCounterRule,
         MutableDefaultRule,
+        ObsGuardRule,
         PickleRule,
         ScalarLoopRule,
     )
@@ -163,6 +164,7 @@ def default_registry() -> RuleRegistry:
     registry.add(IntegerCounterRule())
     registry.add(MutableDefaultRule())
     registry.add(ScalarLoopRule())
+    registry.add(ObsGuardRule())
     return registry
 
 

@@ -452,6 +452,80 @@ class ScalarLoopRule(Rule):
         return findings
 
 
+class ObsGuardRule(Rule):
+    """SC-OBS: unguarded flight-recorder emission in core hot paths.
+
+    Trace events (:meth:`repro.obs.trace.TraceRecorder.emit` /
+    ``emit_bulk``) are recorded from per-item and per-wave code in
+    ``repro/core``; the <5% disabled-observability CI bound only holds
+    because every such call sits behind an enabled-check, so a disabled
+    recorder costs one branch instead of an event append.  The guard the
+    rule recognizes is an ``if`` whose test reads an ``.enabled``
+    attribute or compares the recorder against ``None`` with ``is`` /
+    ``is not`` (the canonical site is ``if tr is not None and
+    tr.enabled:``).  Plain truthiness (``if tr:``) is not accepted: it
+    reads as presence, not as the documented on/off switch, and the
+    codebase standardizes on the explicit form.
+    """
+
+    rule_id = "SC-OBS"
+    severity = WARNING
+    description = ("trace emit/emit_bulk without an enabled-guard in a "
+                   "core hot path")
+    scope_prefixes = ("src/repro/core/",)
+
+    _emit_methods = frozenset({"emit", "emit_bulk"})
+
+    @staticmethod
+    def _is_guard(test: ast.expr) -> bool:
+        for sub in ast.walk(test):
+            if isinstance(sub, ast.Attribute) and sub.attr == "enabled":
+                return True
+            if isinstance(sub, ast.Compare) and any(
+                isinstance(op, (ast.Is, ast.IsNot)) for op in sub.ops
+            ):
+                operands = [sub.left] + list(sub.comparators)
+                if any(isinstance(operand, ast.Constant)
+                       and operand.value is None for operand in operands):
+                    return True
+        return False
+
+    def check_file(
+        self, relpath: str, tree: ast.AST, source: str
+    ) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        self._walk(relpath, tree, False, findings)
+        return findings
+
+    def _walk(
+        self, relpath: str, node: ast.AST, guarded: bool,
+        findings: List[Finding],
+    ) -> None:
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in self._emit_methods \
+                and not guarded:
+            findings.append(self.finding(
+                relpath, node,
+                f"{node.func.attr}() outside an enabled-guard; wrap in "
+                f"'if tr is not None and tr.enabled:' so a disabled "
+                f"recorder costs one branch on the hot path",
+            ))
+        if isinstance(node, (ast.If, ast.IfExp)):
+            body_guarded = guarded or self._is_guard(node.test)
+            self._walk(relpath, node.test, guarded, findings)
+            body = node.body if isinstance(node.body, list) else [node.body]
+            orelse = (node.orelse if isinstance(node.orelse, list)
+                      else [node.orelse])
+            for sub in body:
+                self._walk(relpath, sub, body_guarded, findings)
+            for sub in orelse:
+                self._walk(relpath, sub, guarded, findings)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._walk(relpath, child, guarded, findings)
+
+
 class MutableDefaultRule(Rule):
     """SC-MUTDEF: mutable default argument values.
 

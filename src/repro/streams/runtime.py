@@ -47,6 +47,7 @@ class StreamDriver:
         profiler=None,
         checkpoint_path=None,
         checkpoint_every: int = 1,
+        trace_recorder=None,
     ):
         if window_duration <= 0:
             raise StreamError("window_duration must be positive")
@@ -63,6 +64,11 @@ class StreamDriver:
         self.profiler = profiler
         if profiler is not None and hasattr(sketch, "cold"):
             profiler.attach(sketch)
+        # flight recorder (repro.obs.trace): wired only for sketches that
+        # support it; the driver never emits events itself
+        self.trace_recorder = trace_recorder
+        if trace_recorder is not None and hasattr(sketch, "_wire_trace"):
+            trace_recorder.attach(sketch)
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = int(checkpoint_every)
         self._origin: Optional[float] = None

@@ -167,7 +167,10 @@ def save_failure_artifacts(
 
     Layout: ``case.json`` (original spec), ``shrunk.json`` (minimal spec,
     the one ``repro replay`` wants), ``trace.csv`` (the minimal trace,
-    viewable without the generator), ``violations.json`` (both reports).
+    viewable without the generator), ``violations.json`` (both reports),
+    and a flight-recorder bundle — ``trace_events.jsonl`` plus
+    ``trace_chrome.json`` — from re-running the minimal trace with the
+    recorder attached, so a CI failure ships its own stage-event timeline.
     """
     case_dir = Path(out_dir) / f"case-s{master_seed}-i{failure.index}"
     case_dir.mkdir(parents=True, exist_ok=True)
@@ -179,7 +182,41 @@ def save_failure_artifacts(
         "shrunk": [v.to_dict() for v in failure.shrunk_violations],
         "shrink_rounds": failure.shrink_rounds,
     }, indent=2) + "\n")
+    _save_trace_bundle(failure.shrunk_spec, case_dir)
     return case_dir
+
+
+def _save_trace_bundle(spec: CaseSpec, case_dir: Path) -> None:
+    """Record the minimal trace's stage events and export both formats.
+
+    Best-effort diagnostics: an exporter bug must not mask the original
+    invariant failure, so any exception here becomes a note file instead
+    of propagating.
+    """
+    from ..core import HSConfig, HypersistentSketch
+    from ..obs.trace import (
+        TraceRecorder,
+        to_chrome_trace,
+        write_events_jsonl,
+    )
+    try:
+        trace = spec.build()
+        sketch = HypersistentSketch(HSConfig.for_estimation(
+            VerifyConfig().memory_bytes, trace.n_windows,
+            seed=VerifyConfig().seed,
+            window_distinct_hint=trace.mean_window_distinct(),
+        ))
+        recorder = TraceRecorder().attach(sketch)
+        for window_keys in trace.window_arrays():
+            sketch.insert_window(window_keys)
+        write_events_jsonl(recorder, case_dir / "trace_events.jsonl")
+        (case_dir / "trace_chrome.json").write_text(
+            json.dumps(to_chrome_trace(recorder)) + "\n"
+        )
+    except Exception as exc:  # pragma: no cover - diagnostics only
+        (case_dir / "trace_bundle_error.txt").write_text(
+            f"flight-recorder bundle failed: {exc!r}\n"
+        )
 
 
 def run_fuzz(

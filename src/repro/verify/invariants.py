@@ -803,3 +803,116 @@ def _check_sliding_bounds(
                 details={"report": reported, "query": sw.query(key)},
             ))
     return out
+
+
+@register_invariant(
+    "explain-consistency", "trace",
+    "explain(key) is counter-neutral, matches query() exactly, reports the "
+    "key's actual resolving stage, and decomposes into burst+cold+hot — "
+    "for scalar and kernel engines under both replacement policies",
+)
+def _check_explain_consistency(
+    trace: Trace, config: VerifyConfig
+) -> List[Violation]:
+    import dataclasses
+
+    from ..core.config import REPLACE_HASH, REPLACE_RANDOM
+    from ..obs.trace import TraceRecorder
+
+    name = "explain-consistency"
+    base = _estimation_config(trace, config)
+    keys = sample_keys(trace, config.key_sample)
+    out = []
+    for policy in (REPLACE_HASH, REPLACE_RANDOM):
+        hs_config = dataclasses.replace(base, replacement=policy)
+        builds = []
+        for label, engine, feed in (
+            ("scalar", "scalar", _scalar_feed),
+            ("kernel", "kernel", _batched_feed),
+        ):
+            sketch = HypersistentSketch(hs_config, engine=engine)
+            TraceRecorder().attach(sketch)  # events must not skew anything
+            builds.append((f"{label}/{policy}", feed(sketch, trace)))
+        explanations = {}
+        for label, sketch in builds:
+            # explain() must be a pure read: snapshot the serialized state
+            # around the whole sweep (queries below DO move hash_ops, so
+            # they stay outside the snapshot window)
+            before = encode_state(sketch.state_dict())
+            explained = [(key, sketch.explain(key)) for key in keys]
+            if encode_state(sketch.state_dict()) != before:
+                out.append(Violation(
+                    name, f"{label}: explain() mutated sketch state",
+                ))
+            explanations[label] = explained
+            for key, ex in explained:
+                estimate = sketch.query(key)
+                if ex.estimate != estimate:
+                    out.append(Violation(
+                        name,
+                        f"{label}: explain estimate {ex.estimate} != "
+                        f"query {estimate} for key {key}",
+                        key=key,
+                        details={"explain": ex.estimate,
+                                 "query": estimate},
+                    ))
+                stage = sketch.resolving_stage(key)
+                if ex.stage != stage:
+                    out.append(Violation(
+                        name,
+                        f"{label}: explain stage {ex.stage!r} != "
+                        f"resolving stage {stage!r} for key {key}",
+                        key=key,
+                    ))
+                if ex.hot_resident != sketch.hot.contains(key):
+                    out.append(Violation(
+                        name,
+                        f"{label}: explain hot_resident "
+                        f"{ex.hot_resident} disagrees with the Hot Part "
+                        f"for key {key}",
+                        key=key,
+                    ))
+                parts = ex.decomposition()
+                if sum(parts.values()) != ex.estimate:
+                    out.append(Violation(
+                        name,
+                        f"{label}: decomposition {parts} does not sum to "
+                        f"estimate {ex.estimate} for key {key}",
+                        key=key,
+                    ))
+        # engines are bit-identical, so their audits must agree too
+        scalar_ex = explanations[f"scalar/{policy}"]
+        kernel_ex = explanations[f"kernel/{policy}"]
+        for (key, a), (_, b) in zip(scalar_ex, kernel_ex):
+            if (a.estimate, a.stage, a.hot_resident) != \
+                    (b.estimate, b.stage, b.hot_resident):
+                out.append(Violation(
+                    name,
+                    f"scalar and kernel explains diverge for key {key} "
+                    f"({policy}): ({a.estimate}, {a.stage}) vs "
+                    f"({b.estimate}, {b.stage})",
+                    key=key,
+                ))
+    # mid-window audit: a key sitting in the Burst Filter must show up as
+    # pending and still reconcile with query()'s +1
+    if keys:
+        sketch = _scalar_feed(HypersistentSketch(base), trace)
+        if sketch.burst is not None:
+            probe = keys[0]
+            sketch.insert(probe)
+            ex = sketch.explain(probe)
+            if ex.pending_burst != 1:
+                out.append(Violation(
+                    name,
+                    f"mid-window explain reports pending_burst "
+                    f"{ex.pending_burst}, expected 1",
+                    key=probe,
+                ))
+            if ex.estimate != sketch.query(probe):
+                out.append(Violation(
+                    name,
+                    f"mid-window explain estimate {ex.estimate} != query "
+                    f"{sketch.query(probe)}",
+                    key=probe,
+                ))
+    return out

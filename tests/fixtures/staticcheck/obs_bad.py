@@ -1,0 +1,23 @@
+"""SC-OBS bad fixture: flight-recorder emission without an enabled-guard.
+
+Pretend-path ``src/repro/core/obs_bad.py`` puts this in scope; each
+unguarded ``emit``/``emit_bulk`` call below must be flagged (3 findings).
+"""
+
+
+class Stage:
+    def insert(self, key):
+        tr = self.trace
+        tr.emit("burst_admit", key)  # finding: no guard at all
+
+    def insert_batch(self, keys):
+        tr = getattr(self, "trace", None)
+        if tr:  # truthiness is not the documented enabled-check
+            tr.emit_bulk("burst_admit", keys)  # finding
+
+    def replace(self, key, allowed):
+        tr = self.trace
+        if tr is not None and tr.enabled:
+            tr.emit("hot_replace", key)  # guarded: silent
+        else:
+            tr.emit("hot_reject", key)  # finding: the else arm is bare

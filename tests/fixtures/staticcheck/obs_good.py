@@ -1,0 +1,32 @@
+"""SC-OBS good fixture: every emission sits behind a recognized guard."""
+
+
+class Stage:
+    def insert(self, key):
+        tr = self.trace
+        if tr is not None and tr.enabled:
+            tr.emit("burst_admit", key)
+
+    def insert_batch(self, keys, new):
+        tr = getattr(self, "trace", None)
+        if tr is not None and tr.enabled:
+            tr.emit_bulk("burst_admit", keys[new])
+            tr.emit_bulk("burst_overflow", keys[~new])
+
+    def window(self, keys):
+        tr = self.trace
+        if tr is not None:
+            # an is-not-None compare alone also counts as a guard
+            tr.emit_bulk("burst_drain", keys)
+
+    def nested(self, key, odd):
+        tr = self.trace
+        if tr is not None and tr.enabled:
+            if odd:  # unrelated inner condition keeps the outer guard
+                tr.emit("hot_hit", key)
+
+    def logger(self, record):
+        # emit on something other than a recorder, still guarded by the
+        # enabled attribute read (the rule keys on the test, not the name)
+        if self.sink.enabled:
+            self.sink.emit(record)

@@ -1,0 +1,152 @@
+"""Health monitors: thresholds, alerts, panel rendering, and the
+``hs_health_*`` gauges' integration with the metrics catalog."""
+
+import numpy as np
+import pytest
+
+from repro.core import HSConfig, HypersistentSketch
+from repro.obs import (
+    HEALTH_PANEL_METRICS,
+    HealthAlert,
+    HealthMonitor,
+    HealthThresholds,
+    MetricsRegistry,
+    all_specs,
+    bind_sketch,
+    check_sample,
+    render_health,
+    sketch_metrics,
+    to_prometheus,
+)
+
+HEALTH_NAMES = (
+    "hs_health_l1_saturation",
+    "hs_health_l2_saturation",
+    "hs_health_burst_backlog",
+    "hs_health_burst_full_buckets",
+    "hs_health_replacement_pressure",
+)
+
+
+def fed_sketch(burst_bytes=None, n_windows=8, seed=5):
+    if burst_bytes is None:
+        config = HSConfig.for_estimation(4 * 1024, n_windows, seed=seed)
+    else:
+        config = HSConfig(memory_bytes=4 * 1024, burst_bytes=burst_bytes,
+                          seed=seed)
+    sketch = HypersistentSketch(config)
+    rng = np.random.default_rng(3)
+    for _ in range(4):
+        sketch.insert_window(
+            rng.integers(1, 40, size=100).astype(np.uint64))
+    return sketch
+
+
+class TestThresholds:
+    def test_with_overrides_applies_by_metric_name(self):
+        thresholds = HealthThresholds().with_overrides(
+            {"hs_health_l1_saturation": 0.9, "hs_hot_occupancy": 0.5})
+        assert thresholds.l1_saturation == 0.9
+        assert thresholds.hot_occupancy == 0.5
+        assert thresholds.l2_saturation == \
+            HealthThresholds().l2_saturation  # untouched
+
+    def test_unknown_metric_name_raises(self):
+        with pytest.raises(ValueError, match="unknown health metric"):
+            HealthThresholds().with_overrides({"hs_health_bogus": 1.0})
+
+    def test_metric_map_covers_every_bounded_gauge(self):
+        limits = HealthThresholds().as_metric_map()
+        # backlog has no universal bound (it scales with window size),
+        # every other panel gauge carries a threshold
+        assert set(limits) == set(HEALTH_PANEL_METRICS) - \
+            {"hs_health_burst_backlog"}
+
+
+class TestCheckSample:
+    def test_flags_only_strictly_above_threshold(self):
+        thresholds = HealthThresholds()
+        at_limit = {"hs_health_l1_saturation": thresholds.l1_saturation}
+        assert check_sample(at_limit, thresholds) == []
+        above = {"hs_health_l1_saturation": thresholds.l1_saturation + 0.01}
+        alerts = check_sample(above, thresholds)
+        assert len(alerts) == 1
+        assert alerts[0] == HealthAlert(
+            "hs_health_l1_saturation", thresholds.l1_saturation + 0.01,
+            thresholds.l1_saturation)
+        assert "exceeds threshold" in alerts[0].describe()
+
+    def test_missing_gauges_raise_no_alerts(self):
+        assert check_sample({}) == []
+
+
+class TestRenderHealth:
+    def test_renders_ok_and_alert_rows(self):
+        sample = {"hs_health_l1_saturation": 0.2,
+                  "hs_health_l2_saturation": 0.7}
+        text = render_health(sample)
+        assert text.startswith("health:")
+        assert "ok    hs_health_l1_saturation" in text
+        assert "ALERT hs_health_l2_saturation" in text
+        assert "(threshold 0.5)" in text
+
+    def test_unbounded_gauge_renders_without_threshold(self):
+        text = render_health({"hs_health_burst_backlog": 12.0})
+        assert "ok    hs_health_burst_backlog" in text
+        assert "threshold" not in text
+
+    def test_empty_sample_has_a_fallback_line(self):
+        assert render_health({}) == "health: no health gauges in sample"
+
+
+class TestHealthMonitor:
+    def test_sample_covers_the_panel_gauges(self):
+        monitor = HealthMonitor(fed_sketch())
+        sample = monitor.sample()
+        assert set(sample) == set(HEALTH_PANEL_METRICS)
+        assert 0.0 <= sample["hs_health_l1_saturation"] <= 1.0
+        assert 0.0 <= sample["hs_health_burst_full_buckets"] <= 1.0
+
+    def test_burstless_sketch_omits_burst_gauges(self):
+        monitor = HealthMonitor(fed_sketch(burst_bytes=0))
+        sample = monitor.sample()
+        assert "hs_health_burst_backlog" not in sample
+        assert "hs_health_burst_full_buckets" not in sample
+        assert "hs_health_l1_saturation" in sample
+
+    def test_check_applies_configured_thresholds(self):
+        monitor = HealthMonitor(
+            fed_sketch(),
+            HealthThresholds().with_overrides(
+                {"hs_health_l1_saturation": -1.0}))
+        alerts = monitor.check()
+        assert any(a.metric == "hs_health_l1_saturation" for a in alerts)
+
+    def test_sampling_is_counter_neutral(self):
+        sketch = fed_sketch()
+        before = sketch.stats()
+        HealthMonitor(sketch).sample()
+        assert sketch.stats() == before
+
+
+class TestCatalogIntegration:
+    def test_sketch_metrics_exports_health_gauges(self):
+        metrics = sketch_metrics(fed_sketch())
+        for name in HEALTH_NAMES:
+            assert name in metrics
+
+    def test_burstless_sketch_metrics_omit_burst_health(self):
+        metrics = sketch_metrics(fed_sketch(burst_bytes=0))
+        assert "hs_health_burst_backlog" not in metrics
+        assert "hs_health_l1_saturation" in metrics
+
+    def test_bound_registry_flows_into_prometheus(self):
+        registry = MetricsRegistry()
+        bind_sketch(registry, fed_sketch())
+        text = to_prometheus(registry)
+        for name in HEALTH_NAMES:
+            assert name in text
+
+    def test_all_specs_lists_every_panel_gauge(self):
+        names = {spec.name for spec in all_specs()}
+        assert set(HEALTH_PANEL_METRICS) <= names

@@ -1,11 +1,17 @@
-"""CLI observability: ``estimate --profile/--telemetry/--prom``, ``obs``."""
+"""CLI observability: ``estimate --profile/--telemetry/--prom``, ``obs``
+(with its health footer), ``trace`` and ``explain``."""
 
 import json
 
 import pytest
 
 from repro.cli import main
-from repro.obs import parse_prometheus, read_jsonl, write_jsonl
+from repro.obs import (
+    parse_prometheus,
+    read_jsonl,
+    validate_chrome_trace,
+    write_jsonl,
+)
 from repro.streams import zipf_trace
 from repro.streams.io import save_trace_npz
 
@@ -42,8 +48,12 @@ class TestEstimateProfile:
         records = read_jsonl(telemetry)
         assert len(records) == 20
         assert all("hs_inserts_total" in r for r in records)
+        # per-window records and the Prometheus export carry the health
+        # gauges alongside the operational counters
+        assert all("hs_health_l1_saturation" in r for r in records)
         parsed = parse_prometheus(prom.read_text())
         assert parsed[("hs_windows_total", ())] == 20
+        assert ("hs_health_l1_saturation", ()) in parsed
         # exported counters equal the per-window deltas summed back up
         assert parsed[("hs_inserts_total", ())] == sum(
             r["hs_inserts_total"] for r in records
@@ -103,3 +113,112 @@ class TestObsPanel:
         assert main(["obs", str(path)]) == 0
         out = capsys.readouterr().out
         assert "3 windows" in out and "6 windows" in out
+
+
+class TestObsHealthFooter:
+    RECORDS = [
+        {"window": w, "seconds": 0.01, "hs_inserts_total": 100,
+         "hs_health_l1_saturation": 0.2, "hs_hot_occupancy": 0.4}
+        for w in range(3)
+    ]
+
+    def write(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_jsonl(path, self.RECORDS)
+        return str(path)
+
+    def test_footer_renders_from_latest_record(self, tmp_path, capsys):
+        assert main(["obs", self.write(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "health:" in out
+        assert "ok    hs_health_l1_saturation" in out
+        assert "ok    hs_hot_occupancy" in out
+
+    def test_threshold_override_flips_row_to_alert(self, tmp_path,
+                                                   capsys):
+        assert main(["obs", self.write(tmp_path), "--threshold",
+                     "hs_health_l1_saturation=0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "ALERT hs_health_l1_saturation" in out
+        assert "(threshold 0.1)" in out
+
+    def test_malformed_threshold_is_a_usage_error(self, tmp_path,
+                                                  capsys):
+        assert main(["obs", self.write(tmp_path), "--threshold",
+                     "no-equals-sign"]) == 2
+        assert "NAME=VALUE" in capsys.readouterr().err
+
+    def test_unknown_threshold_name_is_a_usage_error(self, tmp_path,
+                                                     capsys):
+        assert main(["obs", self.write(tmp_path), "--threshold",
+                     "hs_health_bogus=1"]) == 2
+        assert "unknown health metric" in capsys.readouterr().err
+
+    def test_no_footer_without_health_gauges(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        write_jsonl(path, [{"window": 0, "seconds": 0.01,
+                            "hs_inserts_total": 10}])
+        assert main(["obs", str(path)]) == 0
+        assert "health:" not in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_jsonl_export_round_trips(self, trace_file, tmp_path,
+                                      capsys):
+        out_path = tmp_path / "events.jsonl"
+        assert main(["trace", trace_file, "--memory-kb", "16",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out and "span(s)" in out
+        records = [json.loads(line)
+                   for line in out_path.read_text().splitlines()]
+        assert records
+        for record in records:
+            assert {"seq", "window", "kind", "stage"} <= set(record)
+
+    def test_chrome_export_passes_schema_check(self, trace_file,
+                                               tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", trace_file, "--memory-kb", "16",
+                     "--export", "chrome", "--out", str(out_path)]) == 0
+        assert "Perfetto" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert payload["traceEvents"]
+
+    def test_kernel_engine_records_stage_spans(self, trace_file,
+                                               tmp_path, capsys):
+        assert main(["trace", trace_file, "--memory-kb", "16",
+                     "--engine", "kernel", "--export", "chrome",
+                     "--out", str(tmp_path / "trace.json")]) == 0
+        payload = json.loads((tmp_path / "trace.json").read_text())
+        names = {ev["name"] for ev in payload["traceEvents"]
+                 if ev["ph"] == "X"}
+        assert {"burst", "cold", "hot", "end", "window"} <= names
+
+    def test_explain_flag_appends_narratives(self, trace_file, tmp_path,
+                                             capsys):
+        assert main(["trace", trace_file, "--memory-kb", "16",
+                     "--out", str(tmp_path / "e.jsonl"),
+                     "--explain", "1", "--explain", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("query :") == 2
+        assert "-> resolves at" in out
+
+
+class TestExplainCommand:
+    def test_prints_one_narrative_per_key(self, trace_file, capsys):
+        assert main(["explain", trace_file, "1", "2", "3",
+                     "--memory-kb", "16"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("query :") == 3
+        assert out.count("-> resolves at") == 3
+        assert "burst :" in out and "hot   :" in out
+
+    def test_kernel_engine_explains_with_bulk_events(self, trace_file,
+                                                     capsys):
+        assert main(["explain", trace_file, "1", "--memory-kb", "16",
+                     "--engine", "kernel"]) == 0
+        out = capsys.readouterr().out
+        assert "[kernel engine]" in out
+        assert "recorded decision(s)" in out

@@ -7,7 +7,7 @@ Three layers:
 * engine-level — suppression comments, select/ignore, JSON report and
   baseline round-trips, the SC-PARSE pseudo-rule;
 * gate-level — ``scripts/check_lint.py`` run as a subprocess over a
-  mutated copy of ``src/repro`` must exit non-zero for each of the seven
+  mutated copy of ``src/repro`` must exit non-zero for each of the eight
   seeded bug patterns, and zero for the untouched copy.
 """
 
@@ -36,6 +36,7 @@ from repro.staticcheck.rules_ast import (
     DeterminismRule,
     IntegerCounterRule,
     MutableDefaultRule,
+    ObsGuardRule,
     PickleRule,
     ScalarLoopRule,
 )
@@ -61,6 +62,7 @@ class TestRuleFixtures:
         (IntegerCounterRule, "int", "src/repro/core/{stem}.py", 4),
         (MutableDefaultRule, "mutdef", "src/repro/core/{stem}.py", 5),
         (ScalarLoopRule, "loop", "src/repro/core/{stem}.py", 3),
+        (ObsGuardRule, "obs", "src/repro/core/{stem}.py", 3),
     ]
 
     @pytest.mark.parametrize(
@@ -173,7 +175,8 @@ class TestEngine:
         registry = default_registry()
         ids = [rule.rule_id for rule in registry.select(None, None)]
         assert ids == ["SC-DET", "SC-PERSIST", "SC-PICKLE",
-                       "SC-EXC", "SC-INT", "SC-MUTDEF", "SC-LOOP"]
+                       "SC-EXC", "SC-INT", "SC-MUTDEF", "SC-LOOP",
+                       "SC-OBS"]
         only = registry.select(["SC-DET"], None)
         assert [r.rule_id for r in only] == ["SC-DET"]
         rest = registry.select(None, ["SC-DET", "SC-MUTDEF"])
@@ -253,7 +256,8 @@ class TestLintCLI:
         proc = run_cli(["--list"])
         assert proc.returncode == 0
         for rule_id in ("SC-DET", "SC-PERSIST", "SC-PICKLE",
-                        "SC-EXC", "SC-INT", "SC-MUTDEF", "SC-LOOP"):
+                        "SC-EXC", "SC-INT", "SC-MUTDEF", "SC-LOOP",
+                        "SC-OBS"):
             assert rule_id in proc.stdout
 
     def test_clean_tree_exits_zero(self):
@@ -327,6 +331,13 @@ MUTATIONS = {
         "def feed(sketch, keys):\n"
         "    for key in keys.tolist():\n"
         "        sketch.insert(key)\n",
+    ),
+    "SC-OBS": (
+        "src/repro/core/_mut_obs.py",
+        None,
+        "def feed(sketch, keys):\n"
+        "    tr = sketch.trace\n"
+        "    tr.emit_bulk('burst_admit', keys)\n",
     ),
 }
 
