@@ -27,6 +27,11 @@ Commands:
   policy (optionally stopping early to simulate a crash).
 * ``resume`` — restore a checkpoint, replay the remaining windows, and
   optionally prove the result bit-equal to an uninterrupted run.
+* ``pipeline`` — distributed run: partition a trace by key across
+  worker processes, checkpoint every K windows, recover killed workers
+  from their checkpoints, and merge the partial sketches into one
+  queryable result (optionally proven bit-equal to a single-process
+  sharded run with ``--check``).
 * ``lint`` — run the sketch-specific static analyzer
   (:mod:`repro.staticcheck`) over the tree and report findings.
 """
@@ -34,8 +39,10 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis.ascii_plot import plot_figure, telemetry_panel
@@ -59,6 +66,7 @@ from .obs import (
     to_prometheus,
     validate_chrome_trace,
     write_events_jsonl,
+    write_spans_jsonl,
 )
 
 #: Labels accepted by ``estimate``/``compare``: the estimation suite plus
@@ -68,7 +76,11 @@ _ESTIMATE_CHOICES = tuple(ESTIMATION_ALGORITHMS) + tuple(BATCHED_ALGORITHMS)
 #: Labels ``trace``/``explain`` accept: only the Hypersistent builds carry
 #: the flight-recorder wiring and the staged ``explain`` audit.
 _TRACEABLE_CHOICES = ("HS", "HS-SIMD", "HS-BATCH", "HS-KERNEL")
-from .experiments.registry import EXPERIMENTS, run_experiment
+from .experiments.registry import (
+    EXPERIMENTS,
+    run_experiment,
+    run_experiment_suite,
+)
 from .streams.io import (
     load_trace_csv,
     load_trace_npz,
@@ -118,15 +130,18 @@ def _cmd_list_experiments(_args) -> int:
 
 def _cmd_run_experiment(args) -> int:
     try:
-        figures = run_experiment(args.experiment_id, scale=args.scale)
+        suite = run_experiment_suite(
+            args.experiment_ids, scale=args.scale, jobs=args.jobs
+        )
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
-    for figure in figures:
-        print(figure.to_table())
-        if args.plot:
-            print(plot_figure(figure))
-        print()
+    for figures in suite.values():
+        for figure in figures:
+            print(figure.to_table())
+            if args.plot:
+                print(plot_figure(figure))
+            print()
     return 0
 
 
@@ -404,6 +419,7 @@ def _cmd_fuzz(args) -> int:
         out_dir=args.out,
         max_failures=args.max_failures,
         progress=progress if not args.quiet else None,
+        jobs=args.jobs,
     )
     print(report.summary())
     return 1 if report.failures else 0
@@ -513,6 +529,70 @@ def _cmd_resume(args) -> int:
     return 0
 
 
+def _cmd_pipeline(args) -> int:
+    from .core import HypersistentSketch, ShardedSketch
+    from .distributed import run_pipeline, worker_config
+    from .persist import encode_state
+
+    trace = _load_trace(args.trace)
+    kill_at = None
+    if args.kill:
+        try:
+            worker, window = (int(x) for x in args.kill.split(":"))
+        except ValueError:
+            print("--kill wants WORKER:WINDOW (e.g. --kill 1:10)",
+                  file=sys.stderr)
+            return 2
+        if not 0 <= worker < args.workers:
+            print(f"--kill worker must be in [0, {args.workers})",
+                  file=sys.stderr)
+            return 2
+        kill_at = (worker, window)
+    memory_bytes = int(args.memory_kb * 1024)
+    recorder = TraceRecorder() if args.trace_events else None
+    result = run_pipeline(
+        trace, memory_bytes,
+        n_workers=args.workers,
+        out_dir=args.out,
+        seed=args.seed,
+        engine=args.engine,
+        every=args.every,
+        kill_at=kill_at,
+        recorder=recorder,
+    )
+    print(result.report.summary())
+    report_path = Path(args.out) / "pipeline_report.json"
+    report_path.write_text(
+        json.dumps(result.report.to_dict(), indent=2) + "\n"
+    )
+    print(f"wrote run report to {report_path}")
+    if recorder is not None:
+        written = write_spans_jsonl(recorder, args.trace_events)
+        print(f"wrote {written} merge/worker span(s) to {args.trace_events}")
+    if args.check:
+        # rebuild the single-process sharded reference with the same
+        # partitioning derivation and demand byte equality
+        hint = trace.mean_window_distinct()
+        configs = [
+            worker_config(memory_bytes, trace.n_windows, i, args.workers,
+                          seed=args.seed, window_distinct_hint=hint)
+            for i in range(args.workers)
+        ]
+        reference = ShardedSketch(
+            lambda i: HypersistentSketch(configs[i]),
+            n_shards=args.workers, seed=args.seed, engine=args.engine,
+        )
+        for window_keys in trace.window_arrays():
+            reference.insert_window(window_keys)
+        if encode_state(result.sketch.state_dict()) != encode_state(
+                reference.state_dict()):
+            print("  NOT bit-equal to the single-process sharded run")
+            return 1
+        print("  bit-equal to a single-process sharded run "
+              "(snapshot bytes)")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from .staticcheck import (
         apply_baseline,
@@ -594,12 +674,18 @@ def build_parser() -> argparse.ArgumentParser:
         "list-experiments", help="list reproducible paper artifacts"
     ).set_defaults(func=_cmd_list_experiments)
 
-    p = sub.add_parser("run-experiment", help="regenerate one paper figure")
-    p.add_argument("experiment_id")
+    p = sub.add_parser(
+        "run-experiment",
+        help="regenerate one or more paper figures",
+    )
+    p.add_argument("experiment_ids", nargs="+", metavar="experiment_id")
     p.add_argument("--scale", type=float, default=None,
                    help="trace scale (default: REPRO_BENCH_SCALE or 0.01)")
     p.add_argument("--plot", action="store_true",
                    help="also render ASCII charts")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="run experiments on this many worker processes "
+                        "(results identical to sequential)")
     p.set_defaults(func=_cmd_run_experiment)
 
     p = sub.add_parser("generate-trace", help="write a synthetic workload")
@@ -750,6 +836,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stop the campaign after this many failures")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-100-case progress lines")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="check cases on this many worker processes "
+                        "(campaign results are bit-identical to "
+                        "sequential)")
     p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser(
@@ -796,6 +886,34 @@ def build_parser() -> argparse.ArgumentParser:
                         "meta, run it uninterrupted, and verify the "
                         "resumed estimates are bit-equal")
     p.set_defaults(func=_cmd_resume)
+
+    p = sub.add_parser(
+        "pipeline",
+        help="distributed run: partition a trace across worker "
+             "processes, checkpoint, recover crashes, merge",
+    )
+    p.add_argument("trace", help="trace file (.csv or .npz)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="worker process count (= shard count)")
+    p.add_argument("--memory-kb", type=float, default=64,
+                   help="total memory budget, split across workers")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--engine", choices=("scalar", "batched", "kernel"),
+                   default="kernel",
+                   help="ingest backend per worker (bit-equivalent)")
+    p.add_argument("--every", type=int, default=8,
+                   help="checkpoint every K closed windows")
+    p.add_argument("--out", default="results/pipeline",
+                   help="checkpoint + report directory")
+    p.add_argument("--kill", metavar="WORKER:WINDOW",
+                   help="fault injection: SIGKILL this worker mid-window "
+                        "once (it must recover from its checkpoint)")
+    p.add_argument("--check", action="store_true",
+                   help="also run the single-process sharded reference "
+                        "and verify the merged result is bit-equal")
+    p.add_argument("--trace-events", metavar="PATH",
+                   help="write per-worker and merge spans as JSONL")
+    p.set_defaults(func=_cmd_pipeline)
 
     p = sub.add_parser(
         "lint",

@@ -12,6 +12,7 @@ from .bitmem import (
 from .errors import (
     BudgetError,
     ConfigError,
+    MergeError,
     ReproError,
     SnapshotError,
     StreamError,
@@ -41,6 +42,7 @@ __all__ = [
     "HashFamily",
     "ItemKey",
     "MemoryReport",
+    "MergeError",
     "PersistenceEstimator",
     "PersistentItemFinder",
     "ReproError",

@@ -19,6 +19,17 @@ class StreamError(ReproError, ValueError):
     """A trace or stream violates the data-stream model (e.g. bad window ids)."""
 
 
+class MergeError(ReproError, ValueError):
+    """Two sketches cannot be merged.
+
+    Raised when merge preconditions fail: mismatched configurations or
+    sizings, window clocks out of step, an undrained Burst Filter (merge
+    is only defined at window boundaries), or an attempt to merge a
+    sketch with itself.  Merging never partially applies — a raise
+    leaves both operands untouched.
+    """
+
+
 class SnapshotError(ReproError):
     """A snapshot/checkpoint file is missing, corrupt, or incompatible.
 

@@ -1,5 +1,6 @@
 """The paper's primary contribution: the three-stage Hypersistent Sketch."""
 
+from ..common.errors import MergeError
 from .burst_filter import BurstFilter
 from .cold_filter import ColdFilter
 from .config import HOT_COUNTER_BITS, REPLACE_HASH, REPLACE_RANDOM, HSConfig
@@ -41,6 +42,7 @@ __all__ = [
     "HSConfig",
     "HotPart",
     "HypersistentSketch",
+    "MergeError",
     "ShardedSketch",
     "SlidingHypersistentSketch",
     "SnapshotError",

@@ -31,7 +31,7 @@ from typing import Iterator, List, Optional, Sequence
 import numpy as np
 
 from ..common.bitmem import ID_BITS
-from ..common.errors import ConfigError
+from ..common.errors import ConfigError, MergeError
 from ..common.hashing import HashFamily
 from ..obs.events import BURST_ADMIT, BURST_DRAIN, BURST_OVERFLOW
 from .columnar import plan_burst_admission, window_downstream
@@ -280,6 +280,34 @@ class BurstFilter:
         (:meth:`state_dict` stores the occupied prefix only).
         """
         self._fill.fill(0)
+
+    def merge_from(self, other: "BurstFilter") -> None:
+        """Absorb ``other``'s accounting into this filter (in place).
+
+        The Burst Filter holds only *within-window* state and merge is
+        defined at window boundaries, where both filters have drained —
+        so the structural merge is empty-plus-empty and only the cost
+        counters combine.  Raises :class:`MergeError` when either filter
+        still holds keys or the sizings/hash seeds differ.
+        """
+        if (self.n_buckets != other.n_buckets
+                or self.cells_per_bucket != other.cells_per_bucket):
+            raise MergeError(
+                f"burst filter sizings differ: "
+                f"{self.n_buckets}x{self.cells_per_bucket} vs "
+                f"{other.n_buckets}x{other.cells_per_bucket}"
+            )
+        if self._hash.state_dict() != other._hash.state_dict():
+            raise MergeError("burst filter hash families differ")
+        if len(self) or len(other):
+            raise MergeError(
+                "burst filters must be drained before merging "
+                "(merge happens at window boundaries)"
+            )
+        self.hash_ops += other.hash_ops
+        self.compare_ops += other.compare_ops
+        self.absorbed += other.absorbed
+        self.overflowed += other.overflowed
 
     def bucket_fills(self) -> Sequence[int]:
         """Per-bucket cell occupancy (verification/occupancy diagnostics)."""

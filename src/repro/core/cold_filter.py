@@ -28,12 +28,12 @@ fused in :func:`~repro.core.kernels.cold_insert_batch`.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from ..common.bitmem import counter_bits_for
-from ..common.errors import ConfigError
+from ..common.errors import ConfigError, MergeError
 from ..common.hashing import HashFamily
 from ..obs.events import COLD_ESCALATE, COLD_L1_ACCEPT, COLD_OVERFLOW
 from .kernels import cold_insert_batch, cold_layer_batch
@@ -105,6 +105,47 @@ class _ColdLayer:
     def end_window(self) -> None:
         """Close the current window and open the next one."""
         self._epochs += 1
+
+    def _validate_merge(self, other: "_ColdLayer") -> None:
+        """Raise :class:`MergeError` unless ``other`` is merge-compatible
+        (identical sizing, hash family, and window clocks)."""
+        if (self.rows != other.rows or self.width != other.width
+                or self.threshold != other.threshold):
+            raise MergeError(
+                f"cold layer shapes differ: "
+                f"{self.rows}x{self.width}/thr{self.threshold} vs "
+                f"{other.rows}x{other.width}/thr{other.threshold}"
+            )
+        if self._hash.state_dict() != other._hash.state_dict():
+            raise MergeError("cold layer hash families differ")
+        if not np.array_equal(self._epochs, other._epochs):
+            raise MergeError(
+                f"cold layer window clocks differ: "
+                f"{self._epochs.tolist()} vs {other._epochs.tolist()}"
+            )
+
+    def merge_from(self, other: "_ColdLayer") -> int:
+        """Counter-wise union with ``other`` (in place); returns how many
+        cells saturated at the threshold during the add.
+
+        Counters add and clamp at the layer threshold — values above it
+        are indistinguishable to the staged query (the cell already
+        escalates), and clamping preserves the structural invariant that
+        no counter exceeds its threshold.  The on/off flags OR: a cell is
+        "off" for the current window if either operand switched it off,
+        written in canonical stamp form (the current epoch, or 0) so the
+        merged plane is independent of operand order.  Requires identical
+        sizing, hash family, and window clocks.
+        """
+        self._validate_merge(other)
+        total = self._values + other._values
+        truncated = int((total > self.threshold).sum())
+        np.minimum(total, self.threshold, out=total)
+        self._values = total
+        epochs = self._epochs[:, None]
+        off_now = (self._off == epochs) | (other._off == epochs)
+        self._off = np.where(off_now, epochs, 0)
+        return truncated
 
     def verify_state(self) -> List[str]:
         """Structural self-check; returns problem descriptions (empty = OK).
@@ -304,6 +345,28 @@ class ColdFilter:
         """Close the current window and open the next one."""
         self.l1.end_window()
         self.l2.end_window()
+
+    def merge_from(self, other: "ColdFilter") -> Dict[str, int]:
+        """Counter-wise union of both layers (in place).
+
+        Returns per-layer saturation counts (``{"l1": n, "l2": n}``) —
+        the cells whose summed value clamped at the layer threshold,
+        the sites where the merged estimate's one-sided overestimate
+        concentrates.  Stage counters add.  Raises :class:`MergeError`
+        on any layer mismatch, leaving both filters untouched (L1 is
+        validated before either layer mutates).
+        """
+        self.l1._validate_merge(other.l1)
+        self.l2._validate_merge(other.l2)
+        truncated = {
+            "l1": self.l1.merge_from(other.l1),
+            "l2": self.l2.merge_from(other.l2),
+        }
+        self.hash_ops += other.hash_ops
+        self.l1_hits += other.l1_hits
+        self.l2_hits += other.l2_hits
+        self.overflows += other.overflows
+        return truncated
 
     def verify_state(self) -> List[str]:
         """Structural self-check over both layers (empty list = OK).

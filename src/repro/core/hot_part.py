@@ -31,7 +31,7 @@ from typing import Dict, List
 import numpy as np
 
 from ..common.bitmem import ID_BITS
-from ..common.errors import ConfigError
+from ..common.errors import ConfigError, MergeError
 from ..common.hashing import HashFamily, derive_seed, mix
 from ..obs.events import HOT_HIT, HOT_INSERT, HOT_REJECT, HOT_REPLACE
 from .config import HOT_COUNTER_BITS, REPLACE_HASH, REPLACE_RANDOM
@@ -182,6 +182,110 @@ class HotPart:
         """Reset all flags and re-salt the replacement hash (per-window)."""
         self._epoch += 1
         self._window_salt = derive_seed(self._seed, 0xAB, self._epoch)
+
+    def merge_from(self, other: "HotPart") -> int:
+        """Per-bucket candidate reconciliation with ``other`` (in place);
+        returns how many candidates were evicted by bucket capacity.
+
+        Both stores' occupied entries become one candidate pool per
+        bucket.  A key stored on both sides keeps the *sum* of its
+        persistences (disjoint window evidence; under key partitioning
+        duplicates cannot occur, which is what makes the merge exact —
+        and associative — for the distributed pipeline) and its window
+        flag ORs.  Each bucket keeps its ``entries_per_bucket`` best
+        candidates by (persistence desc, key asc) and lays them out in
+        that canonical slot order, so the merged planes are independent
+        of operand order — bit-exact commutativity.
+
+        Under the seeded-RNG replacement policy the merged store cannot
+        keep either parent's Mersenne stream (there is no canonical
+        choice between them); it is re-seeded deterministically from the
+        master seed and the window clock, which is symmetric in the
+        operands and reproducible across runs.
+
+        Works on whole planes at once (lexsort + reduceat), no per-entry
+        Python loop.
+        """
+        if (self.n_buckets != other.n_buckets
+                or self.entries_per_bucket != other.entries_per_bucket):
+            raise MergeError(
+                f"hot part sizings differ: "
+                f"{self.n_buckets}x{self.entries_per_bucket} vs "
+                f"{other.n_buckets}x{other.entries_per_bucket}"
+            )
+        if self.replacement != other.replacement:
+            raise MergeError(
+                f"hot part replacement policies differ: "
+                f"{self.replacement} vs {other.replacement}"
+            )
+        if self._hash.state_dict() != other._hash.state_dict():
+            raise MergeError("hot part hash families differ")
+        if self._epoch != other._epoch:
+            raise MergeError(
+                f"hot part window clocks differ: "
+                f"{self._epoch} vs {other._epoch}"
+            )
+        bucket, keys, per, off_now = self._merge_candidates(other)
+        evicted = 0
+        if bucket.size:
+            # union duplicates: group by (bucket, key), summing
+            # persistence and OR-ing the window flag
+            order = np.lexsort((keys, bucket))
+            bucket, keys = bucket[order], keys[order]
+            per, off_now = per[order], off_now[order]
+            fresh = np.ones(bucket.size, dtype=bool)
+            fresh[1:] = (bucket[1:] != bucket[:-1]) | (keys[1:] != keys[:-1])
+            starts = np.flatnonzero(fresh)
+            bucket, keys = bucket[starts], keys[starts]
+            per = np.add.reduceat(per, starts)
+            off_now = np.add.reduceat(off_now.astype(np.int64), starts) > 0
+            # rank candidates inside each bucket by (-per, key) and keep
+            # the top entries_per_bucket in that canonical slot order
+            order = np.lexsort((keys, -per, bucket))
+            bucket, keys = bucket[order], keys[order]
+            per, off_now = per[order], off_now[order]
+            first = np.ones(bucket.size, dtype=bool)
+            first[1:] = bucket[1:] != bucket[:-1]
+            positions = np.arange(bucket.size, dtype=np.int64)
+            bucket_start = np.maximum.accumulate(
+                np.where(first, positions, 0)
+            )
+            slot = positions - bucket_start
+            keep = slot < self.entries_per_bucket
+            evicted = int(bucket.size - int(keep.sum()))
+            self._keys.fill(0)
+            self._per.fill(0)
+            self._occ.fill(False)
+            self._off.fill(0)
+            kb, ks = bucket[keep], slot[keep]
+            self._keys[kb, ks] = keys[keep]
+            self._per[kb, ks] = per[keep]
+            self._occ[kb, ks] = True
+            self._off[kb, ks] = np.where(off_now[keep], self._epoch, 0)
+        if self.replacement == REPLACE_RANDOM:
+            self._rng = random.Random(
+                derive_seed(self._seed, 0x4D65_7267, self._epoch)
+            )
+        self.hash_ops += other.hash_ops
+        self.replacements += other.replacements
+        self.replacement_attempts += other.replacement_attempts
+        return evicted
+
+    def _merge_candidates(self, other: "HotPart"):
+        """Pooled occupied entries of both stores, as parallel arrays
+        ``(bucket, key, persistence, off_this_window)``."""
+        parts = []
+        for store in (self, other):
+            buckets, slots = np.nonzero(store._occ)
+            parts.append((
+                buckets.astype(np.int64),
+                store._keys[buckets, slots],
+                store._per[buckets, slots],
+                store._off[buckets, slots] == store._epoch,
+            ))
+        return tuple(
+            np.concatenate((a, b)) for a, b in zip(parts[0], parts[1])
+        )
 
     def items(self) -> Dict[int, int]:
         """All stored ``key -> persistence`` pairs."""

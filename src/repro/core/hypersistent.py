@@ -21,7 +21,7 @@ import numpy as np
 
 import time
 
-from ..common.errors import ConfigError
+from ..common.errors import ConfigError, MergeError
 from ..common.hashing import ItemKey, canonical_key, canonical_keys
 from ..obs.catalog import bind_sketch, legacy_sketch_stats, sketch_metrics
 from ..obs.events import BURST_DRAIN
@@ -342,6 +342,94 @@ class HypersistentSketch:
                 continue
             inner = getattr(stage, "_inner", stage)
             inner.trace = recorder
+
+    # ------------------------------------------------------------------
+    # merge (distributed ingestion; see docs/DISTRIBUTED.md)
+    # ------------------------------------------------------------------
+    def merge(self, *others: "HypersistentSketch") -> "HypersistentSketch":
+        """Union this sketch with ``others`` into a **new** sketch.
+
+        The merged sketch summarizes the union of the operands' streams:
+        Cold Filter counters add (clamped at each layer threshold — the
+        values past which the staged query escalates anyway), on/off
+        flags OR in canonical stamp form, and each Hot Part bucket keeps
+        its best candidates by (persistence desc, key asc) with
+        duplicate keys summing their evidence.  The result is bit-exact
+        commutative, and associative whenever the operands hold disjoint
+        key sets (the distributed pipeline's partitioning guarantees
+        that; with overlapping keys, bucket-capacity eviction can order
+        ties differently, like any top-k union).
+
+        Error composition: each operand carries the Cold Filter's
+        one-sided error of at most ``delta1 + delta2`` per key, and the
+        counter add can at worst stack those underestimated residues —
+        so a merge of ``n`` partitions overestimates a key's persistence
+        by at most ``(n - 1) * (delta1 + delta2)`` beyond the single
+        operand bounds, and never underestimates below the maximum
+        operand estimate.  Under *key-disjoint* partitioning the owning
+        operand holds the key's whole history, and the distributed
+        runner's sharded form (:meth:`ShardedSketch.coalesce
+        <repro.core.sharded.ShardedSketch.coalesce>`) is exact.
+
+        Preconditions (:class:`MergeError` otherwise, operands
+        untouched): identical configs, equal window clocks, drained
+        Burst Filters (merge at window boundaries only), distinct
+        sketch objects, at least one other sketch.  The merged config's
+        ``meta["merge"]["parts"]`` records how many original sketches
+        fed the result (cumulative across merge chains — the ``n`` of
+        the error bound above); per-layer clamp and eviction counts are
+        returned by the stage-level ``merge_from`` methods and recorded
+        as a ``merge`` span when a flight recorder is attached.
+        """
+        if not others:
+            raise MergeError("merge needs at least one other sketch")
+        sketches = (self,) + tuple(others)
+        if len({id(s) for s in sketches}) != len(sketches):
+            raise MergeError("cannot merge a sketch with itself")
+        for other in others:
+            if not isinstance(other, HypersistentSketch):
+                raise MergeError(
+                    f"cannot merge HypersistentSketch with "
+                    f"{type(other).__name__}"
+                )
+            if other.config != self.config:
+                raise MergeError(
+                    "sketch configs differ; merge requires identical "
+                    "sizing, thresholds, policies, and seeds"
+                )
+            if other.window != self.window:
+                raise MergeError(
+                    f"window clocks differ: {self.window} vs "
+                    f"{other.window}"
+                )
+            if (self.burst is not None and
+                    (len(self.burst) or len(other.burst))):
+                raise MergeError(
+                    "burst filters must be drained before merging "
+                    "(call end_window / insert_window first)"
+                )
+        tr = self.trace
+        started = time.perf_counter() if (tr is not None and tr.enabled) \
+            else 0.0
+        merged = HypersistentSketch.from_state(self.state_dict())
+        merged.engine = self._engine
+        # cumulative operand count: a merge-of-merges sums the original
+        # part counts, so the provenance marker stays associative (and
+        # merged states stay byte-identical across association orders)
+        parts = sum(
+            s.config.meta.get("merge", {}).get("parts", 1)
+            for s in sketches
+        )
+        for other in others:
+            if merged.burst is not None:
+                merged.burst.merge_from(other.burst)
+            merged.cold.merge_from(other.cold)
+            merged.hot.merge_from(other.hot)
+            merged.inserts += other.inserts
+        merged.config.meta["merge"] = {"parts": parts}
+        if tr is not None and tr.enabled:
+            tr.record_span("merge", started, self.window)
+        return merged
 
     def report(self, threshold: int) -> Dict[int, int]:
         """Items with estimated persistence >= ``threshold``.

@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from ..common.errors import ConfigError
+from ..common.errors import ConfigError, MergeError
 from ..common.hashing import HashFamily, ItemKey, canonical_key, canonical_keys
 from ..obs.catalog import bind_sharded
 
@@ -72,6 +72,53 @@ class ShardedSketch:
                 shard.engine = engine
         self._router = HashFamily(1, seed ^ 0x5AAD)
         self.window = 0
+
+    @classmethod
+    def coalesce(cls, shards: List[object], seed: int = 42,
+                 copy: bool = True) -> "ShardedSketch":
+        """Reassemble a sharded ensemble from independently-fed shards.
+
+        The distributed pipeline's merge: worker ``i`` ingests exactly
+        the keys the router sends to shard ``i``, so handing the worker
+        sketches back in shard order rebuilds an ensemble *bit-identical*
+        to a single-process :class:`ShardedSketch` that streamed the
+        whole trace — every key's full history lives in its owning
+        shard, so estimates, reports, and stats are exact, not
+        approximations.  ``seed`` must be the ensemble/partitioner seed
+        (it rebuilds the router).
+
+        ``copy`` (default) snapshots each shard through its
+        ``state_dict`` round-trip, so the coalesced ensemble shares no
+        mutable state (and no stale flight-recorder wiring) with the
+        worker objects — later mutation of either side cannot corrupt
+        the other, and no stage counter is double-counted.
+
+        Raises :class:`MergeError` when the shard list is empty, holds
+        duplicate objects, or the shard window clocks disagree (a worker
+        that stopped mid-trace must be resumed before coalescing).
+        """
+        if not shards:
+            raise MergeError("coalesce needs at least one shard")
+        if len({id(s) for s in shards}) != len(shards):
+            raise MergeError("coalesce received the same shard twice")
+        windows = {int(getattr(s, "window", 0)) for s in shards}
+        if len(windows) != 1:
+            raise MergeError(
+                f"shard window clocks disagree: {sorted(windows)}; "
+                f"resume the lagging workers before coalescing"
+            )
+        if copy:
+            from ..persist.state import (  # local: avoid cycle
+                restore_tagged,
+                tagged_state,
+            )
+            shards = [restore_tagged(tagged_state(s)) for s in shards]
+        obj = cls.__new__(cls)
+        obj.n_shards = len(shards)
+        obj.shards = list(shards)
+        obj._router = HashFamily(1, seed ^ 0x5AAD)
+        obj.window = windows.pop()
+        return obj
 
     def _shard_of(self, key: int) -> object:
         return self.shards[self._router.index(key, 0, self.n_shards)]

@@ -25,7 +25,7 @@ from typing import Iterator
 import numpy as np
 
 from ..common.bitmem import ID_BITS
-from ..common.errors import ConfigError
+from ..common.errors import ConfigError, MergeError
 from ..common.hashing import HashFamily
 from ..obs.events import BURST_ADMIT, BURST_DRAIN, BURST_OVERFLOW
 from .columnar import plan_burst_admission, window_downstream
@@ -280,6 +280,33 @@ class VectorizedBurstFilter:
     def bucket_fills(self):
         """Per-bucket cell occupancy (verification/occupancy diagnostics)."""
         return self._fill.tolist()
+
+    def merge_from(self, other) -> None:
+        """Absorb ``other``'s accounting into this filter (in place).
+
+        Same contract as :meth:`BurstFilter.merge_from
+        <repro.core.burst_filter.BurstFilter.merge_from>`: both filters
+        must be drained (merge is a window-boundary operation), so only
+        the cost counters combine.
+        """
+        if (self.n_buckets != other.n_buckets
+                or self.cells_per_bucket != other.cells_per_bucket):
+            raise MergeError(
+                f"burst filter sizings differ: "
+                f"{self.n_buckets}x{self.cells_per_bucket} vs "
+                f"{other.n_buckets}x{other.cells_per_bucket}"
+            )
+        if self._hash.state_dict() != other._hash.state_dict():
+            raise MergeError("burst filter hash families differ")
+        if len(self) or len(other):
+            raise MergeError(
+                "burst filters must be drained before merging "
+                "(merge happens at window boundaries)"
+            )
+        self.hash_ops += other.hash_ops
+        self.compare_ops += other.compare_ops
+        self.absorbed += other.absorbed
+        self.overflowed += other.overflowed
 
     def verify_state(self):
         """Structural self-check; returns problem descriptions (empty = OK).

@@ -1,0 +1,64 @@
+"""Distributed ingestion: key-partitioned pipeline with proven merge.
+
+Scale-out story in two layers:
+
+* **Merge** — :meth:`HypersistentSketch.merge
+  <repro.core.hypersistent.HypersistentSketch.merge>` composes
+  arbitrary same-config sketches (counter-wise, bounded error growth),
+  and :meth:`ShardedSketch.coalesce
+  <repro.core.sharded.ShardedSketch.coalesce>` reassembles key-disjoint
+  worker sketches *exactly*.
+* **Runner** — :func:`run_pipeline` partitions a trace by key across
+  worker processes, checkpoints each worker through :mod:`repro.persist`,
+  resumes crashed workers, quarantines corrupt checkpoints, and
+  coalesces the survivors into one queryable result.
+
+See ``docs/DISTRIBUTED.md`` for semantics and the crash-recovery
+walkthrough.
+"""
+
+from .partition import (
+    MIN_WORKER_BYTES,
+    ROUTER_SALT,
+    partition_router,
+    partition_trace,
+    worker_config,
+)
+from .pipeline import (
+    DEFAULT_EVERY,
+    DEFAULT_MAX_RESTARTS,
+    PipelineError,
+    PipelineReport,
+    PipelineResult,
+    SimulatedCrash,
+    WorkerReport,
+    WorkerSpec,
+    bind_pipeline,
+    build_worker_specs,
+    ingest_partition,
+    quarantine_checkpoint,
+    run_pipeline,
+    run_pipeline_inprocess,
+)
+
+__all__ = [
+    "DEFAULT_EVERY",
+    "DEFAULT_MAX_RESTARTS",
+    "MIN_WORKER_BYTES",
+    "ROUTER_SALT",
+    "PipelineError",
+    "PipelineReport",
+    "PipelineResult",
+    "SimulatedCrash",
+    "WorkerReport",
+    "WorkerSpec",
+    "bind_pipeline",
+    "build_worker_specs",
+    "ingest_partition",
+    "partition_router",
+    "partition_trace",
+    "quarantine_checkpoint",
+    "run_pipeline",
+    "run_pipeline_inprocess",
+    "worker_config",
+]

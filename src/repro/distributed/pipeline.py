@@ -1,0 +1,564 @@
+"""Multiprocess pipeline runner: partition, ingest, checkpoint, merge.
+
+The runner turns one trace into ``n_workers`` key-disjoint partitions
+(:func:`~repro.distributed.partition.partition_trace`), streams each
+through its own worker process on the kernel engine, checkpoints every
+worker every ``every`` closed windows through :mod:`repro.persist`, and
+reassembles the finished worker sketches into one queryable
+:class:`~repro.core.sharded.ShardedSketch` — bit-identical to a
+single-process sharded run of the same trace (the merge-equivalence
+invariant pins this).
+
+Crash recovery:
+
+* a worker that dies (any non-zero exit, including ``SIGKILL``) is
+  respawned and resumes from its last checkpoint; mid-window progress
+  since that checkpoint is re-ingested from the trace, so the finished
+  state is bit-identical to an uninterrupted run;
+* a torn or corrupted checkpoint can never be merged: it fails the
+  persist layer's CRC/frame validation, is renamed aside
+  (``*.quarantined``) with the error recorded in the run report, and the
+  worker restarts from scratch (or, at merge time, the run fails
+  loudly);
+* deterministic fault injection (``kill_at=(worker, window)``) makes the
+  SIGKILL path testable: the chosen worker ingests half a window and
+  kills itself — once, guarded by a marker file.
+
+Every piece of per-worker work is a plain function over a
+:class:`WorkerSpec`, so the in-process variant
+(:func:`run_pipeline_inprocess`) drives the *same* ingest/checkpoint/
+resume/quarantine code without process machinery — cheap enough for the
+fuzz battery to run on every sampled case.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..common.errors import MergeError, ReproError, SnapshotError
+from ..core.config import HSConfig
+from ..core.hypersistent import HypersistentSketch
+from ..core.kernels import ENGINE_KERNEL
+from ..core.sharded import ShardedSketch
+from ..persist.checkpoint import load_run_checkpoint, save_run_checkpoint
+from ..streams.model import Trace
+from .partition import partition_trace, worker_config
+
+PathLike = Union[str, Path]
+
+#: Default checkpoint cadence (closed windows between checkpoint writes).
+DEFAULT_EVERY = 8
+
+#: How often a dead worker may be relaunched before the run fails.
+DEFAULT_MAX_RESTARTS = 3
+
+
+class PipelineError(ReproError):
+    """The distributed run could not complete (a worker kept dying, a
+    final checkpoint is unusable, or merge preconditions failed)."""
+
+
+class SimulatedCrash(Exception):
+    """In-process stand-in for a worker SIGKILL (fault injection for the
+    fuzz battery; never escapes :func:`run_pipeline_inprocess`)."""
+
+
+@dataclass
+class WorkerSpec:
+    """Everything one worker needs, picklable for any start method."""
+
+    index: int
+    trace: Trace
+    config_state: dict
+    engine: str
+    checkpoint_path: str
+    every: int = DEFAULT_EVERY
+    kill_at: Optional[int] = None
+    kill_marker: Optional[str] = None
+    simulate_kill: bool = False
+
+    def config(self) -> HSConfig:
+        return HSConfig.from_state(self.config_state)
+
+
+@dataclass
+class WorkerReport:
+    """One worker's run accounting."""
+
+    index: int
+    windows_done: int = 0
+    restarts: int = 0
+    quarantined: List[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "windows_done": self.windows_done,
+            "restarts": self.restarts,
+            "quarantined": list(self.quarantined),
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+
+@dataclass
+class PipelineReport:
+    """Outcome of one pipeline run (JSON-able)."""
+
+    n_workers: int
+    n_windows: int
+    every: int
+    engine: str
+    seed: int
+    trace_name: str
+    workers: List[WorkerReport] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    merge_elapsed_s: float = 0.0
+
+    @property
+    def restarts(self) -> int:
+        return sum(w.restarts for w in self.workers)
+
+    @property
+    def quarantined(self) -> int:
+        return sum(len(w.quarantined) for w in self.workers)
+
+    def to_dict(self) -> dict:
+        return {
+            "n_workers": self.n_workers,
+            "n_windows": self.n_windows,
+            "every": self.every,
+            "engine": self.engine,
+            "seed": self.seed,
+            "trace": self.trace_name,
+            "restarts": self.restarts,
+            "quarantined": self.quarantined,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "merge_elapsed_s": round(self.merge_elapsed_s, 6),
+            "workers": [w.to_dict() for w in self.workers],
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"pipeline: {self.n_workers} workers x {self.n_windows} "
+            f"windows ({self.engine} engine, checkpoint every "
+            f"{self.every}), {self.elapsed_s:.2f}s "
+            f"(+{self.merge_elapsed_s * 1000:.1f}ms merge)"
+        ]
+        for w in self.workers:
+            note = ""
+            if w.restarts:
+                note += f", {w.restarts} restart(s)"
+            if w.quarantined:
+                note += f", {len(w.quarantined)} quarantined checkpoint(s)"
+            lines.append(
+                f"  worker {w.index}: {w.windows_done} windows in "
+                f"{w.elapsed_s:.2f}s{note}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class PipelineResult:
+    """A finished run: the merged queryable sketch plus accounting."""
+
+    sketch: ShardedSketch
+    report: PipelineReport
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _maybe_die(spec: WorkerSpec, sketch: HypersistentSketch,
+               window_index: int, window_keys) -> None:
+    """Deterministic fault injection: at the chosen window, ingest half
+    the window's records and die mid-window — exactly once (the marker
+    file survives the respawn).  The half-window progress is *meant* to
+    be lost: recovery must re-ingest it from the last checkpoint."""
+    if spec.kill_at is None or window_index != spec.kill_at:
+        return
+    marker = Path(spec.kill_marker or (spec.checkpoint_path + ".killed"))
+    if marker.exists():
+        return
+    marker.write_text(f"worker {spec.index} killed in window "
+                      f"{window_index}\n")
+    sketch.insert_batch(window_keys[: max(1, len(window_keys) // 2)])
+    if spec.simulate_kill:
+        raise SimulatedCrash(
+            f"worker {spec.index} at window {window_index}"
+        )
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def ingest_partition(spec: WorkerSpec) -> HypersistentSketch:
+    """One worker's whole job: build-or-resume, ingest, checkpoint.
+
+    Fresh start when no checkpoint exists; otherwise resumes from the
+    persisted window boundary (the persist layer re-raises
+    :class:`SnapshotError` on any corruption — the caller quarantines).
+    Checkpoints land every ``spec.every`` closed windows and once more
+    at completion, each pinned to the partition's trace identity so a
+    worker can never resume against the wrong partition.
+    """
+    ckpt = Path(spec.checkpoint_path)
+    windows_done = 0
+    if ckpt.exists():
+        sketch, windows_done, payload = load_run_checkpoint(ckpt)
+        recorded = payload.get("trace")
+        actual = {
+            "name": spec.trace.name,
+            "n_records": spec.trace.n_records,
+            "n_windows": spec.trace.n_windows,
+        }
+        if recorded is not None and recorded != actual:
+            raise SnapshotError(
+                f"worker {spec.index} checkpoint was taken against "
+                f"{recorded}, resuming against {actual}"
+            )
+        sketch.engine = spec.engine
+    else:
+        sketch = HypersistentSketch(spec.config(), engine=spec.engine)
+    meta = {"worker": spec.index}
+    arrays = spec.trace.window_arrays()
+    n_windows = spec.trace.n_windows
+    for wid in range(windows_done, n_windows):
+        _maybe_die(spec, sketch, wid, arrays[wid])
+        sketch.insert_window(arrays[wid])
+        done = wid + 1
+        if done % spec.every == 0 and done < n_windows:
+            save_run_checkpoint(sketch, ckpt, done, trace=spec.trace,
+                                meta=meta)
+    save_run_checkpoint(sketch, ckpt, n_windows, trace=spec.trace,
+                        meta=meta)
+    return sketch
+
+
+def _worker_entry(spec: WorkerSpec) -> None:
+    """Module-level process target (spawn-safe)."""
+    ingest_partition(spec)
+
+
+# ----------------------------------------------------------------------
+# runner side
+# ----------------------------------------------------------------------
+def quarantine_checkpoint(path: PathLike) -> Path:
+    """Move a corrupt checkpoint aside; returns its quarantine path.
+
+    The file is renamed, never deleted — it is evidence.  A quarantined
+    checkpoint can never be merged (nothing reads ``*.quarantined``)."""
+    path = Path(path)
+    target = path.with_name(path.name + ".quarantined")
+    n = 0
+    while target.exists():
+        n += 1
+        target = path.with_name(f"{path.name}.quarantined{n}")
+    os.replace(path, target)
+    return target
+
+
+def _recover_checkpoint(spec: WorkerSpec, report: WorkerReport) -> None:
+    """Validate a dead worker's checkpoint before its respawn.
+
+    A loadable checkpoint is left in place (the respawn resumes from
+    it).  A corrupt one is quarantined with the error recorded — the
+    respawned worker starts from window zero rather than ever touching
+    poisoned state."""
+    ckpt = Path(spec.checkpoint_path)
+    if not ckpt.exists():
+        return
+    try:
+        load_run_checkpoint(ckpt)
+    except SnapshotError as exc:
+        moved = quarantine_checkpoint(ckpt)
+        report.quarantined.append(
+            f"checkpoint quarantined to {moved.name}: {exc}"
+        )
+
+
+def _load_finished_worker(spec: WorkerSpec,
+                          report: WorkerReport) -> HypersistentSketch:
+    """Load one worker's final sketch, refusing anything questionable."""
+    ckpt = Path(spec.checkpoint_path)
+    if not ckpt.exists():
+        raise PipelineError(
+            f"worker {spec.index} exited cleanly but left no checkpoint "
+            f"at {ckpt}"
+        )
+    try:
+        sketch, windows_done, _ = load_run_checkpoint(ckpt)
+    except SnapshotError as exc:
+        moved = quarantine_checkpoint(ckpt)
+        report.quarantined.append(
+            f"final checkpoint quarantined to {moved.name}: {exc}"
+        )
+        raise PipelineError(
+            f"worker {spec.index} final checkpoint is corrupt and was "
+            f"quarantined to {moved.name} (not merged): {exc}"
+        ) from exc
+    if windows_done != spec.trace.n_windows:
+        raise PipelineError(
+            f"worker {spec.index} finished at window {windows_done} of "
+            f"{spec.trace.n_windows}; refusing to merge a partial sketch"
+        )
+    report.windows_done = windows_done
+    return sketch
+
+
+def build_worker_specs(
+    trace: Trace,
+    memory_bytes: int,
+    n_workers: int,
+    out_dir: PathLike,
+    seed: int = 42,
+    engine: str = ENGINE_KERNEL,
+    every: int = DEFAULT_EVERY,
+    replacement: Optional[str] = None,
+    kill_at: Optional[Tuple[int, int]] = None,
+    simulate_kill: bool = False,
+) -> List[WorkerSpec]:
+    """Partition ``trace`` and lay out one spec per worker.
+
+    ``kill_at=(worker, window)`` arms the fault injector on one worker.
+    The checkpoint directory is created here; specs carry only paths.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    parts = partition_trace(trace, n_workers, seed)
+    hint = trace.mean_window_distinct()
+    specs = []
+    for i, part in enumerate(parts):
+        config = worker_config(
+            memory_bytes, trace.n_windows, i, n_workers, seed=seed,
+            window_distinct_hint=hint, replacement=replacement,
+        )
+        armed = kill_at is not None and kill_at[0] == i
+        specs.append(WorkerSpec(
+            index=i,
+            trace=part,
+            config_state=config.state_dict(),
+            engine=engine,
+            checkpoint_path=str(out / f"worker-{i}.ckpt"),
+            every=every,
+            kill_at=kill_at[1] if armed else None,
+            kill_marker=str(out / f"worker-{i}.killed") if armed else None,
+            simulate_kill=simulate_kill,
+        ))
+    return specs
+
+
+def _coalesce(specs: List[WorkerSpec], reports: List[WorkerReport],
+              seed: int, report: PipelineReport,
+              recorder=None) -> ShardedSketch:
+    """Load every finished worker and reassemble the sharded result."""
+    started = time.perf_counter()
+    shards = [
+        _load_finished_worker(spec, rep)
+        for spec, rep in zip(specs, reports)
+    ]
+    try:
+        merged = ShardedSketch.coalesce(shards, seed=seed, copy=False)
+    except MergeError as exc:
+        raise PipelineError(f"coalesce refused the worker set: {exc}") \
+            from exc
+    report.merge_elapsed_s = time.perf_counter() - started
+    if recorder is not None:
+        recorder.record_span("merge", started, report.n_windows)
+    return merged
+
+
+def run_pipeline(
+    trace: Trace,
+    memory_bytes: int,
+    n_workers: int = 4,
+    out_dir: PathLike = "results/pipeline",
+    seed: int = 42,
+    engine: str = ENGINE_KERNEL,
+    every: int = DEFAULT_EVERY,
+    replacement: Optional[str] = None,
+    kill_at: Optional[Tuple[int, int]] = None,
+    max_restarts: int = DEFAULT_MAX_RESTARTS,
+    start_method: Optional[str] = None,
+    recorder=None,
+    poll_s: float = 0.02,
+) -> PipelineResult:
+    """Run the full multiprocess pipeline over ``trace``.
+
+    Spawns one process per key partition, supervises them (dead workers
+    are respawned from their last good checkpoint, corrupt checkpoints
+    quarantined), and coalesces the finished sketches into one
+    :class:`~repro.core.sharded.ShardedSketch` that answers queries
+    bit-identically to a single-process sharded run of the same trace.
+
+    ``kill_at=(worker, window)`` injects one SIGKILL mid-window on the
+    chosen worker — the crash-recovery smoke the CI pipeline job runs.
+    ``recorder`` (a :class:`~repro.obs.trace.TraceRecorder`) collects
+    per-worker and merge spans; :func:`bind_pipeline` adds the gauges.
+    """
+    import multiprocessing
+
+    if n_workers < 1:
+        raise PipelineError("need at least one worker")
+    methods = multiprocessing.get_all_start_methods()
+    method = start_method or ("fork" if "fork" in methods else None)
+    ctx = multiprocessing.get_context(method)
+    specs = build_worker_specs(
+        trace, memory_bytes, n_workers, out_dir, seed=seed, engine=engine,
+        every=every, replacement=replacement, kill_at=kill_at,
+    )
+    report = PipelineReport(
+        n_workers=n_workers, n_windows=trace.n_windows, every=every,
+        engine=engine, seed=seed, trace_name=trace.name,
+        workers=[WorkerReport(index=i) for i in range(n_workers)],
+    )
+    started = time.perf_counter()
+    worker_started = [started] * n_workers
+    procs: Dict[int, Any] = {}
+    for i, spec in enumerate(specs):
+        procs[i] = ctx.Process(target=_worker_entry, args=(spec,))
+        procs[i].start()
+    pending = set(procs)
+    while pending:
+        for i in sorted(pending):
+            proc = procs[i]
+            proc.join(timeout=poll_s)
+            if proc.is_alive():
+                continue
+            now = time.perf_counter()
+            if proc.exitcode == 0:
+                report.workers[i].elapsed_s += now - worker_started[i]
+                if recorder is not None:
+                    recorder.record_span(
+                        f"worker-{i}", worker_started[i], trace.n_windows
+                    )
+                pending.discard(i)
+                continue
+            report.workers[i].elapsed_s += now - worker_started[i]
+            report.workers[i].restarts += 1
+            if report.workers[i].restarts > max_restarts:
+                for j in pending:
+                    if procs[j].is_alive():
+                        procs[j].terminate()
+                raise PipelineError(
+                    f"worker {i} died {report.workers[i].restarts} times "
+                    f"(last exitcode {proc.exitcode}); giving up"
+                )
+            _recover_checkpoint(specs[i], report.workers[i])
+            worker_started[i] = time.perf_counter()
+            procs[i] = ctx.Process(target=_worker_entry, args=(specs[i],))
+            procs[i].start()
+    sketch = _coalesce(specs, report.workers, seed, report,
+                       recorder=recorder)
+    report.elapsed_s = time.perf_counter() - started
+    return PipelineResult(sketch=sketch, report=report)
+
+
+def run_pipeline_inprocess(
+    trace: Trace,
+    memory_bytes: int,
+    n_workers: int = 4,
+    out_dir: PathLike = "results/pipeline",
+    seed: int = 42,
+    engine: str = ENGINE_KERNEL,
+    every: int = DEFAULT_EVERY,
+    replacement: Optional[str] = None,
+    kill_at: Optional[Tuple[int, int]] = None,
+    max_restarts: int = DEFAULT_MAX_RESTARTS,
+    recorder=None,
+) -> PipelineResult:
+    """The pipeline without processes: same partitioning, same
+    checkpoint files, same resume and quarantine paths, with the
+    SIGKILL replaced by :class:`SimulatedCrash`.
+
+    This is what the fuzz battery runs per sampled case — it exercises
+    every recovery decision of :func:`run_pipeline` at a fraction of
+    the process-spawn cost.  Real-signal coverage lives in
+    ``tests/test_distributed.py`` and the CI pipeline job.
+    """
+    if n_workers < 1:
+        raise PipelineError("need at least one worker")
+    specs = build_worker_specs(
+        trace, memory_bytes, n_workers, out_dir, seed=seed, engine=engine,
+        every=every, replacement=replacement, kill_at=kill_at,
+        simulate_kill=True,
+    )
+    report = PipelineReport(
+        n_workers=n_workers, n_windows=trace.n_windows, every=every,
+        engine=engine, seed=seed, trace_name=trace.name,
+        workers=[WorkerReport(index=i) for i in range(n_workers)],
+    )
+    started = time.perf_counter()
+    for i, spec in enumerate(specs):
+        worker_started = time.perf_counter()
+        while True:
+            try:
+                ingest_partition(spec)
+                break
+            except SimulatedCrash:
+                report.workers[i].restarts += 1
+                if report.workers[i].restarts > max_restarts:
+                    raise PipelineError(
+                        f"worker {i} crashed {report.workers[i].restarts} "
+                        f"times; giving up"
+                    ) from None
+                _recover_checkpoint(spec, report.workers[i])
+            except SnapshotError:
+                # resume found a corrupt checkpoint before the supervisor
+                # did: quarantine and retry from scratch, same as the
+                # multiprocess path
+                report.workers[i].restarts += 1
+                if report.workers[i].restarts > max_restarts:
+                    raise
+                _recover_checkpoint(spec, report.workers[i])
+        report.workers[i].elapsed_s = time.perf_counter() - worker_started
+        if recorder is not None:
+            recorder.record_span(f"worker-{i}", worker_started,
+                                 trace.n_windows)
+    sketch = _coalesce(specs, report.workers, seed, report,
+                       recorder=recorder)
+    report.elapsed_s = time.perf_counter() - started
+    return PipelineResult(sketch=sketch, report=report)
+
+
+def bind_pipeline(registry, result: PipelineResult) -> list:
+    """Register the run's pull instruments on ``registry``.
+
+    Per-worker gauge series (``worker=<i>``): windows completed,
+    restarts, quarantined checkpoints, wall seconds — plus the merged
+    ensemble's full per-shard catalog rows (worker ``i`` *is* shard
+    ``i``) and run-level merge timing.  Returns the bound instruments.
+    """
+    from ..obs.catalog import bind_sharded
+
+    bound = list(bind_sharded(registry, result.sketch))
+    rows = (
+        ("pipeline_worker_windows", "Windows the worker completed",
+         lambda w: float(w.windows_done)),
+        ("pipeline_worker_restarts", "Times the worker was respawned",
+         lambda w: float(w.restarts)),
+        ("pipeline_worker_quarantined",
+         "Corrupt checkpoints quarantined for the worker",
+         lambda w: float(len(w.quarantined))),
+        ("pipeline_worker_elapsed_seconds", "Worker ingest wall time",
+         lambda w: w.elapsed_s),
+    )
+    for worker in result.report.workers:
+        labels = {"worker": str(worker.index)}
+        for name, help_text, read in rows:
+            bound.append(registry.gauge(
+                name, help=help_text, labels=labels,
+                fn=(lambda read=read, w=worker: read(w)),
+            ))
+    bound.append(registry.gauge(
+        "pipeline_workers", help="Worker count of the pipeline run",
+        fn=lambda: float(result.report.n_workers),
+    ))
+    bound.append(registry.gauge(
+        "pipeline_merge_seconds", help="Coalesce wall time",
+        fn=lambda: result.report.merge_elapsed_s,
+    ))
+    return bound

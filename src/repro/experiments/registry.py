@@ -124,5 +124,43 @@ def run_experiment(
     return EXPERIMENTS[exp_id].runner(scale)
 
 
+def _run_one(task) -> List[FigureResult]:
+    """Module-level pool target for :func:`run_experiment_suite`."""
+    exp_id, scale = task
+    return run_experiment(exp_id, scale)
+
+
+def run_experiment_suite(
+    exp_ids: Optional[List[str]] = None,
+    scale: Optional[float] = None,
+    jobs: int = 1,
+) -> Dict[str, List[FigureResult]]:
+    """Run several experiments, optionally on a process pool.
+
+    Experiments share nothing (each builds its own traces from seeds),
+    so the sweep parallelizes trivially: ``jobs > 1`` runs them across
+    worker processes and collects figures in the requested order —
+    results are identical to sequential execution.  Unknown ids raise
+    before anything runs.
+    """
+    ids = list(exp_ids) if exp_ids else sorted(EXPERIMENTS)
+    for exp_id in ids:
+        if exp_id not in EXPERIMENTS:
+            raise KeyError(
+                f"unknown experiment {exp_id!r}; known: "
+                f"{sorted(EXPERIMENTS)}"
+            )
+    tasks = [(exp_id, scale) for exp_id in ids]
+    if jobs <= 1:
+        figures = [_run_one(task) for task in tasks]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) \
+                as pool:
+            figures = list(pool.map(_run_one, tasks))
+    return dict(zip(ids, figures))
+
+
 def list_experiments() -> List[str]:
     return sorted(EXPERIMENTS)

@@ -86,6 +86,7 @@ from .trace import (
     to_chrome_trace,
     validate_chrome_trace,
     write_events_jsonl,
+    write_spans_jsonl,
 )
 
 __all__ = [
@@ -126,5 +127,6 @@ __all__ = [
     "to_prometheus",
     "validate_chrome_trace",
     "write_events_jsonl",
+    "write_spans_jsonl",
     "write_jsonl",
 ]

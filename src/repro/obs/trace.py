@@ -209,6 +209,18 @@ def events_to_records(recorder: TraceRecorder,
     return [ev.to_record(max_keys) for ev in recorder.events]
 
 
+def write_spans_jsonl(recorder: TraceRecorder, path: PathLike) -> int:
+    """Write one JSON object per recorded span; returns the count."""
+    import json
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w") as handle:
+        for span in recorder.spans:
+            handle.write(json.dumps(span._asdict()) + "\n")
+    return len(recorder.spans)
+
+
 def write_events_jsonl(recorder: TraceRecorder, path: PathLike,
                        max_keys: int = EXPORT_KEY_CAP) -> int:
     """Write one JSON object per retained event; returns the count."""

@@ -183,6 +183,7 @@ def save_failure_artifacts(
         "shrink_rounds": failure.shrink_rounds,
     }, indent=2) + "\n")
     _save_trace_bundle(failure.shrunk_spec, case_dir)
+    _save_pipeline_bundle(failure.shrunk_spec, case_dir)
     return case_dir
 
 
@@ -219,6 +220,78 @@ def _save_trace_bundle(spec: CaseSpec, case_dir: Path) -> None:
         )
 
 
+def _save_pipeline_bundle(spec: CaseSpec, case_dir: Path) -> None:
+    """Ship the minimal trace's per-worker pipeline checkpoints.
+
+    Re-runs the distributed (in-process) pipeline over the shrunk case
+    and leaves every worker's final checkpoint plus the run report in
+    ``worker-checkpoints/``, so a merge- or recovery-related failure can
+    be dissected worker by worker (``repro resume`` reads the files
+    directly).  Best-effort like the flight-recorder bundle: a pipeline
+    bug here must not mask the invariant failure being reported.
+    """
+    from ..distributed import run_pipeline_inprocess
+
+    out = case_dir / "worker-checkpoints"
+    try:
+        trace = spec.build()
+        result = run_pipeline_inprocess(
+            trace, VerifyConfig().memory_bytes,
+            n_workers=VerifyConfig().n_shards,
+            out_dir=out, seed=VerifyConfig().seed,
+        )
+        (out / "pipeline_report.json").write_text(
+            json.dumps(result.report.to_dict(), indent=2) + "\n"
+        )
+    except Exception as exc:  # pragma: no cover - diagnostics only
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "pipeline_bundle_error.txt").write_text(
+            f"pipeline checkpoint bundle failed: {exc!r}\n"
+        )
+
+
+def _check_one_case(
+    task: Tuple[int, int, VerifyConfig, Optional[Sequence[str]],
+                Sequence[str]],
+) -> Tuple[int, CaseSpec, List[Violation]]:
+    """Generate-and-check one case (module-level: picklable for pools)."""
+    master_seed, index, config, names, algorithms = task
+    spec = sample_case(master_seed, index)
+    return index, spec, run_case(spec, config, names, algorithms)
+
+
+def _case_results(
+    master_seed: int, n_cases: int, config: VerifyConfig,
+    names: Optional[Sequence[str]], algorithms: Sequence[str], jobs: int,
+):
+    """Yield ``(index, spec, violations)`` in index order.
+
+    ``jobs > 1`` fans the generate+check step (the campaign's entire
+    cost) over a process pool; determinism is untouched because each
+    case is a pure function of ``(master_seed, index)`` and results are
+    consumed in index order.  Shrinking and artifact persistence stay in
+    the parent, where the campaign's early-stop policy lives.
+    """
+    tasks = (
+        (master_seed, index, config, names, algorithms)
+        for index in range(n_cases)
+    )
+    if jobs <= 1:
+        for task in tasks:
+            yield _check_one_case(task)
+        return
+    from concurrent.futures import ProcessPoolExecutor
+
+    executor = ProcessPoolExecutor(max_workers=jobs)
+    try:
+        chunk = max(1, n_cases // (jobs * 8))
+        for result in executor.map(_check_one_case, tasks,
+                                   chunksize=chunk):
+            yield result
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
 def run_fuzz(
     master_seed: int,
     n_cases: int,
@@ -228,6 +301,7 @@ def run_fuzz(
     out_dir: Optional[PathLike] = "results/fuzz",
     max_failures: int = 10,
     progress: Optional[Callable[[int, int], None]] = None,
+    jobs: int = 1,
 ) -> FuzzReport:
     """Run a fuzz campaign: ``n_cases`` generated cases under one seed.
 
@@ -235,6 +309,10 @@ def run_fuzz(
     bundles.  The campaign stops early after ``max_failures`` distinct
     failing cases — by then the bug is not getting more reproducible.
     ``progress(done, total)`` fires every case for CLI feedback.
+    ``jobs > 1`` checks cases on a process pool (same cases, same
+    failures, same artifacts — results are reduced in index order, so a
+    parallel campaign's report is bit-identical to the sequential one
+    short of wall-clock fields).
     """
     config = config or VerifyConfig()
     from .invariants import CATALOG  # local: avoid import-order surprises
@@ -244,9 +322,9 @@ def run_fuzz(
         invariants=list(CATALOG) if names is None else list(names),
     )
     started = time.perf_counter()
-    for index in range(n_cases):
-        spec = sample_case(master_seed, index)
-        violations = run_case(spec, config, names, algorithms)
+    for index, spec, violations in _case_results(
+        master_seed, n_cases, config, names, algorithms, jobs
+    ):
         if violations:
             shrunk, shrunk_violations, rounds = shrink_case(
                 spec, violations, config, names, algorithms

@@ -30,6 +30,7 @@ from __future__ import annotations
 import os
 import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from ..baselines import OnOffSketchV1
@@ -915,4 +916,187 @@ def _check_explain_consistency(
                     f"{sketch.query(probe)}",
                     key=probe,
                 ))
+    return out
+
+
+@register_invariant(
+    "merge-equivalence", "trace",
+    "Key-partitioned worker sketches coalesce to the single-process "
+    "sharded run bit-for-bit, and HypersistentSketch.merge is "
+    "commutative and associative on disjoint partitions",
+)
+def _check_merge_equivalence(
+    trace: Trace, config: VerifyConfig
+) -> List[Violation]:
+    import dataclasses
+
+    from ..core.config import REPLACE_RANDOM
+    from ..distributed import partition_trace, worker_config
+
+    name = "merge-equivalence"
+    out: List[Violation] = []
+    hint = trace.mean_window_distinct()
+    n_workers = config.n_shards
+    parts = partition_trace(trace, n_workers, config.seed)
+
+    for policy in (None, REPLACE_RANDOM):
+        for engine in ("scalar", "kernel"):
+            label = f"{policy or 'hash'}/{engine}"
+            configs = [
+                worker_config(
+                    config.memory_bytes, trace.n_windows, i, n_workers,
+                    seed=config.seed, window_distinct_hint=hint,
+                    replacement=policy,
+                )
+                for i in range(n_workers)
+            ]
+            reference = ShardedSketch(
+                lambda i: HypersistentSketch(configs[i]),
+                n_shards=n_workers, seed=config.seed, engine=engine,
+            )
+            workers = [
+                HypersistentSketch(configs[i], engine=engine)
+                for i in range(n_workers)
+            ]
+            for wid, window_keys in enumerate(trace.window_arrays()):
+                reference.insert_window(window_keys)
+                for worker, part_arrays in zip(
+                    workers, (p.window_arrays() for p in parts)
+                ):
+                    worker.insert_window(part_arrays[wid])
+            coalesced = ShardedSketch.coalesce(workers, seed=config.seed)
+            ref_bytes = encode_state(reference.state_dict())
+            if encode_state(coalesced.state_dict()) != ref_bytes:
+                out.append(Violation(
+                    name,
+                    f"coalesced workers != single-process sharded run "
+                    f"({label}): snapshot bytes diverge",
+                ))
+            keys = sample_keys(trace, _EQUIVALENCE_KEY_CAP)
+            out += _diff_keyed(name, reference, coalesced, keys,
+                               f"sharded-{label}", f"coalesced-{label}")
+            if reference.report(1) != coalesced.report(1):
+                out.append(Violation(
+                    name,
+                    f"coalesced report(1) diverges from the "
+                    f"single-process run ({label})",
+                ))
+            if reference.stats() != coalesced.stats():
+                out.append(Violation(
+                    name,
+                    f"coalesced stats() diverge from the single-process "
+                    f"run ({label}): a stage counter double-counts",
+                    details={"reference": reference.stats(),
+                             "coalesced": coalesced.stats()},
+                ))
+
+    # merge() algebra: same-config sketches over disjoint partitions
+    shared = dataclasses.replace(
+        _estimation_config(trace, config), seed=config.seed
+    )
+    sketches = [
+        _batched_feed(HypersistentSketch(shared), part)
+        for part in partition_trace(trace, 3, config.seed)
+    ]
+    a, b, c = (
+        HypersistentSketch.from_state(s.state_dict()) for s in sketches
+    )
+    ab = encode_state(a.merge(b).state_dict())
+    ba = encode_state(b.merge(a).state_dict())
+    if ab != ba:
+        out.append(Violation(name, "merge is not commutative"))
+    left = encode_state(a.merge(b).merge(c).state_dict())
+    right = encode_state(a.merge(b.merge(c)).state_dict())
+    spread = encode_state(a.merge(b, c).state_dict())
+    if left != right or left != spread:
+        out.append(Violation(name, "merge is not associative"))
+    return out
+
+
+@register_invariant(
+    "pipeline-crash-recovery", "trace",
+    "A pipeline worker crash mid-window resumes from its checkpoint and "
+    "coalesces to the uninterrupted run's exact result; corrupt worker "
+    "checkpoints are quarantined, never merged",
+)
+def _check_pipeline_crash_recovery(
+    trace: Trace, config: VerifyConfig
+) -> List[Violation]:
+    from ..common.errors import SnapshotError
+    from ..distributed import run_pipeline_inprocess
+
+    name = "pipeline-crash-recovery"
+    out: List[Violation] = []
+    if trace.n_windows < 2:
+        return out
+    n_workers = min(config.n_shards, 4)
+    kill_window = trace.n_windows // 2
+    with tempfile.TemporaryDirectory() as clean_dir:
+        clean = run_pipeline_inprocess(
+            trace, config.memory_bytes, n_workers=n_workers,
+            out_dir=clean_dir, seed=config.seed, every=2,
+        )
+    clean_bytes = encode_state(clean.sketch.state_dict())
+    with tempfile.TemporaryDirectory() as crash_dir:
+        crashed = run_pipeline_inprocess(
+            trace, config.memory_bytes, n_workers=n_workers,
+            out_dir=crash_dir, seed=config.seed, every=2,
+            kill_at=(0, kill_window),
+        )
+    if crashed.report.restarts != 1:
+        out.append(Violation(
+            name,
+            f"expected exactly one worker restart, saw "
+            f"{crashed.report.restarts}",
+        ))
+    if encode_state(crashed.sketch.state_dict()) != clean_bytes:
+        out.append(Violation(
+            name,
+            "resume-then-merge after a mid-window crash diverges from "
+            "the uninterrupted run",
+        ))
+    keys = sample_keys(trace, config.key_sample)
+    out += _diff_keyed(name, clean.sketch, crashed.sketch, keys,
+                       "uninterrupted", "recovered")
+    # a corrupt checkpoint must be quarantined on resume, never merged
+    with tempfile.TemporaryDirectory() as dirty_dir:
+        from ..distributed import build_worker_specs, ingest_partition
+
+        specs = build_worker_specs(
+            trace, config.memory_bytes, n_workers, dirty_dir,
+            seed=config.seed, every=2, simulate_kill=True,
+        )
+        victim = Path(specs[0].checkpoint_path)
+        victim.write_bytes(b"torn checkpoint \x00\x7f garbage")
+        try:
+            read_back = ingest_partition(specs[0])
+        except SnapshotError:
+            pass
+        else:
+            out.append(Violation(
+                name,
+                "worker resumed from a corrupt checkpoint without "
+                "raising SnapshotError",
+                details={"windows": read_back.window},
+            ))
+        recovered = run_pipeline_inprocess(
+            trace, config.memory_bytes, n_workers=n_workers,
+            out_dir=dirty_dir, seed=config.seed, every=2,
+        )
+        if not any(victim.parent.glob(victim.name + ".quarantined*")):
+            out.append(Violation(
+                name, "corrupt checkpoint was not quarantined aside",
+            ))
+        if recovered.report.workers[0].restarts < 1:
+            out.append(Violation(
+                name,
+                "pipeline did not record the restart that recovered "
+                "from the corrupt checkpoint",
+            ))
+        if encode_state(recovered.sketch.state_dict()) != clean_bytes:
+            out.append(Violation(
+                name,
+                "recovery from a quarantined checkpoint diverges from "
+                "the uninterrupted run",
+            ))
     return out

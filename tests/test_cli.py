@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -117,3 +119,54 @@ class TestEstimateAndFind:
         assert code == 0
         out = capsys.readouterr().out
         assert "F1" in out and "FNR" in out
+
+
+class TestPipeline:
+    def test_pipeline_with_kill_and_check(self, trace_file, tmp_path,
+                                          capsys):
+        spans = tmp_path / "spans.jsonl"
+        code = main([
+            "pipeline", trace_file, "--workers", "2", "--memory-kb", "32",
+            "--every", "4", "--kill", "1:9", "--check",
+            "--out", str(tmp_path / "run"),
+            "--trace-events", str(spans),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 workers" in out
+        assert "1 restart(s)" in out
+        assert "bit-equal to a single-process sharded run" in out
+        assert (tmp_path / "run" / "pipeline_report.json").exists()
+        names = [json.loads(line)["name"]
+                 for line in spans.read_text().splitlines()]
+        assert "merge" in names
+        assert "worker-0" in names and "worker-1" in names
+
+    def test_pipeline_rejects_malformed_kill(self, trace_file, tmp_path,
+                                             capsys):
+        assert main(["pipeline", trace_file, "--kill", "nope",
+                     "--out", str(tmp_path)]) == 2
+        assert "WORKER:WINDOW" in capsys.readouterr().err
+        assert main(["pipeline", trace_file, "--kill", "9:1",
+                     "--out", str(tmp_path)]) == 2
+
+
+class TestRunExperimentSuite:
+    def test_multiple_ids_parallel(self, capsys):
+        assert main(["run-experiment", "fig04", "fig04", "--scale",
+                     "0.002", "--jobs", "2"]) == 0
+        assert "[fig04]" in capsys.readouterr().out
+
+
+class TestFuzzJobs:
+    def test_parallel_campaign_matches_sequential(self, tmp_path,
+                                                  capsys):
+        args = ["fuzz", "--seed", "3", "--cases", "4", "--quiet",
+                "--invariants", "batch-equivalence",
+                "--out", str(tmp_path / "f")]
+        assert main(args) == 0
+        seq = capsys.readouterr().out
+        assert main(args + ["--jobs", "2"]) == 0
+        par = capsys.readouterr().out
+        assert "4 cases, 0 failed" in seq
+        assert "4 cases, 0 failed" in par

@@ -1,0 +1,276 @@
+"""Fault-injection tests for the distributed pipeline runner.
+
+The contract under test: a pipeline run survives worker death.  A
+SIGKILLed worker resumes from its last checkpoint and the merged result
+is bit-identical to an uninterrupted run; a torn or corrupted worker
+checkpoint is quarantined with a clear error and never merged.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.common.errors import SnapshotError
+from repro.core import HypersistentSketch, ShardedSketch
+from repro.distributed import (
+    PipelineError,
+    build_worker_specs,
+    ingest_partition,
+    partition_router,
+    partition_trace,
+    quarantine_checkpoint,
+    run_pipeline,
+    run_pipeline_inprocess,
+    worker_config,
+)
+from repro.obs import MetricsRegistry, TraceRecorder, to_prometheus
+from repro.distributed import bind_pipeline
+from repro.persist import encode_state, tagged_state
+from repro.streams.synthetic import zipf_trace
+
+MEM = 64 * 1024
+WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return zipf_trace(n_records=6000, n_windows=16, seed=5)
+
+
+@pytest.fixture(scope="module")
+def reference(trace):
+    """Single-process sharded run with the pipeline's exact derivation."""
+    hint = trace.mean_window_distinct()
+    configs = [
+        worker_config(MEM, trace.n_windows, i, WORKERS, seed=42,
+                      window_distinct_hint=hint)
+        for i in range(WORKERS)
+    ]
+    sharded = ShardedSketch(
+        lambda i: HypersistentSketch(configs[i]),
+        n_shards=WORKERS, seed=42, engine="kernel",
+    )
+    for window_keys in trace.window_arrays():
+        sharded.insert_window(window_keys)
+    return sharded
+
+
+def snapshot(sketch) -> bytes:
+    return encode_state(tagged_state(sketch))
+
+
+def test_partition_router_matches_sharded_routing(trace):
+    """Coupling pin: the partitioner and ShardedSketch must route every
+    key identically or coalesce exactness silently breaks."""
+    from repro.common.hashing import canonical_keys
+
+    sharded = ShardedSketch(lambda i: HypersistentSketch(
+        worker_config(MEM, trace.n_windows, i, WORKERS, seed=42,
+                      window_distinct_hint=trace.mean_window_distinct()),
+    ), n_shards=WORKERS, seed=42)
+    keys = canonical_keys(trace.items)
+    ours = partition_router(42).index_batch(keys, 0, WORKERS)
+    theirs = sharded._router.index_batch(keys, 0, WORKERS)
+    assert (ours == theirs).all()
+
+
+def test_partitions_are_key_disjoint_and_cover(trace):
+    parts = partition_trace(trace, WORKERS, seed=42)
+    key_sets = [set(p.items) for p in parts]
+    assert sum(p.n_records for p in parts) == trace.n_records
+    for i in range(WORKERS):
+        assert parts[i].n_windows == trace.n_windows
+        for j in range(i + 1, WORKERS):
+            assert not (key_sets[i] & key_sets[j])
+
+
+def test_clean_pipeline_matches_reference(tmp_path, trace, reference):
+    result = run_pipeline(trace, MEM, n_workers=WORKERS,
+                          out_dir=tmp_path, seed=42)
+    assert snapshot(result.sketch) == snapshot(reference)
+    assert result.report.restarts == 0
+    assert all(w.windows_done == trace.n_windows
+               for w in result.report.workers)
+
+
+def test_sigkill_mid_window_resumes_to_identical_result(
+    tmp_path, trace, reference
+):
+    """The headline fault-injection: SIGKILL a worker mid-window (after
+    it ingested half the window), assert the respawned worker resumes
+    from its checkpoint and the merged result is bit-identical to an
+    uninterrupted run."""
+    recorder = TraceRecorder()
+    result = run_pipeline(
+        trace, MEM, n_workers=WORKERS, out_dir=tmp_path, seed=42,
+        every=4, kill_at=(1, 9), recorder=recorder,
+    )
+    assert result.report.restarts == 1
+    assert result.report.workers[1].restarts == 1
+    assert (tmp_path / "worker-1.killed").exists()
+    assert snapshot(result.sketch) == snapshot(reference)
+    assert result.sketch.stats() == reference.stats()
+    assert result.sketch.report(8) == reference.report(8)
+    names = {span.name for span in recorder.spans}
+    assert {"worker-0", "worker-1", "worker-2", "worker-3",
+            "merge"} <= names
+
+
+def test_kill_before_first_checkpoint_restarts_from_scratch(
+    tmp_path, trace, reference
+):
+    result = run_pipeline(
+        trace, MEM, n_workers=WORKERS, out_dir=tmp_path, seed=42,
+        every=4, kill_at=(0, 1),  # dies before the first checkpoint
+    )
+    assert result.report.workers[0].restarts == 1
+    assert snapshot(result.sketch) == snapshot(reference)
+
+
+def test_inprocess_simulated_crash_matches_reference(
+    tmp_path, trace, reference
+):
+    result = run_pipeline_inprocess(
+        trace, MEM, n_workers=WORKERS, out_dir=tmp_path, seed=42,
+        every=4, kill_at=(2, 11),
+    )
+    assert result.report.workers[2].restarts == 1
+    assert snapshot(result.sketch) == snapshot(reference)
+
+
+def test_corrupt_checkpoint_quarantined_not_merged(tmp_path, trace):
+    """A torn checkpoint must be impossible to merge: resume raises
+    SnapshotError, the supervisor renames the file aside, and the
+    quarantine is recorded in the worker's report."""
+    specs = build_worker_specs(trace, MEM, WORKERS, tmp_path, seed=42,
+                               every=4)
+    # run worker 3 partway so a real checkpoint exists, then tear it
+    partial = specs[3]
+    arrays = partial.trace.window_arrays()
+    sketch = HypersistentSketch(partial.config())
+    from repro.persist import save_run_checkpoint
+    for wid in range(8):
+        sketch.insert_window(arrays[wid])
+    save_run_checkpoint(sketch, partial.checkpoint_path, 8,
+                        trace=partial.trace)
+    raw = bytearray(open(partial.checkpoint_path, "rb").read())
+    raw[len(raw) // 2] ^= 0x55
+    open(partial.checkpoint_path, "wb").write(bytes(raw))
+    with pytest.raises(SnapshotError):
+        ingest_partition(partial)
+    result = run_pipeline_inprocess(
+        trace, MEM, n_workers=WORKERS, out_dir=tmp_path, seed=42, every=4,
+    )
+    worker = result.report.workers[3]
+    assert worker.restarts == 1
+    assert len(worker.quarantined) == 1
+    assert "quarantined" in worker.quarantined[0]
+    quarantined = list(tmp_path.glob("worker-3.ckpt.quarantined*"))
+    assert len(quarantined) == 1
+
+
+def test_wrong_trace_checkpoint_is_rejected(tmp_path, trace):
+    """A checkpoint taken against a different partition must not resume."""
+    specs = build_worker_specs(trace, MEM, WORKERS, tmp_path, seed=42)
+    ingest_partition(specs[0])
+    # hand worker 1 the finished checkpoint of worker 0
+    os.replace(specs[0].checkpoint_path, specs[1].checkpoint_path)
+    with pytest.raises(SnapshotError, match="taken against"):
+        ingest_partition(specs[1])
+
+
+def test_partial_worker_checkpoint_refused_at_merge(tmp_path, trace):
+    specs = build_worker_specs(trace, MEM, WORKERS, tmp_path, seed=42)
+    for spec in specs:
+        ingest_partition(spec)
+    # rewrite worker 2's checkpoint as if it stopped mid-trace
+    partial = specs[2]
+    arrays = partial.trace.window_arrays()
+    sketch = HypersistentSketch(partial.config())
+    from repro.persist import save_run_checkpoint
+    for wid in range(6):
+        sketch.insert_window(arrays[wid])
+    save_run_checkpoint(sketch, partial.checkpoint_path, 6,
+                        trace=partial.trace)
+    from repro.distributed.pipeline import (
+        PipelineReport,
+        WorkerReport,
+        _coalesce,
+    )
+    report = PipelineReport(
+        n_workers=WORKERS, n_windows=trace.n_windows, every=8,
+        engine="kernel", seed=42, trace_name=trace.name,
+        workers=[WorkerReport(index=i) for i in range(WORKERS)],
+    )
+    with pytest.raises(PipelineError, match="partial"):
+        _coalesce(specs, report.workers, 42, report)
+
+
+def test_quarantine_never_clobbers_evidence(tmp_path):
+    victim = tmp_path / "w.ckpt"
+    moved = []
+    for n in range(3):
+        victim.write_bytes(b"garbage %d" % n)
+        moved.append(quarantine_checkpoint(victim))
+    assert len({m.name for m in moved}) == 3
+    assert not victim.exists()
+
+
+def test_max_restarts_gives_up(tmp_path, trace):
+    """A worker whose kill marker is deleted every round dies forever;
+    the supervisor must stop respawning it and fail the run."""
+    specs = build_worker_specs(trace, MEM, 2, tmp_path, seed=42,
+                               kill_at=(0, 2), simulate_kill=True)
+
+    class Relentless:
+        """Spec proxy that re-arms the fault on every attempt."""
+
+        def __getattr__(self, name):
+            return getattr(specs[0], name)
+
+    import repro.distributed.pipeline as pl
+    marker = tmp_path / "worker-0.killed"
+    crashes = 0
+    for _ in range(pl.DEFAULT_MAX_RESTARTS + 2):
+        if marker.exists():
+            marker.unlink()
+        try:
+            ingest_partition(specs[0])
+        except pl.SimulatedCrash:
+            crashes += 1
+    assert crashes == pl.DEFAULT_MAX_RESTARTS + 2
+
+
+def test_run_pipeline_rejects_zero_workers(trace, tmp_path):
+    with pytest.raises(PipelineError):
+        run_pipeline(trace, MEM, n_workers=0, out_dir=tmp_path)
+    with pytest.raises(PipelineError):
+        run_pipeline_inprocess(trace, MEM, n_workers=0, out_dir=tmp_path)
+
+
+def test_bind_pipeline_exports_worker_gauges(tmp_path, trace):
+    registry = MetricsRegistry()
+    result = run_pipeline_inprocess(
+        trace, MEM, n_workers=WORKERS, out_dir=tmp_path, seed=42,
+        kill_at=(1, 5), every=4,
+    )
+    bind_pipeline(registry, result)
+    text = to_prometheus(registry)
+    assert 'pipeline_worker_windows{worker="0"}' in text
+    assert 'pipeline_worker_restarts{worker="1"} 1' in text
+    assert "pipeline_merge_seconds" in text
+    assert 'hs_inserts_total{shard="2"}' in text
+    report = result.report.to_dict()
+    assert json.loads(json.dumps(report)) == report
+    assert report["restarts"] == 1
+
+
+def test_pipeline_report_summary_mentions_recovery(tmp_path, trace):
+    result = run_pipeline_inprocess(
+        trace, MEM, n_workers=2, out_dir=tmp_path, seed=42,
+        kill_at=(0, 3), every=2,
+    )
+    text = result.report.summary()
+    assert "2 workers" in text
+    assert "1 restart(s)" in text

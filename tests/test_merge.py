@@ -1,0 +1,284 @@
+"""Merge battery: algebra, exactness on disjoint partitions, persistence.
+
+The contracts under test:
+
+* ``HypersistentSketch.merge`` is commutative and associative (snapshot
+  bytes, not just estimates), never mutates its operands, and raises
+  :class:`~repro.common.errors.MergeError` on every malformed pairing —
+  empty operand list, self-merge, mismatched configs, out-of-step window
+  clocks, an undrained Burst Filter.
+* Merging sketches fed *key-disjoint* partitions of one trace matches a
+  single sketch that streamed the whole trace: stats, keyed estimates,
+  and report sets (exact because no cold-counter cell is incremented for
+  the same window by two operands only when partitioning is key-based —
+  the ShardedSketch/pipeline arrangement).
+* A merged sketch survives the persist layer bit-identically.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import MergeError
+from repro.core import HSConfig, HypersistentSketch, ShardedSketch
+from repro.core.config import REPLACE_RANDOM
+from repro.distributed import partition_trace, worker_config
+from repro.persist import encode_state, restore_tagged, tagged_state
+from repro.streams.model import Trace
+
+
+def small_config(seed=42, **overrides):
+    config = HSConfig.for_estimation(8 * 1024, 64, seed=seed,
+                                     window_distinct_hint=64)
+    return dataclasses.replace(config, **overrides) if overrides else config
+
+
+def feed(sketch, trace):
+    for window_keys in trace.window_arrays():
+        sketch.insert_window(window_keys)
+    return sketch
+
+
+def snapshot(sketch) -> bytes:
+    return encode_state(tagged_state(sketch))
+
+
+# streams as (key, window) pairs; windows re-sorted into a valid trace
+trace_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=400),
+              st.integers(min_value=0, max_value=11)),
+    min_size=1, max_size=400,
+).map(lambda pairs: Trace(
+    [k for k, _ in sorted(pairs, key=lambda p: p[1])],
+    sorted(w for _, w in pairs),
+    12,
+    name="hyp",
+))
+
+
+def partitioned_sketches(trace, n_parts, config):
+    return [
+        feed(HypersistentSketch(config), part)
+        for part in partition_trace(trace, n_parts, config.seed)
+    ]
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace_strategy)
+def test_merge_commutative(trace):
+    config = small_config()
+    a, b = partitioned_sketches(trace, 2, config)
+    assert snapshot(a.merge(b)) == snapshot(b.merge(a))
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace_strategy)
+def test_merge_associative(trace):
+    config = small_config()
+    a, b, c = partitioned_sketches(trace, 3, config)
+    left = snapshot(a.merge(b).merge(c))
+    right = snapshot(a.merge(b.merge(c)))
+    varargs = snapshot(a.merge(b, c))
+    assert left == right == varargs
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace_strategy)
+def test_merge_does_not_mutate_operands(trace):
+    config = small_config()
+    a, b = partitioned_sketches(trace, 2, config)
+    before_a, before_b = snapshot(a), snapshot(b)
+    a.merge(b)
+    assert snapshot(a) == before_a
+    assert snapshot(b) == before_b
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace_strategy)
+def test_merge_of_disjoint_partitions_bounds_single_sketch(trace):
+    """Merged cold counters can only overshoot (CU cells that collide
+    across partitions in one window), never undershoot — the estimate of
+    any key is >= its single-sketch estimate and the merged report at a
+    threshold contains the single-sketch report."""
+    config = small_config()
+    single = feed(HypersistentSketch(config), trace)
+    a, b = partitioned_sketches(trace, 2, config)
+    merged = a.merge(b)
+    keys = sorted({int(k) for k in trace.items})
+    for key in keys:
+        assert merged.query(key) >= single.query(key)
+    threshold = max(1, trace.n_windows // 2)
+    assert set(single.report(threshold)) <= set(merged.report(threshold))
+    # insert accounting is exact: partitions cover the trace
+    assert merged.inserts == single.inserts
+    assert merged.config.meta["merge"] == {"parts": 2}
+
+
+@settings(max_examples=15, deadline=None)
+@given(trace_strategy, st.integers(min_value=2, max_value=4))
+def test_coalesce_equals_single_process_ingest(trace, n_workers):
+    """The pipeline arrangement is *exact*: workers fed key partitions
+    coalesce to the same stats, keyed estimates, and report sets as one
+    ShardedSketch streaming the whole trace."""
+    seed = 42
+    hint = trace.mean_window_distinct()
+    configs = [
+        worker_config(8 * 1024 * n_workers, trace.n_windows, i, n_workers,
+                      seed=seed, window_distinct_hint=hint)
+        for i in range(n_workers)
+    ]
+    reference = ShardedSketch(
+        lambda i: HypersistentSketch(configs[i]),
+        n_shards=n_workers, seed=seed,
+    )
+    feed(reference, trace)
+    workers = [
+        feed(HypersistentSketch(configs[i]), part)
+        for i, part in enumerate(
+            partition_trace(trace, n_workers, seed)
+        )
+    ]
+    merged = ShardedSketch.coalesce(workers, seed=seed)
+    assert snapshot(merged) == snapshot(reference)
+    assert merged.stats() == reference.stats()
+    keys = sorted({int(k) for k in trace.items})
+    for key in keys:
+        assert merged.query(key) == reference.query(key)
+    for threshold in (1, max(1, trace.n_windows // 2)):
+        assert merged.report(threshold) == reference.report(threshold)
+
+
+@settings(max_examples=15, deadline=None)
+@given(trace_strategy)
+def test_merged_sketch_persist_roundtrip_bit_identical(trace):
+    config = small_config()
+    a, b = partitioned_sketches(trace, 2, config)
+    merged = a.merge(b)
+    restored = restore_tagged(tagged_state(merged))
+    assert snapshot(restored) == snapshot(merged)
+    assert restored.config.meta == merged.config.meta
+    assert restored.stats() == merged.stats()
+
+
+def test_merge_random_replacement_policy_is_deterministic():
+    trace = Trace([i % 50 for i in range(600)],
+                  sorted([i % 12 for i in range(600)]), 12, name="rr")
+    config = small_config(replacement=REPLACE_RANDOM)
+    a1, b1 = partitioned_sketches(trace, 2, config)
+    a2, b2 = partitioned_sketches(trace, 2, config)
+    assert snapshot(a1.merge(b1)) == snapshot(a2.merge(b2))
+    assert snapshot(a1.merge(b1)) == snapshot(b1.merge(a1))
+
+
+def test_merge_empty_operands_raises():
+    sketch = HypersistentSketch(small_config())
+    with pytest.raises(MergeError):
+        sketch.merge()
+
+
+def test_merge_self_raises():
+    sketch = HypersistentSketch(small_config())
+    with pytest.raises(MergeError, match="itself"):
+        sketch.merge(sketch)
+    other = HypersistentSketch(small_config())
+    with pytest.raises(MergeError, match="itself"):
+        sketch.merge(other, other)
+
+
+def test_merge_mismatched_config_raises():
+    a = HypersistentSketch(small_config())
+    b = HypersistentSketch(small_config(seed=7))
+    with pytest.raises(MergeError, match="config"):
+        a.merge(b)
+
+
+def test_merge_window_clock_mismatch_raises():
+    config = small_config()
+    a = HypersistentSketch(config)
+    b = HypersistentSketch(config)
+    b.insert(1)
+    b.end_window()
+    with pytest.raises(MergeError, match="window"):
+        a.merge(b)
+
+
+def test_merge_undrained_burst_raises():
+    config = small_config()
+    a = HypersistentSketch(config)
+    b = HypersistentSketch(config)
+    b.insert(9)  # mid-window: Burst Filter holds state
+    with pytest.raises(MergeError, match="[Bb]urst"):
+        a.merge(b)
+
+
+def test_merge_non_sketch_raises():
+    a = HypersistentSketch(small_config())
+    with pytest.raises(MergeError):
+        a.merge(object())
+
+
+def test_merge_parts_accumulates_across_merges():
+    trace = Trace([i % 40 for i in range(400)],
+                  sorted([i % 8 for i in range(400)]), 8, name="parts")
+    config = small_config()
+    a, b, c = partitioned_sketches(trace, 3, config)
+    merged = a.merge(b).merge(c)
+    assert merged.config.meta["merge"] == {"parts": 3}
+    # operand configs stay clean: merge bookkeeping is on the result only
+    assert "merge" not in a.config.meta
+
+
+def test_coalesce_empty_duplicate_and_skewed_clock_raise():
+    config = small_config()
+    with pytest.raises(MergeError, match="at least one"):
+        ShardedSketch.coalesce([])
+    sketch = HypersistentSketch(config)
+    with pytest.raises(MergeError, match="twice"):
+        ShardedSketch.coalesce([sketch, sketch])
+    lagging = HypersistentSketch(config)
+    ahead = HypersistentSketch(config)
+    ahead.end_window()
+    with pytest.raises(MergeError, match="clock"):
+        ShardedSketch.coalesce([lagging, ahead])
+
+
+def test_coalesce_stats_parity_no_double_count():
+    """Stale-state audit: coalescing must not double-count any stage
+    counter or carry stale obs wiring — stats() parity with the
+    single-process run is exact, and mutating the coalesced ensemble
+    leaves the worker sketches untouched (copy semantics)."""
+    trace = Trace([i % 64 for i in range(1200)],
+                  sorted([i % 10 for i in range(1200)]), 10, name="audit")
+    seed, n_workers = 42, 4
+    hint = trace.mean_window_distinct()
+    configs = [
+        worker_config(32 * 1024, trace.n_windows, i, n_workers,
+                      seed=seed, window_distinct_hint=hint)
+        for i in range(n_workers)
+    ]
+    reference = ShardedSketch(
+        lambda i: HypersistentSketch(configs[i]),
+        n_shards=n_workers, seed=seed,
+    )
+    feed(reference, trace)
+    workers = [
+        feed(HypersistentSketch(configs[i]), part)
+        for i, part in enumerate(partition_trace(trace, n_workers, seed))
+    ]
+    worker_stats = [w.stats() for w in workers]
+    merged = ShardedSketch.coalesce(workers, seed=seed)
+    assert merged.verify_state() == []
+    ref_stats = reference.stats()
+    assert merged.stats() == ref_stats
+    # every summed counter is the plain sum of the workers' counters
+    for key, value in ref_stats.items():
+        if key in ("window", "hot_occupancy"):
+            continue
+        assert value == sum(s.get(key, 0) for s in worker_stats), key
+    # copy semantics: pushing more windows through the coalesced
+    # ensemble must not advance the original workers
+    merged.end_window()
+    assert all(w.window == trace.n_windows for w in workers)
+    assert merged.stats()["window"] == trace.n_windows + 1
