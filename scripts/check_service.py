@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""Service smoke gate: boot ``repro serve``, kill it, recover, compare.
+
+The CI job drives the full tenant lifecycle against a *real* server
+process (no in-process shortcuts) and fails unless recovery is exact::
+
+    python scripts/check_service.py                  # gate
+    python scripts/check_service.py --json out.json  # + artifact
+
+Sequence:
+
+1. start ``repro serve --port 0`` on a fresh state dir and parse the
+   bound port from its announce line;
+2. create two checkpointed tenants (a flat kernel-engine sketch and a
+   sliding-window one), stream a deterministic zipf trace into both in
+   chunked ingest calls, and close every window;
+3. force a checkpoint for each tenant, record their estimates over a
+   key sample plus a ``/metrics`` scrape;
+4. SIGKILL the server — no graceful shutdown, no final checkpoint;
+5. boot a second server on the same state dir, check both tenants come
+   back at the checkpointed window count, and verify every recorded
+   estimate is unchanged;
+6. stream one more window into the recovered tenants and compare the
+   final estimates against offline sketches fed the same windows
+   directly — recovery must splice, not approximate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.service import ServiceClient, TenantSpec, build_sketch  # noqa: E402
+from repro.streams import zipf_trace  # noqa: E402
+
+RECORDS = 12_000
+WINDOWS = 12          # fed before the kill; one more after recovery
+MEMORY_BYTES = 32 * 1024
+SEED = 7
+KEY_SAMPLE = 64
+
+
+def start_server(state_dir: str) -> "tuple[subprocess.Popen, int]":
+    """Launch ``repro serve`` on an ephemeral port; return (proc, port)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--state-dir", state_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env, cwd=ROOT,
+    )
+    # the announce line is printed (and flushed) before serving begins
+    for _ in range(20):
+        line = proc.stdout.readline()
+        if not line:
+            break
+        match = re.search(r"http://[0-9.]+:(\d+)", line)
+        if match:
+            return proc, int(match.group(1))
+    proc.kill()
+    raise RuntimeError("server never printed its listen address")
+
+
+def tenant_specs() -> "list[TenantSpec]":
+    return [
+        TenantSpec(name="flat", kind="flat", memory_bytes=MEMORY_BYTES,
+                   n_windows=WINDOWS + 1, seed=SEED, engine="kernel",
+                   checkpoint_every=4),
+        TenantSpec(name="sliding", kind="sliding",
+                   memory_bytes=MEMORY_BYTES, horizon=6, seed=SEED,
+                   engine="kernel", checkpoint_every=4),
+    ]
+
+
+def feed_window(client: ServiceClient, names, window_keys) -> None:
+    """Chunked ingest + barrier — exercises the coalescing queue."""
+    third = max(1, len(window_keys) // 3)
+    for name in names:
+        for i in range(0, len(window_keys), third):
+            client.ingest(name,
+                          [int(k) for k in window_keys[i:i + third]])
+    for name in names:
+        client.end_window(name)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write a machine-readable report")
+    parser.add_argument("--state-dir", default=None,
+                        help="state directory (default: a temp dir)")
+    args = parser.parse_args(argv)
+
+    trace = zipf_trace(RECORDS, WINDOWS + 1, seed=SEED, n_items=800,
+                       n_stealthy=2)
+    window_arrays = trace.window_arrays()
+    keys = sorted({int(k) for k in window_arrays[0][:KEY_SAMPLE]})
+
+    state_dir = args.state_dir or tempfile.mkdtemp(prefix="repro_svc_")
+    specs = tenant_specs()
+    names = [spec.name for spec in specs]
+    report = {"state_dir": state_dir, "tenants": names,
+              "windows_before_kill": WINDOWS}
+    failures = []
+
+    # --- phase 1: first server: create, feed, checkpoint, record -----
+    proc, port = start_server(state_dir)
+    try:
+        with ServiceClient(port=port) as client:
+            client.wait_ready()
+            for spec in specs:
+                client.create_tenant(**spec.to_dict())
+            for window_keys in window_arrays[:WINDOWS]:
+                feed_window(client, names, window_keys)
+            for name in names:
+                client.checkpoint(name)
+            before = {
+                name: client.estimate(name, keys)["estimates"]
+                for name in names
+            }
+            metrics = client.metrics()
+            for name in names:
+                needle = (f'service_tenant_windows_total'
+                          f'{{tenant="{name}"}} {WINDOWS}')
+                if needle not in metrics:
+                    failures.append(f"metrics scrape missing {needle!r}")
+    finally:
+        proc.kill()   # SIGKILL: the recovery below may only use the
+        proc.wait()   # forced checkpoints, never a graceful close
+
+    # --- phase 2: second server: recover, compare, keep streaming ----
+    proc, port = start_server(state_dir)
+    try:
+        with ServiceClient(port=port) as client:
+            client.wait_ready()
+            recovered = {t["name"]: t
+                         for t in client.list_tenants()["tenants"]}
+            for name in names:
+                if name not in recovered:
+                    failures.append(f"tenant {name!r} not recovered")
+                    continue
+                if recovered[name]["windows_done"] != WINDOWS:
+                    failures.append(
+                        f"tenant {name!r} recovered at window "
+                        f"{recovered[name]['windows_done']}, "
+                        f"expected {WINDOWS}"
+                    )
+                after = client.estimate(name, keys)["estimates"]
+                changed = sum(1 for k in after if after[k] != before[name][k])
+                if changed:
+                    failures.append(
+                        f"tenant {name!r}: {changed}/{len(keys)} "
+                        f"estimates changed across the kill"
+                    )
+            feed_window(client, names, window_arrays[WINDOWS])
+            final = {
+                name: client.estimate(name, keys)["estimates"]
+                for name in names
+            }
+    finally:
+        proc.send_signal(signal.SIGINT)
+        proc.wait()
+
+    # --- phase 3: offline references (every window, no service) ------
+    for spec in specs:
+        offline = build_sketch(spec)
+        for window_keys in window_arrays:
+            offline.insert_window(window_keys)
+        mismatched = sum(
+            1 for key in keys
+            if int(final[spec.name][str(key)]) != int(offline.query(key))
+        )
+        if mismatched:
+            failures.append(
+                f"tenant {spec.name!r}: {mismatched}/{len(keys)} "
+                f"post-recovery estimates diverge from the offline run"
+            )
+
+    report["keys_checked"] = len(keys)
+    report["failures"] = failures
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"service smoke OK: {len(names)} tenants x {WINDOWS}+1 windows, "
+        f"{len(keys)} keys stable across SIGKILL + recovery, "
+        f"post-recovery stream matches offline sketches"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,10 @@ Commands:
   from their checkpoints, and merge the partial sketches into one
   queryable result (optionally proven bit-equal to a single-process
   sharded run with ``--check``).
+* ``serve`` — run the async multi-tenant sketch service: per-tenant
+  flat/sharded/sliding sketches behind a JSON HTTP API with coalesced
+  batch ingest, admission control, ``/metrics``, and per-tenant
+  checkpoint recovery (see ``docs/SERVICE.md``).
 * ``lint`` — run the sketch-specific static analyzer
   (:mod:`repro.staticcheck`) over the tree and report findings.
 """
@@ -169,8 +173,50 @@ def _cmd_generate_trace(args) -> int:
     return 0
 
 
+def _estimate_sliding(args, trace) -> int:
+    """``estimate --sliding``: recent-range accuracy of the two-panel
+    sliding sketch, scored against the oracle over the covered windows."""
+    from .core.sliding import SlidingHypersistentSketch
+    from .experiments.harness import run_stream
+
+    if args.algorithm != "HS":
+        print(f"--sliding only supports --algorithm HS (the sliding "
+              f"wrapper has no {args.algorithm} build)", file=sys.stderr)
+        return 2
+    if args.profile or args.telemetry or args.prom:
+        print("--sliding does not support --profile/--telemetry/--prom "
+              "(the window profiler binds to the flat staged sketch)",
+              file=sys.stderr)
+        return 2
+    if args.horizon < 2:
+        print("--sliding needs --horizon >= 2 windows", file=sys.stderr)
+        return 2
+    sketch = SlidingHypersistentSketch(
+        int(args.memory_kb * 1024), horizon=args.horizon, seed=args.seed
+    )
+    result = run_stream(sketch, trace, engine=args.engine)
+    coverage = sketch.coverage
+    recent = trace.slice_windows(trace.n_windows - coverage,
+                                 trace.n_windows)
+    truth = exact_persistence(recent)
+    estimates = estimate_all(sketch.query, truth)
+    print(f"sliding HS @ {args.memory_kb}KB, horizon {args.horizon} on "
+          f"{trace.name}:")
+    print(f"  covering the last {coverage} of {trace.n_windows} windows")
+    print(f"  AAE {aae(truth, estimates):.4f}   "
+          f"ARE {are(truth, estimates):.4f}")
+    print(f"  insert {result.insert.mops:.2f} Mops, "
+          f"{result.insert.hash_ops_per_operation:.2f} hash ops/insert")
+    return 0
+
+
 def _cmd_estimate(args) -> int:
     trace = _load_trace(args.trace)
+    if args.horizon and not args.sliding:
+        print("--horizon requires --sliding", file=sys.stderr)
+        return 2
+    if args.sliding:
+        return _estimate_sliding(args, trace)
     wants_obs = args.profile or args.telemetry or args.prom
     registry = MetricsRegistry() if wants_obs else None
     profiler = (
@@ -181,6 +227,10 @@ def _cmd_estimate(args) -> int:
         args.algorithm, trace, int(args.memory_kb * 1024),
         task="estimation", seed=args.seed, profiler=profiler,
         engine=args.engine,
+        # an explicit engine must actually run: route through the window
+        # path, where the engine dispatch lives (record-at-a-time
+        # streaming would silently ignore it for the classic labels)
+        batched=True if args.engine is not None else None,
     )
     truth = exact_persistence(trace)
     estimates = estimate_all(result.sketch.query, truth)
@@ -435,7 +485,13 @@ def _cmd_replay(args) -> int:
     return 1 if violations else 0
 
 
+#: Checkpoint-meta algorithm label for the sliding wrapper (it is not a
+#: harness label: resume rebuilds it from ``memory_bytes`` + ``horizon``).
+_SLIDING_META_ALGORITHM = "HS-SLIDING"
+
+
 def _cmd_checkpoint(args) -> int:
+    from .core.sliding import SlidingHypersistentSketch
     from .experiments.harness import make_estimator
     from .persist import CheckpointPolicy
 
@@ -445,18 +501,46 @@ def _cmd_checkpoint(args) -> int:
         print(f"--stop-after must be in [1, {trace.n_windows}]",
               file=sys.stderr)
         return 2
+    if args.horizon and not args.sliding:
+        print("--horizon requires --sliding", file=sys.stderr)
+        return 2
     hint = trace.mean_window_distinct()
-    sketch = make_estimator(
-        args.algorithm, int(args.memory_kb * 1024),
-        n_windows=trace.n_windows, seed=args.seed,
-        window_distinct_hint=hint,
-    )
-    policy = CheckpointPolicy(args.out, every=args.every, meta={
+    meta = {
         "algorithm": args.algorithm,
         "memory_bytes": int(args.memory_kb * 1024),
         "seed": args.seed,
         "window_distinct_hint": hint,
-    })
+    }
+    if args.sliding:
+        if args.algorithm != "HS":
+            print(f"--sliding only supports --algorithm HS (the sliding "
+                  f"wrapper has no {args.algorithm} build)",
+                  file=sys.stderr)
+            return 2
+        if args.horizon < 2:
+            print("--sliding needs --horizon >= 2 windows",
+                  file=sys.stderr)
+            return 2
+        sketch = SlidingHypersistentSketch(
+            int(args.memory_kb * 1024), horizon=args.horizon,
+            seed=args.seed,
+        )
+        meta["algorithm"] = _SLIDING_META_ALGORITHM
+        meta["horizon"] = args.horizon
+        del meta["window_distinct_hint"]  # sliding panels self-size
+    else:
+        sketch = make_estimator(
+            args.algorithm, int(args.memory_kb * 1024),
+            n_windows=trace.n_windows, seed=args.seed,
+            window_distinct_hint=hint,
+        )
+    if args.engine is not None:
+        if not hasattr(sketch, "engine"):
+            print(f"algorithm {args.algorithm} has no engine selector; "
+                  f"cannot apply --engine {args.engine}", file=sys.stderr)
+            return 2
+        sketch.engine = args.engine
+    policy = CheckpointPolicy(args.out, every=args.every, meta=meta)
     window_arrays = trace.window_arrays()
     batched = hasattr(sketch, "insert_window")
     for wid in range(stop_after):
@@ -481,7 +565,8 @@ def _cmd_checkpoint(args) -> int:
 
 
 def _cmd_resume(args) -> int:
-    from .common.errors import SnapshotError
+    from .common.errors import ConfigError, SnapshotError
+    from .core.sliding import SlidingHypersistentSketch
     from .experiments.harness import make_estimator, run_stream
     from .persist import read_run_checkpoint
     from .persist import resume as resume_run
@@ -489,25 +574,44 @@ def _cmd_resume(args) -> int:
     trace = _load_trace(args.trace)
     try:
         payload = read_run_checkpoint(args.checkpoint)
-        sketch = resume_run(args.checkpoint, trace, strict=not args.force)
-    except SnapshotError as exc:
+        sketch = resume_run(args.checkpoint, trace, strict=not args.force,
+                            engine=args.engine)
+    except (SnapshotError, ConfigError) as exc:
         print(f"cannot resume: {exc}", file=sys.stderr)
         return 2
     windows_done = int(payload["windows_done"])
+    meta = payload.get("meta") or {}
+    sliding = meta.get("algorithm") == _SLIDING_META_ALGORITHM
     print(f"resumed {type(sketch).__name__} at window {windows_done}, "
           f"replayed {trace.n_windows - windows_done} remaining window(s)")
-    truth = exact_persistence(trace)
+    if sliding:
+        # a sliding sketch only covers its recent range: score it
+        # against the oracle over exactly the windows it still sees
+        coverage = sketch.coverage
+        truth = exact_persistence(
+            trace.slice_windows(trace.n_windows - coverage,
+                                trace.n_windows)
+        )
+        print(f"  covering the last {coverage} of {trace.n_windows} "
+              f"window(s)")
+    else:
+        truth = exact_persistence(trace)
     estimates = estimate_all(sketch.query, truth)
     print(f"  AAE {aae(truth, estimates):.4f}   "
           f"ARE {are(truth, estimates):.4f}")
     if args.check_full:
-        meta = payload.get("meta") or {}
         try:
-            reference = make_estimator(
-                meta["algorithm"], int(meta["memory_bytes"]),
-                n_windows=trace.n_windows, seed=int(meta["seed"]),
-                window_distinct_hint=meta.get("window_distinct_hint"),
-            )
+            if sliding:
+                reference = SlidingHypersistentSketch(
+                    int(meta["memory_bytes"]),
+                    horizon=int(meta["horizon"]), seed=int(meta["seed"]),
+                )
+            else:
+                reference = make_estimator(
+                    meta["algorithm"], int(meta["memory_bytes"]),
+                    n_windows=trace.n_windows, seed=int(meta["seed"]),
+                    window_distinct_hint=meta.get("window_distinct_hint"),
+                )
         except KeyError as exc:
             print(f"checkpoint meta lacks {exc}; cannot rebuild the "
                   f"reference run", file=sys.stderr)
@@ -590,6 +694,40 @@ def _cmd_pipeline(args) -> int:
             return 1
         print("  bit-equal to a single-process sharded run "
               "(snapshot bytes)")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import SketchService
+    from .service.http import run_server
+
+    max_bytes = (int(args.max_memory_kb * 1024)
+                 if args.max_memory_kb else None)
+    service = SketchService(
+        max_memory_bytes=max_bytes,
+        state_dir=args.state_dir,
+        queue_limit=args.queue_limit,
+    )
+
+    async def serve() -> None:
+        recovered = await service.start()
+        if recovered:
+            print(f"recovered {len(recovered)} tenant(s) from "
+                  f"{args.state_dir}: {', '.join(recovered)}", flush=True)
+
+        def announce(server) -> None:
+            # parseable by smoke scripts driving an ephemeral --port 0
+            print(f"repro serve listening on "
+                  f"http://{server.host}:{server.port}", flush=True)
+
+        await run_server(service, args.host, args.port, announce=announce)
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
     return 0
 
 
@@ -716,6 +854,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write per-window telemetry records (JSON lines)")
     p.add_argument("--prom", metavar="PATH",
                    help="write a Prometheus text-format metrics snapshot")
+    p.add_argument("--sliding", action="store_true",
+                   help="estimate over a sliding recent range with the "
+                        "two-panel wrapper (HS only; scored against the "
+                        "oracle over the covered windows)")
+    p.add_argument("--horizon", type=int, default=0,
+                   help="sliding-window horizon in windows "
+                        "(requires --sliding; >= 2)")
     p.set_defaults(func=_cmd_estimate)
 
     p = sub.add_parser(
@@ -869,6 +1014,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stop-after", type=int, default=0, metavar="W",
                    help="stop after W windows (simulate a crash; "
                         "0 = stream the whole trace)")
+    p.add_argument("--engine", choices=("scalar", "batched", "kernel"),
+                   default=None,
+                   help="force a batch ingestion backend (bit-identical "
+                        "results; errors on sketches without a selector)")
+    p.add_argument("--sliding", action="store_true",
+                   help="checkpoint the two-panel sliding wrapper "
+                        "instead of the whole-stream sketch (HS only)")
+    p.add_argument("--horizon", type=int, default=0,
+                   help="sliding-window horizon in windows "
+                        "(requires --sliding; >= 2)")
     p.set_defaults(func=_cmd_checkpoint)
 
     p = sub.add_parser(
@@ -885,6 +1040,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also rebuild the sketch from the checkpoint's "
                         "meta, run it uninterrupted, and verify the "
                         "resumed estimates are bit-equal")
+    p.add_argument("--engine", choices=("scalar", "batched", "kernel"),
+                   default=None,
+                   help="replay the remaining windows on this batch "
+                        "backend (bit-identical results; errors on "
+                        "sketches without a selector)")
     p.set_defaults(func=_cmd_resume)
 
     p = sub.add_parser(
@@ -914,6 +1074,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-events", metavar="PATH",
                    help="write per-worker and merge spans as JSONL")
     p.set_defaults(func=_cmd_pipeline)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the async multi-tenant sketch service "
+             "(JSON HTTP API + /metrics + checkpoint recovery)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: loopback only)")
+    p.add_argument("--port", type=int, default=8787,
+                   help="TCP port (0 = OS-assigned; the bound port is "
+                        "printed on startup)")
+    p.add_argument("--state-dir", default=None, metavar="DIR",
+                   help="tenant checkpoint directory; enables crash "
+                        "recovery and recovers existing tenants on start")
+    p.add_argument("--max-memory-kb", type=float, default=0,
+                   help="global admission budget summed across tenant "
+                        "memory budgets (0 = uncapped)")
+    p.add_argument("--queue-limit", type=int, default=1024,
+                   help="per-tenant pending ingest-command cap "
+                        "(beyond it, ingest returns 429 backpressure)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "lint",

@@ -30,6 +30,29 @@ class MergeError(ReproError, ValueError):
     """
 
 
+class ServiceError(ReproError, ValueError):
+    """A sketch-service request cannot be honored.
+
+    Raised by :mod:`repro.service` for malformed tenant specs, unknown
+    tenants, and operations a tenant's sketch kind does not support.
+    Maps to a 4xx response at the HTTP layer — a raise never leaves a
+    tenant's sketch in a half-applied state.
+    """
+
+
+class UnknownTenantError(ServiceError):
+    """A request names a tenant the service does not hold (HTTP 404)."""
+
+
+class AdmissionError(ServiceError):
+    """The service declined work to protect its resource budgets.
+
+    Two admission points raise this: tenant creation that would push the
+    sum of per-tenant memory budgets past the server's global budget, and
+    ingest into a tenant whose coalescing queue is full (backpressure).
+    """
+
+
 class SnapshotError(ReproError):
     """A snapshot/checkpoint file is missing, corrupt, or incompatible.
 

@@ -61,17 +61,32 @@ class ShardedSketch:
             shard_factory(i) for i in range(n_shards)
         ]
         if engine is not None:
-            # propagate the batch ingestion backend to every shard; all
-            # backends are bit-equivalent, so this is a speed knob only
-            for i, shard in enumerate(self.shards):
-                if not hasattr(shard, "engine"):
-                    raise ConfigError(
-                        f"shard {i} ({type(shard).__name__}) has no engine "
-                        f"selector; cannot apply engine={engine!r}"
-                    )
-                shard.engine = engine
+            # runtime-only speed knob, never persisted (see the property)
+            self.engine = engine  # staticcheck: ignore[SC-PERSIST]
         self._router = HashFamily(1, seed ^ 0x5AAD)
         self.window = 0
+
+    @property
+    def engine(self) -> Optional[str]:
+        """Uniform batch ingestion backend of the shards.
+
+        ``None`` when the shards expose no selector or disagree (e.g. a
+        heterogeneous ensemble).  Setting propagates to every shard; all
+        backends are bit-equivalent, so this is a speed knob only.
+        """
+        engines = {getattr(shard, "engine", None) for shard in self.shards}
+        return engines.pop() if len(engines) == 1 else None
+
+    @engine.setter
+    def engine(self, value: str) -> None:
+        for i, shard in enumerate(self.shards):
+            if not hasattr(shard, "engine"):
+                raise ConfigError(
+                    f"shard {i} ({type(shard).__name__}) has no engine "
+                    f"selector; cannot apply engine={value!r}"
+                )
+        for shard in self.shards:
+            shard.engine = value
 
     @classmethod
     def coalesce(cls, shards: List[object], seed: int = 42,

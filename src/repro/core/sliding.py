@@ -27,6 +27,7 @@ from ..common.errors import ConfigError
 from ..common.hashing import ItemKey
 from .config import HSConfig
 from .hypersistent import HypersistentSketch
+from .kernels import ENGINE_BATCHED
 
 
 class SlidingHypersistentSketch:
@@ -34,6 +35,13 @@ class SlidingHypersistentSketch:
 
     The memory budget is split evenly between the two panels, so accuracy
     per panel corresponds to ``memory_bytes / 2``.
+
+    ``engine`` selects the batch ingestion backend exactly as on
+    :class:`HypersistentSketch` (``scalar``/``batched``/``kernel``); it is
+    applied to both panels and follows them through rotation.  All three
+    backends are bit-for-bit equivalent on the sliding wrapper too — the
+    ``sliding-engine-equivalence`` verify invariant pins this — so the
+    engine is a runtime choice and never enters :meth:`state_dict`.
 
     >>> sw = SlidingHypersistentSketch(memory_bytes=32 * 1024, horizon=8)
     >>> for _ in range(20):
@@ -43,7 +51,8 @@ class SlidingHypersistentSketch:
     True
     """
 
-    def __init__(self, memory_bytes: int, horizon: int, seed: int = 42):
+    def __init__(self, memory_bytes: int, horizon: int, seed: int = 42,
+                 engine: str = ENGINE_BATCHED):
         if horizon < 2:
             raise ConfigError("sliding horizon must be >= 2 windows")
         if memory_bytes < 2:
@@ -57,19 +66,61 @@ class SlidingHypersistentSketch:
         panel_config = HSConfig.for_estimation(
             memory_bytes // 2, n_windows=horizon, seed=seed
         )
-        self._young = HypersistentSketch(panel_config)
-        self._old = HypersistentSketch(panel_config.with_seed(seed ^ 0x51))
+        self._young = HypersistentSketch(panel_config, engine=engine)
+        self._old = HypersistentSketch(panel_config.with_seed(seed ^ 0x51),
+                                       engine=engine)
         self._windows_in_young = 0
         self.window = 0
+
+    @property
+    def engine(self) -> str:
+        """Active batch ingestion backend of both panels."""
+        return self._young.engine
+
+    @engine.setter
+    def engine(self, value: str) -> None:
+        self._young.engine = value
+        self._old.engine = value
 
     def insert(self, item: ItemKey) -> None:
         """Record one occurrence in the current window."""
         self._young.insert(item)
 
+    def insert_batch(self, items) -> None:
+        """Columnar :meth:`insert` of a batch of occurrences, in order.
+
+        Bit-for-bit equivalent to per-item ``insert`` calls (the batch
+        lands in the young panel's open window through its own
+        ``insert_batch``).  The window stays open — call
+        :meth:`end_window` (or use :meth:`insert_window`) to close it.
+        """
+        self._young.insert_batch(items)
+
+    def insert_window(self, items) -> None:
+        """Process one whole window of occurrences and close it.
+
+        The batch equivalent of ``insert`` x N + :meth:`end_window`, and
+        bit-for-bit equivalent to it: the young panel ingests the window
+        through its engine-dispatched ``insert_window`` (scalar, columnar
+        plans, or the fused SoA kernels per :attr:`engine`), the old
+        panel fires its boundary to keep the flag epochs aligned, and the
+        rotation bookkeeping runs exactly as the scalar path's.  Before
+        this existed, batch callers (``run_stream`` auto-batching, the
+        service ingest queue) silently degraded to per-item scalar
+        inserts — or skipped the sliding wrapper entirely.
+        """
+        self._young.insert_window(items)
+        self._old.end_window()  # keeps its flag epochs aligned
+        self._advance()
+
     def end_window(self) -> None:
         """Close the window; rotate panels every half-horizon."""
         self._young.end_window()
         self._old.end_window()  # keeps its flag epochs aligned
+        self._advance()
+
+    def _advance(self) -> None:
+        """Shared boundary bookkeeping: count the window, rotate panels."""
         self._windows_in_young += 1
         self.window += 1
         if self._windows_in_young >= self.half:
@@ -135,6 +186,11 @@ class SlidingHypersistentSketch:
     def memory_bytes(self) -> int:
         """Modeled memory footprint in bytes."""
         return self._young.memory_bytes + self._old.memory_bytes
+
+    @property
+    def hash_ops(self) -> int:
+        """Total hash computations across both panels (cost model)."""
+        return self._young.hash_ops + self._old.hash_ops
 
     def query_ceiling(self) -> int:
         """Provable upper bound on any boundary-time query estimate.

@@ -120,7 +120,7 @@ def load_run_checkpoint(
 
 
 def resume(path: PathLike, trace: Any, batched: Optional[bool] = None,
-           strict: bool = True) -> Any:
+           strict: bool = True, engine: Optional[str] = None) -> Any:
     """Restore a checkpointed run and replay only the remaining windows.
 
     Returns the finished sketch, bit-identical (for the deterministic
@@ -136,8 +136,23 @@ def resume(path: PathLike, trace: Any, batched: Optional[bool] = None,
     :func:`~repro.experiments.harness.run_stream`: default prefers the
     sketch's columnar ``insert_window``, ``False`` forces the
     record-at-a-time loop.  Both are bit-equivalent.
+
+    ``engine`` re-applies a batch ingestion backend to the restored
+    sketch before the tail replay (engines are runtime-only state, never
+    checkpointed; a restored sketch otherwise replays on its default).
+    Raises :class:`~repro.common.errors.ConfigError` when the restored
+    sketch has no engine selector, instead of silently ignoring it.
     """
     sketch, windows_done, payload = load_run_checkpoint(path)
+    if engine is not None:
+        if not hasattr(sketch, "engine"):
+            from ..common.errors import ConfigError
+
+            raise ConfigError(
+                f"restored {type(sketch).__name__} has no engine "
+                f"selector; cannot apply engine={engine!r}"
+            )
+        sketch.engine = engine
     recorded = payload.get("trace")
     if strict and recorded is not None:
         actual = _trace_identity(trace)

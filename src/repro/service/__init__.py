@@ -1,0 +1,45 @@
+"""Async multi-tenant sketch service (the ``repro serve`` runtime).
+
+The online counterpart to the offline experiment harness: one asyncio
+process multiplexes independent tenants, each owning a flat, sharded, or
+sliding Hypersistent Sketch.  Ingest is a per-tenant coalescing queue —
+chunks posted over HTTP are buffered and applied as a *single*
+``insert_window`` call per window barrier, so the service rides the same
+fused kernel path as the offline whole-window benchmarks, and the
+``service-equivalence`` verify invariant proves its estimates are
+bit-identical to :func:`~repro.experiments.harness.run_stream` over the
+same windows.  Admission control caps the summed per-tenant memory
+budgets; :class:`~repro.persist.checkpoint.CheckpointPolicy` gives each
+tenant crash recovery with the spec embedded in the checkpoint, so a
+restarted server rebuilds its tenants from the state directory alone.
+
+Layering: :mod:`~repro.service.tenants` (specs/admission/sketch
+construction) → :mod:`~repro.service.service` (asyncio core) →
+:mod:`~repro.service.http` (HTTP/1.1 transport) →
+:mod:`~repro.service.client` (blocking client).  See ``docs/SERVICE.md``.
+"""
+
+from .client import ServiceClient, ServiceHTTPError
+from .http import ServiceServer, run_server
+from .service import DEFAULT_QUEUE_LIMIT, SketchService
+from .tenants import (
+    AdmissionController,
+    TenantSpec,
+    TenantStats,
+    apply_engine,
+    build_sketch,
+)
+
+__all__ = [
+    "AdmissionController",
+    "DEFAULT_QUEUE_LIMIT",
+    "ServiceClient",
+    "ServiceHTTPError",
+    "ServiceServer",
+    "SketchService",
+    "TenantSpec",
+    "TenantStats",
+    "apply_engine",
+    "build_sketch",
+    "run_server",
+]

@@ -1,0 +1,162 @@
+"""Blocking JSON client for the sketch service (stdlib ``http.client``).
+
+The counterpart process to ``repro serve``: tests and the CI smoke
+script drive a live server through this instead of hand-writing HTTP.
+Each method mirrors one route; non-2xx responses raise
+:class:`ServiceHTTPError` carrying the status and the server's decoded
+``{"error": ..., "message": ...}`` body, so callers assert on exact
+status codes (429 backpressure, 404 unknown tenant, ...).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+from ..common.errors import ServiceError
+
+
+class ServiceHTTPError(ServiceError):
+    """A service request came back non-2xx."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]):
+        self.status = status
+        self.payload = payload
+        super().__init__(
+            f"HTTP {status}: {payload.get('error', '?')}: "
+            f"{payload.get('message', '')}"
+        )
+
+
+class ServiceClient:
+    """One keep-alive connection to a running sketch service."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787,
+                 timeout: float = 30.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, method: str, path: str,
+                payload: Optional[Dict[str, Any]] = None) -> Any:
+        """One round trip; returns the decoded JSON (or exposition text
+        for ``/metrics``).  Retries once on a dropped keep-alive socket."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (ConnectionError, http.client.HTTPException, OSError):
+                self.close()
+                if attempt:
+                    raise
+        if response.headers.get_content_type() == "text/plain":
+            text = raw.decode("utf-8")
+            if response.status >= 300:
+                raise ServiceHTTPError(response.status, {"message": text})
+            return text
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError:
+            decoded = {"error": "BadBody", "message": repr(raw[:200])}
+        if response.status >= 300:
+            raise ServiceHTTPError(response.status, decoded)
+        return decoded
+
+    def wait_ready(self, timeout: float = 10.0,
+                   interval: float = 0.05) -> Dict[str, Any]:
+        """Poll ``/healthz`` until the server answers (startup race)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except (ServiceError, OSError):
+                self.close()
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(interval)
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        return self.request("GET", "/metrics")
+
+    def list_tenants(self) -> Dict[str, Any]:
+        return self.request("GET", "/tenants")
+
+    def create_tenant(self, **spec: Any) -> Dict[str, Any]:
+        return self.request("POST", "/tenants", spec)
+
+    def tenant_status(self, name: str) -> Dict[str, Any]:
+        return self.request("GET", f"/tenants/{name}")
+
+    def delete_tenant(self, name: str) -> Dict[str, Any]:
+        return self.request("DELETE", f"/tenants/{name}")
+
+    def ingest(self, name: str, items: List[Any]) -> Dict[str, Any]:
+        return self.request(
+            "POST", f"/tenants/{name}/ingest", {"items": list(items)}
+        )
+
+    def end_window(self, name: str, count: int = 1) -> Dict[str, Any]:
+        return self.request(
+            "POST", f"/tenants/{name}/window", {"count": count}
+        )
+
+    def checkpoint(self, name: str) -> Dict[str, Any]:
+        return self.request("POST", f"/tenants/{name}/checkpoint", {})
+
+    def estimate(self, name: str, keys: List[Any]) -> Dict[str, Any]:
+        return self.request(
+            "POST", f"/tenants/{name}/estimate", {"keys": list(keys)}
+        )
+
+    def explain(self, name: str, key: Any) -> Dict[str, Any]:
+        return self.request(
+            "POST", f"/tenants/{name}/explain", {"key": key}
+        )
+
+    def report(self, name: str, threshold: int) -> Dict[str, Any]:
+        return self.request(
+            "POST", f"/tenants/{name}/report", {"threshold": threshold}
+        )
+
+    def find_persistent(self, name: str, alpha: float) -> Dict[str, Any]:
+        return self.request(
+            "POST", f"/tenants/{name}/find-persistent", {"alpha": alpha}
+        )

@@ -1100,3 +1100,150 @@ def _check_pipeline_crash_recovery(
                 "the uninterrupted run",
             ))
     return out
+
+
+@register_invariant(
+    "sliding-engine-equivalence", "trace",
+    "The sliding wrapper's batch paths (insert_window / insert_batch on "
+    "engines scalar, batched, kernel) match its record-at-a-time oracle "
+    "bit-for-bit: snapshot bytes, estimates, and reports",
+)
+def _check_sliding_engine_equivalence(
+    trace: Trace, config: VerifyConfig
+) -> List[Violation]:
+    name = "sliding-engine-equivalence"
+    horizon = max(2, min(8, trace.n_windows))
+
+    def build(engine: str) -> SlidingHypersistentSketch:
+        return SlidingHypersistentSketch(
+            config.memory_bytes, horizon=horizon, seed=config.seed,
+            engine=engine,
+        )
+
+    reference = _scalar_feed(build("scalar"), trace)
+    candidates = [
+        (f"{engine}-window", _batched_feed(build(engine), trace))
+        for engine in ("scalar", "batched", "kernel")
+    ]
+    # a split feed exercises insert_batch + end_window (open-window path)
+    split = build("kernel")
+    for window_keys in trace.window_arrays():
+        mid = len(window_keys) // 2
+        split.insert_batch(window_keys[:mid])
+        split.insert_batch(window_keys[mid:])
+        split.end_window()
+    candidates.append(("kernel-split-batch", split))
+
+    out = []
+    # snapshot bytes first: the query sweeps below move the panels'
+    # hash-op counters, which are part of the serialized state
+    reference_bytes = encode_state(reference.state_dict())
+    for label, candidate in candidates:
+        if encode_state(candidate.state_dict()) != reference_bytes:
+            out.append(Violation(
+                name,
+                f"scalar-fed and {label}-fed snapshot bytes diverge",
+            ))
+    keys = sample_keys(trace, _EQUIVALENCE_KEY_CAP)
+    for label, candidate in candidates:
+        out += _diff_keyed(name, reference, candidate, keys,
+                           "scalar", label)
+        if reference.report(1) != candidate.report(1):
+            out.append(Violation(
+                name, f"scalar and {label} report(1) diverge",
+            ))
+    return out
+
+
+@register_invariant(
+    "service-equivalence", "trace",
+    "A SketchService fed the trace as chunked per-tenant ingest commands "
+    "(coalesced into insert_window barriers) yields estimates, reports, "
+    "and snapshot bytes bit-identical to offline sketches fed directly",
+)
+def _check_service_equivalence(
+    trace: Trace, config: VerifyConfig
+) -> List[Violation]:
+    import asyncio
+
+    from ..service import SketchService, TenantSpec, build_sketch
+
+    name = "service-equivalence"
+    memory_bytes = max(1024, config.memory_bytes)
+    specs = {
+        "flat": TenantSpec(
+            name="flat", kind="flat", memory_bytes=memory_bytes,
+            n_windows=trace.n_windows, seed=config.seed, engine="kernel",
+            window_distinct_hint=trace.mean_window_distinct(),
+        ),
+        "sliding": TenantSpec(
+            name="sliding", kind="sliding", memory_bytes=memory_bytes,
+            horizon=max(2, min(8, trace.n_windows)), seed=config.seed,
+            engine="kernel",
+        ),
+    }
+    window_arrays = trace.window_arrays()
+    keys = sample_keys(trace, _EQUIVALENCE_KEY_CAP)
+
+    async def drive() -> Dict[str, Dict[str, object]]:
+        service = SketchService()
+        await service.start()
+        for spec in specs.values():
+            await service.create_tenant(spec.to_dict())
+        for window_keys in window_arrays:
+            # three chunks per window per tenant: the barrier must
+            # coalesce them into ONE insert_window, in arrival order
+            third = max(1, len(window_keys) // 3) if len(window_keys) \
+                else 1
+            for tenant in specs:
+                for i in range(0, len(window_keys) or 0, third):
+                    await service.ingest(
+                        tenant, window_keys[i:i + third]
+                    )
+            for tenant in specs:
+                await service.end_window(tenant)
+        results = {}
+        for tenant in specs:
+            sketch = service.tenants[tenant].sketch
+            # bytes before the estimate sweep: queries move counters
+            state_bytes = encode_state(sketch.state_dict())
+            estimates = service.estimate(tenant, keys)["estimates"]
+            results[tenant] = {
+                "bytes": state_bytes,
+                "estimates": estimates,
+                "report": service.report(tenant, 1)["items"],
+            }
+        await service.close()
+        return results
+
+    served = asyncio.run(drive())
+    out = []
+    for tenant, spec in specs.items():
+        offline = build_sketch(spec)
+        for window_keys in window_arrays:
+            offline.insert_window(window_keys)
+        offline_bytes = encode_state(offline.state_dict())
+        if served[tenant]["bytes"] != offline_bytes:
+            out.append(Violation(
+                name,
+                f"tenant {tenant!r}: served snapshot bytes diverge from "
+                f"the offline run",
+            ))
+        for key in keys:
+            mine = int(served[tenant]["estimates"][str(key)])
+            theirs = int(offline.query(key))
+            if mine != theirs:
+                out.append(Violation(
+                    name,
+                    f"tenant {tenant!r} key {key}: served estimate "
+                    f"{mine} != offline estimate {theirs}",
+                    key=key,
+                    details={"served": mine, "offline": theirs},
+                ))
+        offline_report = {str(key): int(value) for key, value
+                          in offline.report(1).items()}
+        if served[tenant]["report"] != offline_report:
+            out.append(Violation(
+                name, f"tenant {tenant!r}: served report(1) diverges",
+            ))
+    return out

@@ -139,6 +139,48 @@ def test_inprocess_simulated_crash_matches_reference(
     assert snapshot(result.sketch) == snapshot(reference)
 
 
+@pytest.mark.parametrize("kill_window", [4, 8, 12])
+def test_kill_at_checkpoint_boundary_neither_drops_nor_double_ingests(
+    tmp_path, trace, reference, kill_window
+):
+    """Regression for the kill-at-checkpoint-boundary case: with
+    ``every=4``, the checkpoint recording ``windows_done == kill_window``
+    is written at the end of window ``kill_window - 1``, and the fault
+    injector kills the worker *inside* window ``kill_window`` after
+    half-ingesting it.  Resume must restart exactly at ``kill_window``:
+    re-ingesting the full window once (the half-window of the dead
+    sketch was never checkpointed) and never replaying the window the
+    checkpoint already covers.  Byte-identical state against the
+    uninterrupted reference proves neither a drop nor a double-ingest —
+    a dropped window would lose its flag-epoch bump, a double-ingested
+    one would double its counters; both change the snapshot bytes."""
+    result = run_pipeline_inprocess(
+        trace, MEM, n_workers=WORKERS,
+        out_dir=tmp_path / f"kill{kill_window}", seed=42,
+        every=4, kill_at=(1, kill_window),
+    )
+    worker = result.report.workers[1]
+    assert worker.restarts == 1
+    assert worker.windows_done == trace.n_windows
+    assert snapshot(result.sketch) == snapshot(reference)
+    assert result.sketch.stats() == reference.stats()
+
+
+def test_sigkill_exactly_at_checkpoint_window_real_processes(
+    tmp_path, trace, reference
+):
+    """Same boundary case through the real SIGKILL path: the respawned
+    worker process must load the boundary checkpoint and finish
+    bit-identical to the uninterrupted run."""
+    result = run_pipeline(
+        trace, MEM, n_workers=WORKERS, out_dir=tmp_path, seed=42,
+        every=4, kill_at=(3, 8),
+    )
+    assert result.report.workers[3].restarts == 1
+    assert (tmp_path / "worker-3.killed").exists()
+    assert snapshot(result.sketch) == snapshot(reference)
+
+
 def test_corrupt_checkpoint_quarantined_not_merged(tmp_path, trace):
     """A torn checkpoint must be impossible to merge: resume raises
     SnapshotError, the supervisor renames the file aside, and the

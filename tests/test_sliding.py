@@ -148,3 +148,92 @@ class TestReport:
         from repro.common.hashing import canonical_key
         key = canonical_key("hot")
         assert reported[key] == sw.query("hot")
+
+
+class TestBatchPaths:
+    """The batch-path bugfix: insert_window / insert_batch on all three
+    engines must be bit-identical to the record-at-a-time path (before
+    this, batch callers silently degraded to scalar per-item inserts)."""
+
+    @pytest.fixture(scope="class")
+    def pattern(self):
+        from repro.streams.synthetic import zipf_trace
+        trace = zipf_trace(n_records=4000, n_windows=11, n_items=200,
+                           seed=13)
+        return [w for w in trace.window_arrays()]
+
+    @pytest.fixture(scope="class")
+    def reference_bytes(self, pattern):
+        from repro.persist import encode_state
+        ref = SlidingHypersistentSketch(memory_bytes=16 * 1024, horizon=6)
+        for window in pattern:
+            for item in window.tolist():
+                ref.insert(item)
+            ref.end_window()
+        return encode_state(ref.state_dict())
+
+    @pytest.mark.parametrize("engine", ["scalar", "batched", "kernel"])
+    def test_insert_window_matches_scalar_oracle(
+        self, pattern, reference_bytes, engine
+    ):
+        from repro.persist import encode_state
+        sw = SlidingHypersistentSketch(memory_bytes=16 * 1024, horizon=6,
+                                       engine=engine)
+        assert sw.engine == engine
+        for window in pattern:
+            sw.insert_window(window)
+        assert encode_state(sw.state_dict()) == reference_bytes
+
+    @pytest.mark.parametrize("engine", ["scalar", "batched", "kernel"])
+    def test_split_insert_batch_matches_scalar_oracle(
+        self, pattern, reference_bytes, engine
+    ):
+        from repro.persist import encode_state
+        sw = SlidingHypersistentSketch(memory_bytes=16 * 1024, horizon=6,
+                                       engine=engine)
+        for window in pattern:
+            mid = len(window) // 2
+            sw.insert_batch(window[:mid])
+            sw.insert_batch(window[mid:])
+            sw.end_window()
+        assert encode_state(sw.state_dict()) == reference_bytes
+
+    def test_engine_setter_switches_both_panels(self):
+        sw = SlidingHypersistentSketch(memory_bytes=16 * 1024, horizon=4)
+        sw.engine = "kernel"
+        assert sw._young.engine == "kernel"
+        assert sw._old.engine == "kernel"
+        with pytest.raises(ConfigError):
+            sw.engine = "warp-drive"
+
+    def test_engine_survives_rotation(self, pattern):
+        sw = SlidingHypersistentSketch(memory_bytes=16 * 1024, horizon=4,
+                                       engine="kernel")
+        for window in pattern:  # 11 windows > 2 rotations at half=2
+            sw.insert_window(window)
+        assert sw.engine == "kernel"
+
+    def test_run_stream_auto_batches_through_insert_window(self, pattern):
+        """run_stream(batched=None) must now pick the window path (the
+        wrapper advertises insert_window) and stay bit-identical."""
+        from repro.experiments.harness import run_stream
+        from repro.persist import encode_state
+        from repro.streams.synthetic import zipf_trace
+        trace = zipf_trace(n_records=4000, n_windows=11, n_items=200,
+                           seed=13)
+        auto = SlidingHypersistentSketch(memory_bytes=16 * 1024,
+                                         horizon=6)
+        run_stream(auto, trace, engine="kernel")
+        scalar = SlidingHypersistentSketch(memory_bytes=16 * 1024,
+                                           horizon=6)
+        run_stream(scalar, trace, batched=False)
+        assert encode_state(auto.state_dict()) == \
+            encode_state(scalar.state_dict())
+
+    def test_engine_not_serialized(self):
+        sw = SlidingHypersistentSketch(memory_bytes=16 * 1024, horizon=4,
+                                       engine="kernel")
+        state = sw.state_dict()
+        assert "engine" not in state
+        restored = SlidingHypersistentSketch.from_state(state)
+        assert restored.engine == "batched"  # the default, not "kernel"
