@@ -10,11 +10,12 @@ whole tree and fails on any finding not grandfathered in
     python scripts/check_lint.py --write-baseline    # grandfather all
     python scripts/check_lint.py --root /some/tree   # gate another tree
 
-When ``mypy`` is importable, the gate also type-checks the two packages
-scoped in ``pyproject.toml`` (``repro.common`` + ``repro.persist``);
-when it is not installed the step is skipped with a notice — the lint
-gate itself never needs anything beyond the standard library and the
-package's own dependencies.
+When ``mypy`` is importable, the gate also type-checks the packages
+scoped in ``pyproject.toml`` (``repro.common``, ``repro.persist``, and
+the analyzer itself, ``repro.staticcheck``); when it is not installed
+the step is skipped with a notice — the lint gate itself never needs
+anything beyond the standard library and the package's own
+dependencies.
 """
 
 from __future__ import annotations
@@ -53,6 +54,7 @@ def run_mypy(root: str) -> int:
         "--config-file", os.path.join(root, "pyproject.toml"),
         os.path.join(root, "src", "repro", "common"),
         os.path.join(root, "src", "repro", "persist"),
+        os.path.join(root, "src", "repro", "staticcheck"),
     ]
     print("running:", " ".join(command))
     return subprocess.run(command, cwd=root).returncode

@@ -747,6 +747,8 @@ def _cmd_lint(args) -> int:
         return 0
     select = args.select.split(",") if args.select else None
     ignore = args.ignore.split(",") if args.ignore else None
+    if args.explain:
+        select = [args.explain]
     try:
         findings = run_lint(
             args.root, paths=args.paths or None,
@@ -760,6 +762,14 @@ def _cmd_lint(args) -> int:
         findings, stale = apply_baseline(
             findings, load_baseline(args.baseline)
         )
+    if args.explain:
+        for finding in findings:
+            print(f"{finding.path}:{finding.line}: "
+                  f"{finding.rule_id} {finding.message}")
+            print(f"    {finding.detail or '(no detail recorded)'}")
+        if not findings:
+            print(f"no {args.explain} findings")
+        return 1 if findings else 0
     if args.format == "json":
         print(render_json(findings))
     else:
@@ -1107,8 +1117,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--root", default=".",
                    help="repository root paths are resolved against")
     p.add_argument("--format", choices=("human", "json"), default="human")
-    p.add_argument("--select", help="comma-separated rule IDs to run")
-    p.add_argument("--ignore", help="comma-separated rule IDs to skip")
+    p.add_argument("--select",
+                   help="comma-separated rule IDs to run; a trailing * "
+                        "globs a family (SC-ASYNC* selects SC-ASYNC-RACE)")
+    p.add_argument("--ignore",
+                   help="comma-separated rule IDs to skip (globs allowed)")
+    p.add_argument("--explain", metavar="ID",
+                   help="run only rule ID and print each finding's "
+                        "detail — for tier-2 rules, the CFG path that "
+                        "triggered it")
     p.add_argument("--baseline", metavar="PATH",
                    help="suppress findings matched by this baseline JSON "
                         "(LINT_baseline.json format or a prior JSON "

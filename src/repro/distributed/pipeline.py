@@ -440,7 +440,9 @@ def run_pipeline(
             report.workers[i].elapsed_s += now - worker_started[i]
             report.workers[i].restarts += 1
             if report.workers[i].restarts > max_restarts:
-                for j in pending:
+                # sorted: teardown order reaches the trace recorder and
+                # failure report, which replay comparisons diff verbatim
+                for j in sorted(pending):
                     if procs[j].is_alive():
                         procs[j].terminate()
                 raise PipelineError(

@@ -86,20 +86,31 @@ class ServiceServer:
         self._server: Optional[asyncio.AbstractServer] = None
 
     async def start(self) -> None:
-        self._server = await asyncio.start_server(
+        server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
-        self.port = self._server.sockets[0].getsockname()[1]
+        self._server = server
+        # the requested-port read above and this bound-port write span
+        # the bind await by construction; start() is a single-shot
+        # startup call with no concurrent callers
+        # staticcheck: ignore[SC-ASYNC-RACE] single-shot startup path
+        self.port = server.sockets[0].getsockname()[1]
 
     async def close(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        # detach before the first await: a second close() (or a request
+        # racing shutdown) must observe the server as already gone, not
+        # re-enter wait_closed on a half-dead object
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
         await self.service.close()
 
     async def serve_forever(self) -> None:
         if self._server is None:
+            # lazy single-shot start: the CLI calls serve_forever once,
+            # before any client task exists that could interleave
+            # staticcheck: ignore[SC-ASYNC-RACE] startup-only lazy init
             await self.start()
         await self._server.serve_forever()
 
@@ -154,6 +165,10 @@ class ServiceServer:
             return 429, _error_bytes(exc), "application/json"
         except (ServiceError, ReproError) as exc:
             return 400, _error_bytes(exc), "application/json"
+        # the one sanctioned broad handler in the service: an unexpected
+        # bug in one request must become that request's 500, never kill
+        # the keep-alive connection loop for every other tenant
+        # staticcheck: ignore[SC-EXC] request boundary; 500 is the re-raise
         except Exception as exc:  # pragma: no cover - defensive
             return 500, _error_bytes(exc), "application/json"
 

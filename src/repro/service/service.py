@@ -252,8 +252,11 @@ class SketchService:
         to prevent recovery on the next start.
         """
         tenant = self._tenant(name)
-        await self._stop_worker(tenant)
+        # unregister before the first await: while the worker drains,
+        # concurrent requests (including a second delete) must see the
+        # tenant as gone instead of racing the teardown
         del self.tenants[name]
+        await self._stop_worker(tenant)
         self.admission.release(tenant.spec)
         return {"deleted": name}
 

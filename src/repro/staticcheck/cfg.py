@@ -1,0 +1,395 @@
+"""Per-function control-flow graphs over stdlib ``ast``.
+
+The second analysis tier of :mod:`repro.staticcheck` (see
+``docs/STATIC_ANALYSIS.md``, "Two-tier analysis") starts here: a
+:class:`CFG` is built once per function and handed to the forward
+dataflow engine (:mod:`repro.staticcheck.dataflow`), which the
+concurrency rule family (:mod:`repro.staticcheck.rules_concurrency`)
+consumes.  Like the rest of the package, construction is purely
+syntactic — stdlib ``ast`` only, nothing imported from the code under
+analysis.
+
+Granularity is the *step*: a basic block holds an ordered list of steps,
+where a step is a simple statement, a branch condition expression, or a
+synthetic marker lowered from structured control flow:
+
+* :class:`LockAcquire` / :class:`LockRelease` — emitted around the body
+  of a ``with`` / ``async with`` whose context expression looks like a
+  lock (dotted name whose last segment mentions ``lock``/``mutex``/
+  ``sem``, or a direct ``asyncio.Lock()``-style construction), so the
+  dataflow lattice can track the held-lock set without re-deriving
+  ``with``-nesting;
+* :class:`AwaitPoint` — emitted where the *syntax* awaits without an
+  ``ast.Await`` node appearing: ``async for`` (each ``__anext__``) and
+  ``async with`` (``__aenter__`` / ``__aexit__``).
+
+Exception edges are deliberately coarse: every ``try`` body gets one
+edge from its entry to each handler.  That over-approximates reachability
+(fine for a may-analysis hunting races) and under-approximates mid-body
+jumps (a known, documented blind spot — lint rules, not a verifier).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "CFG",
+    "Block",
+    "LockAcquire",
+    "LockRelease",
+    "AwaitPoint",
+    "Step",
+    "build_cfg",
+    "dotted_name",
+    "functions_in",
+    "is_lock_expr",
+]
+
+#: Last-segment substrings that make a context-manager expression count
+#: as a lock for the held-locks lattice.
+_LOCK_HINTS = ("lock", "mutex", "sem")
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Best-effort dotted name of an attribute chain (``a.b.c``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def is_lock_expr(node: ast.AST) -> bool:
+    """Whether a ``with`` context expression reads as a lock.
+
+    Recognizes dotted names whose final segment mentions lock/mutex/sem
+    (``self._lock``, ``registry_lock``) and direct constructions of a
+    class so named (``asyncio.Lock()``, ``threading.RLock()``).
+    """
+    if isinstance(node, ast.Call):
+        return is_lock_expr(node.func)
+    name = dotted_name(node)
+    leaf = name.rsplit(".", 1)[-1].lower()
+    return any(hint in leaf for hint in _LOCK_HINTS)
+
+
+@dataclass(frozen=True)
+class LockAcquire:
+    """Synthetic step: the lock named ``name`` is taken here."""
+
+    name: str
+    lineno: int
+
+
+@dataclass(frozen=True)
+class LockRelease:
+    """Synthetic step: the lock named ``name`` is dropped here."""
+
+    name: str
+    lineno: int
+
+
+@dataclass(frozen=True)
+class AwaitPoint:
+    """Synthetic step: control yields to the event loop here without an
+    ``ast.Await`` node (``async for`` steps, ``async with`` enter/exit)."""
+
+    lineno: int
+
+
+Step = Union[ast.stmt, ast.expr, LockAcquire, LockRelease, AwaitPoint]
+
+
+@dataclass
+class Block:
+    """One basic block: an ordered run of steps with CFG edges."""
+
+    id: int
+    steps: List[Step] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+
+class CFG:
+    """Control-flow graph of one function body.
+
+    ``entry`` and ``exit`` are block IDs; every ``return``/``raise`` and
+    the natural fall-off of the body are wired to ``exit``, so a forward
+    analysis observing ``exit``'s in-state sees every completion path.
+    """
+
+    def __init__(self, func: Union[ast.FunctionDef, ast.AsyncFunctionDef]):
+        self.func = func
+        self.blocks: List[Block] = []
+        self.entry = self.new_block().id
+        self.exit = self.new_block().id
+
+    def new_block(self) -> Block:
+        block = Block(id=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+            self.blocks[dst].preds.append(src)
+
+    def rpo(self) -> List[int]:
+        """Reverse postorder from ``entry`` (a good worklist order)."""
+        seen = set()
+        order: List[int] = []
+
+        def visit(bid: int) -> None:
+            # iterative DFS: deep nesting must not hit the recursion limit
+            stack: List[Tuple[int, int]] = [(bid, 0)]
+            while stack:
+                node, idx = stack.pop()
+                if idx == 0:
+                    if node in seen:
+                        continue
+                    seen.add(node)
+                succs = self.blocks[node].succs
+                if idx < len(succs):
+                    stack.append((node, idx + 1))
+                    if succs[idx] not in seen:
+                        stack.append((succs[idx], 0))
+                else:
+                    order.append(node)
+
+        visit(self.entry)
+        return list(reversed(order))
+
+    def reachable(self) -> List[int]:
+        return self.rpo()
+
+
+class _Builder:
+    """Lowers one function body into basic blocks."""
+
+    def __init__(self, func: Union[ast.FunctionDef, ast.AsyncFunctionDef]):
+        self.cfg = CFG(func)
+        #: (loop_head, loop_after) targets for continue/break.
+        self.loops: List[Tuple[int, int]] = []
+        self.current: Optional[int] = self.cfg.entry
+
+    def build(self) -> CFG:
+        self.stmts(self.cfg.func.body)
+        self.close_to(self.cfg.exit)
+        return self.cfg
+
+    # -- plumbing ------------------------------------------------------
+    def emit(self, step: Step) -> None:
+        if self.current is None:  # unreachable code still gets a block,
+            self.current = self.cfg.new_block().id  # just with no preds
+        self.cfg.blocks[self.current].steps.append(step)
+
+    def close_to(self, target: int) -> None:
+        """End the current block with an edge to ``target``."""
+        if self.current is not None:
+            self.cfg.add_edge(self.current, target)
+            self.current = None
+
+    def start(self) -> int:
+        block = self.cfg.new_block()
+        self.current = block.id
+        return block.id
+
+    # -- statement lowering --------------------------------------------
+    def stmts(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self.stmt(stmt)
+
+    def stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.If):
+            self._if(node)
+        elif isinstance(node, ast.While):
+            self._while(node)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self._for(node)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            self._with(node)
+        elif isinstance(node, ast.Try):
+            self._try(node)
+        elif isinstance(node, (ast.Return, ast.Raise)):
+            self.emit(node)
+            self.close_to(self.cfg.exit)
+        elif isinstance(node, ast.Break):
+            if self.loops:
+                self.close_to(self.loops[-1][1])
+            else:  # malformed code; keep linting
+                self.current = None
+        elif isinstance(node, ast.Continue):
+            if self.loops:
+                self.close_to(self.loops[-1][0])
+            else:
+                self.current = None
+        else:
+            # simple statements — and nested function/class definitions,
+            # which are opaque steps here (they get their own CFGs)
+            self.emit(node)
+
+    def _if(self, node: ast.If) -> None:
+        self.emit(node.test)
+        cond = self.current
+        assert cond is not None
+        after = self.cfg.new_block().id
+        then = self.start()
+        self.cfg.add_edge(cond, then)
+        self.stmts(node.body)
+        self.close_to(after)
+        if node.orelse:
+            orelse = self.start()
+            self.cfg.add_edge(cond, orelse)
+            self.stmts(node.orelse)
+            self.close_to(after)
+        else:
+            self.cfg.add_edge(cond, after)
+        self.current = after
+
+    def _while(self, node: ast.While) -> None:
+        head = self.cfg.new_block().id
+        self.close_to(head)
+        self.current = head
+        self.emit(node.test)
+        after = self.cfg.new_block().id
+        is_infinite = (isinstance(node.test, ast.Constant)
+                       and bool(node.test.value))
+        body = self.start()
+        self.cfg.add_edge(head, body)
+        if not is_infinite:  # `while True:` only exits via break
+            self.cfg.add_edge(head, after)
+        self.loops.append((head, after))
+        self.stmts(node.body)
+        self.loops.pop()
+        self.close_to(head)
+        if node.orelse:
+            self.current = self.cfg.new_block().id
+            self.cfg.add_edge(head, self.current)
+            self.stmts(node.orelse)
+            self.close_to(after)
+        self.current = after
+
+    def _for(self, node: Union[ast.For, ast.AsyncFor]) -> None:
+        self.emit(node.iter)
+        head = self.cfg.new_block().id
+        self.close_to(head)
+        self.current = head
+        if isinstance(node, ast.AsyncFor):
+            self.emit(AwaitPoint(node.lineno))  # each __anext__ awaits
+        self.emit(node.target)
+        after = self.cfg.new_block().id
+        body = self.start()
+        self.cfg.add_edge(head, body)
+        self.cfg.add_edge(head, after)
+        self.loops.append((head, after))
+        self.stmts(node.body)
+        self.loops.pop()
+        self.close_to(head)
+        if node.orelse:
+            self.current = self.cfg.new_block().id
+            self.cfg.add_edge(head, self.current)
+            self.stmts(node.orelse)
+            self.close_to(after)
+        self.current = after
+
+    def _with(self, node: Union[ast.With, ast.AsyncWith]) -> None:
+        is_async = isinstance(node, ast.AsyncWith)
+        held: List[str] = []
+        for item in node.items:
+            self.emit(item.context_expr)
+            if is_async:
+                self.emit(AwaitPoint(item.context_expr.lineno))
+            if is_lock_expr(item.context_expr):
+                name = dotted_name(item.context_expr
+                                   if not isinstance(item.context_expr,
+                                                     ast.Call)
+                                   else item.context_expr.func)
+                self.emit(LockAcquire(name, item.context_expr.lineno))
+                held.append(name)
+        self.stmts(node.body)
+        end_line = getattr(node.body[-1], "end_lineno", node.lineno) \
+            if node.body else node.lineno
+        for name in reversed(held):
+            self.emit(LockRelease(name, end_line or node.lineno))
+        if is_async:
+            self.emit(AwaitPoint(end_line or node.lineno))  # __aexit__
+
+    def _try(self, node: ast.Try) -> None:
+        entry = self.current if self.current is not None else self.start()
+        after = self.cfg.new_block().id
+        body = self.start()
+        self.cfg.add_edge(entry, body)
+        self.stmts(node.body)
+        body_end = self.current
+        handler_entries: List[int] = []
+        for handler in node.handlers:
+            h = self.start()
+            # coarse: the handler is reachable from the try's entry
+            self.cfg.add_edge(entry, h)
+            handler_entries.append(h)
+            if handler.type is not None:
+                self.emit(handler.type)
+            self.stmts(handler.body)
+            self.close_to(after)
+        self.current = body_end
+        if node.orelse:
+            if self.current is not None:
+                orelse = self.cfg.new_block().id
+                self.cfg.add_edge(self.current, orelse)
+                self.current = orelse
+                self.stmts(node.orelse)
+        self.close_to(after)
+        if node.finalbody:
+            fin = self.cfg.new_block().id
+            # route everything that reached `after` through the finally
+            for pred in list(self.cfg.blocks[after].preds):
+                self.cfg.blocks[pred].succs = [
+                    fin if s == after else s
+                    for s in self.cfg.blocks[pred].succs
+                ]
+                self.cfg.add_edge(pred, fin)
+            self.cfg.blocks[after].preds = []
+            self.current = fin
+            self.stmts(node.finalbody)
+            self.close_to(after)
+        self.current = after
+
+
+def build_cfg(func: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> CFG:
+    """Build the CFG of one (async) function's body."""
+    return _Builder(func).build()
+
+
+def functions_in(
+    tree: ast.AST,
+) -> Iterator[Tuple[Union[ast.FunctionDef, ast.AsyncFunctionDef],
+                    Optional[ast.ClassDef]]]:
+    """Every (async) function in a module, with its enclosing class.
+
+    Yields ``(func, owner)`` where ``owner`` is the innermost enclosing
+    ``ClassDef`` (``None`` for module-level and closure functions).
+    Nested functions are yielded too, owned by the class of the method
+    they sit inside — good enough for ``self``-attribute analyses.
+    """
+    def walk(node: ast.AST, owner: Optional[ast.ClassDef]) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from walk(child, child)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, owner
+                yield from walk(child, owner)
+            else:
+                yield from walk(child, owner)
+
+    yield from walk(tree, None)
+
+
+def cfg_path_lines(cfg: CFG, lines: Sequence[int]) -> str:
+    """Render a sequence of line numbers as a printable CFG path."""
+    return " -> ".join(f"line {line}" for line in lines)

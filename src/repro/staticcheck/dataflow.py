@@ -1,0 +1,212 @@
+"""Forward dataflow over :mod:`repro.staticcheck.cfg` graphs.
+
+Second half of the tier-2 analysis engine: a generic worklist solver
+(:func:`run_forward`), a reaching-definitions analysis used by
+SC-AWAIT to decide whether a stored coroutine is ever consumed, and the
+held-locks / pending-reads lattice that SC-ASYNC-RACE runs to find
+check-then-act sequences spanning an ``await``.
+
+Design notes
+------------
+* States are immutable (frozensets / frozen dataclasses) and compared
+  with ``==`` for the fixpoint test, so transfer functions can be plain
+  pure functions.
+* The held-locks component is a *must* analysis (a race is only excused
+  by a lock held on **every** path), so its join is set intersection.
+  The pending-reads component is a *may* analysis (a race on any path is
+  a finding), so its join is set union.  :func:`race_join` combines the
+  two; the solver is agnostic.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass
+from typing import (Callable, Dict, FrozenSet, List, Optional, Sequence,
+                    Tuple, TypeVar)
+
+from .cfg import CFG, Block, Step
+
+__all__ = [
+    "Def",
+    "PendingRead",
+    "RaceState",
+    "ReachingDefinitions",
+    "race_join",
+    "run_forward",
+    "step_defs",
+]
+
+S = TypeVar("S")
+
+
+def run_forward(
+    cfg: CFG,
+    init: S,
+    transfer: Callable[[Block, S], S],
+    join: Callable[[Sequence[S]], S],
+) -> Tuple[Dict[int, S], Dict[int, S]]:
+    """Solve a forward dataflow problem to fixpoint.
+
+    ``transfer(block, in_state) -> out_state`` must be monotone and
+    pure; ``join`` merges predecessor out-states.  Returns
+    ``(in_states, out_states)`` keyed by block id.  Predecessors whose
+    out-state has not been computed yet are simply omitted from the
+    join — the worklist re-visits successors whenever an out-state
+    changes, so the result still converges.
+    """
+    order = cfg.rpo()
+    ins: Dict[int, S] = {}
+    outs: Dict[int, S] = {}
+    worklist = deque(order)
+    queued = set(order)
+    # safety cap: every analysis here has a finite lattice, but a linter
+    # must never hang CI on adversarial input — bail out conservatively
+    budget = max(1, len(cfg.blocks)) * 200
+    while worklist and budget > 0:
+        budget -= 1
+        bid = worklist.popleft()
+        queued.discard(bid)
+        block = cfg.blocks[bid]
+        pred_outs = [outs[p] for p in block.preds if p in outs]
+        if bid == cfg.entry:
+            state = join([init] + pred_outs) if pred_outs else init
+        elif pred_outs:
+            state = join(pred_outs)
+        else:
+            state = init
+        ins[bid] = state
+        out = transfer(block, state)
+        if outs.get(bid) != out:
+            outs[bid] = out
+            for succ in block.succs:
+                if succ not in queued:
+                    worklist.append(succ)
+                    queued.add(succ)
+    return ins, outs
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Def:
+    """One definition of a local name (identified by position)."""
+
+    var: str
+    line: int
+    col: int
+
+
+def _target_names(target: ast.expr) -> List[str]:
+    names: List[str] = []
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+    return names
+
+
+def step_defs(step: Step) -> List[Def]:
+    """Names defined by one CFG step (assignments and walrus only —
+    ``for`` targets appear as bare expression steps, handled too)."""
+    defs: List[Def] = []
+    if isinstance(step, ast.Assign):
+        for target in step.targets:
+            for name in _target_names(target):
+                defs.append(Def(name, step.lineno, step.col_offset))
+    elif isinstance(step, (ast.AugAssign, ast.AnnAssign)):
+        if isinstance(step.target, ast.Name):
+            defs.append(Def(step.target.id, step.lineno, step.col_offset))
+    elif isinstance(step, (ast.Name, ast.Tuple, ast.List)) and \
+            isinstance(getattr(step, "ctx", None), ast.Store):
+        # `for` targets are emitted as standalone Store-context steps
+        for name in _target_names(step):
+            defs.append(Def(name, step.lineno, step.col_offset))
+    if isinstance(step, ast.AST):
+        for node in ast.walk(step):
+            if isinstance(node, ast.NamedExpr) and \
+                    isinstance(node.target, ast.Name):
+                defs.append(Def(node.target.id, node.lineno,
+                                node.col_offset))
+    return defs
+
+
+class ReachingDefinitions:
+    """Classic reaching definitions over locals of one function.
+
+    State is a frozenset of :class:`Def`; a new definition of ``x``
+    kills every other definition of ``x``.  ``ins[block]`` gives the
+    defs live at block entry; :meth:`walk_block` replays a block step
+    by step so clients can ask which defs reach a particular use.
+    """
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.ins, self.outs = run_forward(
+            cfg,
+            frozenset(),
+            self._transfer,
+            lambda states: frozenset().union(*states),
+        )
+
+    @staticmethod
+    def _apply(state: FrozenSet[Def], step: Step) -> FrozenSet[Def]:
+        new_defs = step_defs(step)
+        if not new_defs:
+            return state
+        killed = {d.var for d in new_defs}
+        return frozenset(d for d in state
+                         if d.var not in killed) | frozenset(new_defs)
+
+    def _transfer(self, block: Block,
+                  state: FrozenSet[Def]) -> FrozenSet[Def]:
+        for step in block.steps:
+            state = self._apply(state, step)
+        return state
+
+    def walk_block(self, block_id: int):
+        """Yield ``(step, state_before_step)`` for one block."""
+        state = self.ins.get(block_id, frozenset())
+        for step in self.cfg.blocks[block_id].steps:
+            yield step, state
+            state = self._apply(state, step)
+
+
+# ---------------------------------------------------------------------------
+# Held-locks / pending-reads lattice (SC-ASYNC-RACE)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PendingRead:
+    """A read of a ``self`` attribute that has not been re-written yet.
+
+    ``await_line`` is ``None`` until control crosses an await point,
+    after which it records the first such line — a subsequent write of
+    the same attribute then completes a check-then-act race unless a
+    common lock was held at both ends.
+    """
+
+    attr: str
+    line: int
+    await_line: Optional[int]
+    locks: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class RaceState:
+    """Must-held locks × may-pending reads."""
+
+    held: FrozenSet[str] = frozenset()
+    pending: FrozenSet[PendingRead] = frozenset()
+
+
+def race_join(states: Sequence[RaceState]) -> RaceState:
+    """Intersection of held locks (must), union of pending reads (may)."""
+    held = states[0].held
+    pending = states[0].pending
+    for state in states[1:]:
+        held = held & state.held
+        pending = pending | state.pending
+    return RaceState(held=held, pending=pending)

@@ -44,38 +44,87 @@ _SUPPRESS_RE = re.compile(
 ALL_RULES = "*"
 
 
+def _comment_ids(comment: str) -> Optional[Set[str]]:
+    """Rule IDs named by one suppression comment (``None`` = not one)."""
+    match = _SUPPRESS_RE.search(comment)
+    if not match:
+        return None
+    listed = match.group(1)
+    if listed is None:
+        return {ALL_RULES}
+    return {part.strip() for part in listed.split(",") if part.strip()}
+
+
 def _scan_suppressions(source: str) -> Dict[int, Set[str]]:
     """Map line number -> rule IDs suppressed there (``*`` = all).
 
     Tokenizing (rather than regex over raw lines) keeps the marker inert
     inside string literals, so fixture files and docs can *mention* the
-    syntax without triggering it.  A comment that has code before it on
-    its line covers that line; a comment alone on its line covers the
-    *next* line (the statement it annotates).
+    syntax without triggering it.  Coverage is per *logical* line: a
+    suppression anywhere on a (possibly multiline) statement covers
+    every physical line of that statement, so a comment on the closing
+    paren of a call still silences a finding anchored at the call's
+    first line.  A comment alone on its line covers the next logical
+    statement, even across blank lines — the natural place to annotate
+    a statement too long for a trailing comment.
     """
     table: Dict[int, Set[str]] = {}
+    pending: Set[str] = set()       # from comment-only lines above
+    inline: Set[str] = set()        # inside the current logical line
+    logical_start: Optional[int] = None
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for token in tokens:
-            if token.type != tokenize.COMMENT:
+            if token.type == tokenize.COMMENT:
+                ids = _comment_ids(token.string)
+                if ids is None:
+                    continue
+                before = token.line[:token.start[1]].strip()
+                if logical_start is None and not before:
+                    pending |= ids  # annotates the statement below
+                else:
+                    inline |= ids
                 continue
-            match = _SUPPRESS_RE.search(token.string)
-            if not match:
+            if token.type in (tokenize.NL, tokenize.INDENT,
+                              tokenize.DEDENT, tokenize.ENCODING):
                 continue
-            listed = match.group(1)
-            ids = (
-                {ALL_RULES} if listed is None
-                else {part.strip() for part in listed.split(",")
-                      if part.strip()}
-            )
-            line, col = token.start
-            covered = (
-                line + 1 if token.line[:col].strip() == "" else line
-            )
-            table.setdefault(covered, set()).update(ids)
+            if token.type == tokenize.NEWLINE:
+                ids = inline | pending
+                if ids and logical_start is not None:
+                    for line in range(logical_start, token.start[0] + 1):
+                        table.setdefault(line, set()).update(ids)
+                pending = set()
+                inline = set()
+                logical_start = None
+                continue
+            if logical_start is None and token.type != tokenize.ENDMARKER:
+                logical_start = token.start[0]
     except tokenize.TokenError:
         pass  # the ast parse error is reported separately
     return table
+
+
+def _extend_to_decorated(
+    tree: ast.AST, table: Dict[int, Set[str]]
+) -> None:
+    """Let a suppression on a decorator line cover its ``def`` line.
+
+    Findings about a function anchor at the ``def`` keyword, but the
+    natural place for the comment is above the decorator stack — where
+    tokenize attaches it to the first decorator's logical line.  Copy
+    any IDs found on decorator lines down to the definition line.
+    """
+    for node in ast.walk(tree):
+        decorators = getattr(node, "decorator_list", None)
+        if not decorators:
+            continue
+        ids: Set[str] = set()
+        for decorator in decorators:
+            end = getattr(decorator, "end_lineno", decorator.lineno)
+            for line in range(decorator.lineno, (end or 0) + 1):
+                ids |= table.get(line, set())
+        if ids:
+            table.setdefault(node.lineno, set()).update(ids)
 
 
 class Project:
@@ -130,7 +179,10 @@ class Project:
                     f"cannot parse: {exc.msg} (line {exc.lineno})"
                 )
             self._cache[relpath] = (tree, text)
-            self._suppressions[relpath] = _scan_suppressions(text)
+            table = _scan_suppressions(text)
+            if tree is not None:
+                _extend_to_decorated(tree, table)
+            self._suppressions[relpath] = table
         return self._cache[relpath][0]
 
     def parse_failures(self) -> Dict[str, str]:
@@ -154,6 +206,13 @@ def default_registry() -> RuleRegistry:
         PickleRule,
         ScalarLoopRule,
     )
+    from .rules_concurrency import (
+        AsyncRaceRule,
+        BarrierDisciplineRule,
+        BlockingCallRule,
+        ForkAfterLoopRule,
+        UnawaitedCoroutineRule,
+    )
     from .rules_persist import PersistContractRule
 
     registry = RuleRegistry()
@@ -165,6 +224,12 @@ def default_registry() -> RuleRegistry:
     registry.add(MutableDefaultRule())
     registry.add(ScalarLoopRule())
     registry.add(ObsGuardRule())
+    # tier-2 (CFG/dataflow) concurrency family
+    registry.add(AsyncRaceRule())
+    registry.add(BlockingCallRule())
+    registry.add(UnawaitedCoroutineRule())
+    registry.add(ForkAfterLoopRule())
+    registry.add(BarrierDisciplineRule())
     return registry
 
 

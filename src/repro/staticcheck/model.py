@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional
+from typing import (TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional,
+                    Set)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from .engine import Project
@@ -45,10 +46,14 @@ class Finding:
     rule_id: str
     severity: str
     message: str
+    #: Optional multi-line elaboration (e.g. the CFG path a concurrency
+    #: rule followed).  Excluded from equality/ordering so findings stay
+    #: stable across detail-wording changes and the JSON round trip.
+    detail: str = field(default="", compare=False)
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-dict form used by the JSON reporter and the baseline."""
-        return {
+        out: Dict[str, object] = {
             "rule": self.rule_id,
             "path": self.path,
             "line": self.line,
@@ -56,6 +61,9 @@ class Finding:
             "severity": self.severity,
             "message": self.message,
         }
+        if self.detail:
+            out["detail"] = self.detail
+        return out
 
     @classmethod
     def from_dict(cls, raw: Dict[str, object]) -> "Finding":
@@ -67,6 +75,7 @@ class Finding:
             rule_id=str(raw["rule"]),
             severity=str(raw.get("severity", ERROR)),
             message=str(raw["message"]),
+            detail=str(raw.get("detail", "")),
         )
 
 
@@ -103,7 +112,7 @@ class Rule:
 
     def finding(
         self, relpath: str, node_or_line, message: str,
-        col: Optional[int] = None,
+        col: Optional[int] = None, detail: str = "",
     ) -> Finding:
         """Build a :class:`Finding` anchored at an AST node or line number."""
         if isinstance(node_or_line, int):
@@ -115,6 +124,7 @@ class Rule:
         return Finding(
             path=relpath, line=line, col=column,
             rule_id=self.rule_id, severity=self.severity, message=message,
+            detail=detail,
         )
 
 
@@ -139,6 +149,35 @@ class RuleRegistry:
     def ids(self) -> List[str]:
         return [rule.rule_id for rule in self.rules]
 
+    def expand(self, requested: Iterable[str]) -> Set[str]:
+        """Expand an ID list, resolving trailing-``*`` globs.
+
+        ``SC-ASYNC*`` selects every registered rule whose ID starts with
+        ``SC-ASYNC``.  Unknown IDs — and globs matching nothing — raise
+        ``ValueError`` (a typo in a CI invocation must fail loudly, not
+        silently lint nothing).
+        """
+        known = set(self.ids())
+        out: Set[str] = set()
+        for item in requested:
+            if item.endswith("*"):
+                matched = {rid for rid in known
+                           if rid.startswith(item[:-1])}
+                if not matched:
+                    raise ValueError(
+                        f"rule pattern {item!r} matches nothing; known: "
+                        f"{', '.join(sorted(known))}"
+                    )
+                out |= matched
+            elif item in known:
+                out.add(item)
+            else:
+                raise ValueError(
+                    f"unknown rule id {item!r}; known: "
+                    f"{', '.join(sorted(known))}"
+                )
+        return out
+
     def select(
         self,
         select: Optional[Iterable[str]] = None,
@@ -146,18 +185,12 @@ class RuleRegistry:
     ) -> List[Rule]:
         """Resolve ``--select`` / ``--ignore`` ID lists to rule instances.
 
-        Unknown IDs raise ``ValueError`` (a typo in a CI invocation must
-        fail loudly, not silently lint nothing).
+        Entries may be exact IDs or trailing-``*`` globs (``SC-ASYNC*``);
+        see :meth:`expand` for the error contract.
         """
-        known = set(self.ids())
-        chosen = set(known if select is None else select)
-        dropped = set() if ignore is None else set(ignore)
-        for requested in chosen | dropped:
-            if requested not in known:
-                raise ValueError(
-                    f"unknown rule id {requested!r}; known: "
-                    f"{', '.join(sorted(known))}"
-                )
+        chosen = (set(self.ids()) if select is None
+                  else self.expand(select))
+        dropped = set() if ignore is None else self.expand(ignore)
         return [
             rule for rule in self.rules
             if rule.rule_id in chosen and rule.rule_id not in dropped

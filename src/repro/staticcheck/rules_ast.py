@@ -149,9 +149,14 @@ class DeterminismRule(Rule):
     description = ("unseeded RNG, wall-clock reads, or unsorted set "
                    "iteration in deterministic paths")
 
-    #: Paths where (b) and (c) apply; (a) applies everywhere.
+    #: Paths where (b) and (c) apply; (a) applies everywhere.  The
+    #: service and distributed runner joined the list with the tier-2
+    #: concurrency sweep: worker teardown order and partition manifests
+    #: both reach replayable logs, so set-iteration order matters there
+    #: too.
     core_prefixes = (
         "src/repro/core/", "src/repro/streams/", "src/repro/verify/",
+        "src/repro/service/", "src/repro/distributed/",
     )
 
     def check_file(
@@ -309,6 +314,7 @@ class BroadExceptRule(Rule):
                    "paths")
     scope_prefixes = (
         "src/repro/persist/", "src/repro/core/snapshot.py",
+        "src/repro/service/", "src/repro/distributed/",
     )
 
     _broad = frozenset({"Exception", "BaseException"})

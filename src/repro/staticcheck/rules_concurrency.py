@@ -1,0 +1,923 @@
+"""Concurrency-safety rules: the tier-2 (CFG/dataflow) rule family.
+
+Five rules guard the orderings the async service and the multiprocess
+pipeline rely on:
+
+* **SC-ASYNC-RACE** — a ``self`` attribute is read, control crosses an
+  ``await`` (another task may run), and the same attribute is written —
+  with no ``asyncio.Lock`` provably held on every CFG path between the
+  read and the write.  This is the classic cooperative check-then-act
+  race: single-threaded asyncio only protects *between* awaits.
+* **SC-BLOCK** — a known blocking call (``time.sleep``, ``subprocess``,
+  sync socket/urllib I/O) directly inside an ``async def``: it stalls
+  the whole event loop, not just the calling task.
+* **SC-AWAIT** — a call to a locally-defined coroutine whose result is
+  neither awaited, handed to a consumer (``gather``/``create_task``/…),
+  returned, nor stored in a variable that is ever used again.  Such a
+  coroutine silently never runs.
+* **SC-FORK** — a process spawn (``multiprocessing.Process``,
+  ``os.fork``, ``ProcessPoolExecutor``) on a CFG path *after* an event
+  loop or thread was created in the same function: the child inherits
+  loop/lock state it must never touch.
+* **SC-BARRIER** — a sketch *mutating* method (the set is derived
+  statically from ``repro.core`` — any method that writes ``self``
+  state, transitively) invoked from ``repro.service`` code outside the
+  per-tenant worker-loop closure.  The service's correctness contract is
+  one ``insert_window`` per barrier, issued only by the worker task.
+
+All five consume :mod:`repro.staticcheck.cfg` /
+:mod:`repro.staticcheck.dataflow` and attach a ``detail`` string to each
+finding — ``repro lint --explain <ID>`` prints it as the CFG path that
+triggered the finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import (TYPE_CHECKING, Dict, FrozenSet, Iterable, Iterator,
+                    List, Optional, Sequence, Set, Tuple, Union)
+
+from .cfg import (AwaitPoint, CFG, LockAcquire, LockRelease, Step,
+                  build_cfg, dotted_name, functions_in)
+from .dataflow import (Def, PendingRead, RaceState, ReachingDefinitions,
+                       race_join, run_forward, step_defs)
+from .model import ERROR, Finding, Rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Project
+
+__all__ = [
+    "AsyncRaceRule",
+    "BarrierDisciplineRule",
+    "BlockingCallRule",
+    "ForkAfterLoopRule",
+    "UnawaitedCoroutineRule",
+    "class_summaries",
+    "mutating_methods",
+]
+
+AnyFunc = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Container methods that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend",
+    "insert", "pop", "popitem", "remove", "reverse", "setdefault",
+    "sort", "update",
+})
+
+_NESTED_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                  ast.ClassDef)
+
+
+def _walk_no_nested(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested scopes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, _NESTED_SCOPES):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _self_attr_chain(node: ast.AST) -> Optional[str]:
+    """Dotted suffix of a ``self.a.b`` chain, ``None`` otherwise.
+
+    Subscripts are transparent: ``self.shards[i].store`` reads as
+    ``shards.store`` — the indexed container is still ``self`` state.
+    """
+    parts: List[str] = []
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == "self" and parts:
+        return ".".join(reversed(parts))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# self-attribute access extraction + per-class method summaries
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Accesses:
+    """Self-attribute accesses of one statement or expression."""
+
+    reads: List[Tuple[str, int]] = field(default_factory=list)
+    writes: List[Tuple[str, int]] = field(default_factory=list)
+    await_lines: List[int] = field(default_factory=list)
+    self_calls: List[str] = field(default_factory=list)
+    #: method calls on self sub-objects: (base chain, method name)
+    attr_calls: List[Tuple[str, str]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class MethodSummary:
+    """Attributes a method reads/writes, closed over its self-calls."""
+
+    reads: FrozenSet[str] = frozenset()
+    writes: FrozenSet[str] = frozenset()
+
+
+def _scan_expr(node: ast.AST, acc: _Accesses,
+               summaries: Dict[str, MethodSummary]) -> None:
+    if isinstance(node, _NESTED_SCOPES):
+        return  # different execution time — a closure body is not "here"
+    if isinstance(node, ast.Await):
+        acc.await_lines.append(node.lineno)
+        _scan_expr(node.value, acc, summaries)
+        return
+    if isinstance(node, ast.Call):
+        func = node.func
+        handled_func = False
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                # self.method(...): splice in the callee's summary so a
+                # read hidden behind a helper (`self._tenant(name)`)
+                # still participates in the race lattice
+                acc.self_calls.append(func.attr)
+                summary = summaries.get(func.attr)
+                if summary is not None:
+                    acc.reads.extend(
+                        (attr, node.lineno) for attr in summary.reads)
+                    acc.writes.extend(
+                        (attr, node.lineno) for attr in summary.writes)
+                handled_func = True
+            else:
+                base = _self_attr_chain(func.value)
+                if base is not None:
+                    kind = (acc.writes if func.attr in _MUTATOR_METHODS
+                            else acc.reads)
+                    kind.append((base, node.lineno))
+                    acc.attr_calls.append((base, func.attr))
+                    handled_func = True
+        if not handled_func:
+            _scan_expr(func, acc, summaries)
+        for arg in node.args:
+            _scan_expr(arg, acc, summaries)
+        for keyword in node.keywords:
+            _scan_expr(keyword.value, acc, summaries)
+        return
+    if isinstance(node, ast.Attribute):
+        chain = _self_attr_chain(node)
+        if chain is not None:
+            acc.reads.append((chain, node.lineno))
+            return
+        _scan_expr(node.value, acc, summaries)
+        return
+    for child in ast.iter_child_nodes(node):
+        _scan_expr(child, acc, summaries)
+
+
+def _scan_target(target: ast.AST, acc: _Accesses,
+                 summaries: Dict[str, MethodSummary]) -> None:
+    if isinstance(target, ast.Attribute):
+        chain = _self_attr_chain(target)
+        if chain is not None:
+            acc.writes.append((chain, target.lineno))
+        else:
+            _scan_expr(target.value, acc, summaries)
+    elif isinstance(target, ast.Subscript):
+        base = _self_attr_chain(target.value)
+        if base is not None:
+            # self.tenants[k] = ... / del self.tenants[k] both mutate
+            acc.writes.append((base, target.lineno))
+        else:
+            _scan_expr(target.value, acc, summaries)
+        _scan_expr(target.slice, acc, summaries)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            _scan_target(elt, acc, summaries)
+    elif isinstance(target, ast.Starred):
+        _scan_target(target.value, acc, summaries)
+    # a bare Name target is a local — no self state involved
+
+
+def _scan_stmt(stmt: ast.stmt, acc: _Accesses,
+               summaries: Dict[str, MethodSummary]) -> None:
+    """Accesses of one *simple* statement (compound bodies excluded)."""
+    if isinstance(stmt, ast.Assign):
+        _scan_expr(stmt.value, acc, summaries)
+        for target in stmt.targets:
+            _scan_target(target, acc, summaries)
+    elif isinstance(stmt, ast.AugAssign):
+        _scan_expr(stmt.value, acc, summaries)
+        chain = _self_attr_chain(stmt.target)
+        if chain is None and isinstance(stmt.target, ast.Subscript):
+            chain = _self_attr_chain(stmt.target.value)
+            _scan_expr(stmt.target.slice, acc, summaries)
+        if chain is not None:
+            # read-modify-write in one statement
+            acc.reads.append((chain, stmt.lineno))
+            acc.writes.append((chain, stmt.lineno))
+    elif isinstance(stmt, ast.AnnAssign):
+        if stmt.value is not None:
+            _scan_expr(stmt.value, acc, summaries)
+        _scan_target(stmt.target, acc, summaries)
+    elif isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            _scan_target(target, acc, summaries)
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom, ast.Global,
+                           ast.Nonlocal, ast.Pass)) or \
+            isinstance(stmt, _NESTED_SCOPES):
+        pass
+    else:
+        # Expr / Return / Raise / Assert / compound headers: plain reads
+        _scan_expr(stmt, acc, summaries)
+
+
+def _scan_body(body: Sequence[ast.stmt], acc: _Accesses,
+               summaries: Dict[str, MethodSummary]) -> None:
+    """Recursively scan a statement list (for method summaries)."""
+    for stmt in body:
+        if isinstance(stmt, _NESTED_SCOPES):
+            continue
+        if isinstance(stmt, (ast.If, ast.While)):
+            _scan_expr(stmt.test, acc, summaries)
+            _scan_body(stmt.body, acc, summaries)
+            _scan_body(stmt.orelse, acc, summaries)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            _scan_expr(stmt.iter, acc, summaries)
+            _scan_target(stmt.target, acc, summaries)
+            _scan_body(stmt.body, acc, summaries)
+            _scan_body(stmt.orelse, acc, summaries)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                _scan_expr(item.context_expr, acc, summaries)
+            _scan_body(stmt.body, acc, summaries)
+        elif isinstance(stmt, ast.Try):
+            _scan_body(stmt.body, acc, summaries)
+            for handler in stmt.handlers:
+                _scan_body(handler.body, acc, summaries)
+            _scan_body(stmt.orelse, acc, summaries)
+            _scan_body(stmt.finalbody, acc, summaries)
+        else:
+            _scan_stmt(stmt, acc, summaries)
+
+
+def class_summaries(cls: ast.ClassDef) -> Dict[str, MethodSummary]:
+    """Per-method self-attribute read/write sets, transitively closed
+    over ``self.other_method()`` calls within the class."""
+    direct: Dict[str, _Accesses] = {}
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            acc = _Accesses()
+            _scan_body(stmt.body, acc, {})
+            direct[stmt.name] = acc
+    reads = {name: {attr for attr, _ in acc.reads}
+             for name, acc in direct.items()}
+    writes = {name: {attr for attr, _ in acc.writes}
+              for name, acc in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for name, acc in direct.items():
+            for callee in acc.self_calls:
+                if callee == name or callee not in direct:
+                    continue
+                if not reads[callee] <= reads[name]:
+                    reads[name] |= reads[callee]
+                    changed = True
+                if not writes[callee] <= writes[name]:
+                    writes[name] |= writes[callee]
+                    changed = True
+    return {
+        name: MethodSummary(frozenset(reads[name]), frozenset(writes[name]))
+        for name in direct
+    }
+
+
+def mutating_methods(cls: ast.ClassDef,
+                     exempt: FrozenSet[str] = frozenset()) -> Set[str]:
+    """Methods of ``cls`` that (transitively) write ``self`` state.
+
+    ``exempt`` names attributes whose writes do not count — the
+    observability counters declared in ``repro.obs.catalog`` are plain
+    telemetry, so a query path bumping ``hash_ops`` is not a mutation
+    of sketch state.
+    """
+    return {
+        name for name, summary in class_summaries(cls).items()
+        if (summary.writes - exempt) and not name.startswith("__")
+    }
+
+
+def _step_accesses(step: Step,
+                   summaries: Dict[str, MethodSummary]) -> _Accesses:
+    acc = _Accesses()
+    if isinstance(step, AwaitPoint):
+        acc.await_lines.append(step.lineno)
+    elif isinstance(step, (LockAcquire, LockRelease)):
+        pass
+    elif isinstance(step, ast.stmt):
+        _scan_stmt(step, acc, summaries)
+    elif isinstance(step, ast.AST):
+        # expression steps: branch conditions, iterables, for-targets
+        if isinstance(getattr(step, "ctx", None), ast.Store):
+            _scan_target(step, acc, summaries)
+        else:
+            _scan_expr(step, acc, summaries)
+    return acc
+
+
+# ---------------------------------------------------------------------------
+# SC-ASYNC-RACE
+# ---------------------------------------------------------------------------
+
+#: (attr, read_line, await_line, write_line)
+_Race = Tuple[str, int, int, int]
+
+
+def _race_step(
+    state: RaceState,
+    step: Step,
+    summaries: Dict[str, MethodSummary],
+    races: Optional[Set[_Race]] = None,
+) -> RaceState:
+    """Transfer function of the race lattice over one CFG step.
+
+    Within one statement the event order is reads → awaits → writes,
+    which matches evaluation order for the patterns that matter
+    (``self.x = await f(self.x)`` reads, yields, then stores) and keeps
+    ``self.n += 1`` — read and write with no await between — quiet.
+    """
+    if isinstance(step, LockAcquire):
+        return RaceState(state.held | {step.name}, state.pending)
+    if isinstance(step, LockRelease):
+        return RaceState(state.held - {step.name}, state.pending)
+    acc = _step_accesses(step, summaries)
+    pending = set(state.pending)
+    for attr, line in acc.reads:
+        pending.add(PendingRead(attr, line, None, state.held))
+    if acc.await_lines:
+        first_await = min(acc.await_lines)
+        pending = {
+            p if p.await_line is not None
+            else PendingRead(p.attr, p.line, first_await, p.locks)
+            for p in pending
+        }
+    for attr, line in acc.writes:
+        for p in list(pending):
+            if p.attr != attr:
+                continue
+            if p.await_line is not None and not (p.locks & state.held) \
+                    and races is not None:
+                races.add((attr, p.line, p.await_line, line))
+            pending.discard(p)
+    return RaceState(state.held, frozenset(pending))
+
+
+class AsyncRaceRule(Rule):
+    """Check-then-act on a ``self`` attribute spanning an ``await``."""
+
+    rule_id = "SC-ASYNC-RACE"
+    severity = ERROR
+    description = (
+        "self-attribute read-modify-write spans an await without an "
+        "asyncio lock held on every CFG path — another task can "
+        "interleave between the check and the act"
+    )
+    scope_prefixes = ("src/repro/service/", "src/repro/distributed/")
+
+    def check_file(self, relpath: str, tree: ast.AST,
+                   source: str) -> Iterable[Finding]:
+        class_cache: Dict[int, Dict[str, MethodSummary]] = {}
+        for func, owner in functions_in(tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            summaries: Dict[str, MethodSummary] = {}
+            if owner is not None:
+                key = id(owner)
+                if key not in class_cache:
+                    class_cache[key] = class_summaries(owner)
+                summaries = class_cache[key]
+            cfg = build_cfg(func)
+            ins, _ = run_forward(
+                cfg, RaceState(),
+                lambda block, st: self._transfer(block, st, summaries),
+                race_join,
+            )
+            races: Set[_Race] = set()
+            for bid in cfg.reachable():
+                state = ins.get(bid, RaceState())
+                for step in cfg.blocks[bid].steps:
+                    state = _race_step(state, step, summaries, races)
+            for attr, read_line, await_line, write_line in sorted(races):
+                detail = (
+                    f"CFG path in {func.name}(): "
+                    f"line {read_line} reads self.{attr} -> "
+                    f"line {await_line} awaits (event loop may run other "
+                    f"tasks) -> line {write_line} writes self.{attr}; "
+                    "no asyncio.Lock is held across all three points"
+                )
+                yield self.finding(
+                    relpath, write_line,
+                    f"self.{attr} read at line {read_line} then written "
+                    f"at line {write_line} across the await at line "
+                    f"{await_line} with no lock held "
+                    f"(in async {func.name})",
+                    detail=detail,
+                )
+
+    @staticmethod
+    def _transfer(block, state: RaceState,
+                  summaries: Dict[str, MethodSummary]) -> RaceState:
+        for step in block.steps:
+            state = _race_step(state, step, summaries)
+        return state
+
+
+# ---------------------------------------------------------------------------
+# SC-BLOCK
+# ---------------------------------------------------------------------------
+
+_BLOCKING_EXACT = frozenset({
+    "time.sleep", "os.system", "os.popen", "os.wait", "os.waitpid",
+    "socket.create_connection", "urllib.request.urlopen",
+})
+_BLOCKING_SUBPROCESS = frozenset({
+    "run", "call", "check_call", "check_output", "Popen",
+})
+
+
+def _blocking_call_name(call: ast.Call) -> Optional[str]:
+    dotted = dotted_name(call.func)
+    if not dotted:
+        return None
+    if dotted in _BLOCKING_EXACT:
+        return dotted
+    head, _, tail = dotted.rpartition(".")
+    if head == "subprocess" and tail in _BLOCKING_SUBPROCESS:
+        return dotted
+    return None
+
+
+class BlockingCallRule(Rule):
+    """Event-loop-stalling call directly inside an ``async def``."""
+
+    rule_id = "SC-BLOCK"
+    severity = ERROR
+    description = (
+        "blocking call (time.sleep, subprocess, sync socket/urllib I/O) "
+        "directly inside an async def — it stalls every task on the "
+        "event loop, not just this one"
+    )
+    scope_prefixes = ("src/repro/service/",)
+
+    def check_file(self, relpath: str, tree: ast.AST,
+                   source: str) -> Iterable[Finding]:
+        for func, _owner in functions_in(tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in _walk_no_nested(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = _blocking_call_name(node)
+                if name is None:
+                    continue
+                yield self.finding(
+                    relpath, node,
+                    f"blocking call {name}() inside async "
+                    f"{func.name} — use the asyncio equivalent or "
+                    "run_in_executor",
+                    detail=(
+                        f"async def {func.name} (line {func.lineno}) "
+                        f"reaches {name}() at line {node.lineno} without "
+                        "leaving the event loop thread"
+                    ),
+                )
+
+
+# ---------------------------------------------------------------------------
+# SC-AWAIT
+# ---------------------------------------------------------------------------
+
+#: Call names (last dotted segment) that legitimately consume a
+#: coroutine object without an explicit ``await`` at the call site.
+_CORO_CONSUMERS = frozenset({
+    "gather", "wait", "wait_for", "shield", "create_task",
+    "ensure_future", "run", "run_until_complete",
+    "run_coroutine_threadsafe", "as_completed", "Task",
+})
+
+
+def _module_coroutines(tree: ast.AST) -> Tuple[Set[str],
+                                               Dict[int, Set[str]]]:
+    """(module-level async def names, per-class async method names)."""
+    top: Set[str] = set()
+    if isinstance(tree, ast.Module):
+        for stmt in tree.body:
+            if isinstance(stmt, ast.AsyncFunctionDef):
+                top.add(stmt.name)
+    per_class: Dict[int, Set[str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            per_class[id(node)] = {
+                stmt.name for stmt in node.body
+                if isinstance(stmt, ast.AsyncFunctionDef)
+            }
+    return top, per_class
+
+
+class UnawaitedCoroutineRule(Rule):
+    """Locally-defined coroutine called but never awaited or consumed."""
+
+    rule_id = "SC-AWAIT"
+    severity = ERROR
+    description = (
+        "coroutine call is neither awaited, passed to gather/"
+        "create_task, returned, nor stored in a variable that is ever "
+        "used — the coroutine never actually runs"
+    )
+    scope_prefixes = ("src/repro/",)
+
+    def check_file(self, relpath: str, tree: ast.AST,
+                   source: str) -> Iterable[Finding]:
+        top, per_class = _module_coroutines(tree)
+        for func, owner in functions_in(tree):
+            methods = per_class.get(id(owner), set()) if owner else set()
+            yield from self._check_function(relpath, func, top, methods)
+
+    def _check_function(self, relpath: str, func: AnyFunc,
+                        top: Set[str],
+                        methods: Set[str]) -> Iterator[Finding]:
+        parents: Dict[int, ast.AST] = {}
+        for node in _walk_no_nested(func):
+            for child in ast.iter_child_nodes(node):
+                parents[id(child)] = node
+        coro_calls = [
+            node for node in _walk_no_nested(func)
+            if isinstance(node, ast.Call) and self._is_coro_call(
+                node, func, top, methods)
+        ]
+        if not coro_calls:
+            return
+        assigned: List[ast.Call] = []
+        for call in coro_calls:
+            verdict = self._classify(call, parents)
+            if verdict == "ok":
+                continue
+            if verdict == "assigned":
+                assigned.append(call)
+                continue
+            yield self.finding(
+                relpath, call,
+                f"coroutine {self._callee_name(call)}() is called but "
+                "its result is discarded — it will never run",
+                detail=(
+                    f"in {func.name}(): line {call.lineno} creates the "
+                    "coroutine object; no await/gather/create_task/"
+                    "return consumes it on any CFG path"
+                ),
+            )
+        if assigned:
+            yield from self._check_assigned(relpath, func, assigned,
+                                            parents)
+
+    @staticmethod
+    def _callee_name(call: ast.Call) -> str:
+        return dotted_name(call.func) or "<coroutine>"
+
+    @staticmethod
+    def _is_coro_call(call: ast.Call, func: AnyFunc, top: Set[str],
+                      methods: Set[str]) -> bool:
+        callee = call.func
+        if isinstance(callee, ast.Name):
+            return callee.id in top and callee.id != func.name
+        if isinstance(callee, ast.Attribute) and \
+                isinstance(callee.value, ast.Name) and \
+                callee.value.id == "self":
+            return callee.attr in methods and callee.attr != func.name
+        return False
+
+    @staticmethod
+    def _classify(call: ast.Call, parents: Dict[int, ast.AST]) -> str:
+        """'ok' (consumed), 'assigned' (needs dataflow), or 'orphan'."""
+        node: ast.AST = call
+        while id(node) in parents:
+            parent = parents[id(node)]
+            if isinstance(parent, ast.Await):
+                return "ok"
+            if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+                return "ok"
+            if isinstance(parent, ast.Call) and node is not parent.func:
+                # argument of some call — a known consumer for sure, and
+                # conservatively OK for anything else (raw coroutine
+                # lists handed to gather(*tasks) later are legitimate)
+                return "ok"
+            if isinstance(parent, ast.Assign) and node is parent.value:
+                if all(isinstance(t, ast.Name) for t in parent.targets):
+                    return "assigned"
+                return "ok"  # stored into a structure — assume consumed
+            if isinstance(parent, ast.Expr):
+                return "orphan"
+            node = parent
+        return "orphan"
+
+    def _check_assigned(self, relpath: str, func: AnyFunc,
+                        calls: List[ast.Call],
+                        parents: Dict[int, ast.AST]) -> Iterator[Finding]:
+        """Reaching-definitions pass: an assigned coroutine must be used."""
+        cfg = build_cfg(func)
+        rd = ReachingDefinitions(cfg)
+        coro_lines = {call.lineno: call for call in calls}
+        coro_defs: Dict[Def, ast.Call] = {}
+        consumed: Set[Def] = set()
+        for bid in cfg.reachable():
+            for step, state in rd.walk_block(bid):
+                if isinstance(step, ast.Assign) and \
+                        step.lineno in coro_lines and \
+                        step.value is coro_lines[step.lineno]:
+                    for definition in step_defs(step):
+                        coro_defs[definition] = coro_lines[step.lineno]
+                if not isinstance(step, ast.AST):
+                    continue
+                loaded = {
+                    node.id for node in ast.walk(step)
+                    if isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                }
+                if loaded:
+                    consumed |= {d for d in state if d.var in loaded}
+        for definition, call in sorted(
+                coro_defs.items(), key=lambda kv: (kv[0].line, kv[0].col)):
+            if definition in consumed:
+                continue
+            yield self.finding(
+                relpath, call,
+                f"coroutine {self._callee_name(call)}() is stored in "
+                f"'{definition.var}' but that variable is never used — "
+                "the coroutine never runs",
+                detail=(
+                    f"in {func.name}(): line {definition.line} binds "
+                    f"'{definition.var}' to the coroutine object; no "
+                    "later CFG step reads the variable before it dies "
+                    "or is rebound"
+                ),
+            )
+
+
+# ---------------------------------------------------------------------------
+# SC-FORK
+# ---------------------------------------------------------------------------
+
+_LOOP_THREAD_TAILS = frozenset({
+    "new_event_loop", "get_event_loop", "get_running_loop",
+    "run_until_complete", "run_forever", "Thread", "start_server",
+})
+_SPAWN_TAILS = frozenset({"Process", "ProcessPoolExecutor", "fork",
+                          "forkpty"})
+
+
+def _loop_or_thread_call(call: ast.Call) -> bool:
+    dotted = dotted_name(call.func)
+    if dotted == "asyncio.run":
+        return True
+    return dotted.rpartition(".")[2] in _LOOP_THREAD_TAILS
+
+
+def _spawn_call(call: ast.Call) -> bool:
+    return dotted_name(call.func).rpartition(".")[2] in _SPAWN_TAILS
+
+
+class ForkAfterLoopRule(Rule):
+    """Process spawn reachable after event-loop/thread creation."""
+
+    rule_id = "SC-FORK"
+    severity = ERROR
+    description = (
+        "process spawn (multiprocessing/os.fork/ProcessPoolExecutor) on "
+        "a CFG path after an event loop or thread exists in the same "
+        "function — the forked child inherits loop and lock state"
+    )
+    scope_prefixes = ("src/repro/service/", "src/repro/distributed/",
+                      "src/repro/cli.py")
+
+    def check_file(self, relpath: str, tree: ast.AST,
+                   source: str) -> Iterable[Finding]:
+        for func, _owner in functions_in(tree):
+            cfg = build_cfg(func)
+            ins, _ = run_forward(
+                cfg, frozenset(), self._transfer,
+                lambda states: frozenset().union(*states),
+            )
+            reported: Set[Tuple[int, int]] = set()
+            for bid in cfg.reachable():
+                state = ins.get(bid, frozenset())
+                for step in cfg.blocks[bid].steps:
+                    if not isinstance(step, ast.AST):
+                        continue
+                    for call in self._calls_of(step):
+                        if _spawn_call(call) and state:
+                            key = (min(state), call.lineno)
+                            if key not in reported:
+                                reported.add(key)
+                                yield self._report(relpath, func, key)
+                        if _loop_or_thread_call(call):
+                            state = state | {call.lineno}
+        return
+
+    def _report(self, relpath: str, func: AnyFunc,
+                key: Tuple[int, int]) -> Finding:
+        loop_line, spawn_line = key
+        return self.finding(
+            relpath, spawn_line,
+            f"process spawned at line {spawn_line} after event-loop/"
+            f"thread creation at line {loop_line} "
+            f"(in {func.name})",
+            detail=(
+                f"CFG path in {func.name}(): line {loop_line} creates an "
+                f"event loop or thread -> line {spawn_line} forks a "
+                "process that inherits it; spawn processes before "
+                "starting the loop, or use a spawn (not fork) context"
+            ),
+        )
+
+    @staticmethod
+    def _calls_of(step: ast.AST) -> List[ast.Call]:
+        calls = [step] if isinstance(step, ast.Call) else []
+        calls += [n for n in _walk_no_nested(step)
+                  if isinstance(n, ast.Call)]
+        return calls
+
+    @staticmethod
+    def _transfer(block, state: FrozenSet[int]) -> FrozenSet[int]:
+        for step in block.steps:
+            if not isinstance(step, ast.AST):
+                continue
+            for call in ForkAfterLoopRule._calls_of(step):
+                if _loop_or_thread_call(call):
+                    state = state | {call.lineno}
+        return state
+
+
+# ---------------------------------------------------------------------------
+# SC-BARRIER
+# ---------------------------------------------------------------------------
+
+class BarrierDisciplineRule(Rule):
+    """Sketch mutators must only run inside the per-tenant worker loop.
+
+    The mutating-method set is *derived*, not hard-coded: every method of
+    every class in ``repro.core`` that (transitively) writes ``self``
+    state counts.  On the service side, the allowed context is the
+    closure of methods reachable from a worker entry — any method the
+    class hands to ``create_task(self.X(...))``.
+    """
+
+    rule_id = "SC-BARRIER"
+    severity = ERROR
+    description = (
+        "sketch mutating method (derived from repro.core) invoked from "
+        "service code outside the per-tenant worker-loop closure — "
+        "breaks the one-insert_window-per-barrier discipline"
+    )
+    CORE_PREFIX = "src/repro/core/"
+    SERVICE_PREFIX = "src/repro/service/"
+    #: Counter declarations live here; ``_attr("name")`` arguments are
+    #: telemetry attributes, exempt from the mutating-write criterion.
+    OBS_CATALOG = "src/repro/obs/catalog.py"
+
+    def check_project(self, project: "Project") -> Iterable[Finding]:
+        core_files = [p for p in project.files()
+                      if p.startswith(self.CORE_PREFIX)]
+        if not core_files:
+            return  # partial tree (fixtures/smoke copies) — nothing to say
+        exempt = self._telemetry_attrs(project)
+        mutators: Set[str] = set()
+        method_calls: Dict[str, Set[str]] = {}
+        for relpath in core_files:
+            tree = project.parse(relpath)
+            if tree is None:
+                continue
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ClassDef):
+                    mutators |= mutating_methods(node, exempt)
+                    for stmt in node.body:
+                        if isinstance(stmt, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef)):
+                            acc = _Accesses()
+                            _scan_body(stmt.body, acc, {})
+                            callees = set(acc.self_calls)
+                            callees |= {m for _base, m in acc.attr_calls}
+                            method_calls.setdefault(
+                                stmt.name, set()).update(callees)
+        # name-level closure: a method delegating to a mutating method
+        # on a sub-object (HypersistentSketch.merge -> cold.merge_from)
+        # is itself mutating, even with no direct self-attribute write
+        changed = True
+        while changed:
+            changed = False
+            for name, callees in method_calls.items():
+                if name in mutators or name.startswith("__"):
+                    continue
+                if callees & mutators:
+                    mutators.add(name)
+                    changed = True
+        if not mutators:
+            return
+        for relpath in project.files():
+            if not relpath.startswith(self.SERVICE_PREFIX):
+                continue
+            tree = project.parse(relpath)
+            if tree is None:
+                continue
+            yield from self._check_module(relpath, tree, mutators)
+
+    def _check_module(self, relpath: str, tree: ast.AST,
+                      mutators: Set[str]) -> Iterator[Finding]:
+        for func, owner in functions_in(tree):
+            allowed: Set[str] = set()
+            if owner is not None:
+                allowed = self._worker_closure(owner)
+            if func.name in allowed:
+                continue
+            for node in _walk_no_nested(func):
+                if not isinstance(node, ast.Call) or \
+                        not isinstance(node.func, ast.Attribute):
+                    continue
+                method = node.func.attr
+                if method not in mutators:
+                    continue
+                receiver = dotted_name(node.func.value)
+                if not self._sketchish(receiver):
+                    continue
+                owner_name = owner.name if owner else "<module>"
+                yield self.finding(
+                    relpath, node,
+                    f"sketch mutator .{method}() called on "
+                    f"'{receiver}' in {owner_name}.{func.name} — "
+                    "outside the per-tenant worker loop",
+                    detail=(
+                        f"mutating-method set derived from repro.core "
+                        f"includes '{method}'; worker-loop closure of "
+                        f"{owner_name} is "
+                        f"{sorted(allowed) or '(none detected)'} and "
+                        f"{func.name} is not in it"
+                    ),
+                )
+
+    @staticmethod
+    def _telemetry_attrs(project: "Project") -> FrozenSet[str]:
+        """Attribute names declared as obs-catalog instruments."""
+        if BarrierDisciplineRule.OBS_CATALOG not in project.files():
+            return frozenset()
+        tree = project.parse(BarrierDisciplineRule.OBS_CATALOG)
+        if tree is None:
+            return frozenset()
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Name) and \
+                    node.func.id == "_attr":
+                for arg in node.args:
+                    if isinstance(arg, ast.Constant) and \
+                            isinstance(arg.value, str):
+                        names.add(arg.value)
+        return frozenset(names)
+
+    @staticmethod
+    def _sketchish(receiver: str) -> bool:
+        low = receiver.lower()
+        return bool(low) and ("sketch" in low or "shard" in low)
+
+    @staticmethod
+    def _worker_closure(cls: ast.ClassDef) -> Set[str]:
+        """Methods reachable from any ``create_task(self.X(...))``."""
+        entries: Set[str] = set()
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Call):
+                continue
+            # match *.create_task(...) whatever the receiver expression
+            # is — `loop.create_task`, `asyncio.create_task`, or
+            # `asyncio.get_running_loop().create_task` all count
+            func = node.func
+            callee = (func.attr if isinstance(func, ast.Attribute)
+                      else func.id if isinstance(func, ast.Name) else "")
+            if callee != "create_task":
+                continue
+            for arg in node.args:
+                if isinstance(arg, ast.Call) and \
+                        isinstance(arg.func, ast.Attribute) and \
+                        isinstance(arg.func.value, ast.Name) and \
+                        arg.func.value.id == "self":
+                    entries.add(arg.func.attr)
+        if not entries:
+            return set()
+        calls: Dict[str, Set[str]] = {}
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                acc = _Accesses()
+                _scan_body(stmt.body, acc, {})
+                calls[stmt.name] = set(acc.self_calls)
+        closure = set(entries)
+        frontier = list(entries)
+        while frontier:
+            name = frontier.pop()
+            for callee in calls.get(name, ()):
+                if callee not in closure:
+                    closure.add(callee)
+                    frontier.append(callee)
+        return closure

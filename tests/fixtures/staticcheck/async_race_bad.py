@@ -1,0 +1,35 @@
+"""Bad: self-attribute check-then-act spanning awaits with no lock."""
+
+import asyncio
+
+
+class Registry:
+    def __init__(self):
+        self.entries = {}
+        self._lock = asyncio.Lock()
+
+    async def ensure(self, name):
+        # lazy init: another task can pass the same check during the
+        # sleep and double-create the entry
+        if name not in self.entries:
+            await asyncio.sleep(0)
+            self.entries[name] = object()
+        return self.entries[name]
+
+    async def reset(self):
+        # the read is hidden inside a sync helper
+        count = self._count()
+        await asyncio.sleep(0)
+        self.entries = {}
+        return count
+
+    def _count(self):
+        return len(self.entries)
+
+    async def locked_wrong(self, name):
+        # lock covers the read but is dropped before the write
+        async with self._lock:
+            have = name in self.entries
+        await asyncio.sleep(0)
+        if not have:
+            self.entries[name] = object()

@@ -1,0 +1,32 @@
+"""Good: the lock spans read and write, or no await lies between."""
+
+import asyncio
+
+
+class Registry:
+    def __init__(self):
+        self.entries = {}
+        self.total = 0
+        self._lock = asyncio.Lock()
+
+    async def ensure(self, name):
+        async with self._lock:
+            if name not in self.entries:
+                await asyncio.sleep(0)
+                self.entries[name] = object()
+            return self.entries[name]
+
+    async def bump(self):
+        self.total += 1  # read-modify-write with no await inside
+        await asyncio.sleep(0)
+        return self.total
+
+    async def replace(self, fresh):
+        await asyncio.sleep(0)
+        self.entries = dict(fresh)  # blind write, no stale read
+
+    async def detach(self):
+        # capture-then-clear before the await (the fixed close() shape)
+        entries, self.entries = self.entries, {}
+        await asyncio.sleep(0)
+        return entries

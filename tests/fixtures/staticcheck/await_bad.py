@@ -1,0 +1,22 @@
+"""Bad: coroutine objects created and then dropped."""
+
+
+async def _flush(queue):
+    queue.clear()
+
+
+async def shutdown(queue):
+    _flush(queue)  # bare statement: the coroutine never runs
+
+
+class Worker:
+    async def _drain(self):
+        return None
+
+    async def stop(self):
+        self._drain()  # bare self-method call
+
+    async def stash(self):
+        coro = self._drain()  # stored, then rebound before any use
+        coro = None
+        return coro

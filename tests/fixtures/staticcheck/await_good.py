@@ -1,0 +1,31 @@
+"""Good: every coroutine is awaited, scheduled, or delegated."""
+
+import asyncio
+
+
+async def _flush(queue):
+    queue.clear()
+
+
+async def shutdown(queue):
+    await _flush(queue)
+
+
+class Worker:
+    async def _drain(self):
+        return None
+
+    async def stop(self):
+        task = asyncio.get_running_loop().create_task(self._drain())
+        await task
+
+    def kick(self):
+        return self._drain()  # delegation: the caller awaits
+
+    async def stash_then_await(self):
+        coro = self._drain()
+        return await coro
+
+    async def batch(self):
+        coros = [self._drain(), self._drain()]
+        await asyncio.gather(*coros)

@@ -1,0 +1,12 @@
+"""Bad service: a request handler mutates the sketch directly."""
+
+
+class Handler:
+    def __init__(self, sketch):
+        self.sketch = sketch
+
+    def flush(self, items):
+        self.sketch.insert_window(items)  # no worker loop owns this
+
+    def estimate(self, item):
+        return self.sketch.query(item)

@@ -1,0 +1,18 @@
+"""Mini core: one sketch class with a clear update/query split."""
+
+
+class MiniSketch:
+    def __init__(self, width):
+        self.counts = [0] * width
+        self.window = 0
+
+    def insert_window(self, items):
+        for item in items:
+            self.counts[item % len(self.counts)] += 1
+        self.end_window()
+
+    def end_window(self):
+        self.window += 1
+
+    def query(self, item):
+        return self.counts[item % len(self.counts)]

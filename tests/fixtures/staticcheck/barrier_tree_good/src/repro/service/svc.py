@@ -1,0 +1,28 @@
+"""Good service: only the worker-loop closure mutates the sketch."""
+
+import asyncio
+
+
+class Handler:
+    def __init__(self, sketch):
+        self.sketch = sketch
+        self.task = None
+
+    def start(self):
+        self.task = asyncio.get_running_loop().create_task(
+            self._worker()
+        )
+
+    async def _worker(self):
+        while True:
+            items = await self._next_batch()
+            self._close_window(items)
+
+    def _close_window(self, items):
+        self.sketch.insert_window(items)
+
+    async def _next_batch(self):
+        return []
+
+    def estimate(self, item):
+        return self.sketch.query(item)

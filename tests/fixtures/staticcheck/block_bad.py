@@ -1,0 +1,12 @@
+"""Bad: blocking calls directly inside async defs."""
+
+import subprocess
+import time
+
+
+class Prober:
+    async def wait(self, interval):
+        time.sleep(interval)
+
+    async def snapshot(self, cmd):
+        return subprocess.run(cmd, capture_output=True)

@@ -1,0 +1,18 @@
+"""Good: async sleep, sync contexts, and executor offload."""
+
+import asyncio
+import time
+
+
+class Prober:
+    async def wait(self, interval):
+        await asyncio.sleep(interval)
+
+    def wait_sync(self, interval):
+        time.sleep(interval)  # sync method: blocking is fine here
+
+    async def offload(self, loop, interval):
+        def runner():
+            time.sleep(interval)  # nested sync def runs in the executor
+
+        await loop.run_in_executor(None, runner)

@@ -1,0 +1,20 @@
+"""Bad: processes spawned after a loop or thread already exists."""
+
+import asyncio
+import multiprocessing
+import threading
+
+
+def launch(target):
+    loop = asyncio.new_event_loop()
+    proc = multiprocessing.Process(target=target)
+    proc.start()
+    return loop, proc
+
+
+def threaded_then_forked(target, work):
+    feeder = threading.Thread(target=work)
+    feeder.start()
+    proc = multiprocessing.Process(target=target)
+    proc.start()
+    return feeder, proc

@@ -1,0 +1,22 @@
+"""Good: spawn processes first; the loop comes afterwards."""
+
+import asyncio
+import multiprocessing
+
+
+async def _noop():
+    return None
+
+
+def launch(target):
+    proc = multiprocessing.Process(target=target)
+    proc.start()
+    loop = asyncio.new_event_loop()
+    return loop, proc
+
+
+def isolated(target):
+    proc = multiprocessing.Process(target=target)
+    proc.start()
+    proc.join()
+    return asyncio.run(_noop())

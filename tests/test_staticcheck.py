@@ -7,8 +7,13 @@ Three layers:
 * engine-level — suppression comments, select/ignore, JSON report and
   baseline round-trips, the SC-PARSE pseudo-rule;
 * gate-level — ``scripts/check_lint.py`` run as a subprocess over a
-  mutated copy of ``src/repro`` must exit non-zero for each of the eight
-  seeded bug patterns, and zero for the untouched copy.
+  mutated copy of ``src/repro`` must exit non-zero for each of the
+  thirteen seeded bug patterns, and zero for the untouched copy.
+
+The tier-2 (CFG/dataflow) concurrency rules have their own fixture and
+unit coverage in ``test_staticcheck_cfg.py`` and
+``test_staticcheck_concurrency.py``; their gate-level mutations live
+here so one parametrized smoke covers the whole registry.
 """
 
 import ast
@@ -169,6 +174,67 @@ class TestSuppression:
         )
         assert [f.rule_id for f in findings] == [PARSE_RULE_ID]
 
+    # -- edge cases: the comment and the finding live on different
+    # physical lines of the same syntactic element ----------------------
+
+    def test_comment_on_first_line_of_file_covers_first_statement(
+            self, tmp_path):
+        findings = self.lint_snippet(
+            tmp_path,
+            "# staticcheck: ignore[SC-MUTDEF] first line of the file\n"
+            "def f(x=[]):\n"
+            "    return x\n",
+        )
+        assert findings == []
+
+    def test_comment_on_decorator_covers_the_def_line(self, tmp_path):
+        findings = self.lint_snippet(
+            tmp_path,
+            "def deco(fn):\n"
+            "    return fn\n"
+            "\n\n"
+            "@deco  # staticcheck: ignore[SC-MUTDEF]\n"
+            "def f(x=[]):\n"
+            "    return x\n",
+        )
+        assert findings == []
+
+    def test_comment_above_decorator_covers_the_def_line(self, tmp_path):
+        findings = self.lint_snippet(
+            tmp_path,
+            "def deco(fn):\n"
+            "    return fn\n"
+            "\n\n"
+            "# staticcheck: ignore[SC-MUTDEF] fixture\n"
+            "@deco\n"
+            "def f(x=[]):\n"
+            "    return x\n",
+        )
+        assert findings == []
+
+    def test_comment_on_last_line_of_multiline_statement(self, tmp_path):
+        # the finding anchors at the statement's first line; the only
+        # room for a trailing comment is after the closing paren
+        findings = self.lint_snippet(
+            tmp_path,
+            "def f(x=[1,\n"
+            "      2]):  # staticcheck: ignore[SC-MUTDEF]\n"
+            "    return x\n",
+        )
+        assert findings == []
+
+    def test_suppression_does_not_leak_past_its_statement(self, tmp_path):
+        findings = self.lint_snippet(
+            tmp_path,
+            "def f(x=[]):  # staticcheck: ignore[SC-MUTDEF]\n"
+            "    return x\n"
+            "\n\n"
+            "def g(y=[]):\n"
+            "    return y\n",
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 5
+
 
 class TestEngine:
     def test_select_and_ignore(self):
@@ -176,11 +242,21 @@ class TestEngine:
         ids = [rule.rule_id for rule in registry.select(None, None)]
         assert ids == ["SC-DET", "SC-PERSIST", "SC-PICKLE",
                        "SC-EXC", "SC-INT", "SC-MUTDEF", "SC-LOOP",
-                       "SC-OBS"]
+                       "SC-OBS", "SC-ASYNC-RACE", "SC-BLOCK",
+                       "SC-AWAIT", "SC-FORK", "SC-BARRIER"]
         only = registry.select(["SC-DET"], None)
         assert [r.rule_id for r in only] == ["SC-DET"]
         rest = registry.select(None, ["SC-DET", "SC-MUTDEF"])
         assert "SC-DET" not in [r.rule_id for r in rest]
+
+    def test_select_glob_expands_prefix(self):
+        registry = default_registry()
+        ids = [r.rule_id for r in registry.select(["SC-ASYNC*"], None)]
+        assert ids == ["SC-ASYNC-RACE"]
+        rest = registry.select(None, ["SC-A*"])
+        kept = [r.rule_id for r in rest]
+        assert "SC-ASYNC-RACE" not in kept and "SC-AWAIT" not in kept
+        assert "SC-BLOCK" in kept
 
     def test_unknown_rule_id_rejected(self):
         registry = default_registry()
@@ -188,6 +264,8 @@ class TestEngine:
             registry.select(["SC-BOGUS"], None)
         with pytest.raises(ValueError, match="SC-BOGUS"):
             registry.select(None, ["SC-BOGUS"])
+        with pytest.raises(ValueError, match="matches nothing"):
+            registry.select(["SC-ZZZ*"], None)
 
     def test_repo_tree_lints_clean(self):
         findings = run_lint(REPO)
@@ -257,7 +335,8 @@ class TestLintCLI:
         assert proc.returncode == 0
         for rule_id in ("SC-DET", "SC-PERSIST", "SC-PICKLE",
                         "SC-EXC", "SC-INT", "SC-MUTDEF", "SC-LOOP",
-                        "SC-OBS"):
+                        "SC-OBS", "SC-ASYNC-RACE", "SC-BLOCK",
+                        "SC-AWAIT", "SC-FORK", "SC-BARRIER"):
             assert rule_id in proc.stdout
 
     def test_clean_tree_exits_zero(self):
@@ -338,6 +417,51 @@ MUTATIONS = {
         "def feed(sketch, keys):\n"
         "    tr = sketch.trace\n"
         "    tr.emit_bulk('burst_admit', keys)\n",
+    ),
+    # tier-2 concurrency family: re-seed the historical delete_tenant
+    # race (stop the worker across an await *before* unregistering), and
+    # plant one minimal instance of each remaining bug shape
+    "SC-ASYNC-RACE": (
+        "src/repro/service/service.py",
+        "        del self.tenants[name]\n"
+        "        await self._stop_worker(tenant)\n",
+        "        await self._stop_worker(tenant)\n"
+        "        del self.tenants[name]\n",
+    ),
+    "SC-BLOCK": (
+        "src/repro/service/_mut_block.py",
+        None,
+        "import time\n\n\n"
+        "class Poller:\n"
+        "    async def wait(self, interval):\n"
+        "        time.sleep(interval)\n",
+    ),
+    "SC-AWAIT": (
+        "src/repro/service/_mut_await.py",
+        None,
+        "async def _flush(queue):\n"
+        "    while not queue.empty():\n"
+        "        queue.get_nowait()\n\n\n"
+        "async def shutdown(queue):\n"
+        "    _flush(queue)\n",
+    ),
+    "SC-FORK": (
+        "src/repro/distributed/_mut_fork.py",
+        None,
+        "import asyncio\n"
+        "import multiprocessing\n\n\n"
+        "def launch(target):\n"
+        "    loop = asyncio.new_event_loop()\n"
+        "    proc = multiprocessing.Process(target=target)\n"
+        "    proc.start()\n"
+        "    return loop, proc\n",
+    ),
+    "SC-BARRIER": (
+        "src/repro/service/_mut_barrier.py",
+        None,
+        "class Handler:\n"
+        "    def flush(self, tenant, items):\n"
+        "        tenant.sketch.insert_window(items)\n",
     ),
 }
 

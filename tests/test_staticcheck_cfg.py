@@ -1,0 +1,362 @@
+"""Unit tests for the tier-2 analysis engine: CFG construction
+(:mod:`repro.staticcheck.cfg`) and the forward dataflow solver
+(:mod:`repro.staticcheck.dataflow`).
+
+Rule-level behaviour (the five SC-* concurrency rules) is covered in
+``test_staticcheck_concurrency.py``; this file pins down the block and
+edge shapes each lowered construct produces, the synthetic lock/await
+markers, reverse postorder, reaching definitions, and the race lattice.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.staticcheck.cfg import (
+    AwaitPoint,
+    LockAcquire,
+    LockRelease,
+    build_cfg,
+    cfg_path_lines,
+    dotted_name,
+    functions_in,
+    is_lock_expr,
+)
+from repro.staticcheck.dataflow import (
+    Def,
+    PendingRead,
+    RaceState,
+    ReachingDefinitions,
+    race_join,
+    run_forward,
+    step_defs,
+)
+
+
+def func_cfg(source, name=None):
+    tree = ast.parse(textwrap.dedent(source))
+    funcs = {f.name: f for f, _ in functions_in(tree)}
+    return build_cfg(funcs[name] if name else next(iter(funcs.values())))
+
+
+def all_steps(cfg):
+    return [s for bid in cfg.reachable() for s in cfg.blocks[bid].steps]
+
+
+def block_of(cfg, pred):
+    """The first reachable block holding a step matching ``pred``."""
+    for bid in cfg.reachable():
+        for step in cfg.blocks[bid].steps:
+            if pred(step):
+                return cfg.blocks[bid]
+    raise AssertionError("no block matched")
+
+
+class TestCfgShapes:
+    def test_if_else_branches_and_join(self):
+        cfg = func_cfg("""
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+        """)
+        cond = block_of(cfg, lambda s: isinstance(s, ast.Name))
+        assert len(cond.succs) == 2
+        joins = [set(cfg.blocks[s].succs) for s in cond.succs]
+        assert joins[0] == joins[1]  # both arms meet at the same block
+
+    def test_if_without_else_falls_through(self):
+        cfg = func_cfg("""
+            def f(x):
+                if x:
+                    a = 1
+                return x
+        """)
+        cond = block_of(cfg, lambda s: isinstance(s, ast.Name))
+        ret = block_of(cfg, lambda s: isinstance(s, ast.Return))
+        assert ret.id in cond.succs  # skip edge straight to the join
+
+    def test_while_true_only_exits_via_break(self):
+        cfg = func_cfg("""
+            def f(q):
+                while True:
+                    if q.done():
+                        break
+                return 1
+        """)
+        head = block_of(
+            cfg, lambda s: isinstance(s, ast.Constant) and s.value is True)
+        assert len(head.succs) == 1  # no head -> after edge
+        # ...yet the return stays reachable, through the break
+        assert any(isinstance(s, ast.Return) for s in all_steps(cfg))
+
+    def test_plain_while_has_exit_edge(self):
+        cfg = func_cfg("""
+            def f(n):
+                while n:
+                    n -= 1
+                return n
+        """)
+        head = block_of(cfg, lambda s: isinstance(s, ast.Name))
+        assert len(head.succs) == 2
+
+    def test_loop_back_edge(self):
+        cfg = func_cfg("""
+            def f(items):
+                for item in items:
+                    use(item)
+                return 1
+        """)
+        head = block_of(
+            cfg, lambda s: isinstance(s, ast.Name)
+            and isinstance(s.ctx, ast.Store))
+        # one predecessor is downstream of the head: the back edge
+        assert any(head.id in cfg.blocks[p].succs and p != cfg.entry
+                   for p in head.preds)
+
+    def test_return_wires_to_exit(self):
+        cfg = func_cfg("""
+            def f(x):
+                if x:
+                    return 1
+                return 2
+        """)
+        for bid in cfg.reachable():
+            for step in cfg.blocks[bid].steps:
+                if isinstance(step, ast.Return):
+                    assert cfg.blocks[bid].succs == [cfg.exit]
+
+    def test_try_handler_reachable_from_entry(self):
+        cfg = func_cfg("""
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    handle()
+                return 1
+        """)
+        entry = cfg.blocks[cfg.entry]
+        assert len(entry.succs) >= 2  # body edge + coarse handler edge
+
+    def test_continue_targets_loop_head(self):
+        cfg = func_cfg("""
+            def f(items):
+                for item in items:
+                    if item:
+                        continue
+                    use(item)
+        """)
+        head = block_of(
+            cfg, lambda s: isinstance(s, ast.Name)
+            and isinstance(s.ctx, ast.Store))
+        # the continue arm closes straight back to the head
+        assert len(head.preds) >= 3  # iter fall-in, body tail, continue
+
+
+class TestSyntheticMarkers:
+    def test_async_with_lock_emits_ordered_markers(self):
+        cfg = func_cfg("""
+            async def f(self):
+                async with self._lock:
+                    self.x = 1
+        """)
+        steps = all_steps(cfg)
+        kinds = [type(s).__name__ for s in steps]
+        acquire = kinds.index("LockAcquire")
+        release = kinds.index("LockRelease")
+        assign = next(i for i, s in enumerate(steps)
+                      if isinstance(s, ast.Assign))
+        assert acquire < assign < release
+        assert steps[acquire].name == "self._lock"
+        # __aenter__ and __aexit__ both yield to the loop
+        assert sum(isinstance(s, AwaitPoint) for s in steps) == 2
+
+    def test_sync_with_lock_has_no_await_points(self):
+        cfg = func_cfg("""
+            def f(self):
+                with self._mutex:
+                    self.x = 1
+        """)
+        steps = all_steps(cfg)
+        assert any(isinstance(s, LockAcquire) for s in steps)
+        assert any(isinstance(s, LockRelease) for s in steps)
+        assert not any(isinstance(s, AwaitPoint) for s in steps)
+
+    def test_non_lock_with_emits_no_markers(self):
+        cfg = func_cfg("""
+            def f(path):
+                with open(path) as fh:
+                    return fh.read()
+        """)
+        steps = all_steps(cfg)
+        assert not any(isinstance(s, (LockAcquire, LockRelease))
+                       for s in steps)
+
+    def test_async_for_awaits_each_iteration(self):
+        cfg = func_cfg("""
+            async def f(self, it):
+                async for item in it:
+                    use(item)
+        """)
+        head = block_of(cfg, lambda s: isinstance(s, AwaitPoint))
+        # the await point sits in the loop head: two exits (body, after)
+        # and a back edge in from the body
+        assert len(head.succs) == 2
+        assert any(p != cfg.entry for p in head.preds)
+
+    def test_lock_constructor_call_counts(self):
+        cfg = func_cfg("""
+            async def f():
+                async with asyncio.Lock():
+                    pass
+        """)
+        acquires = [s for s in all_steps(cfg)
+                    if isinstance(s, LockAcquire)]
+        assert [a.name for a in acquires] == ["asyncio.Lock"]
+
+
+class TestHelpers:
+    @pytest.mark.parametrize("src,expected", [
+        ("a.b.c", "a.b.c"),
+        ("self._lock", "self._lock"),
+        ("name", "name"),
+        ("f().x", ""),  # call in the chain: best effort gives up
+    ])
+    def test_dotted_name(self, src, expected):
+        node = ast.parse(src, mode="eval").body
+        assert dotted_name(node) == expected
+
+    @pytest.mark.parametrize("src,expected", [
+        ("self._lock", True),
+        ("registry_lock", True),
+        ("self.semaphore", True),
+        ("threading.RLock()", True),
+        ("self.mutex", True),
+        ("self.tenants", False),
+        ("open(path)", False),
+    ])
+    def test_is_lock_expr(self, src, expected):
+        node = ast.parse(src, mode="eval").body
+        assert is_lock_expr(node) is expected
+
+    def test_functions_in_owners(self):
+        tree = ast.parse(textwrap.dedent("""
+            def top():
+                def nested_top():
+                    pass
+
+            class C:
+                def m(self):
+                    def inner():
+                        pass
+
+                async def am(self):
+                    pass
+        """))
+        owners = {f.name: owner.name if owner else None
+                  for f, owner in functions_in(tree)}
+        assert owners == {
+            "top": None, "nested_top": None,
+            "m": "C", "inner": "C", "am": "C",
+        }
+
+    def test_cfg_path_lines(self):
+        assert cfg_path_lines(None, [3, 5, 7]) == \
+            "line 3 -> line 5 -> line 7"
+
+    def test_rpo_starts_at_entry_and_covers_reachable(self):
+        cfg = func_cfg("""
+            def f(x):
+                while x:
+                    x -= 1
+                return x
+        """)
+        order = cfg.rpo()
+        assert order[0] == cfg.entry
+        assert len(order) == len(set(order))
+        assert cfg.exit in order
+
+
+class TestReachingDefinitions:
+    def test_branch_defs_merge(self):
+        cfg = func_cfg("""
+            def f(x):
+                y = 1
+                if x:
+                    y = 2
+                return y
+        """)
+        rd = ReachingDefinitions(cfg)
+        ret_bid = next(
+            bid for bid in cfg.reachable()
+            if any(isinstance(s, ast.Return)
+                   for s in cfg.blocks[bid].steps))
+        for step, state in rd.walk_block(ret_bid):
+            if isinstance(step, ast.Return):
+                assert {d.line for d in state if d.var == "y"} == {3, 5}
+
+    def test_rebind_kills_previous_def(self):
+        cfg = func_cfg("""
+            def f():
+                c = make()
+                c = None
+                return c
+        """)
+        rd = ReachingDefinitions(cfg)
+        for bid in cfg.reachable():
+            for step, state in rd.walk_block(bid):
+                if isinstance(step, ast.Return):
+                    assert {d.line for d in state if d.var == "c"} == {4}
+
+    def test_step_defs_assign_shapes(self):
+        assign = ast.parse("a, b = 1, 2").body[0]
+        assert {d.var for d in step_defs(assign)} == {"a", "b"}
+        aug = ast.parse("a += 1").body[0]
+        assert {d.var for d in step_defs(aug)} == {"a"}
+        walrus = ast.parse("(n := f())", mode="eval").body
+        assert {d.var for d in step_defs(walrus)} == {"n"}
+
+    def test_step_defs_for_target(self):
+        cfg = func_cfg("""
+            def f(items):
+                for i in items:
+                    use(i)
+        """)
+        target = next(s for s in all_steps(cfg)
+                      if isinstance(s, ast.Name)
+                      and isinstance(s.ctx, ast.Store))
+        assert {d.var for d in step_defs(target)} == {"i"}
+
+
+class TestRaceLattice:
+    def test_join_intersects_locks_unions_pending(self):
+        read = PendingRead("x", 3, 5, frozenset())
+        a = RaceState(held=frozenset({"l1", "l2"}),
+                      pending=frozenset({read}))
+        b = RaceState(held=frozenset({"l2"}), pending=frozenset())
+        joined = race_join([a, b])
+        assert joined.held == frozenset({"l2"})
+        assert joined.pending == frozenset({read})
+
+    def test_run_forward_converges_on_loops(self):
+        cfg = func_cfg("""
+            def f(n):
+                total = 0
+                while n:
+                    total = total + n
+                    n -= 1
+                return total
+        """)
+        ins, outs = run_forward(
+            cfg,
+            frozenset(),
+            lambda block, state: frozenset(
+                state | {d for s in block.steps for d in step_defs(s)}),
+            lambda states: frozenset().union(*states),
+        )
+        assert set(outs) >= set(cfg.reachable())
+        exit_vars = {d.var for d in ins[cfg.exit]}
+        assert {"total", "n"} <= exit_vars

@@ -1,0 +1,207 @@
+"""Rule-level tests for the tier-2 concurrency family (SC-ASYNC-RACE,
+SC-BLOCK, SC-AWAIT, SC-FORK, SC-BARRIER) over the fixture pairs and
+mini-trees in ``tests/fixtures/staticcheck/``.
+
+The CFG/dataflow machinery itself is unit-tested in
+``test_staticcheck_cfg.py``; gate-level mutation smokes live in
+``test_staticcheck.py`` with the rest of the registry.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import run_lint
+from repro.staticcheck.model import Finding
+from repro.staticcheck.rules_concurrency import (
+    AsyncRaceRule,
+    BlockingCallRule,
+    ForkAfterLoopRule,
+    UnawaitedCoroutineRule,
+    class_summaries,
+    mutating_methods,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURES = REPO / "tests" / "fixtures" / "staticcheck"
+
+
+def run_rule(rule, fixture, relpath):
+    source = (FIXTURES / fixture).read_text()
+    return list(rule.check_file(relpath, ast.parse(source), source))
+
+
+class TestAsyncRace:
+    def bad(self):
+        return run_rule(AsyncRaceRule(), "async_race_bad.py",
+                        "src/repro/service/async_race_bad.py")
+
+    def test_bad_fixture_flags_three_races(self):
+        findings = self.bad()
+        assert len(findings) == 3
+        assert all(f.rule_id == "SC-ASYNC-RACE" for f in findings)
+        assert all("self.entries" in f.message for f in findings)
+        named = {m for m in ("ensure", "reset", "locked_wrong")
+                 if any(m in f.message for f in findings)}
+        assert named == {"ensure", "reset", "locked_wrong"}
+
+    def test_read_hidden_in_helper_still_counts(self):
+        # reset() only touches self.entries through self._count()
+        findings = [f for f in self.bad() if "reset" in f.message]
+        assert len(findings) == 1
+
+    def test_lock_dropped_before_write_still_races(self):
+        findings = [f for f in self.bad() if "locked_wrong" in f.message]
+        assert len(findings) == 1
+
+    def test_detail_renders_cfg_path(self):
+        for finding in self.bad():
+            assert "->" in finding.detail
+            assert "awaits" in finding.detail
+
+    def test_good_fixture_clean(self):
+        assert run_rule(AsyncRaceRule(), "async_race_good.py",
+                        "src/repro/service/async_race_good.py") == []
+
+    def test_scope(self):
+        rule = AsyncRaceRule()
+        assert rule.applies_to("src/repro/service/service.py")
+        assert rule.applies_to("src/repro/distributed/pipeline.py")
+        assert not rule.applies_to("src/repro/core/sketch.py")
+
+
+class TestBlockingCall:
+    def test_bad_fixture_flags_both_calls(self):
+        findings = run_rule(BlockingCallRule(), "block_bad.py",
+                            "src/repro/service/block_bad.py")
+        assert len(findings) == 2
+        messages = "\n".join(f.message for f in findings)
+        assert "time.sleep" in messages
+        assert "subprocess.run" in messages
+
+    def test_good_fixture_clean(self):
+        # async sleep, sync methods, and executor-offloaded nested defs
+        assert run_rule(BlockingCallRule(), "block_good.py",
+                        "src/repro/service/block_good.py") == []
+
+    def test_scope_is_service_only(self):
+        rule = BlockingCallRule()
+        assert rule.applies_to("src/repro/service/http.py")
+        assert not rule.applies_to("src/repro/distributed/pipeline.py")
+
+
+class TestUnawaitedCoroutine:
+    def test_bad_fixture_flags_all_three_shapes(self):
+        findings = run_rule(UnawaitedCoroutineRule(), "await_bad.py",
+                            "src/repro/service/await_bad.py")
+        assert len(findings) == 3
+        messages = "\n".join(f.message for f in findings)
+        assert "_flush" in messages          # bare module-level call
+        assert "_drain" in messages          # bare self-method call
+        assert "'coro'" in messages          # stored then rebound unused
+
+    def test_good_fixture_clean(self):
+        assert run_rule(UnawaitedCoroutineRule(), "await_good.py",
+                        "src/repro/service/await_good.py") == []
+
+    def test_scope_covers_whole_package(self):
+        rule = UnawaitedCoroutineRule()
+        assert rule.applies_to("src/repro/core/sketch.py")
+        assert rule.applies_to("src/repro/service/service.py")
+        assert not rule.applies_to("scripts/bench.py")
+
+
+class TestForkAfterLoop:
+    def test_bad_fixture_flags_both_functions(self):
+        findings = run_rule(ForkAfterLoopRule(), "fork_bad.py",
+                            "src/repro/distributed/fork_bad.py")
+        assert len(findings) == 2
+        messages = "\n".join(f.message for f in findings)
+        assert "launch" in messages
+        assert "threaded_then_forked" in messages
+
+    def test_good_fixture_clean(self):
+        # spawn-then-loop ordering is the sanctioned one
+        assert run_rule(ForkAfterLoopRule(), "fork_good.py",
+                        "src/repro/distributed/fork_good.py") == []
+
+    def test_scope_includes_cli(self):
+        rule = ForkAfterLoopRule()
+        assert rule.applies_to("src/repro/cli.py")
+        assert not rule.applies_to("src/repro/core/sketch.py")
+
+
+class TestBarrierDiscipline:
+    def test_bad_tree_flags_direct_mutation(self):
+        findings = run_lint(FIXTURES / "barrier_tree_bad",
+                            select=["SC-BARRIER"])
+        assert len(findings) == 1
+        (finding,) = findings
+        assert "insert_window" in finding.message
+        assert "Handler.flush" in finding.message
+        assert "worker-loop closure" in finding.detail
+
+    def test_good_tree_worker_closure_is_allowed(self):
+        assert run_lint(FIXTURES / "barrier_tree_good",
+                        select=["SC-BARRIER"]) == []
+
+    def test_query_path_never_flagged(self):
+        # estimate() calls .query() in both trees; only flush() trips
+        findings = run_lint(FIXTURES / "barrier_tree_bad",
+                            select=["SC-BARRIER"])
+        assert not any("query" in f.message for f in findings)
+
+
+MINI_SKETCH = (
+    FIXTURES / "barrier_tree_bad" / "src" / "repro" / "core" /
+    "sketch.py"
+)
+
+
+class TestMutatorDerivation:
+    def cls(self):
+        tree = ast.parse(MINI_SKETCH.read_text())
+        return next(n for n in ast.walk(tree)
+                    if isinstance(n, ast.ClassDef))
+
+    def test_mutators_are_writers_only(self):
+        assert mutating_methods(self.cls()) == {
+            "insert_window", "end_window",
+        }
+
+    def test_exempt_attrs_drop_out(self):
+        # treating `window` as telemetry excuses end_window, but
+        # insert_window still writes `counts`
+        mutators = mutating_methods(self.cls(),
+                                    exempt=frozenset({"window"}))
+        assert mutators == {"insert_window"}
+
+    def test_summaries_close_over_self_calls(self):
+        summaries = class_summaries(self.cls())
+        # insert_window -> end_window, so the write of `window`
+        # propagates up transitively
+        assert "window" in summaries["insert_window"].writes
+        assert "counts" in summaries["insert_window"].writes
+        assert summaries["query"].writes == frozenset()
+
+
+class TestFindingDetail:
+    def test_detail_survives_json_round_trip(self):
+        findings = run_rule(AsyncRaceRule(), "async_race_bad.py",
+                            "src/repro/service/async_race_bad.py")
+        assert findings
+        for finding in findings:
+            clone = Finding.from_dict(finding.to_dict())
+            assert clone.detail == finding.detail
+            assert clone == finding
+
+    def test_detail_is_excluded_from_equality(self):
+        findings = run_rule(AsyncRaceRule(), "async_race_bad.py",
+                            "src/repro/service/async_race_bad.py")
+        finding = findings[0]
+        stripped = Finding.from_dict(
+            {k: v for k, v in finding.to_dict().items()
+             if k != "detail"})
+        assert stripped.detail == ""
+        assert stripped == finding  # baseline matching ignores detail
